@@ -1,0 +1,319 @@
+(* Benchmark harness: one Bechamel test (or test family) per
+   experiment in DESIGN.md §4.
+
+   The paper has no performance tables — its artifacts are protocol
+   figures and verification results — so these benches measure the
+   cost of every reproduced artifact: the crypto substrate, the field
+   algebra, both protocols' handshakes and group operations, the four
+   attack scenarios, and the model checker itself. EXPERIMENTS.md
+   records a reference run.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let rng0 = Prng.Splitmix.create 99L
+
+(* --- E11: crypto micro-benches --- *)
+
+let key16 = Byteskit.Hex.decode_exn "000102030405060708090a0b0c0d0e0f"
+let msg_64 = String.make 64 'm'
+let msg_1k = String.make 1024 'p'
+
+let crypto_tests =
+  let sip_key = Sym_crypto.Siphash.key_of_string key16 in
+  let aead_key = Sym_crypto.Key.of_raw Sym_crypto.Key.Session key16 in
+  let sealed = Sym_crypto.Aead.seal ~key:aead_key ~iv:"12345678" ~ad:"ad" msg_1k in
+  [
+    Test.make ~name:"siphash-64B" (Staged.stage (fun () ->
+        ignore (Sym_crypto.Siphash.hash sip_key msg_64)));
+    Test.make ~name:"feistel-block" (Staged.stage (fun () ->
+        let cipher = Sym_crypto.Feistel.of_key key16 in
+        ignore (Sym_crypto.Feistel.encrypt_block cipher (String.sub msg_64 0 16))));
+    Test.make ~name:"aead-seal-1KiB" (Staged.stage (fun () ->
+        ignore (Sym_crypto.Aead.seal ~key:aead_key ~iv:"12345678" ~ad:"ad" msg_1k)));
+    Test.make ~name:"aead-open-1KiB" (Staged.stage (fun () ->
+        ignore (Sym_crypto.Aead.open_ ~key:aead_key ~ad:"ad" sealed)));
+    Test.make ~name:"kdf-password" (Staged.stage (fun () ->
+        ignore (Sym_crypto.Kdf.of_password ~user:"alice" ~password:"pw")));
+  ]
+
+(* --- E11: field-algebra closures --- *)
+
+let algebra_set n =
+  let open Symbolic.Field in
+  let fields = ref Set.empty in
+  for i = 0 to n - 1 do
+    fields :=
+      Set.add
+        (FCrypt (Ka (i mod 4), cat [ FAgent A; FNonce i; FKey (Ka ((i + 1) mod 4)) ]))
+        !fields
+  done;
+  Set.add (FKey (Ka 0)) !fields
+
+let algebra_tests =
+  let s32 = algebra_set 32 and s128 = algebra_set 128 in
+  let open Symbolic in
+  [
+    Test.make ~name:"analz-32" (Staged.stage (fun () -> ignore (Closure.analz s32)));
+    Test.make ~name:"analz-128" (Staged.stage (fun () -> ignore (Closure.analz s128)));
+    Test.make ~name:"parts-128" (Staged.stage (fun () -> ignore (Closure.parts s128)));
+    Test.make ~name:"synth-membership" (Staged.stage (fun () ->
+        ignore
+          (Closure.in_synth s32
+             Field.(FCrypt (Ka 0, cat [ FAgent A; FNonce 1; FNonce 2 ])))));
+    Test.make ~name:"ideal-membership" (Staged.stage (fun () ->
+        ignore
+          (Closure.in_ideal
+             Field.(Set.of_list [ FKey (Ka 0); FKey Pa ])
+             Field.(FCrypt (Ka 3, cat [ FNonce 1; FKey (Ka 0) ])))));
+  ]
+
+(* --- E1/E2/E3: protocol scenarios over the simulated network --- *)
+
+let directory n =
+  List.init n (fun i ->
+      let name = Printf.sprintf "user%d" i in
+      (name, name ^ "-pw"))
+
+let improved_cluster ?policy n =
+  let d =
+    Enclaves.Driver.Improved.create ~seed:(Prng.Splitmix.next rng0) ?policy
+      ~leader:"leader" ~directory:(directory n) ()
+  in
+  List.iter
+    (fun (name, _) ->
+      Enclaves.Driver.Improved.join d name;
+      ignore (Enclaves.Driver.Improved.run d))
+    (directory n);
+  d
+
+let protocol_tests =
+  [
+    (* E2/E3: one full improved handshake (member + leader steps). *)
+    Test.make ~name:"improved-handshake" (Staged.stage (fun () ->
+        let d =
+          Enclaves.Driver.Improved.create ~seed:(Prng.Splitmix.next rng0)
+            ~leader:"leader" ~directory:(directory 1) ()
+        in
+        Enclaves.Driver.Improved.join d "user0";
+        ignore (Enclaves.Driver.Improved.run d)));
+    Test.make ~name:"legacy-handshake" (Staged.stage (fun () ->
+        let d =
+          Enclaves.Driver.Legacy.create ~seed:(Prng.Splitmix.next rng0)
+            ~leader:"leader" ~directory:(directory 1) ()
+        in
+        Enclaves.Driver.Legacy.join d "user0";
+        ignore (Enclaves.Driver.Legacy.run d)));
+    (* E10: one nonce-chained admin round trip. *)
+    Test.make ~name:"admin-roundtrip" (Staged.stage (fun () ->
+        let d = improved_cluster 1 in
+        Enclaves.Driver.Improved.dispatch_leader d
+          (Enclaves.Leader.enqueue_admin
+             (Enclaves.Driver.Improved.leader d)
+             "user0" (Wire.Admin.Notice "bench"));
+        ignore (Enclaves.Driver.Improved.run d)));
+    (* E15: the public-key variant of the handshake (footnote 1). *)
+    Test.make ~name:"pk-handshake" (Staged.stage (fun () ->
+        let rng = Prng.Splitmix.create (Prng.Splitmix.next rng0) in
+        let lid = Enclaves.Pk_auth.generate "leader" rng in
+        let aid = Enclaves.Pk_auth.generate "alice" rng in
+        let leader =
+          Enclaves.Pk_auth.leader lid
+            ~directory:[ ("alice", Enclaves.Pk_auth.pub aid) ]
+            ~rng ()
+        in
+        let alice =
+          Enclaves.Pk_auth.member aid ~leader:"leader"
+            ~leader_pub:(Enclaves.Pk_auth.pub lid) ~rng
+        in
+        let frames = ref (Enclaves.Member.join alice) in
+        while !frames <> [] do
+          frames :=
+            List.concat_map
+              (fun (f : Wire.Frame.t) ->
+                let bytes = Wire.Frame.encode f in
+                if f.Wire.Frame.recipient = "leader" then
+                  Enclaves.Leader.receive leader bytes
+                else Enclaves.Member.receive alice bytes)
+              !frames
+        done));
+    (* E1: app multicast through the leader to 8 members. *)
+    Test.make ~name:"relay-multicast-8" (Staged.stage (fun () ->
+        let d = improved_cluster 8 in
+        Enclaves.Driver.Improved.send_app d "user0" "payload";
+        ignore (Enclaves.Driver.Improved.run d)));
+  ]
+
+(* --- E12: rekey scaling (leader is the bottleneck, §6) --- *)
+
+let rekey_tests =
+  List.map
+    (fun n ->
+      Test.make ~name:(Printf.sprintf "rekey-N=%d" n) (Staged.stage (fun () ->
+          let d = improved_cluster n in
+          Enclaves.Driver.Improved.rekey d;
+          ignore (Enclaves.Driver.Improved.run d))))
+    [ 2; 8; 32 ]
+
+(* Ablation: rekey-on-join policy doubles admin traffic at join time. *)
+let policy_ablation_tests =
+  let join_all policy =
+    let d = improved_cluster ~policy 8 in
+    ignore (Enclaves.Driver.Improved.run d)
+  in
+  [
+    Test.make ~name:"join8-rekey-on-join" (Staged.stage (fun () ->
+        join_all { Enclaves.Leader.rekey_on_join = true; rekey_on_leave = true }));
+    Test.make ~name:"join8-static-key" (Staged.stage (fun () ->
+        join_all { Enclaves.Leader.rekey_on_join = false; rekey_on_leave = false }));
+  ]
+
+(* --- E5-E7: the attack scenarios --- *)
+
+let attack_tests =
+  let open Adversary.Attacks in
+  List.concat_map
+    (fun (name, f) ->
+      [
+        Test.make ~name:(name ^ "-legacy") (Staged.stage (fun () ->
+            ignore (f Legacy)));
+        Test.make ~name:(name ^ "-improved") (Staged.stage (fun () ->
+            ignore (f Improved)));
+      ])
+    [
+      ("a1-dos", fun p -> denial_of_service p);
+      ("a2-forge-removal", fun p -> forge_mem_removed p);
+      ("a3-rekey-replay", fun p -> rekey_replay p);
+      ("a4-forced-close", fun p -> forced_disconnect p);
+    ]
+
+(* --- E4/E8/E9: the model checker --- *)
+
+let mc_config joins =
+  {
+    Symbolic.Model.default_config with
+    Symbolic.Model.max_joins = joins;
+    max_nonces = 8;
+    max_admin = 2;
+  }
+
+let model_tests =
+  let explored = Symbolic.Explore.run ~config:(mc_config 1) () in
+  [
+    Test.make ~name:"explore-1join" (Staged.stage (fun () ->
+        ignore (Symbolic.Explore.run ~config:(mc_config 1) ())));
+    Test.make ~name:"invariants-1join" (Staged.stage (fun () ->
+        ignore (Symbolic.Invariants.all explored)));
+    Test.make ~name:"properties-1join" (Staged.stage (fun () ->
+        ignore (Symbolic.Properties.all explored)));
+    Test.make ~name:"diagram-1join" (Staged.stage (fun () ->
+        ignore (Symbolic.Diagram.all ~config:(mc_config 1) explored)));
+    (* Intruder-power ablation: fresh-atom budget 0 vs 1. *)
+    Test.make ~name:"explore-no-intruder-atoms" (Staged.stage (fun () ->
+        ignore
+          (Symbolic.Explore.run
+             ~config:{ (mc_config 1) with Symbolic.Model.intruder_fresh = 0 }
+             ())));
+  ]
+
+(* --- E13: multi-manager failover (the §7 extension) --- *)
+
+let failover_tests =
+  let fo_config =
+    {
+      Enclaves.Failover.heartbeat_period = Netsim.Vtime.of_ms 100;
+      failure_timeout = Netsim.Vtime.of_ms 400;
+      check_period = Netsim.Vtime.of_ms 100;
+    }
+  in
+  [
+    Test.make ~name:"failover-3mgr-4members" (Staged.stage (fun () ->
+        let t =
+          Enclaves.Failover.create ~seed:(Prng.Splitmix.next rng0)
+            ~config:fo_config ~managers:[ "m0"; "m1"; "m2" ]
+            ~directory:(directory 4) ()
+        in
+        Enclaves.Failover.start t;
+        ignore (Enclaves.Failover.run ~until:(Netsim.Vtime.of_ms 600) t);
+        Enclaves.Failover.crash_primary t;
+        ignore (Enclaves.Failover.run ~until:(Netsim.Vtime.of_s 4) t)));
+  ]
+
+(* --- E14: legacy symbolic model (attack finding) --- *)
+
+let legacy_model_tests =
+  [
+    Test.make ~name:"legacy-attack-finding" (Staged.stage (fun () ->
+        let r = Symbolic.Legacy_model.explore () in
+        ignore (Symbolic.Legacy_model.findings r)));
+  ]
+
+(* --- netsim baseline --- *)
+
+let netsim_tests =
+  [
+    Test.make ~name:"sim-10k-events" (Staged.stage (fun () ->
+        let sim = Netsim.Sim.create ~seed:(Prng.Splitmix.next rng0) () in
+        let count = ref 0 in
+        let rec spawn n =
+          if n > 0 then
+            Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_us n) (fun () ->
+                incr count;
+                spawn (n - 1))
+        in
+        spawn 10_000;
+        ignore (Netsim.Sim.run sim)));
+  ]
+
+(* --- Harness --- *)
+
+let groups =
+  [
+    ("crypto (E11)", crypto_tests);
+    ("algebra (E11)", algebra_tests);
+    ("protocol (E1-E3,E10)", protocol_tests);
+    ("rekey-scaling (E12)", rekey_tests);
+    ("policy-ablation (E12)", policy_ablation_tests);
+    ("attacks (E5-E7)", attack_tests);
+    ("model-checker (E4,E8,E9)", model_tests);
+    ("failover (E13)", failover_tests);
+    ("legacy-model (E14)", legacy_model_tests);
+    ("netsim", netsim_tests);
+  ]
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+
+let instances = Instance.[ monotonic_clock ]
+
+let run_group (group_name, tests) =
+  Printf.printf "\n== %s ==\n%!" group_name;
+  let test = Test.make_grouped ~name:group_name ~fmt:"%s/%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (v :: _) -> v
+        | Some [] | None -> nan
+      in
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1_000_000.0 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1_000.0 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      Printf.printf "  %-45s %s/op\n%!" name pretty)
+    (List.sort compare rows)
+
+let () =
+  print_endline "Enclaves benchmark harness (one group per DESIGN.md experiment)";
+  List.iter run_group groups;
+  print_endline "\ndone."

@@ -1,0 +1,252 @@
+(* Command-line interface to the Enclaves reproduction.
+
+   Subcommands:
+   - [session]  run a scripted group session and print the trace
+   - [attack]   run the §2.3 attack matrix (optionally one attack)
+   - [verify]   run the model checker (§4-§5)
+   - [keys]     derive and fingerprint a long-term key (debug helper)
+
+   Run with: dune exec bin/enclaves_cli.exe -- <subcommand> --help *)
+
+open Cmdliner
+
+(* --- session --- *)
+
+let run_session members seed verbose audit protocol =
+  let directory =
+    List.init members (fun i ->
+        let name = Printf.sprintf "user%d" i in
+        (name, name ^ "-pw"))
+  in
+  let spacer () = print_endline "" in
+  (match protocol with
+  | `Improved ->
+      let module D = Enclaves.Driver.Improved in
+      let d = D.create ~seed ~leader:"leader" ~directory () in
+      List.iter
+        (fun (name, _) ->
+          D.join d name;
+          ignore (D.run d))
+        directory;
+      D.send_app d "user0" "hello from the CLI";
+      ignore (D.run d);
+      D.rekey d;
+      ignore (D.run d);
+      Printf.printf "leader members: [%s]\n"
+        (String.concat ", " (Enclaves.Leader.members (D.leader d)));
+      List.iter
+        (fun (name, _) ->
+          let m = D.member d name in
+          Printf.printf "  %-8s connected=%b admin-log=%d app-log=%d\n" name
+            (Enclaves.Member.is_connected m)
+            (List.length (Enclaves.Member.accepted_admin m))
+            (List.length (Enclaves.Member.app_log m)))
+        directory;
+      Printf.printf "ordering guarantee holds: %b\n" (D.all_prefix_ok d);
+      if audit then begin
+        let report =
+          Enclaves.Audit.run ~directory ~leader:"leader"
+            (Netsim.Network.trace (D.net d))
+        in
+        Printf.printf
+          "audit: %d handshakes, %d admin deliveries, %d closes, %d anomalies\n"
+          report.Enclaves.Audit.handshakes_completed
+          report.Enclaves.Audit.admin_delivered report.Enclaves.Audit.closes
+          (List.length report.Enclaves.Audit.anomalies);
+        List.iter
+          (fun a -> Format.printf "  anomaly: %a@." Enclaves.Audit.pp_anomaly a)
+          report.Enclaves.Audit.anomalies
+      end;
+      if verbose then begin
+        spacer ();
+        List.iter
+          (fun e -> Format.printf "%a@." Netsim.Trace.pp_entry e)
+          (Netsim.Trace.entries (Netsim.Network.trace (D.net d)))
+      end
+  | `Legacy ->
+      let module D = Enclaves.Driver.Legacy in
+      let d = D.create ~seed ~leader:"leader" ~directory () in
+      List.iter
+        (fun (name, _) ->
+          D.join d name;
+          ignore (D.run d))
+        directory;
+      D.send_app d "user0" "hello from the CLI";
+      ignore (D.run d);
+      Printf.printf "leader members: [%s]\n"
+        (String.concat ", " (Enclaves.Legacy_leader.members (D.leader d)));
+      if verbose then begin
+        spacer ();
+        List.iter
+          (fun e -> Format.printf "%a@." Netsim.Trace.pp_entry e)
+          (Netsim.Trace.entries (Netsim.Network.trace (D.net d)))
+      end);
+  0
+
+let protocol_conv = Arg.enum [ ("improved", `Improved); ("legacy", `Legacy) ]
+
+let protocol_arg =
+  Arg.(
+    value & opt protocol_conv `Improved
+    & info [ "protocol" ] ~doc:"improved or legacy")
+
+let members_arg =
+  Arg.(value & opt int 3 & info [ "members"; "n" ] ~doc:"Number of members")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the network trace")
+
+let audit_arg =
+  Arg.(value & flag & info [ "audit" ] ~doc:"Audit the trace afterwards")
+
+let session_cmd =
+  let doc = "run a scripted group session over the simulated network" in
+  Cmd.v
+    (Cmd.info "session" ~doc)
+    Term.(
+      const run_session $ members_arg $ seed_arg $ verbose_arg $ audit_arg
+      $ protocol_arg)
+
+(* --- attack --- *)
+
+let run_attack which seed =
+  let open Adversary.Attacks in
+  let runs =
+    match which with
+    | "all" -> all ~seed ()
+    | "a1" -> [ denial_of_service ~seed Legacy; denial_of_service ~seed Improved ]
+    | "a2" -> [ forge_mem_removed ~seed Legacy; forge_mem_removed ~seed Improved ]
+    | "a3" -> [ rekey_replay ~seed Legacy; rekey_replay ~seed Improved ]
+    | "a4" ->
+        [ forced_disconnect ~seed Legacy; forced_disconnect ~seed Improved ]
+    | other ->
+        Printf.eprintf "unknown attack %S (use a1..a4 or all)\n" other;
+        exit 2
+  in
+  List.iter (fun o -> Format.printf "%a@." pp_outcome o) runs;
+  let expected =
+    List.for_all
+      (fun o ->
+        match o.protocol with
+        | Legacy -> o.succeeded
+        | Improved -> not o.succeeded)
+      runs
+  in
+  Printf.printf "\nmatches the paper's matrix: %b\n" expected;
+  if expected then 0 else 1
+
+let which_arg =
+  Arg.(value & pos 0 string "all" & info [] ~docv:"ATTACK" ~doc:"a1|a2|a3|a4|all")
+
+let attack_cmd =
+  let doc = "run the insider attacks of paper §2.3 against both protocols" in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run_attack $ which_arg $ seed_arg)
+
+(* --- verify --- *)
+
+let run_verify joins admin nonces keys legacy =
+  let config =
+    {
+      Symbolic.Model.default_config with
+      Symbolic.Model.max_joins = joins;
+      max_admin = admin;
+      max_nonces = nonces;
+      max_keys = keys;
+    }
+  in
+  let t0 = Sys.time () in
+  let r = Symbolic.Explore.run ~config () in
+  Printf.printf "explored %d states / %d transitions in %.2fs%s\n\n"
+    (Symbolic.Explore.state_count r)
+    (Symbolic.Explore.edge_count r)
+    (Sys.time () -. t0)
+    (if r.Symbolic.Explore.truncated then " (TRUNCATED)" else "");
+  let reports =
+    Symbolic.Invariants.all ~config r
+    @ Symbolic.Properties.all r
+    @ Symbolic.Diagram.all ~config r
+  in
+  List.iter
+    (fun rep -> Format.printf "%a@." Symbolic.Invariants.pp_report rep)
+    reports;
+  let improved_ok =
+    List.for_all (fun rep -> rep.Symbolic.Invariants.holds) reports
+  in
+  let legacy_ok =
+    if not legacy then true
+    else begin
+      print_endline "\n-- legacy protocol (§2.2): attack finding --";
+      let lr = Symbolic.Legacy_model.explore () in
+      let findings = Symbolic.Legacy_model.findings lr in
+      List.iter
+        (fun f ->
+          Printf.printf "%-10s %-14s %s\n" f.Symbolic.Legacy_model.weakness
+            (if f.Symbolic.Legacy_model.violated then "ATTACK FOUND" else "holds")
+            f.Symbolic.Legacy_model.description;
+          List.iter
+            (fun line -> Printf.printf "    %s\n" line)
+            f.Symbolic.Legacy_model.trace)
+        findings;
+      List.for_all
+        (fun f ->
+          if f.Symbolic.Legacy_model.weakness = "Pa-secrecy" then
+            not f.Symbolic.Legacy_model.violated
+          else f.Symbolic.Legacy_model.violated)
+        findings
+    end
+  in
+  if improved_ok && legacy_ok then begin
+    print_endline "\nall §5 results verified";
+    0
+  end
+  else begin
+    print_endline "\nUNEXPECTED OUTCOME";
+    1
+  end
+
+let joins_arg = Arg.(value & opt int 2 & info [ "joins" ] ~doc:"Max joins by A")
+let admin_arg = Arg.(value & opt int 2 & info [ "admin" ] ~doc:"Max admin msgs/session")
+let nonces_arg = Arg.(value & opt int 10 & info [ "nonces" ] ~doc:"Nonce pool size")
+let keys_arg = Arg.(value & opt int 2 & info [ "keys" ] ~doc:"Session-key pool size")
+
+let legacy_arg =
+  Arg.(
+    value & flag
+    & info [ "legacy" ]
+        ~doc:"Also explore the legacy protocol and print the attacks found")
+
+let verify_cmd =
+  let doc = "exhaustively verify the improved protocol (paper §4-§5)" in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(
+      const run_verify $ joins_arg $ admin_arg $ nonces_arg $ keys_arg
+      $ legacy_arg)
+
+(* --- keys --- *)
+
+let run_keys user password =
+  let key = Sym_crypto.Key.long_term ~user ~password in
+  Printf.printf "user=%s kind=%s fingerprint=%s\n" user
+    (Format.asprintf "%a" Sym_crypto.Key.pp_kind (Sym_crypto.Key.kind key))
+    (Sym_crypto.Key.fingerprint key);
+  0
+
+let user_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"USER")
+
+let password_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"PASSWORD")
+
+let keys_cmd =
+  let doc = "derive and fingerprint a long-term key P_a" in
+  Cmd.v (Cmd.info "keys" ~doc) Term.(const run_keys $ user_arg $ password_arg)
+
+(* --- main --- *)
+
+let () =
+  let doc = "intrusion-tolerant group management in Enclaves (DSN 2001)" in
+  let info = Cmd.info "enclaves" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ session_cmd; attack_cmd; verify_cmd; keys_cmd ]))

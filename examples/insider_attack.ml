@@ -1,0 +1,29 @@
+(* The §2.3 insider-attack matrix (experiments E5-E7): run each attack
+   against the legacy and the improved protocol and print the outcome
+   table — the paper's headline result.
+
+   Run with: dune exec examples/insider_attack.exe *)
+
+let () =
+  print_endline "== Enclaves insider attacks (paper §2.3) ==";
+  print_endline "";
+  print_endline "  A1: forged ConnectionDenied blocks a legitimate join";
+  print_endline "  A2: insider forges mem_removed under the shared group key";
+  print_endline "  A3: past member replays an old rekey message, then reads traffic";
+  print_endline "  A4: forged close request ejects a member";
+  print_endline "";
+  let outcomes = Adversary.Attacks.all () in
+  print_endline "  attack  protocol   outcome";
+  print_endline "  ------  --------   -------";
+  List.iter
+    (fun o -> Format.printf "  %a@." Adversary.Attacks.pp_outcome o)
+    outcomes;
+  print_endline "";
+  if Adversary.Attacks.matrix_ok outcomes then
+    print_endline
+      "RESULT: matrix matches the paper — every attack succeeds against the\n\
+       legacy protocol and is defeated by the improved protocol."
+  else begin
+    print_endline "RESULT: matrix DIFFERS from the paper!";
+    exit 1
+  end

@@ -1,0 +1,75 @@
+(* The paper's §7 future work, demonstrated: a succession of group
+   managers replaces the single leader. The primary crashes mid-flight;
+   members detect the silence via authenticated heartbeats and
+   re-authenticate with the successor; group service resumes with
+   fresh keys.
+
+   Run with: dune exec examples/manager_failover.exe *)
+
+open Enclaves
+
+let directory =
+  [ ("alice", "pw-a"); ("bob", "pw-b"); ("carol", "pw-c"); ("dave", "pw-d") ]
+
+let show t label =
+  Printf.printf "%s\n  primary=%s connected=[%s] failovers=%d\n" label
+    (Failover.primary t)
+    (String.concat ", " (Failover.connected_members t))
+    (Failover.failovers t);
+  List.iter
+    (fun (name, _) ->
+      match Failover.manager_of t name with
+      | Some mgr ->
+          let m = Failover.member t name in
+          Printf.printf "    %-6s -> %s (epoch %s)\n" name mgr
+            (match Member.group_key m with
+            | Some { Types.epoch; _ } -> string_of_int epoch
+            | None -> "?")
+      | None -> Printf.printf "    %-6s -> (reconnecting)\n" name)
+    directory
+
+let run_for t ms =
+  ignore
+    (Failover.run
+       ~until:
+         (Netsim.Vtime.add (Netsim.Sim.now (Failover.sim t))
+            (Netsim.Vtime.of_ms ms))
+       t)
+
+let () =
+  print_endline "== Multi-manager Enclaves (paper §7 future work) ==";
+  let t =
+    Failover.create ~seed:11L ~managers:[ "m0"; "m1"; "m2" ] ~directory ()
+  in
+  Failover.start t;
+  run_for t 1500;
+  show t "\n-- after startup --";
+
+  Failover.send_app t "alice" "agenda for today";
+  run_for t 500;
+  Printf.printf "\n  bob's app log: %s\n"
+    (String.concat "; "
+       (List.map
+          (fun (a, b) -> a ^ ": " ^ b)
+          (Member.app_log (Failover.member t "bob"))));
+
+  print_endline "\n-- crash the primary --";
+  Failover.crash_primary t;
+  run_for t 4000;
+  show t "-- after failover --";
+
+  Failover.send_app t "carol" "we survived";
+  run_for t 1000;
+  Printf.printf "\n  dave's app log after failover: %s\n"
+    (String.concat "; "
+       (List.map
+          (fun (a, b) -> a ^ ": " ^ b)
+          (Member.app_log (Failover.member t "dave"))));
+
+  let ok =
+    List.length (Failover.connected_members t) = List.length directory
+  in
+  Printf.printf "\nRESULT: %s\n"
+    (if ok then "group service resumed on the successor manager"
+     else "failover incomplete");
+  if not ok then exit 1

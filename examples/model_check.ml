@@ -1,0 +1,102 @@
+(* Mechanized verification of the improved protocol (paper §4-§5,
+   experiments E4 and E8-E10): exhaustively explore the symbolic model
+   and check the secrecy invariants, the §5.4 behavioural properties,
+   and the Figure 4 verification diagram.
+
+   Run with: dune exec examples/model_check.exe
+   Larger bounds: dune exec examples/model_check.exe -- --joins 2 --admin 3 *)
+
+open Symbolic
+
+let usage () =
+  print_endline
+    "usage: model_check [--joins N] [--admin N] [--nonces N] [--keys N]";
+  exit 2
+
+let parse_args () =
+  let config = ref Model.default_config in
+  let rec go = function
+    | [] -> ()
+    | "--joins" :: v :: rest ->
+        config := { !config with Model.max_joins = int_of_string v };
+        go rest
+    | "--admin" :: v :: rest ->
+        config := { !config with Model.max_admin = int_of_string v };
+        go rest
+    | "--nonces" :: v :: rest ->
+        config := { !config with Model.max_nonces = int_of_string v };
+        go rest
+    | "--keys" :: v :: rest ->
+        config := { !config with Model.max_keys = int_of_string v };
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  !config
+
+let () =
+  let config = parse_args () in
+  Printf.printf
+    "== Enclaves model checker (paper §4-§5) ==\n\n\
+     bounds: %d nonces, %d session keys, %d admin msgs/session, %d joins\n\n"
+    config.Model.max_nonces config.Model.max_keys config.Model.max_admin
+    config.Model.max_joins;
+  let t0 = Sys.time () in
+  let r = Explore.run ~config () in
+  Printf.printf "explored %d states, %d transitions in %.2fs%s\n\n"
+    (Explore.state_count r) (Explore.edge_count r) (Sys.time () -. t0)
+    (if r.Explore.truncated then " (TRUNCATED)" else " (exhaustive)");
+
+  print_endline "-- secrecy invariants (§5.1, §5.2) --";
+  let reports = Invariants.all ~config r in
+  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep) reports;
+
+  print_endline "\n-- behavioural properties (§5.4) --";
+  let props = Properties.all r in
+  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep) props;
+
+  print_endline "\n-- verification diagram (Figure 4, §5.3) --";
+  let diag = Diagram.all ~config r in
+  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep) diag;
+
+  print_endline "\n-- diagram box occupancy --";
+  List.iter
+    (fun (name, n) -> Printf.printf "  %-4s %6d states\n" name n)
+    (Diagram.visit_counts r);
+
+  print_endline "\n-- legacy protocol (§2.2): the checker rediscovers the §2.3 attacks --";
+  let lr = Legacy_model.explore () in
+  Printf.printf "  legacy model: %d states explored\n" (Legacy_model.state_count lr);
+  let legacy_findings = Legacy_model.findings lr in
+  List.iter
+    (fun f ->
+      Printf.printf "  %-10s %-14s %s\n" f.Legacy_model.weakness
+        (if f.Legacy_model.violated then "ATTACK FOUND" else "holds")
+        f.Legacy_model.description)
+    legacy_findings;
+  (* Print one full symbolic attack trace as a sample. *)
+  (match
+     List.find_opt (fun f -> f.Legacy_model.weakness = "W3") legacy_findings
+   with
+  | Some { Legacy_model.violated = true; trace; _ } ->
+      print_endline "\n  sample symbolic attack trace (W3, rekey replay):";
+      List.iter (fun line -> Printf.printf "    %s\n" line) trace
+  | _ -> ());
+
+  let legacy_ok =
+    List.for_all
+      (fun f ->
+        if f.Legacy_model.weakness = "Pa-secrecy" then not f.Legacy_model.violated
+        else f.Legacy_model.violated)
+      legacy_findings
+  in
+
+  let all_hold =
+    List.for_all (fun rep -> rep.Invariants.holds) (reports @ props @ diag)
+  in
+  Printf.printf "\nRESULT: %s\n"
+    (if all_hold && legacy_ok then
+       "all paper §5 results verified exhaustively within bounds, and every \n\
+        §2.3 weakness of the legacy protocol rediscovered automatically"
+     else "UNEXPECTED OUTCOME — see above");
+  if not (all_hold && legacy_ok) then exit 1

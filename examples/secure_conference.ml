@@ -1,0 +1,122 @@
+(* A longer scenario: a "secure conference" with member churn,
+   periodic application chatter and an active man-in-the-middle that
+   drops, delays and replays frames — demonstrating that the improved
+   protocol keeps every member's admin log a prefix of the leader's
+   (§5.4) and that replayed frames never corrupt state.
+
+   Run with: dune exec examples/secure_conference.exe *)
+
+module D = Enclaves.Driver.Improved
+module F = Wire.Frame
+
+let directory =
+  List.init 8 (fun i ->
+      let name = Printf.sprintf "user%d" i in
+      (name, name ^ "-pw"))
+
+let () =
+  print_endline "== Secure conference: churn + active attacker ==";
+  let d = D.create ~seed:31337L ~latency_us:(200, 4000) ~leader:"leader" ~directory () in
+  let net = D.net d in
+  let sim = D.sim d in
+
+  (* An active adversary: delays some admin traffic, duplicates (via
+     inject) some frames verbatim, and drops a fraction of app data. *)
+  let rng = Prng.Splitmix.create 7L in
+  let replayed = ref 0 and delayed = ref 0 and dropped = ref 0 in
+  Netsim.Network.set_adversary net
+    (Some
+       (fun ~src:_ ~dst ~payload ->
+         match F.decode payload with
+         | Ok { F.label = F.Admin_msg; _ } when Prng.Splitmix.next_int rng 4 = 0 ->
+             (* Replay the very same bytes a little later, and deliver. *)
+             incr replayed;
+             Netsim.Network.inject net ~dst payload;
+             Netsim.Network.Deliver
+         | Ok { F.label = F.Admin_ack; _ } when Prng.Splitmix.next_int rng 4 = 0 ->
+             incr delayed;
+             Netsim.Network.Delay (Netsim.Vtime.of_ms 50)
+         | Ok { F.label = F.App_data; _ } when Prng.Splitmix.next_int rng 5 = 0 ->
+             incr dropped;
+             Netsim.Network.Drop
+         | Ok _ | Error _ -> Netsim.Network.Deliver));
+
+  (* Schedule churn: everyone joins over the first second; users 0-2
+     leave and rejoin; the leader rekeys periodically; members chat. *)
+  List.iteri
+    (fun i (name, _) ->
+      Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_ms (i * 100)) (fun () ->
+          D.join d name))
+    directory;
+  List.iteri
+    (fun i name ->
+      Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_ms (1500 + (i * 300)))
+        (fun () -> D.leave d name);
+      Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_ms (3000 + (i * 300)))
+        (fun () -> D.join d name))
+    [ "user0"; "user1"; "user2" ];
+  Netsim.Sim.every sim ~period:(Netsim.Vtime.of_ms 800)
+    ~until:(Netsim.Vtime.of_s 6) (fun () -> D.rekey d);
+  Netsim.Sim.every sim ~period:(Netsim.Vtime.of_ms 450)
+    ~until:(Netsim.Vtime.of_s 6)
+    (fun () ->
+      D.send_app d "user3" "status update";
+      D.send_app d "user4" "ack that");
+
+  let events = D.run ~until:(Netsim.Vtime.of_s 10) d in
+  Printf.printf "\nsimulated %d events (%d frames on the wire)\n" events
+    (Netsim.Trace.length (Netsim.Network.trace net));
+  Format.printf "wire stats: %a@." Netsim.Stats.pp
+    (Netsim.Stats.compute (Netsim.Network.trace net));
+  print_endline "frames by label:";
+  List.iter
+    (fun (label, n) -> Printf.printf "  %-18s %d\n" label n)
+    (Netsim.Stats.by_label
+       ~decode_label:(fun payload ->
+         match F.decode payload with
+         | Ok f -> Some (F.label_to_string f.F.label)
+         | Error _ -> None)
+       (Netsim.Network.trace net));
+  Printf.printf "adversary: %d admin replays, %d delays, %d app drops\n\n"
+    !replayed !delayed !dropped;
+
+  (* Final state. *)
+  let leader = D.leader d in
+  Printf.printf "leader sees %d members: [%s]\n"
+    (List.length (Enclaves.Leader.members leader))
+    (String.concat ", " (Enclaves.Leader.members leader));
+  List.iter
+    (fun (name, _) ->
+      let m = D.member d name in
+      if Enclaves.Member.is_connected m then
+        Printf.printf "  %-6s epoch=%s view=[%s] rcv=%d admin msgs\n" name
+          (match Enclaves.Member.group_key m with
+          | Some { Enclaves.Types.epoch; _ } -> string_of_int epoch
+          | None -> "?")
+          (String.concat "," (Enclaves.Member.group_view m))
+          (List.length (Enclaves.Member.accepted_admin m)))
+    directory;
+
+  (* The §5.4 guarantee under fire: no member ever accepted a replayed
+     or out-of-order admin message. *)
+  let ok = D.all_prefix_ok d in
+  Printf.printf "\nordering guarantee (rcv prefix of snd) for every member: %b\n" ok;
+  (* Replays were really attempted; count the rejects members logged. *)
+  let stale_rejects =
+    List.fold_left
+      (fun acc (name, _) ->
+        let m = D.member d name in
+        acc
+        + List.length
+            (List.filter
+               (function
+                 | Enclaves.Member.Rejected
+                     { reason = Enclaves.Types.Stale_nonce; _ } ->
+                     true
+                 | _ -> false)
+               (Enclaves.Member.drain_events m)))
+      0 directory
+  in
+  Printf.printf "stale-nonce rejections recorded by members: %d\n" stale_rejects;
+  if not ok then exit 1;
+  print_endline "\nRESULT: session survived an active attacker with intact guarantees."

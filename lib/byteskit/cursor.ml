@@ -1,0 +1,82 @@
+let ( let* ) = Result.bind
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+  let u8 w v = Buffer.add_char w (Char.chr (v land 0xFF))
+
+  let u16 w v =
+    u8 w (v lsr 8);
+    u8 w v
+
+  let u32 w v =
+    u16 w (v lsr 16);
+    u16 w v
+
+  let u64 w v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 v;
+    Buffer.add_bytes w b
+
+  let raw w s = Buffer.add_string w s
+
+  let bytes w s =
+    u32 w (String.length s);
+    raw w s
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+  type error = [ `Truncated of string | `Malformed of string ]
+
+  let pp_error fmt = function
+    | `Truncated what -> Format.fprintf fmt "truncated while reading %s" what
+    | `Malformed what -> Format.fprintf fmt "malformed %s" what
+
+  let of_string src = { src; pos = 0 }
+  let remaining r = String.length r.src - r.pos
+
+  let take r n what =
+    if remaining r < n then Error (`Truncated what)
+    else begin
+      let s = String.sub r.src r.pos n in
+      r.pos <- r.pos + n;
+      Ok s
+    end
+
+  let u8 r =
+    let* s = take r 1 "u8" in
+    Ok (Char.code s.[0])
+
+  let u16 r =
+    let* s = take r 2 "u16" in
+    Ok ((Char.code s.[0] lsl 8) lor Char.code s.[1])
+
+  let u32 r =
+    let* hi = u16 r in
+    let* lo = u16 r in
+    Ok ((hi lsl 16) lor lo)
+
+  let u64 r =
+    let* s = take r 8 "u64" in
+    Ok (Bytes.get_int64_be (Bytes.unsafe_of_string s) 0)
+
+  let bytes r =
+    let* n = u32 r in
+    if n > remaining r then Error (`Truncated "length-prefixed bytes")
+    else take r n "bytes"
+
+  let raw r n = take r n "raw bytes"
+
+  let rest r =
+    let s = String.sub r.src r.pos (remaining r) in
+    r.pos <- String.length r.src;
+    s
+
+  let expect_end r =
+    if remaining r = 0 then Ok ()
+    else Error (`Malformed "trailing bytes after message")
+end

@@ -1,0 +1,39 @@
+let hex_digits = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) hex_digits.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_digits.[c land 0xF]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode h =
+  let n = String.length h in
+  if n mod 2 <> 0 then Error "hex string has odd length"
+  else
+    let out = Bytes.create (n / 2) in
+    let rec loop i =
+      if i >= n then Ok (Bytes.unsafe_to_string out)
+      else
+        match (nibble h.[i], nibble h.[i + 1]) with
+        | Some hi, Some lo ->
+            Bytes.set out (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            loop (i + 2)
+        | _ -> Error (Printf.sprintf "non-hex character at offset %d" i)
+    in
+    loop 0
+
+let decode_exn h =
+  match decode h with Ok s -> s | Error e -> invalid_arg ("Hex.decode_exn: " ^ e)
+
+let pp fmt s = Format.pp_print_string fmt (encode s)

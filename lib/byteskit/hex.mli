@@ -1,0 +1,16 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s]; the
+    result has length [2 * String.length s]. *)
+
+val decode : string -> (string, string) result
+(** [decode h] parses a hexadecimal string (upper or lower case).
+    Returns [Error _] if [h] has odd length or contains a non-hex
+    character. *)
+
+val decode_exn : string -> string
+(** [decode_exn h] is [decode h] or raises [Invalid_argument]. *)
+
+val pp : Format.formatter -> string -> unit
+(** [pp fmt s] prints [encode s]. *)

@@ -1,0 +1,138 @@
+open Sym_crypto
+module F = Wire.Frame
+module P = Wire.Payload
+
+type anomaly =
+  | Replayed_admin of { recipient : Types.agent; occurrences : int }
+  | Forged_frame of { recipient : Types.agent; label : F.label }
+
+let pp_anomaly fmt = function
+  | Replayed_admin { recipient; occurrences } ->
+      Format.fprintf fmt "admin frame to %s delivered %d times" recipient
+        occurrences
+  | Forged_frame { recipient; label } ->
+      Format.fprintf fmt "forged %s frame delivered to %s"
+        (F.label_to_string label) recipient
+
+type report = {
+  handshakes_completed : int;
+  admin_delivered : int;
+  closes : int;
+  anomalies : anomaly list;
+}
+
+let clean r = r.anomalies = []
+
+(* Per-member audit state: the long-term key from the directory, and
+   the session key currently in force (learned from AuthKeyDist). *)
+type session = { pa : Key.t; mutable ka : Key.t option }
+
+let run ~directory ~leader trace =
+  let sessions = Hashtbl.create 8 in
+  List.iter
+    (fun (user, password) ->
+      Hashtbl.replace sessions user
+        { pa = Key.long_term ~user ~password; ka = None })
+    directory;
+  let handshakes = ref 0 and admin = ref 0 and closes = ref 0 in
+  let anomalies = ref [] in
+  (* Count deliveries of identical admin frames per recipient. *)
+  let admin_seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let member_of (frame : F.t) ~field =
+    Hashtbl.find_opt sessions (field frame)
+  in
+  let flag a = anomalies := a :: !anomalies in
+  let audit_delivery payload =
+    match F.decode payload with
+    | Error _ -> ()
+    | Ok frame -> (
+        match frame.F.label with
+        | F.Auth_key_dist -> (
+            (* Leader -> member: opens under the member's P_a. *)
+            match member_of frame ~field:(fun f -> f.F.recipient) with
+            | None -> ()
+            | Some s -> (
+                match Sealed_channel.open_ ~key:s.pa frame with
+                | Ok plaintext -> (
+                    match P.decode_auth_key_dist plaintext with
+                    | Ok { P.ka; _ } when String.length ka = Key.size ->
+                        (* Idempotent duplicate replies install the
+                           same key; count distinct keys only. *)
+                        let key = Key.of_raw Key.Session ka in
+                        (match s.ka with
+                        | Some k when Key.equal k key -> ()
+                        | _ ->
+                            s.ka <- Some key;
+                            incr handshakes)
+                    | Ok _ | Error _ ->
+                        flag
+                          (Forged_frame
+                             { recipient = frame.F.recipient; label = frame.F.label }))
+                | Error _ ->
+                    (* Sealed under something other than P_a: either a
+                       forgery or a frame for a session the directory
+                       does not cover. Flag it. *)
+                    flag
+                      (Forged_frame
+                         { recipient = frame.F.recipient; label = frame.F.label })))
+        | F.Admin_msg -> (
+            match member_of frame ~field:(fun f -> f.F.recipient) with
+            | None -> ()
+            | Some { ka = Some key; _ } -> (
+                match Sealed_channel.open_ ~key frame with
+                | Ok _ ->
+                    incr admin;
+                    let count =
+                      1
+                      + Option.value ~default:0 (Hashtbl.find_opt admin_seen payload)
+                    in
+                    Hashtbl.replace admin_seen payload count
+                | Error _ ->
+                    flag
+                      (Forged_frame
+                         { recipient = frame.F.recipient; label = frame.F.label }))
+            | Some { ka = None; _ } ->
+                flag
+                  (Forged_frame
+                     { recipient = frame.F.recipient; label = frame.F.label }))
+        | F.Req_close -> (
+            (* Member -> leader: opens under the member's session key. *)
+            match member_of frame ~field:(fun f -> f.F.sender) with
+            | Some ({ ka = Some key; _ } as s)
+              when frame.F.recipient = leader -> (
+                match Sealed_channel.open_ ~key frame with
+                | Ok _ ->
+                    incr closes;
+                    s.ka <- None
+                | Error _ ->
+                    (* Possibly a replay from an earlier session of the
+                       same member: authentic-looking only under a
+                       retired key. The live leader rejects it; the
+                       auditor reports it as forged for this session. *)
+                    flag
+                      (Forged_frame
+                         { recipient = frame.F.recipient; label = frame.F.label }))
+            | _ -> ())
+        | _ -> ())
+  in
+  List.iter
+    (function
+      | Netsim.Trace.Delivered { payload; _ } -> audit_delivery payload
+      | Netsim.Trace.Sent _ | Netsim.Trace.Dropped _ | Netsim.Trace.Injected _
+        ->
+          ())
+    (Netsim.Trace.entries trace);
+  Hashtbl.iter
+    (fun payload count ->
+      if count > 1 then
+        match F.decode payload with
+        | Ok frame ->
+            flag (Replayed_admin { recipient = frame.F.recipient; occurrences = count })
+        | Error _ -> ())
+    admin_seen;
+  {
+    handshakes_completed = !handshakes;
+    admin_delivered = !admin;
+    closes = !closes;
+    anomalies = List.rev !anomalies;
+  }

@@ -1,0 +1,47 @@
+(** Offline trace auditing — intrusion {e detection} to complement the
+    protocol's intrusion {e tolerance}.
+
+    The leader's operator (who legitimately holds every member's
+    long-term key) can replay a recorded network trace after the fact
+    and re-derive what happened: which handshakes completed, which
+    session keys were established, which admin frames were genuine,
+    and — the interesting part — which delivered frames were {e
+    replays} (byte-identical admin frames delivered more than once) or
+    {e forgeries} (frames that fail authentication under the session
+    key in force at the time). The §3.2 protocol guarantees members
+    reject these; the auditor makes the attack attempts visible
+    instead of silent.
+
+    The auditor is a pure function of the trace and the key directory:
+    it never touches live protocol state, so it can run on archived
+    traces. *)
+
+type anomaly =
+  | Replayed_admin of { recipient : Types.agent; occurrences : int }
+      (** One admin frame delivered [occurrences] (>1) times. *)
+  | Forged_frame of { recipient : Types.agent; label : Wire.Frame.label }
+      (** A delivered protocol frame that fails authentication under
+          the session key the auditor derived for that member. *)
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+type report = {
+  handshakes_completed : int;  (** AuthKeyDist frames whose key was derived. *)
+  admin_delivered : int;  (** Genuine admin deliveries (incl. repeats). *)
+  closes : int;  (** Authentic ReqClose frames observed. *)
+  anomalies : anomaly list;
+}
+
+val clean : report -> bool
+(** No anomalies. *)
+
+val run :
+  directory:(Types.agent * string) list ->
+  leader:Types.agent ->
+  Netsim.Trace.t ->
+  report
+(** [run ~directory ~leader trace] audits every [Delivered] entry of
+    the trace in order. Sessions are tracked per member: an
+    [AuthKeyDist] opened under the member's [P_a] installs the session
+    key the subsequent frames are checked against; an authentic
+    [ReqClose] retires it. *)

@@ -1,0 +1,146 @@
+module F = Wire.Frame
+
+let send_frames net ~src frames =
+  List.iter
+    (fun (frame : F.t) ->
+      Netsim.Network.send net ~src ~dst:frame.F.recipient (F.encode frame))
+    frames
+
+module Improved = struct
+  type t = {
+    sim : Netsim.Sim.t;
+    net : Netsim.Network.t;
+    leader : Leader.t;
+    members : (Types.agent, Member.t) Hashtbl.t;
+  }
+
+  let attach_leader t =
+    Netsim.Network.register t.net (Leader.self t.leader) (fun bytes ->
+        let replies = Leader.receive t.leader bytes in
+        send_frames t.net ~src:(Leader.self t.leader) replies)
+
+  let attach_member t m =
+    Netsim.Network.register t.net (Member.self m) (fun bytes ->
+        let replies = Member.receive m bytes in
+        send_frames t.net ~src:(Member.self m) replies)
+
+  let create ?(seed = 42L) ?latency_us ?policy ~leader ~directory () =
+    let sim = Netsim.Sim.create ~seed () in
+    let net = Netsim.Network.create ~sim ?latency_us () in
+    let rng = Netsim.Sim.rng sim in
+    let l = Leader.create ~self:leader ~rng ~directory ?policy () in
+    let members = Hashtbl.create 8 in
+    let t = { sim; net; leader = l; members } in
+    attach_leader t;
+    List.iter
+      (fun (name, password) ->
+        let m = Member.create ~self:name ~leader ~password ~rng in
+        Hashtbl.replace members name m;
+        attach_member t m)
+      directory;
+    t
+
+  let sim t = t.sim
+  let net t = t.net
+  let leader t = t.leader
+
+  let member t who =
+    match Hashtbl.find_opt t.members who with
+    | Some m -> m
+    | None -> raise Not_found
+
+  let join t who =
+    let m = member t who in
+    send_frames t.net ~src:who (Member.join m)
+
+  let leave t who =
+    let m = member t who in
+    send_frames t.net ~src:who (Member.leave m)
+
+  let send_app t who body =
+    let m = member t who in
+    send_frames t.net ~src:who (Member.send_app m body)
+
+  let dispatch_leader t frames =
+    send_frames t.net ~src:(Leader.self t.leader) frames
+
+  let rekey t = dispatch_leader t (Leader.rekey t.leader)
+  let expel t who = dispatch_leader t (Leader.expel t.leader who)
+
+  let start_periodic_rekey t ~period ?until () =
+    Netsim.Sim.every t.sim ~period ?until (fun () -> rekey t)
+
+  let run ?until t = Netsim.Sim.run ?until t.sim
+
+  let prefix_ok t who =
+    (* §5.4 is a per-session property: [snd_A] is reset when the leader
+       closes the session, so the comparison is only meaningful while
+       the leader still runs a session for [who]. An expelled member
+       keeps its old [rcv_A] but the session it belonged to is gone. *)
+    match Leader.session t.leader who with
+    | Leader.Not_connected | Leader.Waiting_for_key_ack _ -> true
+    | Leader.Connected _ | Leader.Waiting_for_ack _ ->
+        let m = member t who in
+        let rcv = Member.accepted_admin m in
+        let snd = Leader.sent_admin t.leader who in
+        let rec is_prefix xs ys =
+          match (xs, ys) with
+          | [], _ -> true
+          | _, [] -> false
+          | x :: xs', y :: ys' -> Wire.Admin.equal x y && is_prefix xs' ys'
+        in
+        is_prefix rcv snd
+
+  let all_prefix_ok t =
+    Hashtbl.fold (fun who _ acc -> acc && prefix_ok t who) t.members true
+end
+
+module Legacy = struct
+  type t = {
+    sim : Netsim.Sim.t;
+    net : Netsim.Network.t;
+    leader : Legacy_leader.t;
+    members : (Types.agent, Legacy_member.t) Hashtbl.t;
+  }
+
+  let create ?(seed = 42L) ?latency_us ?policy ~leader ~directory () =
+    let sim = Netsim.Sim.create ~seed () in
+    let net = Netsim.Network.create ~sim ?latency_us () in
+    let rng = Netsim.Sim.rng sim in
+    let l = Legacy_leader.create ~self:leader ~rng ~directory ?policy () in
+    let members = Hashtbl.create 8 in
+    Netsim.Network.register net leader (fun bytes ->
+        send_frames net ~src:leader (Legacy_leader.receive l bytes));
+    List.iter
+      (fun (name, password) ->
+        let m = Legacy_member.create ~self:name ~leader ~password ~rng in
+        Hashtbl.replace members name m;
+        Netsim.Network.register net name (fun bytes ->
+            send_frames net ~src:name (Legacy_member.receive m bytes)))
+      directory;
+    { sim; net; leader = l; members }
+
+  let sim t = t.sim
+  let net t = t.net
+  let leader t = t.leader
+
+  let member t who =
+    match Hashtbl.find_opt t.members who with
+    | Some m -> m
+    | None -> raise Not_found
+
+  let join t who =
+    send_frames t.net ~src:who (Legacy_member.join (member t who))
+
+  let leave t who =
+    send_frames t.net ~src:who (Legacy_member.leave (member t who))
+
+  let send_app t who body =
+    send_frames t.net ~src:who (Legacy_member.send_app (member t who) body)
+
+  let rekey t =
+    send_frames t.net ~src:(Legacy_leader.self t.leader)
+      (Legacy_leader.rekey t.leader)
+
+  let run ?until t = Netsim.Sim.run ?until t.sim
+end

@@ -1,0 +1,88 @@
+(** Scenario driver: wires leaders and members onto the {!Netsim}
+    network and dispatches the frames the state machines emit.
+
+    The driver is how examples, tests, benches and attacks run whole
+    protocols: build a cluster, schedule joins/leaves/messages at
+    virtual times, [run] the simulation, then inspect member views,
+    leader state, events and the network trace.
+
+    {!Improved} drives the §3.2 protocol; {!Legacy} drives the §2.2
+    baseline. Both expose {!Improved.prefix_ok}-style checks used to
+    validate §5.4's ordering property at runtime. *)
+
+module Improved : sig
+  type t
+
+  val create :
+    ?seed:int64 ->
+    ?latency_us:int * int ->
+    ?policy:Leader.policy ->
+    leader:Types.agent ->
+    directory:(Types.agent * string) list ->
+    unit ->
+    t
+  (** Build a cluster: one leader plus a member automaton for every
+      directory entry, all attached to a fresh simulated network. *)
+
+  val sim : t -> Netsim.Sim.t
+  val net : t -> Netsim.Network.t
+  val leader : t -> Leader.t
+
+  val member : t -> Types.agent -> Member.t
+  (** @raise Not_found for agents outside the directory. *)
+
+  val join : t -> Types.agent -> unit
+  (** Emit the member's [AuthInitReq] now (at the current virtual
+      time). *)
+
+  val leave : t -> Types.agent -> unit
+  val send_app : t -> Types.agent -> string -> unit
+
+  val dispatch_leader : t -> Wire.Frame.t list -> unit
+  (** Put frames produced by direct {!Leader} API calls (e.g.
+      {!Leader.rekey}) on the wire. *)
+
+  val rekey : t -> unit
+  val expel : t -> Types.agent -> unit
+
+  val start_periodic_rekey :
+    t -> period:Netsim.Vtime.t -> ?until:Netsim.Vtime.t -> unit -> unit
+  (** Schedule leader rekeys every [period] of virtual time — the
+      paper's "on a periodic basis" policy. Without [until] the
+      schedule runs for the lifetime of the simulation (use
+      [run ~until] to bound execution). *)
+
+  val run : ?until:Netsim.Vtime.t -> t -> int
+  (** Run the simulation to quiescence (or [until]); returns events
+      executed. *)
+
+  val prefix_ok : t -> Types.agent -> bool
+  (** §5.4 check: the member's accepted-admin list is a prefix of the
+      leader's sent list for that member. Meaningful while the session
+      is live. *)
+
+  val all_prefix_ok : t -> bool
+end
+
+module Legacy : sig
+  type t
+
+  val create :
+    ?seed:int64 ->
+    ?latency_us:int * int ->
+    ?policy:Legacy_leader.policy ->
+    leader:Types.agent ->
+    directory:(Types.agent * string) list ->
+    unit ->
+    t
+
+  val sim : t -> Netsim.Sim.t
+  val net : t -> Netsim.Network.t
+  val leader : t -> Legacy_leader.t
+  val member : t -> Types.agent -> Legacy_member.t
+  val join : t -> Types.agent -> unit
+  val leave : t -> Types.agent -> unit
+  val send_app : t -> Types.agent -> string -> unit
+  val rekey : t -> unit
+  val run : ?until:Netsim.Vtime.t -> t -> int
+end

@@ -1,0 +1,203 @@
+module F = Wire.Frame
+
+type config = {
+  heartbeat_period : Netsim.Vtime.t;
+  failure_timeout : Netsim.Vtime.t;
+  check_period : Netsim.Vtime.t;
+}
+
+let default_config =
+  {
+    heartbeat_period = Netsim.Vtime.of_ms 300;
+    failure_timeout = Netsim.Vtime.of_ms 1000;
+    check_period = Netsim.Vtime.of_ms 200;
+  }
+
+type manager = { name : Types.agent; leader : Leader.t; mutable crashed : bool }
+
+type member_slot = {
+  m_name : Types.agent;
+  password : string;
+  mutable automaton : Member.t;
+  mutable target : Types.agent;
+  mutable active : bool;  (** has been asked to join at least once *)
+  mutable last_admin : Netsim.Vtime.t;
+}
+
+type t = {
+  sim : Netsim.Sim.t;
+  net : Netsim.Network.t;
+  config : config;
+  managers : manager array;
+  members : (Types.agent, member_slot) Hashtbl.t;
+  mutable failovers : int;
+}
+
+let sim t = t.sim
+let net t = t.net
+
+let primary t =
+  let rec first i =
+    if i >= Array.length t.managers then t.managers.(0).name
+    else if not t.managers.(i).crashed then t.managers.(i).name
+    else first (i + 1)
+  in
+  first 0
+
+let send_frames t ~src frames =
+  List.iter
+    (fun (frame : F.t) ->
+      Netsim.Network.send t.net ~src ~dst:frame.F.recipient (F.encode frame))
+    frames
+
+(* Wire a member automaton onto the network; called again after every
+   failover because the automaton is replaced. *)
+let attach_member t slot =
+  Netsim.Network.register t.net slot.m_name (fun bytes ->
+      let replies = Member.receive slot.automaton bytes in
+      send_frames t ~src:slot.m_name replies;
+      List.iter
+        (function
+          | Member.Admin_accepted _ | Member.Joined _ ->
+              slot.last_admin <- Netsim.Sim.now t.sim
+          | Member.App_received _ | Member.Left | Member.Rejected _ -> ())
+        (Member.drain_events slot.automaton))
+
+let attach_manager t mgr =
+  Netsim.Network.register t.net mgr.name (fun bytes ->
+      if not mgr.crashed then begin
+        let replies = Leader.receive mgr.leader bytes in
+        send_frames t ~src:mgr.name replies
+      end)
+
+let join_slot t slot =
+  let target = primary t in
+  if slot.target <> target || not (Member.is_connected slot.automaton) then begin
+    slot.target <- target;
+    slot.automaton <-
+      Member.create ~self:slot.m_name ~leader:target ~password:slot.password
+        ~rng:(Netsim.Sim.rng t.sim);
+    attach_member t slot
+  end;
+  slot.active <- true;
+  slot.last_admin <- Netsim.Sim.now t.sim;
+  send_frames t ~src:slot.m_name (Member.join slot.automaton)
+
+let fail_over t slot =
+  t.failovers <- t.failovers + 1;
+  (* If the member still believes in the old session, send the close —
+     a live-but-slow leader can then free the session so a later
+     rejoin is accepted (a crashed one simply never reads it). *)
+  send_frames t ~src:slot.m_name (Member.leave slot.automaton);
+  let target = primary t in
+  slot.target <- target;
+  slot.automaton <-
+    Member.create ~self:slot.m_name ~leader:target ~password:slot.password
+      ~rng:(Netsim.Sim.rng t.sim);
+  attach_member t slot;
+  slot.active <- true;
+  slot.last_admin <- Netsim.Sim.now t.sim;
+  send_frames t ~src:slot.m_name (Member.join slot.automaton)
+
+let start_failure_detector t slot =
+  Netsim.Sim.every t.sim ~period:t.config.check_period (fun () ->
+      if slot.active then begin
+        let silence =
+          Int64.sub (Netsim.Sim.now t.sim) slot.last_admin
+        in
+        if Netsim.Vtime.(t.config.failure_timeout <= silence) then
+          fail_over t slot
+      end)
+
+let start_heartbeat t mgr =
+  Netsim.Sim.every t.sim ~period:t.config.heartbeat_period (fun () ->
+      if not mgr.crashed then
+        send_frames t ~src:mgr.name
+          (Leader.broadcast_admin mgr.leader (Wire.Admin.Notice "hb")))
+
+let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
+  if managers = [] then invalid_arg "Failover.create: no managers";
+  let sim = Netsim.Sim.create ~seed () in
+  let net = Netsim.Network.create ~sim () in
+  let rng = Netsim.Sim.rng sim in
+  let mk_manager name =
+    { name; leader = Leader.create ~self:name ~rng ~directory (); crashed = false }
+  in
+  let managers = Array.of_list (List.map mk_manager managers) in
+  let members = Hashtbl.create 8 in
+  let t = { sim; net; config; managers; members; failovers = 0 } in
+  Array.iter (attach_manager t) t.managers;
+  Array.iter (start_heartbeat t) t.managers;
+  List.iter
+    (fun (m_name, password) ->
+      let slot =
+        {
+          m_name;
+          password;
+          automaton =
+            Member.create ~self:m_name ~leader:t.managers.(0).name ~password
+              ~rng;
+          target = t.managers.(0).name;
+          active = false;
+          last_admin = Netsim.Vtime.zero;
+        }
+      in
+      Hashtbl.replace members m_name slot;
+      attach_member t slot;
+      start_failure_detector t slot)
+    directory;
+  t
+
+let start t = Hashtbl.iter (fun _ slot -> join_slot t slot) t.members
+
+let join t who =
+  match Hashtbl.find_opt t.members who with
+  | Some slot -> join_slot t slot
+  | None -> raise Not_found
+
+let member t who =
+  match Hashtbl.find_opt t.members who with
+  | Some slot -> slot.automaton
+  | None -> raise Not_found
+
+let leader t name =
+  let found = ref None in
+  Array.iter (fun mgr -> if mgr.name = name then found := Some mgr.leader) t.managers;
+  match !found with Some l -> l | None -> raise Not_found
+
+let send_app t who body =
+  match Hashtbl.find_opt t.members who with
+  | Some slot -> send_frames t ~src:who (Member.send_app slot.automaton body)
+  | None -> raise Not_found
+
+let crash_primary t =
+  let name = primary t in
+  Array.iter
+    (fun mgr ->
+      if mgr.name = name then begin
+        mgr.crashed <- true;
+        Netsim.Network.unregister t.net mgr.name
+      end)
+    t.managers
+
+let manager_of t who =
+  match Hashtbl.find_opt t.members who with
+  | Some slot when Member.is_connected slot.automaton -> Some slot.target
+  | Some _ | None -> None
+
+let connected_members t =
+  Hashtbl.fold
+    (fun name slot acc ->
+      let target_live =
+        Array.exists
+          (fun mgr -> mgr.name = slot.target && not mgr.crashed)
+          t.managers
+      in
+      if Member.is_connected slot.automaton && target_live then name :: acc
+      else acc)
+    t.members []
+  |> List.sort String.compare
+
+let failovers t = t.failovers
+
+let run ?until t = Netsim.Sim.run ?until t.sim

@@ -1,0 +1,101 @@
+(** Multi-manager groups — the paper's §7 future work, implemented.
+
+    "The main limit of the current Enclaves architecture is its
+    reliance on a central group leader. In future work, we intend to
+    develop a more robust and scalable version of the system where the
+    single leader is replaced by a distributed set of group managers."
+
+    This module provides that replacement in the simplest shape that
+    preserves the §3.2 security argument: a {e fixed succession} of
+    group managers M0, M1, … — every prospective member shares its
+    long-term key with all of them (the same assumption the paper
+    makes for one leader). At any time exactly one manager is
+    {e primary} and runs the ordinary improved-protocol leader; the
+    others are passive successors.
+
+    Failure handling is fail-stop (a crashed manager stops sending; it
+    is not Byzantine — a malicious {e manager} is outside the paper's
+    trust model, which requires the leader to be trustworthy):
+
+    - the primary announces liveness by a periodic [Notice "hb"] over
+      each member's nonce-chained admin channel, so heartbeats are
+      authenticated and replay-protected like any admin message;
+    - each member tracks the virtual time of the last accepted admin
+      message; when it exceeds [failure_timeout], the member abandons
+      the session locally and re-runs the §3.2 authentication
+      handshake with the next manager in the succession;
+    - the new primary builds a fresh group (fresh session keys, fresh
+      group-key epoch), so no state of the dead manager is trusted.
+
+    Security is inherited rather than re-proven: every (member,
+    manager) pair runs exactly the verified two-party protocol, and a
+    failover is indistinguishable from "leave, then join elsewhere" —
+    a sequence already covered by the model (§5's guarantees are per
+    session). Availability, of course, is only as good as the failure
+    detector: a partitioned member rejoins the successor while the old
+    primary may still serve others; members of the same partition
+    reconverge because the succession order is fixed and deterministic.
+
+    The whole mechanism lives above {!Member}/{!Leader}: managers are
+    ordinary leaders, members are ordinary members plus a timeout
+    policy driven by the simulation clock. *)
+
+type t
+
+type config = {
+  heartbeat_period : Netsim.Vtime.t;  (** Primary's admin heartbeat. *)
+  failure_timeout : Netsim.Vtime.t;
+      (** Silence after which a member fails over. Must comfortably
+          exceed [heartbeat_period] plus round-trip jitter. *)
+  check_period : Netsim.Vtime.t;  (** How often members check. *)
+}
+
+val default_config : config
+(** 300 ms heartbeat, 1 s timeout, 200 ms check period. *)
+
+val create :
+  ?seed:int64 ->
+  ?config:config ->
+  managers:Types.agent list ->
+  directory:(Types.agent * string) list ->
+  unit ->
+  t
+(** [create ~managers ~directory ()] builds the simulation: every
+    manager runs a {!Leader} over the shared [directory]; members are
+    created but not joined.
+    @raise Invalid_argument if [managers] is empty. *)
+
+val sim : t -> Netsim.Sim.t
+val net : t -> Netsim.Network.t
+
+val start : t -> unit
+(** Join every member to the current primary and start heartbeats and
+    failure detection. *)
+
+val join : t -> Types.agent -> unit
+(** Join one member to the current primary. *)
+
+val send_app : t -> Types.agent -> string -> unit
+
+val crash_primary : t -> unit
+(** Fail-stop the current primary: it is detached from the network and
+    its heartbeats cease. Members will fail over to the successor. *)
+
+val primary : t -> Types.agent
+(** The manager members currently target. *)
+
+val manager_of : t -> Types.agent -> Types.agent option
+(** Which manager a member is currently connected to (after its last
+    completed handshake), if any. *)
+
+val member : t -> Types.agent -> Member.t
+val leader : t -> Types.agent -> Leader.t
+(** The leader automaton of a given manager. *)
+
+val run : ?until:Netsim.Vtime.t -> t -> int
+
+val connected_members : t -> Types.agent list
+(** Members currently in session with a live manager (sorted). *)
+
+val failovers : t -> int
+(** Total member failover events so far. *)

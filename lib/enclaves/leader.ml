@@ -1,0 +1,388 @@
+open Sym_crypto
+module F = Wire.Frame
+module P = Wire.Payload
+
+type policy = { rekey_on_join : bool; rekey_on_leave : bool }
+
+let default_policy = { rekey_on_join = true; rekey_on_leave = true }
+
+type event =
+  | Member_authenticated of Types.agent
+  | Member_closed of { member : Types.agent; session_key : Key.t }
+  | Member_expelled of { member : Types.agent; session_key : Key.t }
+  | Ack_received of Types.agent
+  | App_relayed of { author : Types.agent }
+  | Rejected of {
+      label : F.label option;
+      claimed : Types.agent option;
+      reason : Types.reject_reason;
+    }
+
+let pp_event fmt = function
+  | Member_authenticated who -> Format.fprintf fmt "MemberAuthenticated(%s)" who
+  | Member_closed { member; _ } -> Format.fprintf fmt "MemberClosed(%s)" member
+  | Member_expelled { member; _ } -> Format.fprintf fmt "MemberExpelled(%s)" member
+  | Ack_received who -> Format.fprintf fmt "AckReceived(%s)" who
+  | App_relayed { author } -> Format.fprintf fmt "AppRelayed(%s)" author
+  | Rejected { label; claimed; reason } ->
+      Format.fprintf fmt "Rejected(%s, %s, %a)"
+        (match label with Some l -> F.label_to_string l | None -> "?")
+        (Option.value claimed ~default:"?")
+        Types.pp_reject_reason reason
+
+type mstate =
+  | S_not_connected
+  | S_waiting_for_key_ack of {
+      nl : Wire.Nonce.t;
+      ka : Key.t;
+      init_n1 : Wire.Nonce.t;  (* the N1 this handshake answers *)
+      reply : F.t;  (* stored AuthKeyDist, resent on duplicate requests *)
+    }
+  | S_connected of { na : Wire.Nonce.t; ka : Key.t }
+  | S_waiting_for_ack of { nl : Wire.Nonce.t; ka : Key.t }
+
+type session_view =
+  | Not_connected
+  | Waiting_for_key_ack of Wire.Nonce.t * Key.t
+  | Connected of Wire.Nonce.t * Key.t
+  | Waiting_for_ack of Wire.Nonce.t * Key.t
+
+type session = {
+  mutable mstate : mstate;
+  mutable queue : Wire.Admin.t list;  (* pending, oldest first *)
+  mutable sent_rev : Wire.Admin.t list;  (* snd_A, newest first *)
+}
+
+type t = {
+  self : Types.agent;
+  rng : Prng.Splitmix.t;
+  directory : (Types.agent, Key.t) Hashtbl.t;
+  sessions : (Types.agent, session) Hashtbl.t;
+  policy : policy;
+  mutable group_key : Types.group_key option;
+  mutable next_epoch : int;
+  mutable events_rev : event list;
+}
+
+let create_with_keys ~self ~rng ~directory ?(policy = default_policy) () =
+  let dir = Hashtbl.create 16 in
+  List.iter
+    (fun (user, key) ->
+      if Key.kind key <> Key.Long_term then
+        invalid_arg "Leader.create_with_keys: keys must be long-term";
+      Hashtbl.replace dir user key)
+    directory;
+  {
+    self;
+    rng = Prng.Splitmix.split rng;
+    directory = dir;
+    sessions = Hashtbl.create 16;
+    policy;
+    group_key = None;
+    next_epoch = 1;
+    events_rev = [];
+  }
+
+let create ~self ~rng ~directory ?policy () =
+  let keyed =
+    List.map
+      (fun (user, password) -> (user, Key.long_term ~user ~password))
+      directory
+  in
+  create_with_keys ~self ~rng ~directory:keyed ?policy ()
+
+let self t = t.self
+
+let session_of t who =
+  match Hashtbl.find_opt t.sessions who with
+  | Some s -> s
+  | None ->
+      let s = { mstate = S_not_connected; queue = []; sent_rev = [] } in
+      Hashtbl.replace t.sessions who s;
+      s
+
+let session t who =
+  match (session_of t who).mstate with
+  | S_not_connected -> Not_connected
+  | S_waiting_for_key_ack { nl; ka; _ } -> Waiting_for_key_ack (nl, ka)
+  | S_connected { na; ka } -> Connected (na, ka)
+  | S_waiting_for_ack { nl; ka } -> Waiting_for_ack (nl, ka)
+
+(* A user is "in session" — counted as a member — from the moment its
+   AuthAckKey is accepted until its session closes. *)
+let in_session s =
+  match s.mstate with
+  | S_connected _ | S_waiting_for_ack _ -> true
+  | S_not_connected | S_waiting_for_key_ack _ -> false
+
+let members t =
+  Hashtbl.fold (fun who s acc -> if in_session s then who :: acc else acc)
+    t.sessions []
+  |> List.sort String.compare
+
+let group_key t = t.group_key
+let sent_admin t who = List.rev (session_of t who).sent_rev
+let pending_admin t who = (session_of t who).queue
+
+let drain_events t =
+  let es = List.rev t.events_rev in
+  t.events_rev <- [];
+  es
+
+let emit t e = t.events_rev <- e :: t.events_rev
+
+let reject t ?label ?claimed reason =
+  emit t (Rejected { label; claimed; reason });
+  []
+
+(* Put one admin payload on the wire for a member whose channel is
+   idle: AdminMsg carrying (N_{2i+1} = na, fresh N_{2i+2}). *)
+let fire_admin t who s x ~na ~ka =
+  let nl = Wire.Nonce.fresh t.rng in
+  s.mstate <- S_waiting_for_ack { nl; ka };
+  s.sent_rev <- x :: s.sent_rev;
+  let plaintext =
+    P.encode_admin_body { P.l = t.self; a = who; expected = na; next = nl; x }
+  in
+  [
+    Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Admin_msg ~sender:t.self
+      ~recipient:who plaintext;
+  ]
+
+let enqueue_admin t who x =
+  let s = session_of t who in
+  match s.mstate with
+  | S_connected { na; ka } -> fire_admin t who s x ~na ~ka
+  | S_waiting_for_ack _ ->
+      s.queue <- s.queue @ [ x ];
+      []
+  | S_not_connected | S_waiting_for_key_ack _ ->
+      (* Not in session: group-management messages are only for
+         members. *)
+      []
+
+let broadcast_admin t x =
+  List.concat_map (fun who -> enqueue_admin t who x) (members t)
+
+let fresh_group_key t =
+  let key = Key.fresh Key.Group t.rng in
+  let gk = { Types.key; epoch = t.next_epoch } in
+  t.next_epoch <- t.next_epoch + 1;
+  t.group_key <- Some gk;
+  gk
+
+let rekey t =
+  let gk = fresh_group_key t in
+  broadcast_admin t
+    (Wire.Admin.New_group_key { key = Key.raw gk.Types.key; epoch = gk.Types.epoch })
+
+let close_session t who s ~expelled =
+  match s.mstate with
+  | S_not_connected -> []
+  | S_waiting_for_key_ack { ka; _ }
+  | S_connected { ka; _ }
+  | S_waiting_for_ack { ka; _ } ->
+      let was_member = in_session s in
+      s.mstate <- S_not_connected;
+      s.queue <- [];
+      s.sent_rev <- [];
+      if expelled then emit t (Member_expelled { member = who; session_key = ka })
+      else emit t (Member_closed { member = who; session_key = ka });
+      if was_member then begin
+        let notice =
+          if expelled then Wire.Admin.Member_expelled who
+          else Wire.Admin.Member_left who
+        in
+        let notices = broadcast_admin t notice in
+        let rekeys = if t.policy.rekey_on_leave then rekey t else [] in
+        notices @ rekeys
+      end
+      else []
+
+let expel t who =
+  let s = session_of t who in
+  if in_session s then close_session t who s ~expelled:true else []
+
+let handle_auth_init_req t (frame : F.t) =
+  let claimed = frame.F.sender in
+  match Hashtbl.find_opt t.directory claimed with
+  | None -> reject t ~label:frame.F.label ~claimed (Types.Unknown_sender claimed)
+  | Some pa -> (
+      let s = session_of t claimed in
+      match s.mstate with
+      | S_connected _ | S_waiting_for_ack _ ->
+          (* Already in session: a replayed or duplicated AuthInitReq
+             must not reset an active member (cf. Figure 3: no such
+             transition from Connected). *)
+          reject t ~label:frame.F.label ~claimed (Types.Wrong_state "in session")
+      | S_not_connected | S_waiting_for_key_ack _ -> (
+          match Sealed_channel.open_ ~key:pa frame with
+          | Error reason -> reject t ~label:frame.F.label ~claimed reason
+          | Ok plaintext -> (
+              match P.decode_auth_init plaintext with
+              | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+              | Ok { P.a; l; n1 } ->
+                  if a <> claimed || l <> t.self then
+                    reject t ~label:frame.F.label ~claimed Types.Identity_mismatch
+                  else begin
+                    match s.mstate with
+                    | S_waiting_for_key_ack { init_n1; reply; _ }
+                      when Wire.Nonce.equal init_n1 n1 ->
+                        (* Duplicate of the request we already answered
+                           (network duplication): resend the stored
+                           reply — same session key, same nonces — so
+                           whichever copy the member processes first,
+                           both sides agree. *)
+                        [ reply ]
+                    | S_not_connected | S_waiting_for_key_ack _ ->
+                        let ka = Key.fresh Key.Session t.rng in
+                        let n2 = Wire.Nonce.fresh t.rng in
+                        let plaintext =
+                          P.encode_auth_key_dist
+                            { P.l = t.self; a; n1; n2; ka = Key.raw ka }
+                        in
+                        let reply =
+                          Sealed_channel.seal ~rng:t.rng ~key:pa
+                            ~label:F.Auth_key_dist ~sender:t.self ~recipient:a
+                            plaintext
+                        in
+                        s.mstate <-
+                          S_waiting_for_key_ack
+                            { nl = n2; ka; init_n1 = n1; reply };
+                        [ reply ]
+                    | S_connected _ | S_waiting_for_ack _ ->
+                        (* unreachable: outer match excluded these *)
+                        []
+                  end)))
+
+(* Post-authentication bookkeeping: give the new member the group key
+   and the membership, and tell the group. *)
+let on_member_joined t who =
+  emit t (Member_authenticated who);
+  let others = List.filter (fun m -> m <> who) (members t) in
+  let welcome_key =
+    if t.policy.rekey_on_join || t.group_key = None then rekey t
+    else
+      match t.group_key with
+      | Some gk ->
+          enqueue_admin t who
+            (Wire.Admin.New_group_key
+               { key = Key.raw gk.Types.key; epoch = gk.Types.epoch })
+      | None -> []
+  in
+  let snapshot =
+    enqueue_admin t who (Wire.Admin.Membership_snapshot (members t))
+  in
+  let joins =
+    List.concat_map
+      (fun m -> enqueue_admin t m (Wire.Admin.Member_joined who))
+      others
+  in
+  welcome_key @ snapshot @ joins
+
+let handle_auth_ack_key t (frame : F.t) =
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_waiting_for_key_ack { nl; ka; _ } -> (
+      match Sealed_channel.open_ ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed reason
+      | Ok plaintext -> (
+          match P.decode_auth_ack_key plaintext with
+          | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+          | Ok { P.n2; n3 } ->
+              if not (Wire.Nonce.equal n2 nl) then
+                reject t ~label:frame.F.label ~claimed Types.Stale_nonce
+              else begin
+                s.mstate <- S_connected { na = n3; ka };
+                on_member_joined t claimed
+              end))
+  | S_not_connected | S_connected _ | S_waiting_for_ack _ ->
+      reject t ~label:frame.F.label ~claimed
+        (Types.Wrong_state "not waiting for key ack")
+
+let handle_admin_ack t (frame : F.t) =
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_waiting_for_ack { nl; ka } -> (
+      match Sealed_channel.open_ ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed reason
+      | Ok plaintext -> (
+          match P.decode_admin_ack plaintext with
+          | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+          | Ok { P.a; l; echo; next } ->
+              if a <> claimed || l <> t.self then
+                reject t ~label:frame.F.label ~claimed Types.Identity_mismatch
+              else if not (Wire.Nonce.equal echo nl) then
+                reject t ~label:frame.F.label ~claimed Types.Stale_nonce
+              else begin
+                s.mstate <- S_connected { na = next; ka };
+                emit t (Ack_received claimed);
+                match s.queue with
+                | [] -> []
+                | x :: rest ->
+                    s.queue <- rest;
+                    fire_admin t claimed s x ~na:next ~ka
+              end))
+  | S_not_connected | S_waiting_for_key_ack _ | S_connected _ ->
+      reject t ~label:frame.F.label ~claimed
+        (Types.Wrong_state "no outstanding admin message")
+
+let handle_req_close t (frame : F.t) =
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_not_connected ->
+      reject t ~label:frame.F.label ~claimed (Types.Wrong_state "not in session")
+  | S_waiting_for_key_ack { ka; _ }
+  | S_connected { ka; _ }
+  | S_waiting_for_ack { ka; _ } -> (
+      match Sealed_channel.open_ ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed reason
+      | Ok plaintext -> (
+          match P.decode_req_close plaintext with
+          | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+          | Ok { P.a; l } ->
+              if a <> claimed || l <> t.self then
+                reject t ~label:frame.F.label ~claimed Types.Identity_mismatch
+              else close_session t claimed s ~expelled:false))
+
+let handle_app_data t (frame : F.t) =
+  let author = frame.F.sender in
+  let s = session_of t author in
+  if not (in_session s) then
+    reject t ~label:frame.F.label ~claimed:author
+      (Types.Wrong_state "app data from non-member")
+  else
+    match t.group_key with
+    | None -> reject t ~label:frame.F.label ~claimed:author (Types.Wrong_state "no group key")
+    | Some { Types.key; _ } -> (
+        (* Verify under the current group key before relaying, so the
+           leader never amplifies garbage. *)
+        match Sealed_channel.open_group ~key frame with
+        | Error reason -> reject t ~label:frame.F.label ~claimed:author reason
+        | Ok _plaintext ->
+            emit t (App_relayed { author });
+            let others = List.filter (fun m -> m <> author) (members t) in
+            List.map
+              (fun m ->
+                F.make ~label:F.App_data ~sender:author ~recipient:m
+                  ~body:frame.F.body)
+              others)
+
+let receive t bytes =
+  match F.decode bytes with
+  | Error e -> reject t (Types.Malformed e)
+  | Ok frame -> (
+      match frame.F.label with
+      | F.Auth_init_req -> handle_auth_init_req t frame
+      | F.Auth_ack_key -> handle_auth_ack_key t frame
+      | F.Admin_ack -> handle_admin_ack t frame
+      | F.Req_close -> handle_req_close t frame
+      | F.App_data -> handle_app_data t frame
+      | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
+      | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
+      | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
+      | F.Auth_key_dist | F.Admin_msg ->
+          reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

@@ -1,0 +1,113 @@
+(** Improved-protocol group leader — the per-member state machines of
+    Figure 3 plus group-level management.
+
+    For each known user the leader runs one session automaton:
+    - [NotConnected] — the user is out;
+    - [WaitingForKeyAck (Nl, Ka)] — the leader answered an
+      [AuthInitReq] with a fresh session key [Ka] and nonce [Nl], and
+      waits for the [AuthAckKey] echoing [Nl];
+    - [Connected (Na, Ka)] — the user is a member; [Na] is the most
+      recent nonce received from the user, to be embedded in the next
+      [AdminMsg];
+    - [WaitingForAck (Nl, Ka)] — an [AdminMsg] carrying fresh [Nl] is
+      outstanding; nothing more is sent to this member until the [Ack]
+      echoing [Nl] arrives.
+
+    The nonce chain serialises the admin channel per member, so the
+    leader keeps a per-member queue of pending group-management
+    payloads and drains it one acknowledgment at a time — this is what
+    yields §5.4's "accepted in order, no duplication" property.
+
+    Group-level duties: group-key generation and rekeying (epoch
+    counter), membership bookkeeping, join/leave notifications,
+    expulsion, and relay of application traffic.
+
+    On session close the leader discards [K_a] and reports it in a
+    [Member_closed] event — the paper's [Oops(K_a)]: scenarios hand the
+    dead key to the adversary to model compromise of expired session
+    keys. *)
+
+type t
+
+type policy = {
+  rekey_on_join : bool;  (** Fresh [K_g] whenever a member joins. *)
+  rekey_on_leave : bool;  (** Fresh [K_g] whenever a member leaves. *)
+}
+
+val default_policy : policy
+(** Rekey on join and on leave — the conservative setting. *)
+
+type event =
+  | Member_authenticated of Types.agent
+  | Member_closed of { member : Types.agent; session_key : Sym_crypto.Key.t }
+  | Member_expelled of { member : Types.agent; session_key : Sym_crypto.Key.t }
+  | Ack_received of Types.agent
+  | App_relayed of { author : Types.agent }
+  | Rejected of {
+      label : Wire.Frame.label option;
+      claimed : Types.agent option;
+      reason : Types.reject_reason;
+    }
+
+val pp_event : Format.formatter -> event -> unit
+
+type session_view =
+  | Not_connected
+  | Waiting_for_key_ack of Wire.Nonce.t * Sym_crypto.Key.t
+  | Connected of Wire.Nonce.t * Sym_crypto.Key.t
+  | Waiting_for_ack of Wire.Nonce.t * Sym_crypto.Key.t
+
+val create :
+  self:Types.agent ->
+  rng:Prng.Splitmix.t ->
+  directory:(Types.agent * string) list ->
+  ?policy:policy ->
+  unit ->
+  t
+(** [create ~self ~rng ~directory ()] builds a leader knowing the
+    password of every prospective member in [directory]. *)
+
+val create_with_keys :
+  self:Types.agent ->
+  rng:Prng.Splitmix.t ->
+  directory:(Types.agent * Sym_crypto.Key.t) list ->
+  ?policy:policy ->
+  unit ->
+  t
+(** Like {!create} but with explicit long-term keys per member — used
+    by {!Pk_auth}.
+    @raise Invalid_argument if any key kind is not [Long_term]. *)
+
+val self : t -> Types.agent
+val receive : t -> string -> Wire.Frame.t list
+val session : t -> Types.agent -> session_view
+val members : t -> Types.agent list
+(** Users currently in session (sorted). *)
+
+val group_key : t -> Types.group_key option
+
+val enqueue_admin : t -> Types.agent -> Wire.Admin.t -> Wire.Frame.t list
+(** Queue a group-management payload for one member; returns the
+    [AdminMsg] frame immediately if the member's channel is idle.
+    Payloads for users not in session are discarded. *)
+
+val broadcast_admin : t -> Wire.Admin.t -> Wire.Frame.t list
+(** {!enqueue_admin} to every current member. *)
+
+val rekey : t -> Wire.Frame.t list
+(** Generate a fresh group key (next epoch) and distribute it to all
+    members via the admin channel. *)
+
+val expel : t -> Types.agent -> Wire.Frame.t list
+(** Eject a member: discard its session key (reported via
+    [Member_expelled] — an Oops), notify the remaining members, and
+    rekey if the policy says so. *)
+
+val sent_admin : t -> Types.agent -> Wire.Admin.t list
+(** The ordered list [snd_A]: admin payloads sent to this member in
+    its current session (§5.4). Reset when the session closes. *)
+
+val pending_admin : t -> Types.agent -> Wire.Admin.t list
+(** Queued payloads not yet put on the wire. *)
+
+val drain_events : t -> event list

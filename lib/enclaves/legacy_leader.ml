@@ -1,0 +1,340 @@
+open Sym_crypto
+module F = Wire.Frame
+module P = Wire.Payload
+
+type policy = { rekey_on_join : bool; rekey_on_leave : bool }
+
+let default_policy = { rekey_on_join = false; rekey_on_leave = false }
+
+type event =
+  | Member_authenticated of Types.agent
+  | Member_closed of { member : Types.agent; session_key : Key.t }
+  | Key_ack_received of Types.agent
+  | App_relayed of { author : Types.agent }
+  | Rejected of {
+      label : F.label option;
+      claimed : Types.agent option;
+      reason : Types.reject_reason;
+    }
+
+let pp_event fmt = function
+  | Member_authenticated who -> Format.fprintf fmt "MemberAuthenticated(%s)" who
+  | Member_closed { member; _ } -> Format.fprintf fmt "MemberClosed(%s)" member
+  | Key_ack_received who -> Format.fprintf fmt "KeyAckReceived(%s)" who
+  | App_relayed { author } -> Format.fprintf fmt "AppRelayed(%s)" author
+  | Rejected { label; claimed; reason } ->
+      Format.fprintf fmt "Rejected(%s, %s, %a)"
+        (match label with Some l -> F.label_to_string l | None -> "?")
+        (Option.value claimed ~default:"?")
+        Types.pp_reject_reason reason
+
+type mstate =
+  | S_not_connected
+  | S_waiting_auth1
+  | S_waiting_auth3 of { n2 : Wire.Nonce.t; ka : Key.t }
+  | S_connected of { ka : Key.t }
+
+type session_view =
+  | Not_connected
+  | Waiting_auth1
+  | Waiting_auth3 of Wire.Nonce.t * Key.t
+  | Connected of Key.t
+
+type session = { mutable mstate : mstate }
+
+type t = {
+  self : Types.agent;
+  rng : Prng.Splitmix.t;
+  directory : (Types.agent, Key.t) Hashtbl.t;
+  sessions : (Types.agent, session) Hashtbl.t;
+  policy : policy;
+  mutable group_key : Types.group_key option;
+  mutable next_epoch : int;
+  mutable events_rev : event list;
+}
+
+let create ~self ~rng ~directory ?(policy = default_policy) () =
+  let dir = Hashtbl.create 16 in
+  List.iter
+    (fun (user, password) ->
+      Hashtbl.replace dir user (Key.long_term ~user ~password))
+    directory;
+  {
+    self;
+    rng = Prng.Splitmix.split rng;
+    directory = dir;
+    sessions = Hashtbl.create 16;
+    policy;
+    group_key = None;
+    next_epoch = 1;
+    events_rev = [];
+  }
+
+let self t = t.self
+
+let session_of t who =
+  match Hashtbl.find_opt t.sessions who with
+  | Some s -> s
+  | None ->
+      let s = { mstate = S_not_connected } in
+      Hashtbl.replace t.sessions who s;
+      s
+
+let session t who =
+  match (session_of t who).mstate with
+  | S_not_connected -> Not_connected
+  | S_waiting_auth1 -> Waiting_auth1
+  | S_waiting_auth3 { n2; ka } -> Waiting_auth3 (n2, ka)
+  | S_connected { ka } -> Connected ka
+
+let members t =
+  Hashtbl.fold
+    (fun who s acc ->
+      match s.mstate with S_connected _ -> who :: acc | _ -> acc)
+    t.sessions []
+  |> List.sort String.compare
+
+let group_key t = t.group_key
+
+let drain_events t =
+  let es = List.rev t.events_rev in
+  t.events_rev <- [];
+  es
+
+let emit t e = t.events_rev <- e :: t.events_rev
+
+let reject t ?label ?claimed reason =
+  emit t (Rejected { label; claimed; reason });
+  []
+
+let current_or_fresh_group_key t =
+  match t.group_key with
+  | Some gk -> gk
+  | None ->
+      let gk = { Types.key = Key.fresh Key.Group t.rng; epoch = t.next_epoch } in
+      t.next_epoch <- t.next_epoch + 1;
+      t.group_key <- Some gk;
+      gk
+
+let new_key_frame t who ~ka gk =
+  let plaintext =
+    P.encode_legacy_new_key { P.kg = Key.raw gk.Types.key; epoch = gk.Types.epoch }
+  in
+  Sealed_channel.legacy_seal ~rng:t.rng ~key:ka ~label:F.New_key ~sender:t.self
+    ~recipient:who plaintext
+
+let rekey t =
+  let gk = { Types.key = Key.fresh Key.Group t.rng; epoch = t.next_epoch } in
+  t.next_epoch <- t.next_epoch + 1;
+  t.group_key <- Some gk;
+  List.filter_map
+    (fun who ->
+      match (session_of t who).mstate with
+      | S_connected { ka } -> Some (new_key_frame t who ~ka gk)
+      | _ -> None)
+    (members t)
+
+let member_event_frame t ~label ~recipient ~who =
+  match t.group_key with
+  | None -> None
+  | Some { Types.key; _ } ->
+      let plaintext = P.encode_member_event { P.who } in
+      Some
+        (Sealed_channel.legacy_seal ~rng:t.rng ~key ~label ~sender:t.self
+           ~recipient plaintext)
+
+let expel t who =
+  let s = session_of t who in
+  match s.mstate with
+  | S_connected { ka } ->
+      s.mstate <- S_not_connected;
+      emit t (Member_closed { member = who; session_key = ka });
+      let close =
+        F.make ~label:F.Close_connection ~sender:t.self ~recipient:who ~body:""
+      in
+      let notices =
+        List.filter_map
+          (fun m ->
+            member_event_frame t ~label:F.Mem_removed ~recipient:m ~who)
+          (members t)
+      in
+      let rekeys = if t.policy.rekey_on_leave then rekey t else [] in
+      (close :: notices) @ rekeys
+  | S_not_connected | S_waiting_auth1 | S_waiting_auth3 _ -> []
+
+let handle_req_open t (frame : F.t) =
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_not_connected ->
+      if Hashtbl.mem t.directory claimed then begin
+        s.mstate <- S_waiting_auth1;
+        [ F.make ~label:F.Ack_open ~sender:t.self ~recipient:claimed ~body:"" ]
+      end
+      else
+        [
+          F.make ~label:F.Connection_denied ~sender:t.self ~recipient:claimed
+            ~body:"";
+        ]
+  | S_waiting_auth1 | S_waiting_auth3 _ | S_connected _ ->
+      reject t ~label:frame.F.label ~claimed (Types.Wrong_state "join in progress")
+
+let handle_auth1 t (frame : F.t) =
+  let claimed = frame.F.sender in
+  match Hashtbl.find_opt t.directory claimed with
+  | None -> reject t ~label:frame.F.label ~claimed (Types.Unknown_sender claimed)
+  | Some pa -> (
+      let s = session_of t claimed in
+      match s.mstate with
+      | S_waiting_auth1 -> (
+          match Sealed_channel.legacy_open ~key:pa frame with
+          | Error reason -> reject t ~label:frame.F.label ~claimed reason
+          | Ok plaintext -> (
+              match P.decode_auth_init plaintext with
+              | Error e ->
+                  reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+              | Ok { P.a; l; n1 } ->
+                  if a <> claimed || l <> t.self then
+                    reject t ~label:frame.F.label ~claimed Types.Identity_mismatch
+                  else begin
+                    let ka = Key.fresh Key.Session t.rng in
+                    let n2 = Wire.Nonce.fresh t.rng in
+                    let gk = current_or_fresh_group_key t in
+                    s.mstate <- S_waiting_auth3 { n2; ka };
+                    let plaintext =
+                      P.encode_legacy_auth2
+                        {
+                          P.l = t.self;
+                          a;
+                          n1;
+                          n2;
+                          ka = Key.raw ka;
+                          kg = Key.raw gk.Types.key;
+                          epoch = gk.Types.epoch;
+                        }
+                    in
+                    [
+                      Sealed_channel.legacy_seal ~rng:t.rng ~key:pa
+                        ~label:F.Legacy_auth2 ~sender:t.self ~recipient:a
+                        plaintext;
+                    ]
+                  end))
+      | S_not_connected | S_waiting_auth3 _ | S_connected _ ->
+          reject t ~label:frame.F.label ~claimed
+            (Types.Wrong_state "not waiting for auth1"))
+
+let handle_auth3 t (frame : F.t) =
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_waiting_auth3 { n2; ka } -> (
+      match Sealed_channel.legacy_open ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed reason
+      | Ok plaintext -> (
+          match P.decode_legacy_auth3 plaintext with
+          | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+          | Ok { P.n2 = n2' } ->
+              if not (Wire.Nonce.equal n2 n2') then
+                reject t ~label:frame.F.label ~claimed Types.Stale_nonce
+              else begin
+                s.mstate <- S_connected { ka };
+                emit t (Member_authenticated claimed);
+                let others = List.filter (fun m -> m <> claimed) (members t) in
+                (* Tell the group about the newcomer, and the newcomer
+                   about the group — all under K_g. *)
+                let joins =
+                  List.filter_map
+                    (fun m ->
+                      member_event_frame t ~label:F.Mem_joined ~recipient:m
+                        ~who:claimed)
+                    others
+                in
+                let snapshot =
+                  List.filter_map
+                    (fun m ->
+                      member_event_frame t ~label:F.Mem_joined
+                        ~recipient:claimed ~who:m)
+                    others
+                in
+                let rekeys = if t.policy.rekey_on_join then rekey t else [] in
+                joins @ snapshot @ rekeys
+              end))
+  | S_not_connected | S_waiting_auth1 | S_connected _ ->
+      reject t ~label:frame.F.label ~claimed
+        (Types.Wrong_state "not waiting for auth3")
+
+let handle_req_close t (frame : F.t) =
+  (* Attack A4 lives here: the request is plaintext, so the leader
+     cannot tell the member from an impostor. *)
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_connected { ka } ->
+      s.mstate <- S_not_connected;
+      emit t (Member_closed { member = claimed; session_key = ka });
+      let close =
+        F.make ~label:F.Close_connection ~sender:t.self ~recipient:claimed
+          ~body:""
+      in
+      let notices =
+        List.filter_map
+          (fun m ->
+            member_event_frame t ~label:F.Mem_removed ~recipient:m ~who:claimed)
+          (members t)
+      in
+      let rekeys = if t.policy.rekey_on_leave then rekey t else [] in
+      (close :: notices) @ rekeys
+  | S_not_connected | S_waiting_auth1 | S_waiting_auth3 _ ->
+      reject t ~label:frame.F.label ~claimed (Types.Wrong_state "not connected")
+
+let handle_new_key_ack t (frame : F.t) =
+  let claimed = frame.F.sender in
+  match t.group_key with
+  | None -> reject t ~label:frame.F.label ~claimed (Types.Wrong_state "no group key")
+  | Some { Types.key; _ } -> (
+      match Sealed_channel.legacy_open ~key frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed reason
+      | Ok plaintext -> (
+          match P.decode_legacy_key_ack plaintext with
+          | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+          | Ok _ ->
+              emit t (Key_ack_received claimed);
+              []))
+
+let handle_app_data t (frame : F.t) =
+  let author = frame.F.sender in
+  let s = session_of t author in
+  match (s.mstate, t.group_key) with
+  | S_connected _, Some { Types.key; _ } -> (
+      match Sealed_channel.open_group ~key frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed:author reason
+      | Ok _ ->
+          emit t (App_relayed { author });
+          List.filter_map
+            (fun m ->
+              if m = author then None
+              else
+                Some
+                  (F.make ~label:F.App_data ~sender:author ~recipient:m
+                     ~body:frame.F.body))
+            (members t))
+  | _ ->
+      reject t ~label:frame.F.label ~claimed:author
+        (Types.Wrong_state "app data from non-member")
+
+let receive t bytes =
+  match F.decode bytes with
+  | Error e -> reject t (Types.Malformed e)
+  | Ok frame -> (
+      match frame.F.label with
+      | F.Req_open -> handle_req_open t frame
+      | F.Legacy_auth1 -> handle_auth1 t frame
+      | F.Legacy_auth3 -> handle_auth3 t frame
+      | F.Legacy_req_close -> handle_req_close t frame
+      | F.New_key_ack -> handle_new_key_ack t frame
+      | F.App_data -> handle_app_data t frame
+      | F.Ack_open | F.Connection_denied | F.Legacy_auth2 | F.New_key
+      | F.Close_connection | F.Mem_joined | F.Mem_removed | F.Auth_init_req
+      | F.Auth_key_dist | F.Auth_ack_key | F.Admin_msg | F.Admin_ack
+      | F.Req_close ->
+          reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

@@ -1,0 +1,58 @@
+(** Legacy-protocol group leader (§2.2) — the baseline counterpart of
+    {!Legacy_member}. See that module for the catalogue of preserved
+    weaknesses. Notably, the leader accepts the plaintext
+    [LegacyReqClose] at face value: anyone who can write a frame can
+    disconnect any member (attack A4). *)
+
+type t
+
+type policy = { rekey_on_join : bool; rekey_on_leave : bool }
+
+val default_policy : policy
+(** No automatic rekeying — the paper's minimal setting; scenarios opt
+    in per attack. *)
+
+type event =
+  | Member_authenticated of Types.agent
+  | Member_closed of { member : Types.agent; session_key : Sym_crypto.Key.t }
+      (** Session ended; the session key becomes Oops material. *)
+  | Key_ack_received of Types.agent
+  | App_relayed of { author : Types.agent }
+  | Rejected of {
+      label : Wire.Frame.label option;
+      claimed : Types.agent option;
+      reason : Types.reject_reason;
+    }
+
+val pp_event : Format.formatter -> event -> unit
+
+type session_view =
+  | Not_connected
+  | Waiting_auth1
+  | Waiting_auth3 of Wire.Nonce.t * Sym_crypto.Key.t
+  | Connected of Sym_crypto.Key.t
+
+val create :
+  self:Types.agent ->
+  rng:Prng.Splitmix.t ->
+  directory:(Types.agent * string) list ->
+  ?policy:policy ->
+  unit ->
+  t
+
+val self : t -> Types.agent
+val receive : t -> string -> Wire.Frame.t list
+val session : t -> Types.agent -> session_view
+val members : t -> Types.agent list
+val group_key : t -> Types.group_key option
+
+val rekey : t -> Wire.Frame.t list
+(** Generate the next group key and send a [NewKey] to every member. *)
+
+val expel : t -> Types.agent -> Wire.Frame.t list
+(** The §2.2 "variation used to expel members": send
+    [CloseConnection] to the member and broadcast [MemRemoved] to the
+    rest. Like everything else in the legacy protocol, the closing
+    message is unauthenticated. *)
+
+val drain_events : t -> event list

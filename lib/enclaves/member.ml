@@ -1,0 +1,246 @@
+open Sym_crypto
+module F = Wire.Frame
+module P = Wire.Payload
+
+type state =
+  | S_not_connected
+  | S_waiting_for_key of { n1 : Wire.Nonce.t }
+  | S_connected of { na : Wire.Nonce.t; ka : Key.t }
+
+type event =
+  | Joined of { session_key : Key.t }
+  | Admin_accepted of Wire.Admin.t
+  | App_received of { author : Types.agent; body : string }
+  | Left
+  | Rejected of { label : F.label option; reason : Types.reject_reason }
+
+let pp_event fmt = function
+  | Joined { session_key } ->
+      Format.fprintf fmt "Joined(ka=%s)" (Key.fingerprint session_key)
+  | Admin_accepted x -> Format.fprintf fmt "AdminAccepted(%a)" Wire.Admin.pp x
+  | App_received { author; body } ->
+      Format.fprintf fmt "AppReceived(%s: %s)" author body
+  | Left -> Format.pp_print_string fmt "Left"
+  | Rejected { label; reason } ->
+      Format.fprintf fmt "Rejected(%s, %a)"
+        (match label with Some l -> F.label_to_string l | None -> "?")
+        Types.pp_reject_reason reason
+
+type state_view =
+  | Not_connected
+  | Waiting_for_key of Wire.Nonce.t
+  | Connected of Wire.Nonce.t * Key.t
+
+type t = {
+  self : Types.agent;
+  leader : Types.agent;
+  pa : Key.t;
+  rng : Prng.Splitmix.t;
+  mutable state : state;
+  mutable group_key : Types.group_key option;
+  mutable view : Types.agent list;  (* sorted membership belief *)
+  mutable accepted_rev : Wire.Admin.t list;
+  mutable app_rev : (Types.agent * string) list;
+  mutable events_rev : event list;
+}
+
+let create_with_key ~self ~leader ~long_term ~rng =
+  if Key.kind long_term <> Key.Long_term then
+    invalid_arg "Member.create_with_key: key must be long-term";
+  {
+    self;
+    leader;
+    pa = long_term;
+    rng = Prng.Splitmix.split rng;
+    state = S_not_connected;
+    group_key = None;
+    view = [];
+    accepted_rev = [];
+    app_rev = [];
+    events_rev = [];
+  }
+
+let create ~self ~leader ~password ~rng =
+  create_with_key ~self ~leader ~long_term:(Key.long_term ~user:self ~password)
+    ~rng
+
+let self t = t.self
+
+let state t =
+  match t.state with
+  | S_not_connected -> Not_connected
+  | S_waiting_for_key { n1 } -> Waiting_for_key n1
+  | S_connected { na; ka } -> Connected (na, ka)
+
+let is_connected t = match t.state with S_connected _ -> true | _ -> false
+let group_key t = t.group_key
+let group_view t = t.view
+let accepted_admin t = List.rev t.accepted_rev
+let app_log t = List.rev t.app_rev
+
+let session_key t =
+  match t.state with S_connected { ka; _ } -> Some ka | _ -> None
+
+let drain_events t =
+  let es = List.rev t.events_rev in
+  t.events_rev <- [];
+  es
+
+let emit t e = t.events_rev <- e :: t.events_rev
+
+let reject t ?label reason =
+  emit t (Rejected { label; reason });
+  []
+
+let join t =
+  match t.state with
+  | S_not_connected ->
+      let n1 = Wire.Nonce.fresh t.rng in
+      t.state <- S_waiting_for_key { n1 };
+      let plaintext =
+        P.encode_auth_init { P.a = t.self; l = t.leader; n1 }
+      in
+      [
+        Sealed_channel.seal ~rng:t.rng ~key:t.pa ~label:F.Auth_init_req
+          ~sender:t.self ~recipient:t.leader plaintext;
+      ]
+  | S_waiting_for_key _ | S_connected _ -> []
+
+let reset_session t =
+  t.state <- S_not_connected;
+  t.group_key <- None;
+  t.view <- [];
+  t.accepted_rev <- [];
+  emit t Left
+
+let leave t =
+  match t.state with
+  | S_connected { ka; _ } ->
+      let plaintext = P.encode_req_close { P.a = t.self; l = t.leader } in
+      let frame =
+        Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Req_close
+          ~sender:t.self ~recipient:t.leader plaintext
+      in
+      reset_session t;
+      [ frame ]
+  | S_not_connected | S_waiting_for_key _ -> []
+
+(* Membership view updates triggered by accepted admin messages. *)
+let apply_admin t (x : Wire.Admin.t) =
+  (match x with
+  | Wire.Admin.New_group_key { key; epoch } ->
+      if String.length key = Key.size then
+        t.group_key <- Some { Types.key = Key.of_raw Key.Group key; epoch }
+  | Wire.Admin.Member_joined who ->
+      if not (List.mem who t.view) then
+        t.view <- List.sort String.compare (who :: t.view)
+  | Wire.Admin.Member_left who | Wire.Admin.Member_expelled who ->
+      t.view <- List.filter (fun m -> m <> who) t.view
+  | Wire.Admin.Membership_snapshot members ->
+      t.view <- List.sort_uniq String.compare members
+  | Wire.Admin.Notice _ -> ());
+  t.accepted_rev <- x :: t.accepted_rev;
+  emit t (Admin_accepted x)
+
+let handle_auth_key_dist t (frame : F.t) =
+  match t.state with
+  | S_waiting_for_key { n1 } -> (
+      match Sealed_channel.open_ ~key:t.pa frame with
+      | Error reason -> reject t ~label:frame.F.label reason
+      | Ok plaintext -> (
+          match P.decode_auth_key_dist plaintext with
+          | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
+          | Ok { P.l; a; n1 = n1'; n2; ka } ->
+              if l <> t.leader || a <> t.self then
+                reject t ~label:frame.F.label Types.Identity_mismatch
+              else if not (Wire.Nonce.equal n1 n1') then
+                reject t ~label:frame.F.label Types.Stale_nonce
+              else if String.length ka <> Key.size then
+                reject t ~label:frame.F.label
+                  (Types.Malformed "bad session key length")
+              else begin
+                let ka = Key.of_raw Key.Session ka in
+                let n3 = Wire.Nonce.fresh t.rng in
+                t.state <- S_connected { na = n3; ka };
+                emit t (Joined { session_key = ka });
+                let plaintext = P.encode_auth_ack_key { P.n2; n3 } in
+                [
+                  Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Auth_ack_key
+                    ~sender:t.self ~recipient:t.leader plaintext;
+                ]
+              end))
+  | S_not_connected | S_connected _ ->
+      reject t ~label:frame.F.label (Types.Wrong_state "not waiting for key")
+
+let handle_admin_msg t (frame : F.t) =
+  match t.state with
+  | S_connected { na; ka } -> (
+      match Sealed_channel.open_ ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label reason
+      | Ok plaintext -> (
+          match P.decode_admin_body plaintext with
+          | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
+          | Ok { P.l; a; expected; next; x } ->
+              if l <> t.leader || a <> t.self then
+                reject t ~label:frame.F.label Types.Identity_mismatch
+              else if not (Wire.Nonce.equal expected na) then
+                (* Replay or out-of-order admin message: the freshness
+                   evidence N_{2i+1} does not match. *)
+                reject t ~label:frame.F.label Types.Stale_nonce
+              else begin
+                apply_admin t x;
+                let n_next = Wire.Nonce.fresh t.rng in
+                t.state <- S_connected { na = n_next; ka };
+                let plaintext =
+                  P.encode_admin_ack
+                    { P.a = t.self; l = t.leader; echo = next; next = n_next }
+                in
+                [
+                  Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Admin_ack
+                    ~sender:t.self ~recipient:t.leader plaintext;
+                ]
+              end))
+  | S_not_connected | S_waiting_for_key _ ->
+      reject t ~label:frame.F.label (Types.Wrong_state "not connected")
+
+let handle_app_data t (frame : F.t) =
+  match t.group_key with
+  | None -> reject t ~label:frame.F.label (Types.Wrong_state "no group key")
+  | Some { Types.key; _ } -> (
+      match Sealed_channel.open_group ~key frame with
+      | Error reason -> reject t ~label:frame.F.label reason
+      | Ok plaintext -> (
+          match P.decode_app_data plaintext with
+          | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
+          | Ok { P.author; body } ->
+              t.app_rev <- (author, body) :: t.app_rev;
+              emit t (App_received { author; body });
+              []))
+
+let send_app t body =
+  match (t.state, t.group_key) with
+  | S_connected _, Some { Types.key; _ } ->
+      let plaintext = P.encode_app_data { P.author = t.self; body } in
+      [
+        Sealed_channel.seal_group ~rng:t.rng ~key ~label:F.App_data
+          ~sender:t.self ~recipient:t.leader plaintext;
+      ]
+  | _ -> []
+
+let receive t bytes =
+  match F.decode bytes with
+  | Error e -> reject t (Types.Malformed e)
+  | Ok frame -> (
+      match frame.F.label with
+      | F.Auth_key_dist -> handle_auth_key_dist t frame
+      | F.Admin_msg -> handle_admin_msg t frame
+      | F.App_data -> handle_app_data t frame
+      | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
+      | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
+      | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
+      | F.Auth_init_req | F.Auth_ack_key | F.Admin_ack | F.Req_close ->
+          (* The improved member consumes only the three labels above;
+             everything else — legacy traffic, leader-bound messages,
+             forged denials — is ignored. The absence of any reaction
+             to Connection_denied is what closes attack A1. *)
+          reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

@@ -1,0 +1,87 @@
+(** Improved-protocol group member — the user state machine of
+    Figure 2.
+
+    A member is in one of three protocol states:
+    - [NotConnected] — out of the group;
+    - [WaitingForKey N1] — sent [AuthInitReq] carrying fresh nonce
+      [N1], awaiting the leader's [AuthKeyDist];
+    - [Connected (Na, Ka)] — in session with key [Ka]; [Na] is the last
+      nonce this member generated and is the freshness evidence the
+      next [AdminMsg] from the leader must present.
+
+    Beyond the Figure 2 skeleton the member tracks the application
+    state an Enclaves user needs: the current group key (delivered in
+    [New_group_key] admin messages), its view of the membership, the
+    ordered log of accepted admin messages ([rcv_A] of §5.4), and
+    decrypted application traffic.
+
+    Any frame that fails authentication, parsing, an identity check, a
+    nonce check, or arrives in the wrong state is {e rejected}: the
+    member's protocol state does not change and a [Rejected] event is
+    recorded. This silent-drop discipline is the intrusion tolerance —
+    attacker bytes cannot make the automaton move. *)
+
+type t
+
+type event =
+  | Joined of { session_key : Sym_crypto.Key.t }
+  | Admin_accepted of Wire.Admin.t
+  | App_received of { author : Types.agent; body : string }
+  | Left
+  | Rejected of { label : Wire.Frame.label option; reason : Types.reject_reason }
+
+val pp_event : Format.formatter -> event -> unit
+
+type state_view =
+  | Not_connected
+  | Waiting_for_key of Wire.Nonce.t
+  | Connected of Wire.Nonce.t * Sym_crypto.Key.t
+
+val create :
+  self:Types.agent -> leader:Types.agent -> password:string ->
+  rng:Prng.Splitmix.t -> t
+(** [create ~self ~leader ~password ~rng] builds a member holding the
+    long-term key [P_a] derived from [password]. *)
+
+val create_with_key :
+  self:Types.agent -> leader:Types.agent -> long_term:Sym_crypto.Key.t ->
+  rng:Prng.Splitmix.t -> t
+(** Like {!create} but with explicit long-term key material — used by
+    {!Pk_auth} for the public-key authentication variant.
+    @raise Invalid_argument if the key kind is not [Long_term]. *)
+
+val self : t -> Types.agent
+val state : t -> state_view
+val is_connected : t -> bool
+
+val join : t -> Wire.Frame.t list
+(** Start the §3.2 handshake: emits [AuthInitReq]. No-op (empty list)
+    unless [NotConnected]. *)
+
+val leave : t -> Wire.Frame.t list
+(** Emit [ReqClose] sealed under [K_a] and drop to [NotConnected].
+    No-op unless connected. *)
+
+val receive : t -> string -> Wire.Frame.t list
+(** Feed raw network bytes; returns frames to send in response. *)
+
+val send_app : t -> string -> Wire.Frame.t list
+(** Encrypt an application message under the current group key and
+    address it to the leader for relay. Empty if no group key yet. *)
+
+val group_key : t -> Types.group_key option
+val group_view : t -> Types.agent list
+(** This member's belief about current membership (sorted). *)
+
+val accepted_admin : t -> Wire.Admin.t list
+(** The ordered list [rcv_A]: every admin message accepted so far in
+    the current session. Reset on leave. *)
+
+val app_log : t -> (Types.agent * string) list
+(** Decrypted application messages, oldest first. *)
+
+val drain_events : t -> event list
+(** Events since the last drain, oldest first. *)
+
+val session_key : t -> Sym_crypto.Key.t option
+(** [K_a] when connected (exposed for tests and Oops modelling). *)

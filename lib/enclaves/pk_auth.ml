@@ -1,0 +1,28 @@
+type identity = { name : Types.agent; keys : Sym_crypto.Dh.key_pair }
+
+let generate name rng = { name; keys = Sym_crypto.Dh.generate rng }
+let pub id = id.keys.Sym_crypto.Dh.pub
+
+let pairwise ~self ~peer ~peer_pub =
+  let shared = Sym_crypto.Dh.shared_secret ~priv:self.keys.Sym_crypto.Dh.priv ~pub:peer_pub in
+  (* Bind the key to the (unordered) pair of identities so distinct
+     pairs with colliding secrets still separate. *)
+  let lo = min self.name peer and hi = max self.name peer in
+  let material =
+    Sym_crypto.Kdf.of_password
+      ~user:(Printf.sprintf "pk:%s|%s" lo hi)
+      ~password:(Printf.sprintf "%Lx" shared)
+  in
+  Sym_crypto.Key.of_raw Sym_crypto.Key.Long_term material
+
+let member id ~leader ~leader_pub ~rng =
+  let key = pairwise ~self:id ~peer:leader ~peer_pub:leader_pub in
+  Member.create_with_key ~self:id.name ~leader ~long_term:key ~rng
+
+let leader id ~directory ?policy ~rng () =
+  let keyed =
+    List.map
+      (fun (name, peer_pub) -> (name, pairwise ~self:id ~peer:name ~peer_pub))
+      directory
+  in
+  Leader.create_with_keys ~self:id.name ~rng ~directory:keyed ?policy ()

@@ -1,0 +1,38 @@
+(** Public-key authentication — the paper's footnote 1, implemented.
+
+    Instead of a shared password, each participant holds a static
+    Diffie-Hellman key pair and the leader knows every prospective
+    member's {e public} value (and vice versa). The pairwise long-term
+    key [P_a] is derived from the static-static shared secret, and the
+    §3.2 protocol runs unchanged on top — demonstrating that the
+    improved protocol is agnostic to how [P_a] is established.
+
+    Compared to passwords this removes the shared-secret database at
+    the leader: compromise of the leader's directory reveals only
+    public values. (The derived [P_a] still exists in memory on both
+    ends during operation, as in any static-DH scheme.) *)
+
+type identity = { name : Types.agent; keys : Sym_crypto.Dh.key_pair }
+
+val generate : Types.agent -> Prng.Splitmix.t -> identity
+val pub : identity -> int64
+
+val pairwise :
+  self:identity -> peer:Types.agent -> peer_pub:int64 -> Sym_crypto.Key.t
+(** [pairwise ~self ~peer ~peer_pub] derives the long-term key shared
+    between [self] and [peer]. Symmetric:
+    [pairwise a b (pub b) = pairwise b a (pub a)]. *)
+
+val member :
+  identity -> leader:Types.agent -> leader_pub:int64 ->
+  rng:Prng.Splitmix.t -> Member.t
+(** A §3.2 member whose [P_a] comes from DH instead of a password. *)
+
+val leader :
+  identity ->
+  directory:(Types.agent * int64) list ->
+  ?policy:Leader.policy ->
+  rng:Prng.Splitmix.t ->
+  unit ->
+  Leader.t
+(** A leader knowing only the members' public values. *)

@@ -1,0 +1,33 @@
+open Sym_crypto
+
+let build ~rng ~key ~label ~sender ~recipient ~ad plaintext =
+  let iv = Aead.random_iv rng in
+  let sealed = Aead.seal ~key ~iv ~ad plaintext in
+  Wire.Frame.make ~label ~sender ~recipient ~body:(Aead.encode sealed)
+
+let open_with ~key ~ad (frame : Wire.Frame.t) =
+  match Aead.decode frame.Wire.Frame.body with
+  | Error e -> Error (Types.Malformed e)
+  | Ok sealed -> (
+      match Aead.open_ ~key ~ad sealed with
+      | Ok plaintext -> Ok plaintext
+      | Error `Auth_failure -> Error Types.Auth_failure)
+
+let seal ~rng ~key ~label ~sender ~recipient plaintext =
+  let ad = Wire.Frame.header_ad ~label ~sender ~recipient in
+  build ~rng ~key ~label ~sender ~recipient ~ad plaintext
+
+let open_ ~key frame = open_with ~key ~ad:(Wire.Frame.ad frame) frame
+
+let legacy_seal ~rng ~key ~label ~sender ~recipient plaintext =
+  build ~rng ~key ~label ~sender ~recipient ~ad:"" plaintext
+
+let legacy_open ~key frame = open_with ~key ~ad:"" frame
+
+let group_ad label = "group:" ^ Wire.Frame.label_to_string label
+
+let seal_group ~rng ~key ~label ~sender ~recipient plaintext =
+  build ~rng ~key ~label ~sender ~recipient ~ad:(group_ad label) plaintext
+
+let open_group ~key (frame : Wire.Frame.t) =
+  open_with ~key ~ad:(group_ad frame.Wire.Frame.label) frame

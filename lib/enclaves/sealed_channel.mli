@@ -1,0 +1,53 @@
+(** Helpers joining {!Wire.Frame} and {!Sym_crypto.Aead}.
+
+    The improved protocol binds the frame header (label, sender,
+    recipient) into the AEAD associated data, so a sealed body replayed
+    under a different header fails authentication. The legacy protocol
+    of §2.2 binds nothing — [legacy_seal]/[legacy_open] use empty
+    associated data, faithfully preserving the splice- and
+    replay-friendliness the paper attacks. *)
+
+val seal :
+  rng:Prng.Splitmix.t ->
+  key:Sym_crypto.Key.t ->
+  label:Wire.Frame.label ->
+  sender:Types.agent ->
+  recipient:Types.agent ->
+  string ->
+  Wire.Frame.t
+(** [seal ~rng ~key ~label ~sender ~recipient plaintext] builds a
+    complete frame whose body is the sealed plaintext, bound to the
+    header. *)
+
+val open_ :
+  key:Sym_crypto.Key.t -> Wire.Frame.t -> (string, Types.reject_reason) result
+(** [open_ ~key frame] recovers the plaintext of a header-bound frame. *)
+
+val legacy_seal :
+  rng:Prng.Splitmix.t ->
+  key:Sym_crypto.Key.t ->
+  label:Wire.Frame.label ->
+  sender:Types.agent ->
+  recipient:Types.agent ->
+  string ->
+  Wire.Frame.t
+(** Like {!seal} but with no header binding (legacy §2.2 behaviour). *)
+
+val legacy_open :
+  key:Sym_crypto.Key.t -> Wire.Frame.t -> (string, Types.reject_reason) result
+
+val seal_group :
+  rng:Prng.Splitmix.t ->
+  key:Sym_crypto.Key.t ->
+  label:Wire.Frame.label ->
+  sender:Types.agent ->
+  recipient:Types.agent ->
+  string ->
+  Wire.Frame.t
+(** Group-traffic sealing: the associated data binds only the label,
+    not sender/recipient, because frames under the group key are
+    relayed by the leader to many recipients; authorship lives inside
+    the payload. *)
+
+val open_group :
+  key:Sym_crypto.Key.t -> Wire.Frame.t -> (string, Types.reject_reason) result

@@ -1,0 +1,24 @@
+type agent = string
+type group_key = { key : Sym_crypto.Key.t; epoch : int }
+
+let pp_group_key fmt { key; epoch } =
+  Format.fprintf fmt "K_g[epoch=%d,fp=%s]" epoch (Sym_crypto.Key.fingerprint key)
+
+type reject_reason =
+  | Malformed of string
+  | Auth_failure
+  | Wrong_state of string
+  | Identity_mismatch
+  | Stale_nonce
+  | Unknown_sender of agent
+  | Unexpected_label of Wire.Frame.label
+
+let pp_reject_reason fmt = function
+  | Malformed what -> Format.fprintf fmt "malformed: %s" what
+  | Auth_failure -> Format.pp_print_string fmt "authentication failure"
+  | Wrong_state what -> Format.fprintf fmt "wrong state: %s" what
+  | Identity_mismatch -> Format.pp_print_string fmt "identity mismatch"
+  | Stale_nonce -> Format.pp_print_string fmt "stale nonce (replay?)"
+  | Unknown_sender who -> Format.fprintf fmt "unknown sender %s" who
+  | Unexpected_label l ->
+      Format.fprintf fmt "unexpected label %s" (Wire.Frame.label_to_string l)

@@ -1,0 +1,22 @@
+(** Shared vocabulary of the Enclaves protocol stack. *)
+
+type agent = string
+(** Agent identity (user name or leader name). *)
+
+type group_key = { key : Sym_crypto.Key.t; epoch : int }
+(** The group key [K_g] together with its epoch — a monotonically
+    increasing counter the leader bumps at every rekey. Epochs exist so
+    tests and attacks can observe {e which} key a member holds. *)
+
+val pp_group_key : Format.formatter -> group_key -> unit
+
+type reject_reason =
+  | Malformed of string  (** Frame or payload failed to parse. *)
+  | Auth_failure  (** AEAD tag did not verify. *)
+  | Wrong_state of string  (** Valid message, wrong protocol phase. *)
+  | Identity_mismatch  (** Sealed identities disagree with context. *)
+  | Stale_nonce  (** Nonce check failed: replay or reordering. *)
+  | Unknown_sender of agent  (** No credentials for the claimed sender. *)
+  | Unexpected_label of Wire.Frame.label
+
+val pp_reject_reason : Format.formatter -> reject_reason -> unit

@@ -1,0 +1,72 @@
+type 'a entry = { time : Vtime.t; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+let is_empty t = t.len = 0
+let size t = t.len
+
+let entry_lt a b =
+  match Vtime.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && entry_lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && entry_lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let dummy = t.data.(0) in
+    let data = Array.make (max 16 (2 * cap)) dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t ~time value =
+  let e = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 16 e;
+  grow t;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.data.(0).time

@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by [(Vtime.t, sequence)].
+
+    The sequence number breaks ties so that events scheduled for the
+    same instant fire in insertion order — determinism the whole test
+    suite relies on. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:Vtime.t -> 'a -> unit
+(** Insert with the next sequence number. *)
+
+val pop : 'a t -> (Vtime.t * 'a) option
+(** Remove and return the earliest element. *)
+
+val peek_time : 'a t -> Vtime.t option

@@ -1,0 +1,83 @@
+type verdict = Deliver | Drop | Replace of string | Delay of Vtime.t
+type adversary = src:string -> dst:string -> payload:string -> verdict
+
+type t = {
+  sim : Sim.t;
+  latency_lo : int;
+  latency_hi : int;
+  trace : Trace.t;
+  nodes : (string, string -> unit) Hashtbl.t;
+  rng : Prng.Splitmix.t;
+  mutable adversary : adversary option;
+  (* Last scheduled delivery time per (src,dst), to keep per-pair FIFO. *)
+  last_delivery : (string * string, Vtime.t) Hashtbl.t;
+}
+
+let create ~sim ?(latency_us = (500, 1500)) ?(trace = Trace.create ()) () =
+  let lo, hi = latency_us in
+  if lo < 0 || hi < lo then invalid_arg "Network.create: bad latency range";
+  {
+    sim;
+    latency_lo = lo;
+    latency_hi = hi;
+    trace;
+    nodes = Hashtbl.create 16;
+    rng = Prng.Splitmix.split (Sim.rng sim);
+    adversary = None;
+    last_delivery = Hashtbl.create 16;
+  }
+
+let trace t = t.trace
+let register t name handler = Hashtbl.replace t.nodes name handler
+let unregister t name = Hashtbl.remove t.nodes name
+let set_adversary t adv = t.adversary <- adv
+
+let draw_latency t =
+  let span = t.latency_hi - t.latency_lo in
+  let us =
+    if span = 0 then t.latency_lo
+    else t.latency_lo + Prng.Splitmix.next_int t.rng (span + 1)
+  in
+  Vtime.of_us us
+
+(* FIFO per (src,dst): never schedule a delivery earlier than the last
+   one already scheduled for the same pair. *)
+let fifo_time t ~src ~dst ~extra =
+  let base = Vtime.add (Sim.now t.sim) (Vtime.add (draw_latency t) extra) in
+  let key = (src, dst) in
+  let time =
+    match Hashtbl.find_opt t.last_delivery key with
+    | Some last when Vtime.(base < last) -> last
+    | _ -> base
+  in
+  Hashtbl.replace t.last_delivery key time;
+  time
+
+let deliver t ~src ~dst ~payload ~extra =
+  let time = fifo_time t ~src ~dst ~extra in
+  Sim.schedule_at t.sim ~time (fun () ->
+      match Hashtbl.find_opt t.nodes dst with
+      | Some handler ->
+          Trace.record t.trace
+            (Trace.Delivered { time = Sim.now t.sim; src; dst; payload });
+          handler payload
+      | None ->
+          Trace.record t.trace
+            (Trace.Dropped { time = Sim.now t.sim; src; dst; payload }))
+
+let send t ~src ~dst payload =
+  Trace.record t.trace (Trace.Sent { time = Sim.now t.sim; src; dst; payload });
+  match t.adversary with
+  | None -> deliver t ~src ~dst ~payload ~extra:Vtime.zero
+  | Some adv -> (
+      match adv ~src ~dst ~payload with
+      | Deliver -> deliver t ~src ~dst ~payload ~extra:Vtime.zero
+      | Drop ->
+          Trace.record t.trace
+            (Trace.Dropped { time = Sim.now t.sim; src; dst; payload })
+      | Replace payload' -> deliver t ~src ~dst ~payload:payload' ~extra:Vtime.zero
+      | Delay extra -> deliver t ~src ~dst ~payload ~extra)
+
+let inject t ~dst payload =
+  Trace.record t.trace (Trace.Injected { time = Sim.now t.sim; dst; payload });
+  deliver t ~src:"<adversary>" ~dst ~payload ~extra:Vtime.zero

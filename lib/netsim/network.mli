@@ -1,0 +1,49 @@
+(** The insecure asynchronous network of the paper.
+
+    Nodes register a byte-level frame handler under an agent name.
+    Every frame an honest node sends passes through the adversary tap
+    (if installed), which may deliver, drop, delay, or replace it; the
+    adversary can also inject arbitrary bytes toward any node at any
+    time. Nothing authenticates the physical source — the apparent
+    sender lives inside the (forgeable) frame.
+
+    Delivery on each (src, dst) pair is FIFO by default (latencies are
+    non-decreasing per pair), matching Enclaves' use of point-to-point
+    stream connections; the adversary is free to break any ordering by
+    drop-and-reinject. *)
+
+type t
+
+type verdict =
+  | Deliver  (** Pass the frame through unchanged. *)
+  | Drop  (** Suppress it. *)
+  | Replace of string  (** Substitute different bytes. *)
+  | Delay of Vtime.t  (** Deliver after an extra delay. *)
+
+type adversary = src:string -> dst:string -> payload:string -> verdict
+
+val create :
+  sim:Sim.t -> ?latency_us:int * int -> ?trace:Trace.t -> unit -> t
+(** [create ~sim ()] builds a network on [sim]'s scheduler.
+    [latency_us = (lo, hi)] draws per-frame latency uniformly from
+    [lo..hi] microseconds (default [(500, 1500)]). *)
+
+val trace : t -> Trace.t
+
+val register : t -> string -> (string -> unit) -> unit
+(** [register t name handler] attaches a node. Re-registering replaces
+    the handler (used for node restart scenarios). *)
+
+val unregister : t -> string -> unit
+(** Detach a node; frames to it are silently lost (recorded as
+    delivered to nobody — dropped). *)
+
+val send : t -> src:string -> dst:string -> string -> unit
+(** Hand a frame to the network for asynchronous delivery. *)
+
+val set_adversary : t -> adversary option -> unit
+(** Install or remove the man-in-the-middle tap. *)
+
+val inject : t -> dst:string -> string -> unit
+(** Adversary primitive: deliver arbitrary bytes to [dst] after normal
+    latency, recorded as an injection. *)

@@ -1,0 +1,55 @@
+type t = {
+  mutable clock : Vtime.t;
+  queue : (unit -> unit) Heap.t;
+  root_rng : Prng.Splitmix.t;
+}
+
+let create ?(seed = 1L) () =
+  { clock = Vtime.zero; queue = Heap.create (); root_rng = Prng.Splitmix.create seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~time f =
+  let time = if Vtime.(time < t.clock) then t.clock else time in
+  Heap.push t.queue ~time f
+
+let schedule t ~delay f =
+  if Vtime.(delay < Vtime.zero) then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(Vtime.add t.clock delay) f
+
+let every t ~period ?until f =
+  if Vtime.(period <= Vtime.zero) then invalid_arg "Sim.every: period must be positive";
+  let rec tick () =
+    f ();
+    match until with
+    | Some stop when Vtime.(Vtime.add t.clock period < stop) = false -> ()
+    | _ -> schedule t ~delay:period tick
+  in
+  schedule t ~delay:period tick
+
+let run ?until ?(max_events = max_int) t =
+  let executed = ref 0 in
+  let continue () =
+    !executed < max_events
+    &&
+    match Heap.peek_time t.queue with
+    | None -> false
+    | Some time -> (
+        match until with None -> true | Some stop -> Vtime.(time <= stop))
+  in
+  while continue () do
+    match Heap.pop t.queue with
+    | None -> ()
+    | Some (time, f) ->
+        t.clock <- time;
+        incr executed;
+        f ()
+  done;
+  (match until with
+  | Some stop when Vtime.(t.clock < stop) && Heap.is_empty t.queue ->
+      t.clock <- stop
+  | _ -> ());
+  !executed
+
+let pending t = Heap.size t.queue

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded scheduler: callbacks are scheduled at virtual
+    times and executed in time order (insertion order within one
+    instant). All randomness flows from the engine's seeded PRNG, so a
+    whole scenario — protocol runs, latencies, attacker choices — is a
+    pure function of the seed. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes an engine; default seed 1. *)
+
+val now : t -> Vtime.t
+val rng : t -> Prng.Splitmix.t
+(** The engine's root PRNG; components should {!Prng.Splitmix.split}
+    it rather than share one stream. *)
+
+val schedule : t -> delay:Vtime.t -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay].
+    @raise Invalid_argument if [delay < 0]. *)
+
+val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> unit
+(** Absolute-time variant; times in the past fire at the current
+    instant. *)
+
+val every : t -> period:Vtime.t -> ?until:Vtime.t -> (unit -> unit) -> unit
+(** [every t ~period f] runs [f] each [period], first firing after one
+    period, stopping after [until] when given. *)
+
+val run : ?until:Vtime.t -> ?max_events:int -> t -> int
+(** [run t] executes events until the queue empties, [until] is
+    passed, or [max_events] have fired. Returns the number of events
+    executed. *)
+
+val pending : t -> int

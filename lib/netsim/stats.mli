@@ -1,0 +1,30 @@
+(** Summary statistics over a network {!Trace}.
+
+    Scenario reports (examples, EXPERIMENTS.md) use these to describe
+    a run quantitatively: how many frames of each kind flowed, how many
+    bytes, what latencies deliveries experienced, and what the
+    adversary did. *)
+
+type t = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  injected : int;
+  bytes_on_wire : int;  (** Total payload bytes of sent + injected frames. *)
+  latency_min_ms : float;  (** Over delivered frames; 0 if none. *)
+  latency_mean_ms : float;
+  latency_max_ms : float;
+}
+
+val compute : Trace.t -> t
+(** Latency is matched per (src, dst, payload) pair: the delay between
+    a [Sent] record and the first subsequent [Delivered] with the same
+    key. Unmatched deliveries (injections) are excluded from latency
+    but counted. *)
+
+val by_label : decode_label:(string -> string option) -> Trace.t -> (string * int) list
+(** Count sent+injected frames by decoded label; [decode_label] maps
+    payload bytes to a label name (e.g. via [Wire.Frame.decode]).
+    Undecodable payloads count under ["<garbage>"]. Sorted by label. *)
+
+val pp : Format.formatter -> t -> unit

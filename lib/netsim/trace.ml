@@ -1,0 +1,37 @@
+type entry =
+  | Sent of { time : Vtime.t; src : string; dst : string; payload : string }
+  | Delivered of { time : Vtime.t; src : string; dst : string; payload : string }
+  | Dropped of { time : Vtime.t; src : string; dst : string; payload : string }
+  | Injected of { time : Vtime.t; dst : string; payload : string }
+
+type t = { mutable rev_entries : entry list; mutable length : int }
+
+let create () = { rev_entries = []; length = 0 }
+
+let record t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.rev_entries
+let length t = t.length
+
+let payloads t =
+  List.filter_map
+    (function
+      | Sent { payload; _ } | Injected { payload; _ } -> Some payload
+      | Delivered _ | Dropped _ -> None)
+    (entries t)
+
+let pp_entry fmt = function
+  | Sent { time; src; dst; payload } ->
+      Format.fprintf fmt "[%a] SENT %s->%s (%d bytes)" Vtime.pp time src dst
+        (String.length payload)
+  | Delivered { time; src; dst; payload } ->
+      Format.fprintf fmt "[%a] DLVR %s->%s (%d bytes)" Vtime.pp time src dst
+        (String.length payload)
+  | Dropped { time; src; dst; payload } ->
+      Format.fprintf fmt "[%a] DROP %s->%s (%d bytes)" Vtime.pp time src dst
+        (String.length payload)
+  | Injected { time; dst; payload } ->
+      Format.fprintf fmt "[%a] INJT ->%s (%d bytes)" Vtime.pp time dst
+        (String.length payload)

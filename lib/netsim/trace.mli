@@ -1,0 +1,31 @@
+(** Network event trace.
+
+    Mirrors the paper's [trace(q)]: the record of everything that has
+    happened on the network, visible to every agent (the attacker
+    reads it; tests and the runtime property checkers assert over it).
+    Payloads are raw frame bytes — the trace is below the crypto
+    boundary, so recording them leaks nothing the network would not. *)
+
+type entry =
+  | Sent of { time : Vtime.t; src : string; dst : string; payload : string }
+      (** An honest node handed a frame to the network. *)
+  | Delivered of { time : Vtime.t; src : string; dst : string; payload : string }
+      (** The network invoked [dst]'s handler. *)
+  | Dropped of { time : Vtime.t; src : string; dst : string; payload : string }
+      (** The adversary suppressed a frame. *)
+  | Injected of { time : Vtime.t; dst : string; payload : string }
+      (** The adversary placed a frame of its own making. *)
+
+type t
+
+val create : unit -> t
+val record : t -> entry -> unit
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+val payloads : t -> string list
+(** Every payload that appeared on the wire, oldest first — the
+    attacker's raw observation set. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,12 @@
+type t = int64
+
+let zero = 0L
+let of_us us = Int64.of_int us
+let of_ms ms = Int64.mul (Int64.of_int ms) 1_000L
+let of_s s = Int64.mul (Int64.of_int s) 1_000_000L
+let add = Int64.add
+let compare = Int64.compare
+let ( <= ) a b = Int64.compare a b <= 0
+let ( < ) a b = Int64.compare a b < 0
+let to_float_ms t = Int64.to_float t /. 1_000.0
+let pp fmt t = Format.fprintf fmt "%.3fms" (to_float_ms t)

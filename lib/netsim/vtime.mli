@@ -1,0 +1,19 @@
+(** Virtual time for the discrete-event simulator, in microseconds.
+
+    The paper's network is asynchronous: no bound on delivery delay is
+    assumed by the protocols, and all verified properties are safety
+    properties. Virtual time exists only to order events and to express
+    latency models and rekey periods in scenarios. *)
+
+type t = int64
+
+val zero : t
+val of_us : int -> t
+val of_ms : int -> t
+val of_s : int -> t
+val add : t -> t -> t
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val to_float_ms : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let remix x =
+  let x = Int64.logxor x (Int64.shift_right_logical x 30) in
+  let x = Int64.mul x 0xBF58476D1CE4E5B9L in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  let x = Int64.mul x 0x94D049BB133111EBL in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+let create seed = { state = remix seed }
+
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  remix t.state
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.next_int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (next t) 1 in
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int b) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let next_float t =
+  let bits53 = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+
+let next_bool t = Int64.logand (next t) 1L = 1L
+
+let next_bytes t n =
+  if n < 0 then invalid_arg "Splitmix.next_bytes: negative length";
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let word = ref (next t) in
+    let stop = min n (!i + 8) in
+    while !i < stop do
+      Bytes.set b !i (Char.chr (Int64.to_int (Int64.logand !word 0xFFL)));
+      word := Int64.shift_right_logical !word 8;
+      incr i
+    done
+  done;
+  b
+
+let split t = create (next t)

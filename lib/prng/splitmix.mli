@@ -1,0 +1,49 @@
+(** SplitMix64 deterministic pseudo-random number generator.
+
+    This is the generator described by Steele, Lea and Flood
+    ("Fast splittable pseudorandom number generators", OOPSLA 2014).
+    It is used as the single source of randomness for the whole
+    repository so that every simulation, test and benchmark is
+    reproducible from a seed.
+
+    The generator is {e not} cryptographically secure; the protocol
+    stack only needs unpredictability with respect to the simulated
+    Dolev-Yao adversary, which by construction never inspects generator
+    state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator initialised from [seed].
+    Two generators created from the same seed produce the same
+    stream. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that continues from the same
+    state; advancing one does not affect the other. *)
+
+val next : t -> int64
+(** [next t] returns the next 64-bit value and advances the state. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** [next_float t] is a uniform float in [\[0, 1)]. *)
+
+val next_bool : t -> bool
+(** [next_bool t] is a uniform boolean. *)
+
+val next_bytes : t -> int -> bytes
+(** [next_bytes t n] is [n] pseudo-random bytes.
+    @raise Invalid_argument if [n < 0]. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of
+    the parent's subsequent output (the SplitMix split operation). *)
+
+val remix : int64 -> int64
+(** [remix x] is the SplitMix64 finalizer: a fixed 64-bit mixing
+    bijection. Exposed for hashing/canonicalization uses. *)

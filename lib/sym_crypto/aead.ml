@@ -1,0 +1,50 @@
+open Byteskit
+
+type sealed = { iv : string; ciphertext : string; tag : string }
+
+let enc_key key = Kdf.derive ~key:(Key.raw key) ~label:"aead-encrypt"
+let mac_key key = Kdf.derive ~key:(Key.raw key) ~label:"aead-mac"
+
+let mac_input ~iv ~ad ~ciphertext =
+  let w = Cursor.Writer.create () in
+  Cursor.Writer.bytes w iv;
+  Cursor.Writer.bytes w ad;
+  Cursor.Writer.bytes w ciphertext;
+  Cursor.Writer.contents w
+
+let seal ~key ~iv ~ad plaintext =
+  let cipher = Feistel.of_key (enc_key key) in
+  let ciphertext = Ctr.transform cipher ~iv plaintext in
+  let tag = Mac.tag ~key:(mac_key key) (mac_input ~iv ~ad ~ciphertext) in
+  { iv; ciphertext; tag }
+
+let open_ ~key ~ad { iv; ciphertext; tag } =
+  if
+    String.length iv = Ctr.iv_size
+    && Mac.verify ~key:(mac_key key) (mac_input ~iv ~ad ~ciphertext) ~tag
+  then
+    let cipher = Feistel.of_key (enc_key key) in
+    Ok (Ctr.transform cipher ~iv ciphertext)
+  else Error `Auth_failure
+
+let random_iv rng =
+  Bytes.unsafe_to_string (Prng.Splitmix.next_bytes rng Ctr.iv_size)
+
+let encode { iv; ciphertext; tag } =
+  let w = Cursor.Writer.create () in
+  Cursor.Writer.bytes w iv;
+  Cursor.Writer.bytes w ciphertext;
+  Cursor.Writer.bytes w tag;
+  Cursor.Writer.contents w
+
+let decode s =
+  let open Cursor in
+  let r = Reader.of_string s in
+  let result =
+    let* iv = Reader.bytes r in
+    let* ciphertext = Reader.bytes r in
+    let* tag = Reader.bytes r in
+    let* () = Reader.expect_end r in
+    Ok { iv; ciphertext; tag }
+  in
+  Result.map_error (Format.asprintf "%a" Reader.pp_error) result

@@ -1,0 +1,20 @@
+let iv_size = 8
+
+let keystream cipher ~iv n =
+  if String.length iv <> iv_size then
+    invalid_arg "Ctr: iv must be 8 bytes";
+  if n < 0 then invalid_arg "Ctr.keystream: negative length";
+  let out = Buffer.create (n + Feistel.block_size) in
+  let counter = ref 0L in
+  while Buffer.length out < n do
+    let blk = Bytes.create Feistel.block_size in
+    Bytes.blit_string iv 0 blk 0 8;
+    Byteskit.Bytes_ops.set_u64_le blk 8 !counter;
+    Buffer.add_string out (Feistel.encrypt_block cipher (Bytes.unsafe_to_string blk));
+    counter := Int64.add !counter 1L
+  done;
+  String.sub (Buffer.contents out) 0 n
+
+let transform cipher ~iv data =
+  let ks = keystream cipher ~iv (String.length data) in
+  Byteskit.Bytes_ops.xor data ks

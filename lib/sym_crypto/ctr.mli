@@ -1,0 +1,18 @@
+(** Counter-mode keystream over the {!Feistel} block cipher.
+
+    [transform] encrypts or decrypts (the operation is its own
+    inverse): byte [i] of the output is byte [i] of the input XORed
+    with byte [i] of the keystream [E(key, iv || counter)]. The IV is 8
+    bytes and must be unique per (key, message); the Enclaves protocol
+    layer generates a fresh IV per encryption. *)
+
+val iv_size : int
+(** IV size in bytes (8). *)
+
+val transform : Feistel.t -> iv:string -> string -> string
+(** [transform cipher ~iv data] XORs [data] with the keystream.
+    @raise Invalid_argument if [String.length iv <> iv_size]. *)
+
+val keystream : Feistel.t -> iv:string -> int -> string
+(** [keystream cipher ~iv n] is the first [n] keystream bytes;
+    exposed for testing. *)

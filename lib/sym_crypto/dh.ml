@@ -1,0 +1,45 @@
+let p = Int64.sub (Int64.shift_left 1L 61) 1L
+let g = 7L
+
+(* Multiplication mod p without overflow: Russian-peasant
+   double-and-add. Operands are < p < 2^61, so doubling stays within
+   the int64 range (< 2^62). *)
+let mul_mod a b =
+  let a = Int64.rem a p and b = Int64.rem b p in
+  let rec go acc a b =
+    if Int64.equal b 0L then acc
+    else
+      let acc =
+        if Int64.logand b 1L = 1L then Int64.rem (Int64.add acc a) p else acc
+      in
+      go acc (Int64.rem (Int64.add a a) p) (Int64.shift_right_logical b 1)
+  in
+  go 0L a b
+
+let pow_mod b e =
+  let rec go acc b e =
+    if Int64.equal e 0L then acc
+    else
+      let acc = if Int64.logand e 1L = 1L then mul_mod acc b else acc in
+      go acc (mul_mod b b) (Int64.shift_right_logical e 1)
+  in
+  go 1L (Int64.rem b p) e
+
+type key_pair = { priv : int64; pub : int64 }
+
+let generate rng =
+  (* Uniform in [2, p-2] by rejection. *)
+  let bound = Int64.sub p 3L in
+  let rec draw () =
+    let r = Int64.logand (Prng.Splitmix.next rng) (Int64.sub (Int64.shift_left 1L 61) 1L) in
+    if Int64.unsigned_compare r bound < 0 then Int64.add r 2L else draw ()
+  in
+  let priv = draw () in
+  { priv; pub = pow_mod g priv }
+
+let shared_secret ~priv ~pub =
+  if
+    Int64.compare pub 2L < 0
+    || Int64.compare pub (Int64.sub p 2L) > 0
+  then invalid_arg "Dh.shared_secret: public value out of range";
+  pow_mod pub priv

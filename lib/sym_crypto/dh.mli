@@ -1,0 +1,36 @@
+(** Toy finite-field Diffie-Hellman.
+
+    Supports the paper's footnote 1 — "Authentication using public-key
+    cryptography is also possible, but is not currently implemented":
+    instead of deriving the long-term key [P_a] from a password, a user
+    and the leader each hold a static DH key pair and derive the same
+    pairwise key from the static-static shared secret.
+
+    The group is Z_p* with p = 2^61 - 1 (a Mersenne prime) and g = 7 —
+    a 61-bit group, wildly insecure in the real world and exactly as
+    honest as the rest of this repository's simulation crypto: it
+    exercises the real code paths (key pairs, public-value exchange,
+    shared-secret derivation) at toy strength. *)
+
+val p : int64
+(** The group modulus, 2^61 - 1. *)
+
+val g : int64
+(** The generator, 7. *)
+
+type key_pair = { priv : int64; pub : int64 }
+
+val generate : Prng.Splitmix.t -> key_pair
+(** A fresh key pair: uniform private exponent in [\[2, p-2\]],
+    public value [g^priv mod p]. *)
+
+val shared_secret : priv:int64 -> pub:int64 -> int64
+(** [shared_secret ~priv ~pub] is [pub^priv mod p].
+    @raise Invalid_argument if [pub] is not in [\[2, p-2\]] (rejects
+    the degenerate subgroup elements 0, 1 and p-1). *)
+
+val mul_mod : int64 -> int64 -> int64
+(** [mul_mod a b] = [a * b mod p], overflow-free (exposed for tests). *)
+
+val pow_mod : int64 -> int64 -> int64
+(** [pow_mod b e] = [b^e mod p] (exposed for tests). *)

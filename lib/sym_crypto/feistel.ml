@@ -1,0 +1,55 @@
+let block_size = 16
+let rounds = 8
+
+type t = { subkeys : Siphash.key array }
+
+let of_key k =
+  if String.length k <> 16 then invalid_arg "Feistel.of_key: key must be 16 bytes";
+  let master = Siphash.key_of_string k in
+  (* Subkey i = (PRF(master, "feistel-subkey" i 0), PRF(master, ... 1)). *)
+  let subkey i =
+    let label half = Printf.sprintf "feistel-subkey:%d:%d" i half in
+    { Siphash.k0 = Siphash.hash master (label 0); k1 = Siphash.hash master (label 1) }
+  in
+  { subkeys = Array.init rounds subkey }
+
+let round_f subkey r right =
+  let b = Bytes.create 9 in
+  Bytes.set b 0 (Char.chr r);
+  Byteskit.Bytes_ops.set_u64_le b 1 right;
+  Siphash.hash subkey (Bytes.unsafe_to_string b)
+
+let check_block b =
+  if String.length b <> block_size then
+    invalid_arg "Feistel: block must be 16 bytes"
+
+let halves b =
+  (Byteskit.Bytes_ops.get_u64_le b 0, Byteskit.Bytes_ops.get_u64_le b 8)
+
+let join l r =
+  let b = Bytes.create block_size in
+  Byteskit.Bytes_ops.set_u64_le b 0 l;
+  Byteskit.Bytes_ops.set_u64_le b 8 r;
+  Bytes.unsafe_to_string b
+
+let encrypt_block t b =
+  check_block b;
+  let l = ref (fst (halves b)) and r = ref (snd (halves b)) in
+  for i = 0 to rounds - 1 do
+    let l' = !r in
+    let r' = Int64.logxor !l (round_f t.subkeys.(i) i !r) in
+    l := l';
+    r := r'
+  done;
+  join !l !r
+
+let decrypt_block t b =
+  check_block b;
+  let l = ref (fst (halves b)) and r = ref (snd (halves b)) in
+  for i = rounds - 1 downto 0 do
+    let r' = !l in
+    let l' = Int64.logxor !r (round_f t.subkeys.(i) i r') in
+    l := l';
+    r := r'
+  done;
+  join !l !r

@@ -1,0 +1,26 @@
+let key_size = 16
+let pbkdf_iterations = 64
+
+let fixed_key label =
+  (* A fixed, public PRF key for the password KDF: secrecy comes from
+     the password input, not this constant. *)
+  { Siphash.k0 = 0x656e636c61766573L (* "enclaves" *);
+    k1 = Siphash.hash { Siphash.k0 = 0L; k1 = 0L } label }
+
+let of_password ~user ~password =
+  let k = fixed_key "pa-kdf" in
+  let state = ref (user ^ "\x00" ^ password) in
+  for i = 1 to pbkdf_iterations do
+    let block j =
+      Siphash.hash_to_bytes k (Printf.sprintf "%d:%d:" i j ^ !state)
+    in
+    state := block 0 ^ block 1
+  done;
+  !state
+
+let derive ~key ~label =
+  if String.length key <> key_size then
+    invalid_arg "Kdf.derive: key must be 16 bytes";
+  let master = Siphash.key_of_string key in
+  Siphash.hash_to_bytes master ("kdf:0:" ^ label)
+  ^ Siphash.hash_to_bytes master ("kdf:1:" ^ label)

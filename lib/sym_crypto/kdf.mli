@@ -1,0 +1,22 @@
+(** Key derivation.
+
+    [of_password] models the Enclaves long-term key [P_a]: the paper
+    assumes each prospective member shares a password-derived key with
+    the leader. We derive it by iterating the PRF over the password and
+    a salt (the user identity), like a toy PBKDF.
+
+    [derive] provides domain-separated subkey derivation used for key
+    separation inside {!Aead} and by the protocol layer ("one key, one
+    purpose"). *)
+
+val key_size : int
+(** Derived key size in bytes (16). *)
+
+val of_password : user:string -> password:string -> string
+(** [of_password ~user ~password] is the long-term key [P_a] shared by
+    user [user] and the leader. Deterministic; same inputs, same key. *)
+
+val derive : key:string -> label:string -> string
+(** [derive ~key ~label] is a 16-byte subkey of [key] for purpose
+    [label]. Distinct labels give independent keys.
+    @raise Invalid_argument if [String.length key <> 16]. *)

@@ -1,0 +1,17 @@
+let tag_size = 16
+
+let subkeys key =
+  if String.length key <> 16 then invalid_arg "Mac: key must be 16 bytes";
+  let master = Siphash.key_of_string key in
+  let derive label =
+    { Siphash.k0 = Siphash.hash master ("mac-subkey:" ^ label ^ ":0");
+      k1 = Siphash.hash master ("mac-subkey:" ^ label ^ ":1") }
+  in
+  (derive "left", derive "right")
+
+let tag ~key msg =
+  let left, right = subkeys key in
+  Siphash.hash_to_bytes left msg ^ Siphash.hash_to_bytes right msg
+
+let verify ~key msg ~tag:t =
+  String.length t = tag_size && Byteskit.Bytes_ops.ct_equal (tag ~key msg) t

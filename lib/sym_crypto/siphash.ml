@@ -1,0 +1,69 @@
+type key = { k0 : int64; k1 : int64 }
+
+let key_of_string s =
+  if String.length s <> 16 then
+    invalid_arg "Siphash.key_of_string: key must be 16 bytes";
+  { k0 = Byteskit.Bytes_ops.get_u64_le s 0; k1 = Byteskit.Bytes_ops.get_u64_le s 8 }
+
+let key_to_string { k0; k1 } =
+  let b = Bytes.create 16 in
+  Byteskit.Bytes_ops.set_u64_le b 0 k0;
+  Byteskit.Bytes_ops.set_u64_le b 8 k1;
+  Bytes.unsafe_to_string b
+
+let rotl x b =
+  Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+(* State is threaded through explicitly; the compiler unboxes these
+   int64 tuples poorly, but clarity wins at this scale. *)
+let sip_round (v0, v1, v2, v3) =
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  (v0, v1, v2, v3)
+
+let hash { k0; k1 } msg =
+  let v0 = Int64.logxor k0 0x736f6d6570736575L in
+  let v1 = Int64.logxor k1 0x646f72616e646f6dL in
+  let v2 = Int64.logxor k0 0x6c7967656e657261L in
+  let v3 = Int64.logxor k1 0x7465646279746573L in
+  let len = String.length msg in
+  let n_full = len / 8 in
+  let compress st m =
+    let v0, v1, v2, v3 = st in
+    let st = (v0, v1, v2, Int64.logxor v3 m) in
+    let st = sip_round (sip_round st) in
+    let v0, v1, v2, v3 = st in
+    (Int64.logxor v0 m, v1, v2, v3)
+  in
+  let st = ref (v0, v1, v2, v3) in
+  for i = 0 to n_full - 1 do
+    st := compress !st (Byteskit.Bytes_ops.get_u64_le msg (8 * i))
+  done;
+  (* Final block: remaining bytes, zero padding, length in the top byte. *)
+  let last = ref (Int64.shift_left (Int64.of_int (len land 0xFF)) 56) in
+  for i = 8 * n_full to len - 1 do
+    let shift = (i mod 8) * 8 in
+    last := Int64.logor !last (Int64.shift_left (Int64.of_int (Char.code msg.[i])) shift)
+  done;
+  let st = compress !st !last in
+  let v0, v1, v2, v3 = st in
+  let st = (v0, v1, Int64.logxor v2 0xFFL, v3) in
+  let v0, v1, v2, v3 = sip_round (sip_round (sip_round (sip_round st))) in
+  Int64.logxor (Int64.logxor v0 v1) (Int64.logxor v2 v3)
+
+let hash_to_bytes key msg =
+  let b = Bytes.create 8 in
+  Byteskit.Bytes_ops.set_u64_le b 0 (hash key msg);
+  Bytes.unsafe_to_string b

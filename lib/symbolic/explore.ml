@@ -1,0 +1,75 @@
+type result = {
+  states : (string, Model.state) Hashtbl.t;
+  edges : (string * Model.move * string) list;
+  parents : (string, string * Model.move) Hashtbl.t;
+  truncated : bool;
+}
+
+let run ?(config = Model.default_config) ?(max_states = 200_000) () =
+  let states = Hashtbl.create 4096 in
+  let parents = Hashtbl.create 4096 in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let init = Model.initial in
+  let init_key = Model.canon init in
+  Hashtbl.replace states init_key init;
+  Queue.add (init_key, init) queue;
+  while not (Queue.is_empty queue) do
+    let key, q = Queue.pop queue in
+    List.iter
+      (fun (move, q') ->
+        let key' = Model.canon q' in
+        edges := (key, move, key') :: !edges;
+        if not (Hashtbl.mem states key') then
+          if Hashtbl.length states >= max_states then truncated := true
+          else begin
+            Hashtbl.replace states key' q';
+            Hashtbl.replace parents key' (key, move);
+            Queue.add (key', q') queue
+          end)
+      (Model.successors config q)
+  done;
+  { states; edges = !edges; parents; truncated = !truncated }
+
+let state_count r = Hashtbl.length r.states
+let edge_count r = List.length r.edges
+let iter_states r f = Hashtbl.iter (fun _ q -> f q) r.states
+
+let iter_edges r f =
+  List.iter
+    (fun (src, move, dst) ->
+      match (Hashtbl.find_opt r.states src, Hashtbl.find_opt r.states dst) with
+      | Some q, Some q' -> f q move q'
+      | _ -> ())
+    r.edges
+
+let find_state r p =
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun _ q ->
+         if p q then begin
+           found := Some q;
+           raise Exit
+         end)
+       r.states
+   with Exit -> ());
+  !found
+
+let path_to r q =
+  let rec build key acc =
+    match Hashtbl.find_opt r.parents key with
+    | None -> acc
+    | Some (parent_key, move) ->
+        let state = Hashtbl.find r.states key in
+        build parent_key ((move, state) :: acc)
+  in
+  build (Model.canon q) []
+
+let pp_path fmt path =
+  List.iter
+    (fun (move, q) ->
+      Format.fprintf fmt "  %a -> usr=%a lead=%a@." Model.pp_move move
+        Model.pp_user_state q.Model.usr Model.pp_leader_state q.Model.lead)
+    path

@@ -1,0 +1,39 @@
+(** Exhaustive bounded state exploration of the symbolic model.
+
+    Breadth-first search from {!Model.initial} over
+    {!Model.successors}, deduplicating states by their canonical
+    serialization. Within the pool bounds of the configuration the
+    exploration is exhaustive: every reachable global state and every
+    transition is visited, so checking an invariant over [states] and
+    an edge obligation over [edges] discharges the corresponding §5
+    proof obligation for the bounded instance. *)
+
+type result = {
+  states : (string, Model.state) Hashtbl.t;  (** canon -> state *)
+  edges : (string * Model.move * string) list;  (** (src, move, dst) *)
+  parents : (string, string * Model.move) Hashtbl.t;
+      (** BFS tree: state -> (discovering predecessor, move). *)
+  truncated : bool;  (** true if [max_states] stopped the search *)
+}
+
+val run : ?config:Model.config -> ?max_states:int -> unit -> result
+(** [run ()] explores with {!Model.default_config} and a 200k-state
+    safety limit. *)
+
+val state_count : result -> int
+val edge_count : result -> int
+
+val iter_states : result -> (Model.state -> unit) -> unit
+
+val iter_edges :
+  result -> (Model.state -> Model.move -> Model.state -> unit) -> unit
+
+val find_state : result -> (Model.state -> bool) -> Model.state option
+
+val path_to : result -> Model.state -> (Model.move * Model.state) list
+(** [path_to r q] reconstructs a shortest path (BFS tree) from the
+    initial state to [q], as the list of (move, reached state) steps —
+    a concrete counterexample trace when [q] violates a property. *)
+
+val pp_path :
+  Format.formatter -> (Model.move * Model.state) list -> unit

@@ -1,0 +1,51 @@
+type agent = A | L | Intruder
+type key = Pa | Ka of int | Kg of int
+
+type t =
+  | FAgent of agent
+  | FNonce of int
+  | FKey of key
+  | FData of int
+  | FCat of t list
+  | FCrypt of key * t
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let compare_key = Stdlib.compare
+
+let pp_agent fmt = function
+  | A -> Format.pp_print_string fmt "A"
+  | L -> Format.pp_print_string fmt "L"
+  | Intruder -> Format.pp_print_string fmt "E"
+
+let pp_key fmt = function
+  | Pa -> Format.pp_print_string fmt "Pa"
+  | Ka i -> Format.fprintf fmt "Ka%d" i
+  | Kg i -> Format.fprintf fmt "Kg%d" i
+
+let rec pp fmt = function
+  | FAgent a -> pp_agent fmt a
+  | FNonce n -> Format.fprintf fmt "N%d" n
+  | FKey k -> pp_key fmt k
+  | FData d -> Format.fprintf fmt "X%d" d
+  | FCat fs ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") pp)
+        fs
+  | FCrypt (k, body) -> Format.fprintf fmt "{%a}_%a" pp body pp_key k
+
+let cat fs =
+  if List.length fs < 2 then invalid_arg "Field.cat: need at least two parts";
+  FCat fs
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module KeySet = Stdlib.Set.Make (struct
+  type t = key
+
+  let compare = compare_key
+end)

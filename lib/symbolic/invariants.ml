@@ -1,0 +1,126 @@
+open Field
+
+type report = {
+  name : string;
+  holds : bool;
+  checked : int;
+  violations : string list;
+}
+
+let pp_report fmt { name; holds; checked; violations } =
+  Format.fprintf fmt "%-28s %s (%d checked)" name
+    (if holds then "HOLDS" else "VIOLATED")
+    checked;
+  List.iter (fun v -> Format.fprintf fmt "@.    counterexample: %s" v) violations
+
+let max_violations = 5
+
+let make_report name checked violations =
+  {
+    name;
+    holds = violations = [];
+    checked;
+    violations =
+      List.filteri (fun i _ -> i < max_violations) (List.rev violations);
+  }
+
+let describe_state q =
+  Format.asprintf "usr=%a lead=%a |trace|=%d" Model.pp_user_state q.Model.usr
+    Model.pp_leader_state q.Model.lead
+    (Event.Set.cardinal q.Model.trace)
+
+let regularity result =
+  let checked = ref 0 and violations = ref [] in
+  Explore.iter_edges result (fun q move q' ->
+      match move with
+      | Model.E_inject _ -> ()
+      | Model.A_join | Model.A_recv_keydist | Model.A_recv_admin | Model.A_leave
+      | Model.L_recv_init | Model.L_recv_keyack | Model.L_send_admin
+      | Model.L_recv_ack | Model.L_recv_close ->
+          incr checked;
+          let added =
+            Field.Set.diff
+              (Event.contents q'.Model.trace)
+              (Event.contents q.Model.trace)
+          in
+          Field.Set.iter
+            (fun content ->
+              if Field.Set.mem (FKey Pa) (Closure.parts_of_field content) then
+                violations :=
+                  Format.asprintf "%a sends Pa in %a" Model.pp_move move Field.pp
+                    content
+                  :: !violations)
+            added);
+  make_report "regularity (5.1)" !checked !violations
+
+let long_term_key_secrecy ?config result =
+  let checked = ref 0 and violations = ref [] in
+  Explore.iter_states result (fun q ->
+      incr checked;
+      if Field.Set.mem (FKey Pa) (Model.intruder_knowledge ?config q) then
+        violations := describe_state q :: !violations);
+  make_report "P_a secrecy (5.1)" !checked !violations
+
+let session_keys_mentioned q =
+  (* All session-key indices allocated so far. *)
+  List.init q.Model.next_key (fun k -> k)
+
+let session_key_secrecy ?config result =
+  let checked = ref 0 and violations = ref [] in
+  Explore.iter_states result (fun q ->
+      let know = lazy (Model.intruder_knowledge ?config q) in
+      List.iter
+        (fun k ->
+          if Model.in_use q k then begin
+            incr checked;
+            if Field.Set.mem (FKey (Ka k)) (Lazy.force know) then
+              violations :=
+                Format.asprintf "Ka%d leaked while in use: %s" k (describe_state q)
+                :: !violations
+          end)
+        (session_keys_mentioned q));
+  make_report "session-key secrecy (5.2)" !checked !violations
+
+let coideal_invariant result =
+  let checked = ref 0 and violations = ref [] in
+  Explore.iter_states result (fun q ->
+      List.iter
+        (fun k ->
+          if Model.in_use q k then begin
+            incr checked;
+            let s = Field.Set.of_list [ FKey (Ka k); FKey Pa ] in
+            let contents = Event.contents q.Model.trace in
+            if not (Closure.set_in_coideal s contents) then
+              violations :=
+                Format.asprintf "trace escapes C({Ka%d,Pa}): %s" k
+                  (describe_state q)
+                :: !violations
+          end)
+        (session_keys_mentioned q));
+  make_report "coideal invariant (5.2.5)" !checked !violations
+
+let oops_keys_are_public ?config result =
+  let checked = ref 0 and violations = ref [] in
+  Explore.iter_states result (fun q ->
+      Event.Set.iter
+        (function
+          | Event.Oops (FKey (Ka k)) ->
+              incr checked;
+              if not (Field.Set.mem (FKey (Ka k)) (Model.intruder_knowledge ?config q))
+              then
+                violations :=
+                  Format.asprintf "oopsed Ka%d not in Know(E): %s" k
+                    (describe_state q)
+                  :: !violations
+          | Event.Oops _ | Event.Msg _ -> ())
+        q.Model.trace);
+  make_report "oops keys public (4.1)" !checked !violations
+
+let all ?config result =
+  [
+    regularity result;
+    long_term_key_secrecy ?config result;
+    session_key_secrecy ?config result;
+    coideal_invariant result;
+    oops_keys_are_public ?config result;
+  ]

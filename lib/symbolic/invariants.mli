@@ -1,0 +1,44 @@
+(** The secrecy results of §5.1 and §5.2, checked exhaustively over an
+    explored state space.
+
+    Each check returns a {!report}; [holds = true] means the property
+    was verified in {e every} reachable state (or over every
+    transition, for per-edge obligations) of the bounded instance. *)
+
+type report = {
+  name : string;
+  holds : bool;
+  checked : int;  (** States or edges examined. *)
+  violations : string list;  (** Pretty-printed counterexamples (capped). *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val regularity : Explore.result -> report
+(** §5.1, the Regularity Lemma's premise: no honest transition ever
+    places [P_a] inside a message. Checked per honest edge on the
+    contents the edge adds to the trace. *)
+
+val long_term_key_secrecy : ?config:Model.config -> Explore.result -> report
+(** §5.1's conclusion: in every reachable state,
+    [P_a ∉ Know(E, q)] — no agent other than [A] and [L] can ever
+    access [A]'s long-term key. *)
+
+val session_key_secrecy : ?config:Model.config -> Explore.result -> report
+(** §5.2, Proposition 3: [InUse(K_a, q) ∧ K_a ∈ Know(G, q) ⇒ G ∈
+    {A, L}] — while a session key is in use the intruder never holds
+    it, even though expired session keys are handed over via Oops. *)
+
+val coideal_invariant : Explore.result -> report
+(** §5.2, property (5): whenever [K_a] is in use,
+    [trace(q) ⊆ C({K_a, P_a})] — every content on the wire lies in the
+    coideal, i.e. carries no path to the secrets. This is the
+    paper's actual inductive invariant, stronger than its corollary
+    {!session_key_secrecy}. *)
+
+val oops_keys_are_public : ?config:Model.config -> Explore.result -> report
+(** Sanity check of the Oops semantics: once a session closes, its key
+    {e is} in the intruder's knowledge — compromise of expired keys is
+    really being modelled, so {!session_key_secrecy} is not vacuous. *)
+
+val all : ?config:Model.config -> Explore.result -> report list

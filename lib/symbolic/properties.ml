@@ -1,0 +1,64 @@
+let describe_state q =
+  Format.asprintf "usr=%a lead=%a snd=[%s] rcv=[%s]" Model.pp_user_state
+    q.Model.usr Model.pp_leader_state q.Model.lead
+    (String.concat ";" (List.map string_of_int q.Model.snd))
+    (String.concat ";" (List.map string_of_int q.Model.rcv))
+
+let max_violations = 5
+
+let make_report name checked violations =
+  {
+    Invariants.name;
+    holds = violations = [];
+    checked;
+    violations =
+      List.filteri (fun i _ -> i < max_violations) (List.rev violations);
+  }
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+
+let over_states result name check =
+  let checked = ref 0 and violations = ref [] in
+  Explore.iter_states result (fun q ->
+      incr checked;
+      if not (check q) then violations := describe_state q :: !violations);
+  make_report name !checked !violations
+
+let prefix_property result =
+  over_states result "rcv_A prefix of snd_A (5.4)" (fun q ->
+      is_prefix q.Model.rcv q.Model.snd)
+
+let proper_authentication result =
+  over_states result "proper authentication (5.4)" (fun q ->
+      q.Model.accepts <= q.Model.joins)
+
+let agreement result =
+  over_states result "key/nonce agreement (5.4)" (fun q ->
+      match (q.Model.usr, q.Model.lead) with
+      | Model.U_connected (n, k), Model.L_connected (n', k') ->
+          n = n' && k = k'
+      | _ -> true)
+
+let possession result =
+  over_states result "A connected => InUse (5.4)" (fun q ->
+      match q.Model.usr with
+      | Model.U_connected (_, k) -> Model.in_use q k
+      | Model.U_not_connected | Model.U_waiting_for_key _ -> true)
+
+let no_duplicates result =
+  over_states result "no duplicate admin accepted (5.4)" (fun q ->
+      List.length (List.sort_uniq compare q.Model.rcv)
+      = List.length q.Model.rcv)
+
+let all result =
+  [
+    prefix_property result;
+    proper_authentication result;
+    agreement result;
+    possession result;
+    no_duplicates result;
+  ]

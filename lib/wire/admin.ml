@@ -1,0 +1,85 @@
+open Byteskit
+
+type t =
+  | New_group_key of { key : string; epoch : int }
+  | Member_joined of string
+  | Member_left of string
+  | Member_expelled of string
+  | Membership_snapshot of string list
+  | Notice of string
+
+let tag_of = function
+  | New_group_key _ -> 1
+  | Member_joined _ -> 2
+  | Member_left _ -> 3
+  | Member_expelled _ -> 4
+  | Membership_snapshot _ -> 5
+  | Notice _ -> 6
+
+let encode t =
+  let w = Cursor.Writer.create () in
+  Cursor.Writer.u8 w (tag_of t);
+  (match t with
+  | New_group_key { key; epoch } ->
+      Cursor.Writer.bytes w key;
+      Cursor.Writer.u32 w epoch
+  | Member_joined who | Member_left who | Member_expelled who ->
+      Cursor.Writer.bytes w who
+  | Membership_snapshot members ->
+      Cursor.Writer.u32 w (List.length members);
+      List.iter (Cursor.Writer.bytes w) members
+  | Notice text -> Cursor.Writer.bytes w text);
+  Cursor.Writer.contents w
+
+let decode s =
+  let open Cursor in
+  let r = Reader.of_string s in
+  let result =
+    let* tag = Reader.u8 r in
+    let* payload =
+      match tag with
+      | 1 ->
+          let* key = Reader.bytes r in
+          let* epoch = Reader.u32 r in
+          Ok (New_group_key { key; epoch })
+      | 2 ->
+          let* who = Reader.bytes r in
+          Ok (Member_joined who)
+      | 3 ->
+          let* who = Reader.bytes r in
+          Ok (Member_left who)
+      | 4 ->
+          let* who = Reader.bytes r in
+          Ok (Member_expelled who)
+      | 5 ->
+          let* n = Reader.u32 r in
+          if n > 100_000 then Error (`Malformed "snapshot too large")
+          else
+            let rec loop acc k =
+              if k = 0 then Ok (List.rev acc)
+              else
+                let* m = Reader.bytes r in
+                loop (m :: acc) (k - 1)
+            in
+            let* members = loop [] n in
+            Ok (Membership_snapshot members)
+      | 6 ->
+          let* text = Reader.bytes r in
+          Ok (Notice text)
+      | n -> Error (`Malformed (Printf.sprintf "unknown admin tag %d" n))
+    in
+    let* () = Reader.expect_end r in
+    Ok payload
+  in
+  Result.map_error (Format.asprintf "%a" Reader.pp_error) result
+
+let equal a b = encode a = encode b
+
+let pp fmt = function
+  | New_group_key { epoch; _ } -> Format.fprintf fmt "NewGroupKey(epoch=%d)" epoch
+  | Member_joined who -> Format.fprintf fmt "MemberJoined(%s)" who
+  | Member_left who -> Format.fprintf fmt "MemberLeft(%s)" who
+  | Member_expelled who -> Format.fprintf fmt "MemberExpelled(%s)" who
+  | Membership_snapshot ms ->
+      Format.fprintf fmt "MembershipSnapshot(%s)" (String.concat "," ms)
+  | Notice text -> Format.fprintf fmt "Notice(%s)" text

@@ -1,0 +1,23 @@
+(** Group-management payloads — the field [X] carried inside an
+    improved-protocol [AdminMsg] (and, for the legacy protocol, the
+    contents of [NewKey] / [MemJoined] / [MemRemoved] messages).
+
+    The paper leaves [X] abstract ("For example, X may specify a new
+    group key and initialization vector, or indicate that a member has
+    joined or left the session"); this module enumerates the payloads
+    the Enclaves implementation actually needs. *)
+
+type t =
+  | New_group_key of { key : string; epoch : int }
+      (** Distribute group key material for key epoch [epoch]. *)
+  | Member_joined of string  (** A new member entered the session. *)
+  | Member_left of string  (** A member left the session. *)
+  | Member_expelled of string  (** The leader ejected a member. *)
+  | Membership_snapshot of string list
+      (** Full current membership, sent to a newly joined member. *)
+  | Notice of string  (** Free-form leader-to-member administrative text. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

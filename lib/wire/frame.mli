@@ -1,0 +1,65 @@
+(** Wire frames.
+
+    A frame is what travels on a link: a label (message type), an
+    {e apparent} sender, an intended recipient, and an opaque body
+    (usually an encoded {!Sym_crypto.Aead.sealed}, sometimes plaintext
+    for the legacy protocol's unprotected messages).
+
+    Nothing about the outer frame is authenticated — the network is
+    insecure, so sender and label are attacker-writable. Protocols
+    authenticate by binding the header into the AEAD associated data
+    ({!ad}) of the sealed body; the legacy protocol frequently fails to
+    do so, which is precisely the weakness class of §2.3. *)
+
+type agent = string
+
+type label =
+  (* Legacy protocol (§2.2). *)
+  | Req_open
+  | Ack_open
+  | Connection_denied
+  | Legacy_auth1
+  | Legacy_auth2
+  | Legacy_auth3
+  | New_key
+  | New_key_ack
+  | Legacy_req_close
+  | Close_connection
+  | Mem_joined
+  | Mem_removed
+  (* Improved protocol (§3.2). *)
+  | Auth_init_req
+  | Auth_key_dist
+  | Auth_ack_key
+  | Admin_msg
+  | Admin_ack
+  | Req_close
+  (* Application traffic under the group key (both protocols). *)
+  | App_data
+
+type t = { label : label; sender : agent; recipient : agent; body : string }
+
+val label_to_string : label -> string
+val pp_label : Format.formatter -> label -> unit
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val make : label:label -> sender:agent -> recipient:agent -> body:string -> t
+
+val encode : t -> string
+(** Serialize for the network. *)
+
+val decode : string -> (t, string) result
+(** Parse a frame; [Error] on malformed input (attacker bytes). *)
+
+val ad : t -> string
+(** [ad frame] is the associated-data string binding the frame header
+    (label, sender, recipient): protocols pass this to
+    {!Sym_crypto.Aead.seal} so a sealed body cannot be replayed under a
+    different header. *)
+
+val header_ad : label:label -> sender:agent -> recipient:agent -> string
+(** {!ad} computed before the frame exists. *)
+
+val all_labels : label list
+(** Every label, for exhaustive tests. *)

@@ -1,0 +1,14 @@
+type t = string
+
+let size = 16
+
+let fresh rng = Bytes.unsafe_to_string (Prng.Splitmix.next_bytes rng size)
+
+let of_raw s =
+  if String.length s <> size then invalid_arg "Nonce.of_raw: nonce must be 16 bytes";
+  s
+
+let raw t = t
+let equal = String.equal
+let compare = String.compare
+let pp fmt t = Format.pp_print_string fmt (Byteskit.Hex.encode (String.sub t 0 4))

@@ -1,0 +1,23 @@
+(** Protocol nonces.
+
+    Nonces are 16-byte random values. The improved Enclaves protocol
+    threads them through every authenticated exchange: each side proves
+    freshness by echoing the nonce the other side most recently
+    generated ([N_{2i+1}], [N_{2i+2}], ...). *)
+
+type t
+
+val size : int
+(** Nonce length in bytes (16). *)
+
+val fresh : Prng.Splitmix.t -> t
+(** Draw a new random nonce. *)
+
+val of_raw : string -> t
+(** Wrap existing bytes. @raise Invalid_argument on wrong length. *)
+
+val raw : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints a short hex prefix, enough for traces. *)

@@ -1,0 +1,227 @@
+open Byteskit
+
+let ( let* ) = Cursor.( let* )
+
+type agent = string
+
+type auth_init = { a : agent; l : agent; n1 : Nonce.t }
+type auth_key_dist = { l : agent; a : agent; n1 : Nonce.t; n2 : Nonce.t; ka : string }
+type auth_ack_key = { n2 : Nonce.t; n3 : Nonce.t }
+
+type admin_body = {
+  l : agent;
+  a : agent;
+  expected : Nonce.t;
+  next : Nonce.t;
+  x : Admin.t;
+}
+
+type admin_ack = { a : agent; l : agent; echo : Nonce.t; next : Nonce.t }
+type req_close = { a : agent; l : agent }
+
+type legacy_auth2 = {
+  l : agent;
+  a : agent;
+  n1 : Nonce.t;
+  n2 : Nonce.t;
+  ka : string;
+  kg : string;
+  epoch : int;
+}
+
+type legacy_auth3 = { n2 : Nonce.t }
+type legacy_new_key = { kg : string; epoch : int }
+type legacy_key_ack = { kg : string }
+type member_event = { who : agent }
+
+(* Every payload is framed with a one-byte type tag so that a ciphertext
+   sealed as one payload kind can never decode as another, even under
+   the same key. *)
+
+let with_tag tag fill =
+  let w = Cursor.Writer.create () in
+  Cursor.Writer.u8 w tag;
+  fill w;
+  Cursor.Writer.contents w
+
+let decoded tag s parse =
+  let open Cursor in
+  let r = Reader.of_string s in
+  let result =
+    let* t = Reader.u8 r in
+    if t <> tag then Error (`Malformed (Printf.sprintf "payload tag %d, expected %d" t tag))
+    else
+      let* v = parse r in
+      let* () = Reader.expect_end r in
+      Ok v
+  in
+  Result.map_error (Format.asprintf "%a" Reader.pp_error) result
+
+let nonce w n = Cursor.Writer.raw w (Nonce.raw n)
+
+let read_nonce r =
+  let open Cursor in
+  let* s = Reader.raw r Nonce.size in
+  Ok (Nonce.of_raw s)
+
+let encode_auth_init ({ a; l; n1 } : auth_init) =
+  with_tag 1 (fun w ->
+      Cursor.Writer.bytes w a;
+      Cursor.Writer.bytes w l;
+      nonce w n1)
+
+let decode_auth_init s =
+  decoded 1 s (fun r ->
+      let open Cursor in
+      let* a = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* n1 = read_nonce r in
+      Ok ({ a; l; n1 } : auth_init))
+
+let encode_auth_key_dist ({ l; a; n1; n2; ka } : auth_key_dist) =
+  with_tag 2 (fun w ->
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w a;
+      nonce w n1;
+      nonce w n2;
+      Cursor.Writer.bytes w ka)
+
+let decode_auth_key_dist s =
+  decoded 2 s (fun r ->
+      let open Cursor in
+      let* l = Reader.bytes r in
+      let* a = Reader.bytes r in
+      let* n1 = read_nonce r in
+      let* n2 = read_nonce r in
+      let* ka = Reader.bytes r in
+      Ok ({ l; a; n1; n2; ka } : auth_key_dist))
+
+let encode_auth_ack_key ({ n2; n3 } : auth_ack_key) =
+  with_tag 3 (fun w ->
+      nonce w n2;
+      nonce w n3)
+
+let decode_auth_ack_key s =
+  decoded 3 s (fun r ->
+      let* n2 = read_nonce r in
+      let* n3 = read_nonce r in
+      Ok ({ n2; n3 } : auth_ack_key))
+
+let encode_admin_body ({ l; a; expected; next; x } : admin_body) =
+  with_tag 4 (fun w ->
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w a;
+      nonce w expected;
+      nonce w next;
+      Cursor.Writer.bytes w (Admin.encode x))
+
+let decode_admin_body s =
+  decoded 4 s (fun r ->
+      let open Cursor in
+      let* l = Reader.bytes r in
+      let* a = Reader.bytes r in
+      let* expected = read_nonce r in
+      let* next = read_nonce r in
+      let* xs = Reader.bytes r in
+      match Admin.decode xs with
+      | Ok x -> Ok ({ l; a; expected; next; x } : admin_body)
+      | Error e -> Error (`Malformed ("admin payload: " ^ e)))
+
+let encode_admin_ack ({ a; l; echo; next } : admin_ack) =
+  with_tag 5 (fun w ->
+      Cursor.Writer.bytes w a;
+      Cursor.Writer.bytes w l;
+      nonce w echo;
+      nonce w next)
+
+let decode_admin_ack s =
+  decoded 5 s (fun r ->
+      let open Cursor in
+      let* a = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* echo = read_nonce r in
+      let* next = read_nonce r in
+      Ok ({ a; l; echo; next } : admin_ack))
+
+let encode_req_close ({ a; l } : req_close) =
+  with_tag 6 (fun w ->
+      Cursor.Writer.bytes w a;
+      Cursor.Writer.bytes w l)
+
+let decode_req_close s =
+  decoded 6 s (fun r ->
+      let open Cursor in
+      let* a = Reader.bytes r in
+      let* l = Reader.bytes r in
+      Ok ({ a; l } : req_close))
+
+let encode_legacy_auth2 ({ l; a; n1; n2; ka; kg; epoch } : legacy_auth2) =
+  with_tag 7 (fun w ->
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w a;
+      nonce w n1;
+      nonce w n2;
+      Cursor.Writer.bytes w ka;
+      Cursor.Writer.bytes w kg;
+      Cursor.Writer.u32 w epoch)
+
+let decode_legacy_auth2 s =
+  decoded 7 s (fun r ->
+      let open Cursor in
+      let* l = Reader.bytes r in
+      let* a = Reader.bytes r in
+      let* n1 = read_nonce r in
+      let* n2 = read_nonce r in
+      let* ka = Reader.bytes r in
+      let* kg = Reader.bytes r in
+      let* epoch = Reader.u32 r in
+      Ok ({ l; a; n1; n2; ka; kg; epoch } : legacy_auth2))
+
+let encode_legacy_auth3 ({ n2 } : legacy_auth3) = with_tag 8 (fun w -> nonce w n2)
+
+let decode_legacy_auth3 s =
+  decoded 8 s (fun r ->
+      let* n2 = read_nonce r in
+      Ok ({ n2 } : legacy_auth3))
+
+let encode_legacy_new_key ({ kg; epoch } : legacy_new_key) =
+  with_tag 9 (fun w ->
+      Cursor.Writer.bytes w kg;
+      Cursor.Writer.u32 w epoch)
+
+let decode_legacy_new_key s =
+  decoded 9 s (fun r ->
+      let open Cursor in
+      let* kg = Reader.bytes r in
+      let* epoch = Reader.u32 r in
+      Ok ({ kg; epoch } : legacy_new_key))
+
+let encode_legacy_key_ack ({ kg } : legacy_key_ack) = with_tag 10 (fun w -> Cursor.Writer.bytes w kg)
+
+let decode_legacy_key_ack s =
+  decoded 10 s (fun r ->
+      let open Cursor in
+      let* kg = Reader.bytes r in
+      Ok ({ kg } : legacy_key_ack))
+
+let encode_member_event ({ who } : member_event) = with_tag 11 (fun w -> Cursor.Writer.bytes w who)
+
+let decode_member_event s =
+  decoded 11 s (fun r ->
+      let open Cursor in
+      let* who = Reader.bytes r in
+      Ok ({ who } : member_event))
+
+type app_data = { author : agent; body : string }
+
+let encode_app_data ({ author; body } : app_data) =
+  with_tag 12 (fun w ->
+      Cursor.Writer.bytes w author;
+      Cursor.Writer.bytes w body)
+
+let decode_app_data s =
+  decoded 12 s (fun r ->
+      let open Cursor in
+      let* author = Reader.bytes r in
+      let* body = Reader.bytes r in
+      Ok ({ author; body } : app_data))

@@ -1,0 +1,94 @@
+(** Plaintext payload structures — the contents that the protocol
+    seals with {!Sym_crypto.Aead} before placing them in a frame body.
+
+    One record type per encrypted message content of the paper:
+
+    Improved protocol (§3.2):
+    - [auth_init]      — [{A, L, N1}] sealed under [P_a]
+    - [auth_key_dist]  — [{L, A, N1, N2, K_a}] sealed under [P_a]
+    - [auth_ack_key]   — [{N2, N3}] sealed under [K_a]
+    - [admin_body]     — [{L, A, N_{2i+1}, N_{2i+2}, X}] sealed under [K_a]
+    - [admin_ack]      — [{A, L, N_{2i+2}, N_{2i+3}}] sealed under [K_a]
+    - [req_close]      — [{A, L}] sealed under [K_a]
+
+    Legacy protocol (§2.2):
+    - [legacy_auth2]   — [{L, A, N1, N2, K_a, I.V., K_g}] sealed under [P_a]
+      (the legacy handshake delivers the group key directly; this is
+      one of the differences the improved protocol removes)
+    - [legacy_auth3]   — [{N2}] sealed under [K_a]
+    - [legacy_new_key] — [{K_g', I.V.}] sealed under [K_a]
+    - [legacy_key_ack] — [{K_g'}] sealed under [K_g'] itself
+    - [member_event]   — [{A}] sealed under [K_g] (mem_joined /
+      mem_removed; forgeable by any member — attack A2)
+
+    Identity fields inside the sealed payloads are what lets an honest
+    receiver detect cross-context splices; their absence in some legacy
+    payloads is deliberate fidelity to the paper. *)
+
+type agent = string
+
+type auth_init = { a : agent; l : agent; n1 : Nonce.t }
+type auth_key_dist = { l : agent; a : agent; n1 : Nonce.t; n2 : Nonce.t; ka : string }
+type auth_ack_key = { n2 : Nonce.t; n3 : Nonce.t }
+
+type admin_body = {
+  l : agent;
+  a : agent;
+  expected : Nonce.t;  (** [N_{2i+1}]: the member's most recent nonce. *)
+  next : Nonce.t;  (** [N_{2i+2}]: leader's fresh nonce, echoed in the ack. *)
+  x : Admin.t;
+}
+
+type admin_ack = {
+  a : agent;
+  l : agent;
+  echo : Nonce.t;  (** [N_{2i+2}] from the admin message. *)
+  next : Nonce.t;  (** [N_{2i+3}]: member's fresh nonce for the next round. *)
+}
+
+type req_close = { a : agent; l : agent }
+
+type legacy_auth2 = {
+  l : agent;
+  a : agent;
+  n1 : Nonce.t;
+  n2 : Nonce.t;
+  ka : string;
+  kg : string;
+  epoch : int;
+}
+
+type legacy_auth3 = { n2 : Nonce.t }
+type legacy_new_key = { kg : string; epoch : int }
+type legacy_key_ack = { kg : string }
+type member_event = { who : agent }
+
+val encode_auth_init : auth_init -> string
+val decode_auth_init : string -> (auth_init, string) result
+val encode_auth_key_dist : auth_key_dist -> string
+val decode_auth_key_dist : string -> (auth_key_dist, string) result
+val encode_auth_ack_key : auth_ack_key -> string
+val decode_auth_ack_key : string -> (auth_ack_key, string) result
+val encode_admin_body : admin_body -> string
+val decode_admin_body : string -> (admin_body, string) result
+val encode_admin_ack : admin_ack -> string
+val decode_admin_ack : string -> (admin_ack, string) result
+val encode_req_close : req_close -> string
+val decode_req_close : string -> (req_close, string) result
+val encode_legacy_auth2 : legacy_auth2 -> string
+val decode_legacy_auth2 : string -> (legacy_auth2, string) result
+val encode_legacy_auth3 : legacy_auth3 -> string
+val decode_legacy_auth3 : string -> (legacy_auth3, string) result
+val encode_legacy_new_key : legacy_new_key -> string
+val decode_legacy_new_key : string -> (legacy_new_key, string) result
+val encode_legacy_key_ack : legacy_key_ack -> string
+val decode_legacy_key_ack : string -> (legacy_key_ack, string) result
+val encode_member_event : member_event -> string
+val decode_member_event : string -> (member_event, string) result
+
+type app_data = { author : agent; body : string }
+(** Application traffic relayed through the leader, sealed under the
+    group key [K_g]; [author] names the originating member. *)
+
+val encode_app_data : app_data -> string
+val decode_app_data : string -> (app_data, string) result

@@ -1,0 +1,259 @@
+(* Asynchronous integration tests: whole protocol runs over the
+   discrete-event network with randomized latencies, loss, and an
+   in-path adversary — complementing the synchronous-router
+   conformance tests. Also covers Sealed_channel directly. *)
+
+open Enclaves
+module D = Driver.Improved
+module F = Wire.Frame
+
+let directory = [ ("alice", "pw-a"); ("bob", "pw-b"); ("carol", "pw-c") ]
+
+let test_async_join_all () =
+  let d = D.create ~seed:9L ~latency_us:(100, 9000) ~leader:"leader" ~directory () in
+  List.iter (fun (n, _) -> D.join d n) directory;
+  let _ = D.run d in
+  Alcotest.(check (list string)) "all joined" [ "alice"; "bob"; "carol" ]
+    (Leader.members (D.leader d));
+  Alcotest.(check bool) "prefix ok" true (D.all_prefix_ok d)
+
+let test_async_concurrent_churn () =
+  let d = D.create ~seed:10L ~leader:"leader" ~directory () in
+  let sim = D.sim d in
+  (* Overlapping joins, leaves and rekeys at staggered virtual times. *)
+  List.iteri
+    (fun i (n, _) ->
+      Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_ms (i * 3)) (fun () ->
+          D.join d n))
+    directory;
+  Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_ms 20) (fun () ->
+      D.leave d "bob");
+  Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_ms 21) (fun () -> D.rekey d);
+  Netsim.Sim.schedule sim ~delay:(Netsim.Vtime.of_ms 40) (fun () ->
+      D.join d "bob");
+  let _ = D.run d in
+  Alcotest.(check (list string)) "all present after churn"
+    [ "alice"; "bob"; "carol" ]
+    (Leader.members (D.leader d));
+  Alcotest.(check bool) "prefix ok" true (D.all_prefix_ok d);
+  (* All connected members agree on the group key. *)
+  let keys =
+    List.filter_map
+      (fun (n, _) ->
+        Option.map (fun gk -> gk.Types.epoch) (Member.group_key (D.member d n)))
+      directory
+  in
+  match keys with
+  | e :: rest ->
+      List.iter (fun e' -> Alcotest.(check int) "epoch agreement" e e') rest
+  | [] -> Alcotest.fail "no keys"
+
+let test_adversary_dropping_handshake () =
+  (* Drop the first AuthKeyDist: alice's join stalls (no retransmit by
+     design), but a later fresh join attempt succeeds and the stale
+     half-session at the leader is restarted. *)
+  let d = D.create ~seed:11L ~leader:"leader" ~directory () in
+  let net = D.net d in
+  let dropped = ref false in
+  Netsim.Network.set_adversary net
+    (Some
+       (fun ~src:_ ~dst:_ ~payload ->
+         match F.decode payload with
+         | Ok { F.label = F.Auth_key_dist; _ } when not !dropped ->
+             dropped := true;
+             Netsim.Network.Drop
+         | Ok _ | Error _ -> Netsim.Network.Deliver));
+  D.join d "alice";
+  let _ = D.run d in
+  Alcotest.(check bool) "first attempt stalled" false
+    (Member.is_connected (D.member d "alice"));
+  (* Fresh member automaton retries (application-level retry). *)
+  Netsim.Network.set_adversary net None;
+  let rng = Prng.Splitmix.create 3L in
+  let alice2 = Member.create ~self:"alice" ~leader:"leader" ~password:"pw-a" ~rng in
+  Netsim.Network.register net "alice" (fun bytes ->
+      List.iter
+        (fun (f : F.t) ->
+          Netsim.Network.send net ~src:"alice" ~dst:f.F.recipient (F.encode f))
+        (Member.receive alice2 bytes));
+  List.iter
+    (fun (f : F.t) ->
+      Netsim.Network.send net ~src:"alice" ~dst:f.F.recipient (F.encode f))
+    (Member.join alice2);
+  let _ = D.run d in
+  Alcotest.(check bool) "retry succeeds" true (Member.is_connected alice2)
+
+let test_adversary_duplicating_everything () =
+  (* Duplicate every frame: the nonce chain must absorb it with no
+     duplicated admin deliveries. *)
+  let d = D.create ~seed:12L ~leader:"leader" ~directory () in
+  let net = D.net d in
+  Netsim.Network.set_adversary net
+    (Some
+       (fun ~src:_ ~dst ~payload ->
+         Netsim.Network.inject net ~dst payload;
+         Netsim.Network.Deliver));
+  List.iter
+    (fun (n, _) ->
+      D.join d n;
+      ignore (D.run d))
+    directory;
+  D.rekey d;
+  let _ = D.run d in
+  Alcotest.(check (list string)) "all joined despite duplication"
+    [ "alice"; "bob"; "carol" ]
+    (Leader.members (D.leader d));
+  Alcotest.(check bool) "prefix ok under duplication" true (D.all_prefix_ok d);
+  List.iter
+    (fun (n, _) ->
+      let m = D.member d n in
+      let accepted = Member.accepted_admin m in
+      Alcotest.(check int)
+        (n ^ ": no duplicates accepted")
+        (List.length accepted)
+        (List.length (List.sort_uniq compare (List.map Wire.Admin.encode accepted))))
+    directory
+
+let test_determinism_across_runs () =
+  let run () =
+    let d = D.create ~seed:77L ~leader:"leader" ~directory () in
+    List.iter (fun (n, _) -> D.join d n) directory;
+    D.rekey d;
+    let _ = D.run d in
+    Netsim.Trace.length (Netsim.Network.trace (D.net d))
+  in
+  Alcotest.(check int) "identical traces" (run ()) (run ())
+
+let test_periodic_rekey () =
+  let d = D.create ~seed:13L ~leader:"leader" ~directory () in
+  List.iter
+    (fun (n, _) ->
+      D.join d n;
+      ignore (D.run d))
+    directory;
+  let epoch_now () =
+    match Leader.group_key (D.leader d) with
+    | Some gk -> gk.Types.epoch
+    | None -> -1
+  in
+  let e0 = epoch_now () in
+  D.start_periodic_rekey d ~period:(Netsim.Vtime.of_ms 100)
+    ~until:(Netsim.Vtime.of_ms 550) ();
+  let _ = D.run ~until:(Netsim.Vtime.of_s 2) d in
+  Alcotest.(check int) "five periodic rekeys" (e0 + 5) (epoch_now ());
+  (* Members follow. *)
+  List.iter
+    (fun (n, _) ->
+      match Member.group_key (D.member d n) with
+      | Some gk -> Alcotest.(check int) (n ^ " current") (e0 + 5) gk.Types.epoch
+      | None -> Alcotest.fail "no key")
+    directory
+
+(* --- Sealed_channel unit tests --- *)
+
+let key_of seed kind =
+  Sym_crypto.Key.fresh kind (Prng.Splitmix.create seed)
+
+let test_sealed_channel_roundtrip () =
+  let rng = Prng.Splitmix.create 1L in
+  let key = key_of 2L Sym_crypto.Key.Session in
+  let frame =
+    Sealed_channel.seal ~rng ~key ~label:F.Admin_msg ~sender:"l" ~recipient:"a"
+      "payload"
+  in
+  Alcotest.(check string) "label survives" "AdminMsg"
+    (F.label_to_string frame.F.label);
+  (match Sealed_channel.open_ ~key frame with
+  | Ok p -> Alcotest.(check string) "roundtrip" "payload" p
+  | Error _ -> Alcotest.fail "open failed")
+
+let test_sealed_channel_header_binding () =
+  let rng = Prng.Splitmix.create 1L in
+  let key = key_of 2L Sym_crypto.Key.Session in
+  let frame =
+    Sealed_channel.seal ~rng ~key ~label:F.Admin_msg ~sender:"l" ~recipient:"a"
+      "payload"
+  in
+  (* Any header change invalidates the seal. *)
+  List.iter
+    (fun frame' ->
+      match Sealed_channel.open_ ~key frame' with
+      | Error Types.Auth_failure -> ()
+      | Error e ->
+          Alcotest.fail
+            (Format.asprintf "wrong error: %a" Types.pp_reject_reason e)
+      | Ok _ -> Alcotest.fail "tampered header accepted")
+    [
+      { frame with F.label = F.Admin_ack };
+      { frame with F.sender = "x" };
+      { frame with F.recipient = "b" };
+    ]
+
+let test_sealed_channel_legacy_no_binding () =
+  (* The legacy sealing deliberately does NOT bind the header: a body
+     can be spliced under another header — the §2.2 weakness. *)
+  let rng = Prng.Splitmix.create 1L in
+  let key = key_of 2L Sym_crypto.Key.Group in
+  let frame =
+    Sealed_channel.legacy_seal ~rng ~key ~label:F.Mem_removed ~sender:"l"
+      ~recipient:"a" "body"
+  in
+  let spliced = { frame with F.sender = "someone-else"; F.recipient = "b" } in
+  match Sealed_channel.legacy_open ~key spliced with
+  | Ok p -> Alcotest.(check string) "splice accepted (by design)" "body" p
+  | Error _ -> Alcotest.fail "legacy should not bind headers"
+
+let test_sealed_channel_group_vs_pairwise () =
+  (* Group-sealed frames open with open_group regardless of header
+     endpoints, but never with the pairwise opener. *)
+  let rng = Prng.Splitmix.create 1L in
+  let key = key_of 2L Sym_crypto.Key.Group in
+  let frame =
+    Sealed_channel.seal_group ~rng ~key ~label:F.App_data ~sender:"a"
+      ~recipient:"l" "data"
+  in
+  let relayed = { frame with F.sender = "a"; F.recipient = "b" } in
+  (match Sealed_channel.open_group ~key relayed with
+  | Ok p -> Alcotest.(check string) "relay opens" "data" p
+  | Error _ -> Alcotest.fail "group open failed");
+  (match Sealed_channel.open_ ~key frame with
+  | Error Types.Auth_failure -> ()
+  | _ -> Alcotest.fail "pairwise opener accepted group frame");
+  (* A group frame under a different label fails (label is bound). *)
+  match Sealed_channel.open_group ~key { frame with F.label = F.Mem_joined } with
+  | Error Types.Auth_failure -> ()
+  | _ -> Alcotest.fail "label splice accepted"
+
+let test_sealed_channel_garbage_body () =
+  let key = key_of 2L Sym_crypto.Key.Session in
+  let frame = F.make ~label:F.Admin_msg ~sender:"l" ~recipient:"a" ~body:"junk" in
+  match Sealed_channel.open_ ~key frame with
+  | Error (Types.Malformed _) -> ()
+  | _ -> Alcotest.fail "garbage body not reported as malformed"
+
+let suite =
+  [
+    ( "driver (async integration)",
+      [
+        Alcotest.test_case "async join all" `Quick test_async_join_all;
+        Alcotest.test_case "concurrent churn" `Quick test_async_concurrent_churn;
+        Alcotest.test_case "dropped handshake + retry" `Quick
+          test_adversary_dropping_handshake;
+        Alcotest.test_case "universal duplication absorbed" `Quick
+          test_adversary_duplicating_everything;
+        Alcotest.test_case "deterministic runs" `Quick
+          test_determinism_across_runs;
+        Alcotest.test_case "periodic rekey" `Quick test_periodic_rekey;
+      ] );
+    ( "sealed-channel",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_sealed_channel_roundtrip;
+        Alcotest.test_case "header binding" `Quick
+          test_sealed_channel_header_binding;
+        Alcotest.test_case "legacy splice (by design)" `Quick
+          test_sealed_channel_legacy_no_binding;
+        Alcotest.test_case "group vs pairwise" `Quick
+          test_sealed_channel_group_vs_pairwise;
+        Alcotest.test_case "garbage body" `Quick test_sealed_channel_garbage_body;
+      ] );
+  ]

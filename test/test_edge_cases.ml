@@ -1,0 +1,170 @@
+(* Additional edge-case coverage: leader queue accessors, empty-group
+   operations, admin payload guards, IV hygiene across whole scenarios,
+   and key-type discipline. *)
+
+open Enclaves
+module F = Wire.Frame
+
+let directory = [ ("alice", "pw-a"); ("bob", "pw-b") ]
+
+let make_cluster () =
+  let rng = Prng.Splitmix.create 71L in
+  let leader = Leader.create ~self:"leader" ~rng ~directory () in
+  let members =
+    List.map
+      (fun (n, p) -> (n, Member.create ~self:n ~leader:"leader" ~password:p ~rng))
+      directory
+  in
+  (leader, members)
+
+let test_enqueue_to_nonmember_discarded () =
+  let leader, _ = make_cluster () in
+  Alcotest.(check int) "no frames" 0
+    (List.length (Leader.enqueue_admin leader "alice" (Wire.Admin.Notice "x")));
+  Alcotest.(check (list string)) "nothing recorded" []
+    (List.map
+       (fun a -> Format.asprintf "%a" Wire.Admin.pp a)
+       (Leader.sent_admin leader "alice"))
+
+let test_broadcast_on_empty_group () =
+  let leader, _ = make_cluster () in
+  Alcotest.(check int) "broadcast to nobody" 0
+    (List.length (Leader.broadcast_admin leader (Wire.Admin.Notice "x")));
+  (* Rekey with no members generates a key but sends nothing. *)
+  Alcotest.(check int) "rekey sends nothing" 0 (List.length (Leader.rekey leader));
+  Alcotest.(check bool) "key exists nonetheless" true
+    (Leader.group_key leader <> None)
+
+let test_pending_admin_accessor () =
+  let leader, members = make_cluster () in
+  let router = Test_util.improved_router leader members in
+  Test_util.route router (Member.join (List.assoc "alice" members));
+  (* Fill the channel: first goes out, rest queue. *)
+  let fired =
+    Leader.enqueue_admin leader "alice" (Wire.Admin.Notice "first")
+  in
+  Alcotest.(check int) "first fires" 1 (List.length fired);
+  let queued =
+    Leader.enqueue_admin leader "alice" (Wire.Admin.Notice "second")
+  in
+  Alcotest.(check int) "second queues" 0 (List.length queued);
+  Alcotest.(check int) "pending length" 1
+    (List.length (Leader.pending_admin leader "alice"));
+  (* Deliver the outstanding exchange: the queue drains. *)
+  Test_util.route router fired;
+  Alcotest.(check int) "queue drained" 0
+    (List.length (Leader.pending_admin leader "alice"))
+
+let test_snapshot_size_guard () =
+  (* The admin decoder rejects absurd snapshot counts instead of
+     allocating. *)
+  let w = Byteskit.Cursor.Writer.create () in
+  Byteskit.Cursor.Writer.u8 w 5;
+  Byteskit.Cursor.Writer.u32 w 200_000;
+  match Wire.Admin.decode (Byteskit.Cursor.Writer.contents w) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized snapshot accepted"
+
+let test_iv_uniqueness_across_scenario () =
+  (* Every AEAD seal in a busy scenario must use a distinct IV: IV
+     reuse under CTR would void confidentiality. *)
+  let module D = Driver.Improved in
+  let d = D.create ~seed:3L ~leader:"leader" ~directory () in
+  List.iter
+    (fun (n, _) ->
+      D.join d n;
+      ignore (D.run d))
+    directory;
+  for i = 1 to 5 do
+    D.rekey d;
+    D.send_app d "alice" (string_of_int i);
+    ignore (D.run d)
+  done;
+  let ivs = ref [] in
+  List.iter
+    (fun payload ->
+      match F.decode payload with
+      | Ok frame -> (
+          match Sym_crypto.Aead.decode frame.F.body with
+          | Ok sealed -> ivs := sealed.Sym_crypto.Aead.iv :: !ivs
+          | Error _ -> ())
+      | Error _ -> ())
+    (Netsim.Trace.payloads (Netsim.Network.trace (D.net d)));
+  let n = List.length !ivs in
+  let distinct = List.length (List.sort_uniq compare !ivs) in
+  Alcotest.(check bool) "enough samples" true (n > 30);
+  Alcotest.(check int) "all IVs distinct" n distinct
+
+let test_member_leave_when_not_connected () =
+  let _, members = make_cluster () in
+  let alice = List.assoc "alice" members in
+  Alcotest.(check int) "leave is no-op" 0 (List.length (Member.leave alice));
+  Alcotest.(check int) "send_app is no-op" 0
+    (List.length (Member.send_app alice "x"))
+
+let test_expel_unknown_or_disconnected () =
+  let leader, _ = make_cluster () in
+  Alcotest.(check int) "expel non-member" 0
+    (List.length (Leader.expel leader "alice"));
+  Alcotest.(check int) "expel stranger" 0
+    (List.length (Leader.expel leader "nobody"))
+
+let test_notice_survives_unicode_and_binary () =
+  let leader, members = make_cluster () in
+  let router = Test_util.improved_router leader members in
+  let alice = List.assoc "alice" members in
+  Test_util.route router (Member.join alice);
+  let payloads = [ "ünïcodé ✓"; String.make 3 '\x00'; "\xff\xfe\x00tail" ] in
+  List.iter
+    (fun text ->
+      Test_util.route router
+        (Leader.enqueue_admin leader "alice" (Wire.Admin.Notice text)))
+    payloads;
+  let received =
+    List.filter_map
+      (function Wire.Admin.Notice t -> Some t | _ -> None)
+      (Member.accepted_admin alice)
+  in
+  Alcotest.(check (list string)) "binary-safe notices" payloads received
+
+let test_two_leaders_do_not_cross_authenticate () =
+  (* A member of leader X must not be able to complete a handshake
+     with leader Y even with the same password on both, because the
+     leader identity is sealed into the handshake. *)
+  let rng = Prng.Splitmix.create 72L in
+  let leader_y = Leader.create ~self:"leaderY" ~rng ~directory () in
+  (* Alice targets leaderX; her AuthInitReq binds l = "leaderX". *)
+  let alice = Member.create ~self:"alice" ~leader:"leaderX" ~password:"pw-a" ~rng in
+  let frames = Member.join alice in
+  let redirected =
+    List.map (fun (f : F.t) -> { f with F.recipient = "leaderY" }) frames
+  in
+  let replies =
+    List.concat_map (fun f -> Leader.receive leader_y (F.encode f)) redirected
+  in
+  Alcotest.(check int) "leaderY refuses" 0 (List.length replies);
+  Alcotest.(check bool) "alice never connects" false (Member.is_connected alice)
+
+let suite =
+  [
+    ( "edge-cases",
+      [
+        Alcotest.test_case "enqueue to non-member" `Quick
+          test_enqueue_to_nonmember_discarded;
+        Alcotest.test_case "broadcast on empty group" `Quick
+          test_broadcast_on_empty_group;
+        Alcotest.test_case "pending admin accessor" `Quick
+          test_pending_admin_accessor;
+        Alcotest.test_case "snapshot size guard" `Quick test_snapshot_size_guard;
+        Alcotest.test_case "IV uniqueness" `Quick
+          test_iv_uniqueness_across_scenario;
+        Alcotest.test_case "leave when not connected" `Quick
+          test_member_leave_when_not_connected;
+        Alcotest.test_case "expel unknown/disconnected" `Quick
+          test_expel_unknown_or_disconnected;
+        Alcotest.test_case "binary-safe notices" `Quick
+          test_notice_survives_unicode_and_binary;
+        Alcotest.test_case "no cross-leader authentication" `Quick
+          test_two_leaders_do_not_cross_authenticate;
+      ] );
+  ]

@@ -1,0 +1,284 @@
+(* Tests for the discrete-event simulator and the insecure network. *)
+
+open Netsim
+
+let test_vtime () =
+  Alcotest.(check int64) "ms" 5_000L (Vtime.of_ms 5);
+  Alcotest.(check int64) "s" 2_000_000L (Vtime.of_s 2);
+  Alcotest.(check bool) "lt" true Vtime.(of_ms 1 < of_ms 2);
+  Alcotest.(check bool) "le refl" true Vtime.(of_ms 1 <= of_ms 1);
+  Alcotest.(check int64) "add" (Vtime.of_ms 3) (Vtime.add (Vtime.of_ms 1) (Vtime.of_ms 2))
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h ~time:(Vtime.of_ms 3) "c";
+  Heap.push h ~time:(Vtime.of_ms 1) "a";
+  Heap.push h ~time:(Vtime.of_ms 2) "b";
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:Vtime.zero (string_of_int i)
+  done;
+  let order = List.init 10 (fun _ ->
+      match Heap.pop h with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties"
+    (List.init 10 string_of_int) order
+
+let test_heap_random_sorted () =
+  let h = Heap.create () in
+  let g = Prng.Splitmix.create 4L in
+  for _ = 1 to 500 do
+    Heap.push h ~time:(Vtime.of_us (Prng.Splitmix.next_int g 10_000)) ()
+  done;
+  let rec drain last n =
+    match Heap.pop h with
+    | None -> n
+    | Some (time, ()) ->
+        Alcotest.(check bool) "non-decreasing" true Vtime.(last <= time);
+        drain time (n + 1)
+  in
+  Alcotest.(check int) "all popped" 500 (drain Vtime.zero 0)
+
+let test_sim_order_and_clock () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:(Vtime.of_ms 10) (fun () ->
+      log := ("b", Sim.now sim) :: !log);
+  Sim.schedule sim ~delay:(Vtime.of_ms 5) (fun () ->
+      log := ("a", Sim.now sim) :: !log);
+  let n = Sim.run sim in
+  Alcotest.(check int) "two events" 2 n;
+  match List.rev !log with
+  | [ ("a", ta); ("b", tb) ] ->
+      Alcotest.(check int64) "a at 5ms" (Vtime.of_ms 5) ta;
+      Alcotest.(check int64) "b at 10ms" (Vtime.of_ms 10) tb
+  | _ -> Alcotest.fail "wrong order"
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then begin
+      incr count;
+      Sim.schedule sim ~delay:(Vtime.of_ms 1) (fun () -> chain (n - 1))
+    end
+  in
+  Sim.schedule sim ~delay:Vtime.zero (fun () -> chain 10);
+  let _ = Sim.run sim in
+  Alcotest.(check int) "chain ran" 10 !count
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(Vtime.of_ms i) (fun () -> incr fired)
+  done;
+  let _ = Sim.run ~until:(Vtime.of_ms 5) sim in
+  Alcotest.(check int) "only first five" 5 !fired;
+  Alcotest.(check int) "rest pending" 5 (Sim.pending sim)
+
+let test_sim_max_events () =
+  let sim = Sim.create () in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(Vtime.of_ms i) (fun () -> ())
+  done;
+  let n = Sim.run ~max_events:3 sim in
+  Alcotest.(check int) "stopped at 3" 3 n
+
+let test_sim_every () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  Sim.every sim ~period:(Vtime.of_ms 10) ~until:(Vtime.of_ms 55) (fun () ->
+      incr ticks);
+  let _ = Sim.run ~until:(Vtime.of_ms 100) sim in
+  Alcotest.(check int) "five ticks in 55ms" 5 !ticks
+
+let test_network_delivery () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  let inbox = ref [] in
+  Network.register net "bob" (fun bytes -> inbox := bytes :: !inbox);
+  Network.send net ~src:"alice" ~dst:"bob" "hello";
+  Network.send net ~src:"alice" ~dst:"bob" "world";
+  let _ = Sim.run sim in
+  Alcotest.(check (list string)) "fifo delivery" [ "hello"; "world" ]
+    (List.rev !inbox)
+
+let test_network_fifo_pairwise () =
+  (* Many frames between one pair must arrive in send order despite
+     randomized latencies. *)
+  let sim = Sim.create ~seed:9L () in
+  let net = Network.create ~sim ~latency_us:(100, 5000) () in
+  let inbox = ref [] in
+  Network.register net "dst" (fun b -> inbox := b :: !inbox);
+  for i = 0 to 49 do
+    Network.send net ~src:"src" ~dst:"dst" (string_of_int i)
+  done;
+  let _ = Sim.run sim in
+  Alcotest.(check (list string)) "in order"
+    (List.init 50 string_of_int)
+    (List.rev !inbox)
+
+let test_network_unregistered_dropped () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  Network.send net ~src:"a" ~dst:"ghost" "x";
+  let _ = Sim.run sim in
+  let dropped =
+    List.exists
+      (function Trace.Dropped _ -> true | _ -> false)
+      (Trace.entries (Network.trace net))
+  in
+  Alcotest.(check bool) "recorded as dropped" true dropped
+
+let test_network_adversary_drop_replace () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  let inbox = ref [] in
+  Network.register net "bob" (fun b -> inbox := b :: !inbox);
+  Network.set_adversary net
+    (Some
+       (fun ~src:_ ~dst:_ ~payload ->
+         match payload with
+         | "drop-me" -> Network.Drop
+         | "mangle-me" -> Network.Replace "mangled"
+         | _ -> Network.Deliver));
+  Network.send net ~src:"alice" ~dst:"bob" "drop-me";
+  Network.send net ~src:"alice" ~dst:"bob" "mangle-me";
+  Network.send net ~src:"alice" ~dst:"bob" "fine";
+  let _ = Sim.run sim in
+  Alcotest.(check (list string)) "adversary applied" [ "mangled"; "fine" ]
+    (List.rev !inbox)
+
+let test_network_adversary_inject () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  let inbox = ref [] in
+  Network.register net "bob" (fun b -> inbox := b :: !inbox);
+  Network.inject net ~dst:"bob" "evil";
+  let _ = Sim.run sim in
+  Alcotest.(check (list string)) "injected frame arrives" [ "evil" ] !inbox;
+  let injected =
+    List.exists
+      (function Trace.Injected _ -> true | _ -> false)
+      (Trace.entries (Network.trace net))
+  in
+  Alcotest.(check bool) "recorded" true injected
+
+let test_network_trace_payloads () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  Network.register net "bob" (fun _ -> ());
+  Network.send net ~src:"alice" ~dst:"bob" "one";
+  Network.inject net ~dst:"bob" "two";
+  let _ = Sim.run sim in
+  Alcotest.(check (list string)) "observation set" [ "one"; "two" ]
+    (Trace.payloads (Network.trace net))
+
+let test_network_deterministic () =
+  let run seed =
+    let sim = Sim.create ~seed () in
+    let net = Network.create ~sim ~latency_us:(10, 1000) () in
+    let log = ref [] in
+    Network.register net "bob" (fun b ->
+        log := (b, Sim.now sim) :: !log);
+    for i = 0 to 9 do
+      Network.send net ~src:"alice" ~dst:"bob" (string_of_int i)
+    done;
+    let _ = Sim.run sim in
+    !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (run 5L = run 5L);
+  Alcotest.(check bool) "different seed, different timing" true
+    (run 5L <> run 6L)
+
+let test_stats_basic () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim ~latency_us:(1000, 1000) () in
+  Network.register net "bob" (fun _ -> ());
+  Network.send net ~src:"alice" ~dst:"bob" "hello";
+  Network.send net ~src:"alice" ~dst:"bob" "world";
+  Network.inject net ~dst:"bob" "evil";
+  let _ = Sim.run sim in
+  let st = Stats.compute (Network.trace net) in
+  Alcotest.(check int) "sent" 2 st.Stats.sent;
+  Alcotest.(check int) "delivered" 3 st.Stats.delivered;
+  Alcotest.(check int) "injected" 1 st.Stats.injected;
+  Alcotest.(check int) "bytes" 14 st.Stats.bytes_on_wire;
+  (* fixed 1ms latency *)
+  Alcotest.(check (float 0.001)) "latency min" 1.0 st.Stats.latency_min_ms;
+  Alcotest.(check (float 0.001)) "latency max" 1.0 st.Stats.latency_max_ms
+
+let test_stats_dropped () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  Network.register net "bob" (fun _ -> ());
+  Network.set_adversary net (Some (fun ~src:_ ~dst:_ ~payload:_ -> Network.Drop));
+  Network.send net ~src:"a" ~dst:"bob" "x";
+  let _ = Sim.run sim in
+  let st = Stats.compute (Network.trace net) in
+  Alcotest.(check int) "dropped" 1 st.Stats.dropped;
+  Alcotest.(check int) "delivered" 0 st.Stats.delivered
+
+let test_stats_by_label () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  Network.register net "bob" (fun _ -> ());
+  Network.send net ~src:"a" ~dst:"bob" "not-a-frame";
+  Network.send net ~src:"a" ~dst:"bob"
+    (Wire.Frame.encode
+       (Wire.Frame.make ~label:Wire.Frame.App_data ~sender:"a" ~recipient:"bob"
+          ~body:""));
+  let _ = Sim.run sim in
+  let labels =
+    Stats.by_label
+      ~decode_label:(fun payload ->
+        match Wire.Frame.decode payload with
+        | Ok f -> Some (Wire.Frame.label_to_string f.Wire.Frame.label)
+        | Error _ -> None)
+      (Network.trace net)
+  in
+  Alcotest.(check (list (pair string int))) "labels"
+    [ ("<garbage>", 1); ("AppData", 1) ]
+    labels
+
+let suite =
+  [
+    ( "netsim",
+      [
+        Alcotest.test_case "vtime" `Quick test_vtime;
+        Alcotest.test_case "heap order" `Quick test_heap_order;
+        Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "heap random sorted" `Quick test_heap_random_sorted;
+        Alcotest.test_case "sim order and clock" `Quick test_sim_order_and_clock;
+        Alcotest.test_case "sim nested scheduling" `Quick
+          test_sim_nested_scheduling;
+        Alcotest.test_case "sim until" `Quick test_sim_until;
+        Alcotest.test_case "sim max events" `Quick test_sim_max_events;
+        Alcotest.test_case "sim every" `Quick test_sim_every;
+        Alcotest.test_case "network delivery" `Quick test_network_delivery;
+        Alcotest.test_case "network pairwise fifo" `Quick
+          test_network_fifo_pairwise;
+        Alcotest.test_case "network unregistered dropped" `Quick
+          test_network_unregistered_dropped;
+        Alcotest.test_case "network adversary drop/replace" `Quick
+          test_network_adversary_drop_replace;
+        Alcotest.test_case "network adversary inject" `Quick
+          test_network_adversary_inject;
+        Alcotest.test_case "network trace payloads" `Quick
+          test_network_trace_payloads;
+        Alcotest.test_case "network deterministic" `Quick
+          test_network_deterministic;
+        Alcotest.test_case "stats basic" `Quick test_stats_basic;
+        Alcotest.test_case "stats dropped" `Quick test_stats_dropped;
+        Alcotest.test_case "stats by label" `Quick test_stats_by_label;
+      ] );
+  ]

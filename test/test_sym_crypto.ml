@@ -1,0 +1,313 @@
+(* Tests for the crypto substrate: SipHash reference vectors, Feistel
+   permutation properties, CTR mode, MAC, KDF and AEAD. *)
+
+open Sym_crypto
+open Byteskit
+
+let ref_key =
+  Hex.decode_exn "000102030405060708090a0b0c0d0e0f"
+
+(* First 16 published SipHash-2-4 vectors: key = 00..0f, message =
+   the first [i] bytes of 00 01 02 ..., output little-endian. *)
+let siphash_vectors =
+  [|
+    "310e0edd47db6f72"; "fd67dc93c539f874"; "5a4fa9d909806c0d";
+    "2d7efbd796666785"; "b7877127e09427cf"; "8da699cd64557618";
+    "cee3fe586e46c9cb"; "37d1018bf50002ab"; "6224939a79f5f593";
+    "b0e4a90bdf82009e"; "f3b9dd94c5bb5d7a"; "a7ad6b22462fb3f4";
+    "fbe50e86bc8f1e75"; "903d84c02756ea14"; "eef27a8e90ca23f7";
+    "e545be4961ca29a1";
+  |]
+
+let test_siphash_vectors () =
+  let key = Siphash.key_of_string ref_key in
+  Array.iteri
+    (fun i expected ->
+      let msg = String.init i (fun j -> Char.chr j) in
+      Alcotest.(check string)
+        (Printf.sprintf "vector %d" i)
+        expected
+        (Hex.encode (Siphash.hash_to_bytes key msg)))
+    siphash_vectors
+
+let test_siphash_key_roundtrip () =
+  let k = Siphash.key_of_string ref_key in
+  Alcotest.(check string) "roundtrip" ref_key (Siphash.key_to_string k);
+  Alcotest.check_raises "bad key size"
+    (Invalid_argument "Siphash.key_of_string: key must be 16 bytes") (fun () ->
+      ignore (Siphash.key_of_string "short"))
+
+let test_siphash_key_sensitivity () =
+  let k1 = Siphash.key_of_string ref_key in
+  let k2 = Siphash.key_of_string (Hex.decode_exn "100102030405060708090a0b0c0d0e0f") in
+  Alcotest.(check bool) "different keys, different output" true
+    (Siphash.hash k1 "msg" <> Siphash.hash k2 "msg")
+
+let test_feistel_roundtrip () =
+  let rng = Prng.Splitmix.create 1L in
+  let cipher = Feistel.of_key ref_key in
+  for _ = 1 to 50 do
+    let block = Bytes.unsafe_to_string (Prng.Splitmix.next_bytes rng 16) in
+    Alcotest.(check string)
+      "decrypt . encrypt = id" block
+      (Feistel.decrypt_block cipher (Feistel.encrypt_block cipher block))
+  done
+
+let test_feistel_permutation () =
+  (* distinct plaintexts must map to distinct ciphertexts *)
+  let cipher = Feistel.of_key ref_key in
+  let module S = Set.Make (String) in
+  let rng = Prng.Splitmix.create 2L in
+  let inputs =
+    List.init 200 (fun _ -> Bytes.unsafe_to_string (Prng.Splitmix.next_bytes rng 16))
+  in
+  let outputs = List.map (Feistel.encrypt_block cipher) inputs in
+  Alcotest.(check int) "injective"
+    (S.cardinal (S.of_list inputs))
+    (S.cardinal (S.of_list outputs))
+
+let test_feistel_key_separation () =
+  let c1 = Feistel.of_key ref_key in
+  let c2 = Feistel.of_key (Kdf.derive ~key:ref_key ~label:"other") in
+  let block = String.make 16 'A' in
+  Alcotest.(check bool) "different key, different ciphertext" true
+    (Feistel.encrypt_block c1 block <> Feistel.encrypt_block c2 block)
+
+let test_feistel_avalanche () =
+  let cipher = Feistel.of_key ref_key in
+  let b1 = String.make 16 '\x00' in
+  let b2 = "\x01" ^ String.make 15 '\x00' in
+  let c1 = Feistel.encrypt_block cipher b1
+  and c2 = Feistel.encrypt_block cipher b2 in
+  let diff = ref 0 in
+  String.iteri
+    (fun i c ->
+      let x = Char.code c lxor Char.code c2.[i] in
+      for bit = 0 to 7 do
+        if x land (1 lsl bit) <> 0 then incr diff
+      done)
+    c1;
+  (* 128-bit block: expect ~64 differing bits; accept a broad band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "avalanche (%d bits differ)" !diff)
+    true
+    (!diff > 40 && !diff < 88)
+
+let test_ctr_roundtrip () =
+  let cipher = Feistel.of_key ref_key in
+  let iv = "12345678" in
+  let msgs = [ ""; "x"; "hello world"; String.make 1000 'q' ] in
+  List.iter
+    (fun m ->
+      let c = Ctr.transform cipher ~iv m in
+      Alcotest.(check string) "roundtrip" m (Ctr.transform cipher ~iv c);
+      if m <> "" then
+        Alcotest.(check bool) "ciphertext differs" true (c <> m))
+    msgs
+
+let test_ctr_iv_matters () =
+  let cipher = Feistel.of_key ref_key in
+  let m = String.make 32 'm' in
+  let c1 = Ctr.transform cipher ~iv:"00000000" m in
+  let c2 = Ctr.transform cipher ~iv:"00000001" m in
+  Alcotest.(check bool) "different IVs, different streams" true (c1 <> c2)
+
+let test_ctr_keystream_prefix () =
+  let cipher = Feistel.of_key ref_key in
+  let long = Ctr.keystream cipher ~iv:"abcdefgh" 100 in
+  let short = Ctr.keystream cipher ~iv:"abcdefgh" 40 in
+  Alcotest.(check string) "prefix-consistent" short (String.sub long 0 40)
+
+let test_mac_basic () =
+  let t = Mac.tag ~key:ref_key "message" in
+  Alcotest.(check int) "tag size" Mac.tag_size (String.length t);
+  Alcotest.(check bool) "verifies" true (Mac.verify ~key:ref_key "message" ~tag:t);
+  Alcotest.(check bool) "wrong msg" false
+    (Mac.verify ~key:ref_key "messagf" ~tag:t);
+  Alcotest.(check bool) "wrong key" false
+    (Mac.verify ~key:(Kdf.derive ~key:ref_key ~label:"x") "message" ~tag:t);
+  Alcotest.(check bool) "truncated tag" false
+    (Mac.verify ~key:ref_key "message" ~tag:(String.sub t 0 8))
+
+let test_mac_bitflip () =
+  let t = Mac.tag ~key:ref_key "payload" in
+  for i = 0 to Mac.tag_size - 1 do
+    let t' = Bytes.of_string t in
+    Bytes.set t' i (Char.chr (Char.code t.[i] lxor 1));
+    Alcotest.(check bool)
+      (Printf.sprintf "flipped byte %d rejected" i)
+      false
+      (Mac.verify ~key:ref_key "payload" ~tag:(Bytes.to_string t'))
+  done
+
+let test_kdf_password () =
+  let k1 = Kdf.of_password ~user:"alice" ~password:"s3cret" in
+  let k2 = Kdf.of_password ~user:"alice" ~password:"s3cret" in
+  Alcotest.(check string) "deterministic" k1 k2;
+  Alcotest.(check int) "size" Kdf.key_size (String.length k1);
+  let k3 = Kdf.of_password ~user:"bob" ~password:"s3cret" in
+  Alcotest.(check bool) "user-separated" true (k1 <> k3);
+  let k4 = Kdf.of_password ~user:"alice" ~password:"s3cres" in
+  Alcotest.(check bool) "password-sensitive" true (k1 <> k4)
+
+let test_kdf_derive () =
+  let a = Kdf.derive ~key:ref_key ~label:"a" in
+  let b = Kdf.derive ~key:ref_key ~label:"b" in
+  Alcotest.(check bool) "label-separated" true (a <> b);
+  Alcotest.(check string) "deterministic" a (Kdf.derive ~key:ref_key ~label:"a");
+  Alcotest.(check int) "size" Kdf.key_size (String.length a)
+
+let test_key_kinds () =
+  let rng = Prng.Splitmix.create 9L in
+  let s = Key.fresh Key.Session rng in
+  let g = Key.fresh Key.Group rng in
+  Alcotest.(check bool) "kinds differ" true (Key.kind s <> Key.kind g);
+  Alcotest.(check bool) "materials differ" true (Key.raw s <> Key.raw g);
+  let s' = Key.of_raw Key.Session (Key.raw s) in
+  Alcotest.(check bool) "equal same material+kind" true (Key.equal s s');
+  let g' = Key.of_raw Key.Group (Key.raw s) in
+  Alcotest.(check bool) "same material, different kind: unequal" false
+    (Key.equal s g')
+
+let test_key_long_term () =
+  let pa = Key.long_term ~user:"alice" ~password:"pw" in
+  Alcotest.(check bool) "kind" true (Key.kind pa = Key.Long_term);
+  Alcotest.(check string) "matches kdf" (Kdf.of_password ~user:"alice" ~password:"pw")
+    (Key.raw pa)
+
+let test_key_fingerprint () =
+  let rng = Prng.Splitmix.create 10L in
+  let k = Key.fresh Key.Session rng in
+  Alcotest.(check int) "short" 8 (String.length (Key.fingerprint k));
+  Alcotest.(check bool) "not the key" true
+    (Key.fingerprint k <> Hex.encode (Key.raw k))
+
+let seal_key rng = Key.fresh Key.Session rng
+
+let test_aead_roundtrip () =
+  let rng = Prng.Splitmix.create 20L in
+  let key = seal_key rng in
+  let iv = Aead.random_iv rng in
+  let sealed = Aead.seal ~key ~iv ~ad:"header" "the plaintext" in
+  match Aead.open_ ~key ~ad:"header" sealed with
+  | Ok p -> Alcotest.(check string) "roundtrip" "the plaintext" p
+  | Error `Auth_failure -> Alcotest.fail "authentic frame rejected"
+
+let test_aead_rejects_wrong_key () =
+  let rng = Prng.Splitmix.create 21L in
+  let key = seal_key rng and key' = seal_key rng in
+  let sealed = Aead.seal ~key ~iv:(Aead.random_iv rng) ~ad:"" "secret" in
+  match Aead.open_ ~key:key' ~ad:"" sealed with
+  | Error `Auth_failure -> ()
+  | Ok _ -> Alcotest.fail "wrong key accepted"
+
+let test_aead_rejects_wrong_ad () =
+  let rng = Prng.Splitmix.create 22L in
+  let key = seal_key rng in
+  let sealed = Aead.seal ~key ~iv:(Aead.random_iv rng) ~ad:"ctx-a" "secret" in
+  match Aead.open_ ~key ~ad:"ctx-b" sealed with
+  | Error `Auth_failure -> ()
+  | Ok _ -> Alcotest.fail "context confusion accepted"
+
+let test_aead_rejects_tamper () =
+  let rng = Prng.Splitmix.create 23L in
+  let key = seal_key rng in
+  let sealed = Aead.seal ~key ~iv:(Aead.random_iv rng) ~ad:"" "secret bytes" in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code s.[i] lxor 0x80));
+    Bytes.to_string b
+  in
+  let tampered_ct = { sealed with Aead.ciphertext = flip sealed.Aead.ciphertext 0 } in
+  let tampered_iv = { sealed with Aead.iv = flip sealed.Aead.iv 3 } in
+  let tampered_tag = { sealed with Aead.tag = flip sealed.Aead.tag 5 } in
+  List.iter
+    (fun (name, s) ->
+      match Aead.open_ ~key ~ad:"" s with
+      | Error `Auth_failure -> ()
+      | Ok _ -> Alcotest.fail (name ^ " accepted"))
+    [ ("tampered ciphertext", tampered_ct);
+      ("tampered iv", tampered_iv);
+      ("tampered tag", tampered_tag) ]
+
+let test_aead_encode_roundtrip () =
+  let rng = Prng.Splitmix.create 24L in
+  let key = seal_key rng in
+  let sealed = Aead.seal ~key ~iv:(Aead.random_iv rng) ~ad:"ad" "data" in
+  match Aead.decode (Aead.encode sealed) with
+  | Ok s ->
+      Alcotest.(check string) "iv" sealed.Aead.iv s.Aead.iv;
+      Alcotest.(check string) "ct" sealed.Aead.ciphertext s.Aead.ciphertext;
+      Alcotest.(check string) "tag" sealed.Aead.tag s.Aead.tag
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+
+let test_aead_decode_garbage () =
+  List.iter
+    (fun s ->
+      match Aead.decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage decoded")
+    [ ""; "xx"; String.make 3 '\xff' ]
+
+let qcheck_tests =
+  let key16 = QCheck.string_of_size (QCheck.Gen.return 16) in
+  [
+    QCheck.Test.make ~name:"feistel roundtrip" ~count:200
+      QCheck.(pair key16 (string_of_size (QCheck.Gen.return 16)))
+      (fun (k, b) ->
+        let c = Feistel.of_key k in
+        Feistel.decrypt_block c (Feistel.encrypt_block c b) = b);
+    QCheck.Test.make ~name:"ctr involutive" ~count:200
+      QCheck.(pair key16 string)
+      (fun (k, m) ->
+        let c = Feistel.of_key k in
+        Ctr.transform c ~iv:"00000000" (Ctr.transform c ~iv:"00000000" m) = m);
+    QCheck.Test.make ~name:"mac verifies own tag" ~count:200
+      QCheck.(pair key16 string)
+      (fun (k, m) -> Mac.verify ~key:k m ~tag:(Mac.tag ~key:k m));
+    QCheck.Test.make ~name:"aead roundtrip" ~count:200
+      QCheck.(triple key16 string string)
+      (fun (k, ad, m) ->
+        let key = Key.of_raw Key.Session k in
+        let sealed = Aead.seal ~key ~iv:"87654321" ~ad m in
+        Aead.open_ ~key ~ad sealed = Ok m);
+    QCheck.Test.make ~name:"aead encode/decode" ~count:200
+      QCheck.(pair key16 string)
+      (fun (k, m) ->
+        let key = Key.of_raw Key.Session k in
+        let sealed = Aead.seal ~key ~iv:"11223344" ~ad:"x" m in
+        match Aead.decode (Aead.encode sealed) with
+        | Ok s -> Aead.open_ ~key ~ad:"x" s = Ok m
+        | Error _ -> false);
+  ]
+
+let suite =
+  [
+    ( "sym_crypto",
+      [
+        Alcotest.test_case "siphash reference vectors" `Quick test_siphash_vectors;
+        Alcotest.test_case "siphash key roundtrip" `Quick test_siphash_key_roundtrip;
+        Alcotest.test_case "siphash key sensitivity" `Quick test_siphash_key_sensitivity;
+        Alcotest.test_case "feistel roundtrip" `Quick test_feistel_roundtrip;
+        Alcotest.test_case "feistel permutation" `Quick test_feistel_permutation;
+        Alcotest.test_case "feistel key separation" `Quick test_feistel_key_separation;
+        Alcotest.test_case "feistel avalanche" `Quick test_feistel_avalanche;
+        Alcotest.test_case "ctr roundtrip" `Quick test_ctr_roundtrip;
+        Alcotest.test_case "ctr iv matters" `Quick test_ctr_iv_matters;
+        Alcotest.test_case "ctr keystream prefix" `Quick test_ctr_keystream_prefix;
+        Alcotest.test_case "mac basic" `Quick test_mac_basic;
+        Alcotest.test_case "mac bitflip" `Quick test_mac_bitflip;
+        Alcotest.test_case "kdf password" `Quick test_kdf_password;
+        Alcotest.test_case "kdf derive" `Quick test_kdf_derive;
+        Alcotest.test_case "key kinds" `Quick test_key_kinds;
+        Alcotest.test_case "key long-term" `Quick test_key_long_term;
+        Alcotest.test_case "key fingerprint" `Quick test_key_fingerprint;
+        Alcotest.test_case "aead roundtrip" `Quick test_aead_roundtrip;
+        Alcotest.test_case "aead wrong key" `Quick test_aead_rejects_wrong_key;
+        Alcotest.test_case "aead wrong ad" `Quick test_aead_rejects_wrong_ad;
+        Alcotest.test_case "aead tamper" `Quick test_aead_rejects_tamper;
+        Alcotest.test_case "aead encode roundtrip" `Quick test_aead_encode_roundtrip;
+        Alcotest.test_case "aead decode garbage" `Quick test_aead_decode_garbage;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]
