@@ -1,0 +1,22 @@
+.PHONY: all build test bench bench-smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# One iteration of every bench — a ~2 s sanity check that the harness
+# and every scenario it constructs still run.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+ci: build test bench-smoke
+
+clean:
+	dune clean

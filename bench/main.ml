@@ -202,8 +202,14 @@ let mc_config joins =
 let model_tests =
   let explored = Symbolic.Explore.run ~config:(mc_config 1) () in
   [
+    (* Old engine (string-keyed hashtables, cons-list edges) vs the
+       interned-id engine, on identical bounds. *)
+    Test.make ~name:"explore-1join-baseline" (Staged.stage (fun () ->
+        ignore (Symbolic.Explore.Baseline.run ~config:(mc_config 1) ())));
     Test.make ~name:"explore-1join" (Staged.stage (fun () ->
         ignore (Symbolic.Explore.run ~config:(mc_config 1) ())));
+    Test.make ~name:"explore-1join-stream" (Staged.stage (fun () ->
+        ignore (Symbolic.Explore.run_stream ~config:(mc_config 1) ())));
     Test.make ~name:"invariants-1join" (Staged.stage (fun () ->
         ignore (Symbolic.Invariants.all explored)));
     Test.make ~name:"properties-1join" (Staged.stage (fun () ->
@@ -217,6 +223,23 @@ let model_tests =
              ~config:{ (mc_config 1) with Symbolic.Model.intruder_fresh = 0 }
              ())));
   ]
+
+(* Old-vs-new at 2-join bounds (where the state set is big enough for
+   the data-structure differences to matter), plus jobs scaling.
+   Results are identical for every jobs value; only wall-clock
+   changes — and only on a multicore machine. *)
+let model_jobs_tests =
+  Test.make ~name:"explore-2join-baseline" (Staged.stage (fun () ->
+      ignore (Symbolic.Explore.Baseline.run ~config:(mc_config 2) ())))
+  :: Test.make ~name:"explore-2join-stream" (Staged.stage (fun () ->
+         ignore (Symbolic.Explore.run_stream ~config:(mc_config 2) ())))
+  :: List.map
+       (fun jobs ->
+         Test.make
+           ~name:(Printf.sprintf "explore-2join-jobs%d" jobs)
+           (Staged.stage (fun () ->
+                ignore (Symbolic.Explore.run ~config:(mc_config 2) ~jobs ()))))
+       [ 1; 2; 4 ]
 
 (* --- E13: multi-manager failover (the §7 extension) --- *)
 
@@ -278,10 +301,15 @@ let groups =
     ("policy-ablation (E12)", policy_ablation_tests);
     ("attacks (E5-E7)", attack_tests);
     ("model-checker (E4,E8,E9)", model_tests);
+    ("model-checker-jobs (E4)", model_jobs_tests);
     ("failover (E13)", failover_tests);
     ("legacy-model (E14)", legacy_model_tests);
     ("netsim", netsim_tests);
   ]
+
+(* --smoke: run every bench exactly once (CI sanity check, a couple of
+   seconds total) instead of the full measurement quota. *)
+let smoke = Array.mem "--smoke" Sys.argv
 
 let ols =
   Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -292,7 +320,9 @@ let run_group (group_name, tests) =
   Printf.printf "\n== %s ==\n%!" group_name;
   let test = Test.make_grouped ~name:group_name ~fmt:"%s/%s" tests in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    if smoke then
+      Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances test in
   let results = Analyze.all ols Instance.monotonic_clock raw in

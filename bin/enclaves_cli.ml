@@ -147,7 +147,7 @@ let attack_cmd =
 
 (* --- verify --- *)
 
-let run_verify joins admin nonces keys legacy =
+let run_verify joins admin nonces keys legacy jobs stream max_states =
   let config =
     {
       Symbolic.Model.default_config with
@@ -157,17 +157,42 @@ let run_verify joins admin nonces keys legacy =
       max_keys = keys;
     }
   in
-  let t0 = Sys.time () in
-  let r = Symbolic.Explore.run ~config () in
-  Printf.printf "explored %d states / %d transitions in %.2fs%s\n\n"
-    (Symbolic.Explore.state_count r)
-    (Symbolic.Explore.edge_count r)
-    (Sys.time () -. t0)
-    (if r.Symbolic.Explore.truncated then " (TRUNCATED)" else "");
+  let t0 = Unix.gettimeofday () in
   let reports =
-    Symbolic.Invariants.all ~config r
-    @ Symbolic.Properties.all r
-    @ Symbolic.Diagram.all ~config r
+    if stream then begin
+      let open Symbolic in
+      let checker =
+        Invariants.combine
+          [ Invariants.stream ~config (); Properties.stream ();
+            Diagram.stream ~config () ]
+      in
+      let st =
+        Explore.run_stream ~config ~jobs ~max_states
+          ~on_state:checker.Invariants.on_state
+          ~on_edge:checker.Invariants.on_edge ()
+      in
+      Printf.printf "explored %d states / %d transitions in %.2fs%s\n\n"
+        st.Explore.stream_states st.Explore.stream_edges
+        (Unix.gettimeofday () -. t0)
+        (if st.Explore.stream_truncated then
+           Printf.sprintf " (TRUNCATED, %d dropped)" st.Explore.stream_dropped
+         else "");
+      checker.Invariants.finish ()
+    end
+    else begin
+      let r = Symbolic.Explore.run ~config ~jobs ~max_states () in
+      Printf.printf "explored %d states / %d transitions in %.2fs%s\n\n"
+        (Symbolic.Explore.state_count r)
+        (Symbolic.Explore.edge_count r)
+        (Unix.gettimeofday () -. t0)
+        (if r.Symbolic.Explore.truncated then
+           Printf.sprintf " (TRUNCATED, %d dropped)"
+             r.Symbolic.Explore.frontier_dropped
+         else "");
+      Symbolic.Invariants.all ~config r
+      @ Symbolic.Properties.all r
+      @ Symbolic.Diagram.all ~config r
+    end
   in
   List.iter
     (fun rep -> Format.printf "%a@." Symbolic.Invariants.pp_report rep)
@@ -218,13 +243,33 @@ let legacy_arg =
     & info [ "legacy" ]
         ~doc:"Also explore the legacy protocol and print the attacks found")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:"Domains used to expand the frontier (results are identical \
+              for any value)")
+
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:"Check invariants on the fly without retaining the state set \
+              (lower memory; no counterexample paths)")
+
+let max_states_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "max-states" ]
+        ~doc:"State cap; runs that hit it are reported as truncated")
+
 let verify_cmd =
   let doc = "exhaustively verify the improved protocol (paper §4-§5)" in
   Cmd.v
     (Cmd.info "verify" ~doc)
     Term.(
       const run_verify $ joins_arg $ admin_arg $ nonces_arg $ keys_arg
-      $ legacy_arg)
+      $ legacy_arg $ jobs_arg $ stream_arg $ max_states_arg)
 
 (* --- keys --- *)
 

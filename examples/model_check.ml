@@ -4,17 +4,22 @@
    and the Figure 4 verification diagram.
 
    Run with: dune exec examples/model_check.exe
-   Larger bounds: dune exec examples/model_check.exe -- --joins 2 --admin 3 *)
+   Larger bounds: dune exec examples/model_check.exe -- --joins 2 --admin 3
+   Multicore:     dune exec examples/model_check.exe -- --jobs 4
+   Low memory:    dune exec examples/model_check.exe -- --stream *)
 
 open Symbolic
 
 let usage () =
   print_endline
-    "usage: model_check [--joins N] [--admin N] [--nonces N] [--keys N]";
+    "usage: model_check [--joins N] [--admin N] [--nonces N] [--keys N]\n\
+    \                   [--jobs N] [--stream]";
   exit 2
 
 let parse_args () =
   let config = ref Model.default_config in
+  let jobs = ref 1 in
+  let stream = ref false in
   let rec go = function
     | [] -> ()
     | "--joins" :: v :: rest ->
@@ -29,40 +34,105 @@ let parse_args () =
     | "--keys" :: v :: rest ->
         config := { !config with Model.max_keys = int_of_string v };
         go rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        go rest
+    | "--stream" :: rest ->
+        stream := true;
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  !config
+  (!config, !jobs, !stream)
 
-let () =
-  let config = parse_args () in
-  Printf.printf
-    "== Enclaves model checker (paper §4-§5) ==\n\n\
-     bounds: %d nonces, %d session keys, %d admin msgs/session, %d joins\n\n"
-    config.Model.max_nonces config.Model.max_keys config.Model.max_admin
-    config.Model.max_joins;
-  let t0 = Sys.time () in
-  let r = Explore.run ~config () in
-  Printf.printf "explored %d states, %d transitions in %.2fs%s\n\n"
-    (Explore.state_count r) (Explore.edge_count r) (Sys.time () -. t0)
-    (if r.Explore.truncated then " (TRUNCATED)" else " (exhaustive)");
-
+let print_reports ~invariants ~properties ~diagram ~boxes =
   print_endline "-- secrecy invariants (§5.1, §5.2) --";
-  let reports = Invariants.all ~config r in
-  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep) reports;
-
+  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep)
+    invariants;
   print_endline "\n-- behavioural properties (§5.4) --";
-  let props = Properties.all r in
-  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep) props;
-
+  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep)
+    properties;
   print_endline "\n-- verification diagram (Figure 4, §5.3) --";
-  let diag = Diagram.all ~config r in
-  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep) diag;
-
+  List.iter (fun rep -> Format.printf "  %a@." Invariants.pp_report rep)
+    diagram;
   print_endline "\n-- diagram box occupancy --";
   List.iter
     (fun (name, n) -> Printf.printf "  %-4s %6d states\n" name n)
-    (Diagram.visit_counts r);
+    boxes
+
+let () =
+  let config, jobs, stream = parse_args () in
+  Printf.printf
+    "== Enclaves model checker (paper §4-§5) ==\n\n\
+     bounds: %d nonces, %d session keys, %d admin msgs/session, %d joins\n\
+     engine: %s, %d job%s\n\n"
+    config.Model.max_nonces config.Model.max_keys config.Model.max_admin
+    config.Model.max_joins
+    (if stream then "streaming (states not retained)" else "retained")
+    jobs
+    (if jobs = 1 then "" else "s");
+  let t0 = Unix.gettimeofday () in
+  let invariants, properties, diagram, boxes =
+    if stream then begin
+      (* One pass, nothing retained: every checker sees each state and
+         each edge as the exploration produces them. *)
+      let inv = Invariants.stream ~config () in
+      let props = Properties.stream () in
+      let diag = Diagram.stream ~config () in
+      let boxes = Hashtbl.create 16 in
+      let count_box q =
+        match Diagram.classify q with
+        | Some b ->
+            let name = Diagram.box_name b in
+            Hashtbl.replace boxes name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt boxes name))
+        | None -> ()
+      in
+      let on_state q =
+        inv.Invariants.on_state q;
+        props.Invariants.on_state q;
+        diag.Invariants.on_state q;
+        count_box q
+      in
+      let on_edge q m q' =
+        inv.Invariants.on_edge q m q';
+        props.Invariants.on_edge q m q';
+        diag.Invariants.on_edge q m q'
+      in
+      let st = Explore.run_stream ~config ~jobs ~on_state ~on_edge () in
+      Printf.printf "explored %d states, %d transitions in %.2fs%s\n\n"
+        st.Explore.stream_states st.Explore.stream_edges
+        (Unix.gettimeofday () -. t0)
+        (if st.Explore.stream_truncated then
+           Printf.sprintf " (TRUNCATED, %d dropped)" st.Explore.stream_dropped
+         else " (exhaustive)");
+      let box_counts =
+        List.map
+          (fun b ->
+            let name = Diagram.box_name b in
+            (name, Option.value ~default:0 (Hashtbl.find_opt boxes name)))
+          Diagram.all_boxes
+      in
+      ( inv.Invariants.finish (),
+        props.Invariants.finish (),
+        diag.Invariants.finish (),
+        box_counts )
+    end
+    else begin
+      let r = Explore.run ~config ~jobs () in
+      Printf.printf "explored %d states, %d transitions in %.2fs%s\n\n"
+        (Explore.state_count r) (Explore.edge_count r)
+        (Unix.gettimeofday () -. t0)
+        (if r.Explore.truncated then
+           Printf.sprintf " (TRUNCATED, %d dropped)" r.Explore.frontier_dropped
+         else " (exhaustive)");
+      ( Invariants.all ~config r,
+        Properties.all r,
+        Diagram.all ~config r,
+        Diagram.visit_counts r )
+    end
+  in
+  print_reports ~invariants ~properties ~diagram ~boxes;
 
   print_endline "\n-- legacy protocol (§2.2): the checker rediscovers the §2.3 attacks --";
   let lr = Legacy_model.explore () in
@@ -92,7 +162,9 @@ let () =
   in
 
   let all_hold =
-    List.for_all (fun rep -> rep.Invariants.holds) (reports @ props @ diag)
+    List.for_all
+      (fun rep -> rep.Invariants.holds)
+      (invariants @ properties @ diagram)
   in
   Printf.printf "\nRESULT: %s\n"
     (if all_hold && legacy_ok then

@@ -14,14 +14,17 @@ let xor_into ~src ~dst ~pos =
 
 let ct_equal a b =
   let la = String.length a and lb = String.length b in
-  if la <> lb then false
-  else begin
-    let acc = ref 0 in
-    for i = 0 to la - 1 do
-      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
-    done;
-    !acc = 0
-  end
+  (* No early exit on length mismatch: always scan max(la, lb) bytes,
+     reading 0 past either end, so timing reveals only the longer
+     length — never the position where the inputs diverge. *)
+  let n = if la > lb then la else lb in
+  let acc = ref (la lxor lb) in
+  for i = 0 to n - 1 do
+    let ca = if i < la then Char.code a.[i] else 0
+    and cb = if i < lb then Char.code b.[i] else 0 in
+    acc := !acc lor (ca lxor cb)
+  done;
+  !acc = 0
 
 let get_u64_le s off =
   let b = Bytes.unsafe_of_string s in

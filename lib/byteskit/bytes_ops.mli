@@ -11,9 +11,12 @@ val xor_into : src:string -> dst:bytes -> pos:int -> unit
     @raise Invalid_argument on out-of-bounds. *)
 
 val ct_equal : string -> string -> bool
-(** [ct_equal a b] compares [a] and [b] in time dependent only on the
-    length of [a]: the standard constant-time tag comparison. Strings
-    of different lengths compare unequal (length is public). *)
+(** [ct_equal a b] compares [a] and [b] in time dependent only on
+    [max (length a) (length b)]: the standard constant-time tag
+    comparison. Strings of different lengths compare unequal, and the
+    comparison is padded over the longer input so there is no early
+    exit — neither a length mismatch nor the position of the first
+    differing byte is observable through timing. *)
 
 val get_u64_le : string -> int -> int64
 (** [get_u64_le s off] reads 8 bytes little-endian at [off]. *)

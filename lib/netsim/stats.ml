@@ -3,6 +3,7 @@ type t = {
   delivered : int;
   dropped : int;
   injected : int;
+  unmatched_deliveries : int;
   bytes_on_wire : int;
   latency_min_ms : float;
   latency_mean_ms : float;
@@ -14,6 +15,7 @@ let compute trace =
   and delivered = ref 0
   and dropped = ref 0
   and injected = ref 0
+  and unmatched = ref 0
   and bytes = ref 0 in
   (* Pending send times keyed by (src, dst, payload); FIFO per key. *)
   let pending : (string * string * string, Vtime.t Queue.t) Hashtbl.t =
@@ -42,7 +44,10 @@ let compute trace =
           | Some q when not (Queue.is_empty q) ->
               let t0 = Queue.pop q in
               latencies := Vtime.to_float_ms (Int64.sub time t0) :: !latencies
-          | _ -> ())
+          | _ ->
+              (* No matching Sent: an injected or adversary-rewritten
+                 frame reached its destination. *)
+              incr unmatched)
       | Trace.Dropped _ -> incr dropped
       | Trace.Injected { payload; _ } ->
           incr injected;
@@ -58,6 +63,7 @@ let compute trace =
     delivered = !delivered;
     dropped = !dropped;
     injected = !injected;
+    unmatched_deliveries = !unmatched;
     bytes_on_wire = !bytes;
     latency_min_ms = (if n = 0 then 0.0 else min_);
     latency_mean_ms = mean;
@@ -81,7 +87,7 @@ let by_label ~decode_label trace =
 
 let pp fmt t =
   Format.fprintf fmt
-    "sent=%d delivered=%d dropped=%d injected=%d bytes=%d latency(ms) \
-     min/mean/max=%.2f/%.2f/%.2f"
-    t.sent t.delivered t.dropped t.injected t.bytes_on_wire t.latency_min_ms
-    t.latency_mean_ms t.latency_max_ms
+    "sent=%d delivered=%d dropped=%d injected=%d unmatched=%d bytes=%d \
+     latency(ms) min/mean/max=%.2f/%.2f/%.2f"
+    t.sent t.delivered t.dropped t.injected t.unmatched_deliveries
+    t.bytes_on_wire t.latency_min_ms t.latency_mean_ms t.latency_max_ms

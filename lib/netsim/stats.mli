@@ -10,6 +10,9 @@ type t = {
   delivered : int;
   dropped : int;
   injected : int;
+  unmatched_deliveries : int;
+      (** Deliveries with no matching [Sent] record: injected or
+          adversary-rewritten frames that reached a destination. *)
   bytes_on_wire : int;  (** Total payload bytes of sent + injected frames. *)
   latency_min_ms : float;  (** Over delivered frames; 0 if none. *)
   latency_mean_ms : float;
@@ -19,8 +22,9 @@ type t = {
 val compute : Trace.t -> t
 (** Latency is matched per (src, dst, payload) pair: the delay between
     a [Sent] record and the first subsequent [Delivered] with the same
-    key. Unmatched deliveries (injections) are excluded from latency
-    but counted. *)
+    key. Deliveries without a matching [Sent] (injections, rewrites)
+    are excluded from latency and counted in
+    [unmatched_deliveries]. *)
 
 val by_label : decode_label:(string -> string option) -> Trace.t -> (string * int) list
 (** Count sent+injected frames by decoded label; [decode_label] maps

@@ -164,82 +164,112 @@ let describe q =
   Format.asprintf "usr=%a lead=%a" Model.pp_user_state q.Model.usr
     Model.pp_leader_state q.Model.lead
 
-let check_coverage result =
-  let checked = ref 0 and violations = ref [] in
-  Explore.iter_states result (fun q ->
-      incr checked;
-      match classify q with
-      | None -> violations := ("unreachable shape reached: " ^ describe q) :: !violations
-      | Some box ->
-          if not (box_invariant q box) then
-            violations :=
-              Format.asprintf "%s invariant fails at %s" (box_name box)
-                (describe q)
-              :: !violations);
-  make_report "diagram coverage (5.3)" !checked !violations
+let no_edge (_ : Model.state) (_ : Model.move) (_ : Model.state) = ()
 
-let check_edges result =
+let one result c =
+  match Invariants.check_result result c with
+  | [ r ] -> r
+  | _ -> assert false
+
+let coverage_stream () =
   let checked = ref 0 and violations = ref [] in
-  Explore.iter_edges result (fun q move q' ->
-      incr checked;
-      match (classify q, classify q') with
-      | Some b, Some b' ->
-          let ok =
-            match move with
-            | Model.E_inject _ -> b = b'
-            | _ -> b = b' || List.mem b' (successors_of b)
-          in
-          if not (ok) then
+  {
+    Invariants.on_state =
+      (fun q ->
+        incr checked;
+        match classify q with
+        | None ->
             violations :=
-              Format.asprintf "%s --%a--> %s not in diagram" (box_name b)
-                Model.pp_move move (box_name b')
-              :: !violations
-      | _ -> violations := "edge touches unclassifiable state" :: !violations);
-  make_report "diagram edges (5.3)" !checked !violations
+              ("unreachable shape reached: " ^ describe q) :: !violations
+        | Some box ->
+            if not (box_invariant q box) then
+              violations :=
+                Format.asprintf "%s invariant fails at %s" (box_name box)
+                  (describe q)
+                :: !violations);
+    on_edge = no_edge;
+    finish =
+      (fun () -> [ make_report "diagram coverage (5.3)" !checked !violations ]);
+  }
+
+let check_coverage result = one result (coverage_stream ())
+
+let edges_stream () =
+  let checked = ref 0 and violations = ref [] in
+  {
+    Invariants.on_state = (fun _ -> ());
+    on_edge =
+      (fun q move q' ->
+        incr checked;
+        match (classify q, classify q') with
+        | Some b, Some b' ->
+            let ok =
+              match move with
+              | Model.E_inject _ -> b = b'
+              | _ -> b = b' || List.mem b' (successors_of b)
+            in
+            if not ok then
+              violations :=
+                Format.asprintf "%s --%a--> %s not in diagram" (box_name b)
+                  Model.pp_move move (box_name b')
+                :: !violations
+        | _ -> violations := "edge touches unclassifiable state" :: !violations);
+    finish =
+      (fun () -> [ make_report "diagram edges (5.3)" !checked !violations ]);
+  }
+
+let check_edges result = one result (edges_stream ())
 
 (* The paper's induction step for agents other than A and L: they can
    only replay protected fields, never mint new ones. For each state
    and each in-use session key, no ack/admin/close field under that
    key, other than those already in the trace, is synthesizable from
    the intruder's knowledge. *)
-let check_intruder_obligations ?(config = Model.default_config) result =
+let intruder_obligations_stream ?(config = Model.default_config) () =
   let checked = ref 0 and violations = ref [] in
   let nonce_pool =
     List.init config.Model.max_nonces (fun i -> i)
     @ List.init config.Model.intruder_fresh (fun i -> Model.intruder_atom_base + i)
   in
-  Explore.iter_states result (fun q ->
-      match lead_key q with
-      | None -> ()
-      | Some ka ->
-          let parts = Model.trace_parts q in
-          let know =
-            Field.Set.add
-              (FNonce Model.intruder_atom_base)
-              (Model.intruder_knowledge ~config q)
-          in
-          let check_field f =
-            incr checked;
-            if
-              (not (Field.Set.mem f parts)) && Closure.in_synth know f
-            then
-              violations :=
-                Format.asprintf "intruder can mint %a at %s" Field.pp f
-                  (describe q)
-                :: !violations
-          in
-          check_field (FCrypt (Ka ka, FCat [ FAgent A; FAgent L ]));
-          List.iter
-            (fun n ->
-              List.iter
-                (fun n' ->
-                  check_field
-                    (FCrypt
-                       ( Ka ka,
-                         FCat [ FAgent A; FAgent L; FNonce n; FNonce n' ] )))
-                nonce_pool)
-            nonce_pool);
-  make_report "intruder cannot mint (5.3)" !checked !violations
+  {
+    Invariants.on_state =
+      (fun q ->
+        match lead_key q with
+        | None -> ()
+        | Some ka ->
+            let parts = Model.trace_parts q in
+            let know =
+              Field.Set.add
+                (FNonce Model.intruder_atom_base)
+                (Model.intruder_knowledge ~config q)
+            in
+            let check_field f =
+              incr checked;
+              if (not (Field.Set.mem f parts)) && Closure.in_synth know f then
+                violations :=
+                  Format.asprintf "intruder can mint %a at %s" Field.pp f
+                    (describe q)
+                  :: !violations
+            in
+            check_field (FCrypt (Ka ka, FCat [ FAgent A; FAgent L ]));
+            List.iter
+              (fun n ->
+                List.iter
+                  (fun n' ->
+                    check_field
+                      (FCrypt
+                         ( Ka ka,
+                           FCat [ FAgent A; FAgent L; FNonce n; FNonce n' ] )))
+                  nonce_pool)
+              nonce_pool);
+    on_edge = no_edge;
+    finish =
+      (fun () ->
+        [ make_report "intruder cannot mint (5.3)" !checked !violations ]);
+  }
+
+let check_intruder_obligations ?config result =
+  one result (intruder_obligations_stream ?config ())
 
 let visit_counts result =
   let counts = Hashtbl.create 16 in
@@ -252,9 +282,12 @@ let visit_counts result =
       | None -> ());
   List.map (fun b -> (box_name b, Hashtbl.find counts (box_name b))) all_boxes
 
-let all ?config result =
-  [
-    check_coverage result;
-    check_edges result;
-    check_intruder_obligations ?config result;
-  ]
+let stream ?config () =
+  Invariants.combine
+    [
+      coverage_stream ();
+      edges_stream ();
+      intruder_obligations_stream ?config ();
+    ]
+
+let all ?config result = Invariants.check_result result (stream ?config ())

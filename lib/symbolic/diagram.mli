@@ -38,6 +38,9 @@ type box =
   | Q10  (** (WaitingForKey, WaitingForAck) — rejoin while close pending *)
   | Q12  (** (NotConnected, WaitingForKeyAck) *)
 
+val all_boxes : box list
+(** The eleven boxes, in diagram order. *)
+
 val box_name : box -> string
 val classify : Model.state -> box option
 (** [None] for the one unreachable shape, (Connected, NotConnected). *)
@@ -58,3 +61,7 @@ val visit_counts : Explore.result -> (string * int) list
 (** States per box, for reporting. *)
 
 val all : ?config:Model.config -> Explore.result -> Invariants.report list
+
+val stream : ?config:Model.config -> unit -> Invariants.checker
+(** Streaming form of {!all}: coverage and intruder obligations are
+    per-state, edge conformance is per-edge. *)

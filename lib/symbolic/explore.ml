@@ -1,71 +1,311 @@
+(* Exploration engine: level-synchronized BFS with interned state ids,
+   a deduplicated compact edge store, an optional streaming mode that
+   does not retain the state set, and optional multicore frontier
+   expansion.
+
+   Determinism: states are discovered in exactly the order a FIFO-queue
+   BFS would discover them (a level-synchronized sweep in frontier
+   order is the same order), and the merge phase that assigns ids and
+   records edges is always sequential — so results are bit-for-bit
+   identical for every [jobs] value. *)
+
+(* Minimal growable array: the stdlib gains Dynarray only in 5.2. *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push v x =
+    let cap = Array.length v.data in
+    if v.len = cap then begin
+      let data = Array.make (max 16 (2 * cap)) x in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.data 0 v.len
+end
+
 type result = {
-  states : (string, Model.state) Hashtbl.t;
-  edges : (string * Model.move * string) list;
-  parents : (string, string * Model.move) Hashtbl.t;
+  states : Model.state array;
+  index : (string, int) Hashtbl.t;
+  edges : (int * Model.move * int) array;
+  parents : (int * Model.move) option array;
   truncated : bool;
+  frontier_dropped : int;
 }
 
-let run ?(config = Model.default_config) ?(max_states = 200_000) () =
-  let states = Hashtbl.create 4096 in
-  let parents = Hashtbl.create 4096 in
-  let edges = ref [] in
-  let queue = Queue.create () in
-  let truncated = ref false in
-  let init = Model.initial in
-  let init_key = Model.canon init in
-  Hashtbl.replace states init_key init;
-  Queue.add (init_key, init) queue;
-  while not (Queue.is_empty queue) do
-    let key, q = Queue.pop queue in
-    List.iter
-      (fun (move, q') ->
-        let key' = Model.canon q' in
-        edges := (key, move, key') :: !edges;
-        if not (Hashtbl.mem states key') then
-          if Hashtbl.length states >= max_states then truncated := true
-          else begin
-            Hashtbl.replace states key' q';
-            Hashtbl.replace parents key' (key, move);
-            Queue.add (key', q') queue
-          end)
-      (Model.successors config q)
-  done;
-  { states; edges = !edges; parents; truncated = !truncated }
+type stream_stats = {
+  stream_states : int;
+  stream_edges : int;
+  stream_truncated : bool;
+  stream_dropped : int;
+}
 
-let state_count r = Hashtbl.length r.states
-let edge_count r = List.length r.edges
-let iter_states r f = Hashtbl.iter (fun _ q -> f q) r.states
+(* Parallel frontier expansion: compute successors (and their
+   canonical keys — Marshal is the expensive part) for every frontier
+   entry, into an index-aligned array so the caller sees them in
+   frontier order no matter how the work was scheduled.
+
+   The helper domains are spawned once per exploration and parked on a
+   condition variable between BFS levels — spawning per level costs
+   more than the levels themselves on this model's shallow frontiers.
+   Each level is described by a fresh [round] record; a straggler from
+   the previous level still holds the previous record, whose exhausted
+   counter sends it straight back to sleep, so it can never touch the
+   new level's arrays. Every [out] slot is written by exactly one
+   domain, and the SC read of [completed] publishes those writes to
+   the merge phase. *)
+module Pool = struct
+  type round = {
+    frontier : (int * Model.state) array;
+    out : (Model.move * Model.state * string) list array;
+    next : int Atomic.t;
+    completed : int Atomic.t;
+  }
+
+  type t = {
+    config : Model.config;
+    mutable current : round;
+    mutable generation : int;
+    mutable stop : bool;
+    m : Mutex.t;
+    wake : Condition.t;
+    mutable domains : unit Domain.t list;
+  }
+
+  let steal config r =
+    let n = Array.length r.frontier in
+    let rec go () =
+      let i = Atomic.fetch_and_add r.next 1 in
+      if i < n then begin
+        let _, q = r.frontier.(i) in
+        r.out.(i) <-
+          List.map
+            (fun (move, q') -> (move, q', Model.canon q'))
+            (Model.successors config q);
+        Atomic.incr r.completed;
+        go ()
+      end
+    in
+    go ()
+
+  let empty_round () =
+    { frontier = [||]; out = [||]; next = Atomic.make 0;
+      completed = Atomic.make 0 }
+
+  let create ~config ~helpers =
+    let t =
+      { config; current = empty_round (); generation = 0; stop = false;
+        m = Mutex.create (); wake = Condition.create (); domains = [] }
+    in
+    let worker () =
+      let my_gen = ref 0 in
+      let rec loop () =
+        Mutex.lock t.m;
+        while t.generation = !my_gen && not t.stop do
+          Condition.wait t.wake t.m
+        done;
+        my_gen := t.generation;
+        let r = t.current and stop = t.stop in
+        Mutex.unlock t.m;
+        if not stop then begin
+          steal config r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    t.domains <- List.init helpers (fun _ -> Domain.spawn worker);
+    t
+
+  let run t frontier =
+    let n = Array.length frontier in
+    let r =
+      { frontier; out = Array.make n []; next = Atomic.make 0;
+        completed = Atomic.make 0 }
+    in
+    Mutex.lock t.m;
+    t.current <- r;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.m;
+    steal t.config r;
+    while Atomic.get r.completed < n do
+      Domain.cpu_relax ()
+    done;
+    r.out
+
+  let shutdown t =
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains
+end
+
+let expand ~config ~pool frontier =
+  match pool with
+  | Some pool -> Pool.run pool frontier
+  | None ->
+      let n = Array.length frontier in
+      let out = Array.make n [] in
+      for i = 0 to n - 1 do
+        let _, q = frontier.(i) in
+        out.(i) <-
+          List.map
+            (fun (move, q') -> (move, q', Model.canon q'))
+            (Model.successors config q)
+      done;
+      out
+
+(* The single BFS core behind [run] and [run_stream]. When [retain] is
+   false only the intern table (canon -> id) is kept — the states,
+   parents and edges are streamed through the callbacks and dropped.
+
+   Truncation accounting: when the [max_states] cap is hit, the edge
+   to the unstored destination is NOT recorded (the seed engine
+   recorded it, making [edge_count] disagree with what [iter_edges]
+   visits); instead each dropped successor occurrence is counted in
+   [frontier_dropped], and [truncated] is derived from that count once
+   at the end. Edges between two stored states are always recorded,
+   including after the cap. *)
+let bfs ~config ~max_states ~pool ~retain ~on_state ~on_edge =
+  let index = Hashtbl.create 4096 in
+  let states = Vec.create () in
+  let parents = Vec.create () in
+  let edges = Vec.create () in
+  let edge_cnt = ref 0 in
+  let dropped = ref 0 in
+  let init = Model.initial in
+  Hashtbl.add index (Model.canon init) 0;
+  if retain then begin
+    Vec.push states init;
+    Vec.push parents None
+  end;
+  on_state init;
+  let frontier = ref [| (0, init) |] in
+  while Array.length !frontier > 0 do
+    let succs = expand ~config ~pool !frontier in
+    let next = Vec.create () in
+    Array.iteri
+      (fun i (src_id, src_q) ->
+        (* A source is expanded exactly once, so per-source dedup of
+           (move, dst) is global dedup — no O(E) edge-seen table. The
+           successor lists are short (a handful of moves), so a linear
+           scan beats hashing the moves. *)
+        let seen = ref [] in
+        List.iter
+          (fun (move, q', key') ->
+            let dst_id =
+              match Hashtbl.find_opt index key' with
+              | Some id -> Some id
+              | None ->
+                  if Hashtbl.length index >= max_states then begin
+                    incr dropped;
+                    None
+                  end
+                  else begin
+                    let id = Hashtbl.length index in
+                    Hashtbl.add index key' id;
+                    if retain then begin
+                      Vec.push states q';
+                      Vec.push parents (Some (src_id, move))
+                    end;
+                    on_state q';
+                    Vec.push next (id, q');
+                    Some id
+                  end
+            in
+            match dst_id with
+            | None -> ()
+            | Some dst ->
+                if
+                  not
+                    (List.exists
+                       (fun (d, m) -> d = dst && m = move)
+                       !seen)
+                then begin
+                  seen := (dst, move) :: !seen;
+                  incr edge_cnt;
+                  if retain then Vec.push edges (src_id, move, dst);
+                  on_edge src_q move q'
+                end)
+          succs.(i))
+      !frontier;
+    frontier := Vec.to_array next
+  done;
+  ( Vec.to_array states,
+    index,
+    Vec.to_array edges,
+    Vec.to_array parents,
+    !dropped,
+    !edge_cnt )
+
+let no_state (_ : Model.state) = ()
+let no_edge (_ : Model.state) (_ : Model.move) (_ : Model.state) = ()
+
+(* One pool per exploration, torn down even if a callback raises. *)
+let with_pool ~config ~jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = Pool.create ~config ~helpers:(jobs - 1) in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+        f (Some pool))
+  end
+
+let run ?(config = Model.default_config) ?(max_states = 200_000) ?(jobs = 1) ()
+    =
+  let states, index, edges, parents, dropped, _ =
+    with_pool ~config ~jobs (fun pool ->
+        bfs ~config ~max_states ~pool ~retain:true ~on_state:no_state
+          ~on_edge:no_edge)
+  in
+  { states; index; edges; parents; truncated = dropped > 0;
+    frontier_dropped = dropped }
+
+let run_stream ?(config = Model.default_config) ?(max_states = 200_000)
+    ?(jobs = 1) ?(on_state = no_state) ?(on_edge = no_edge) () =
+  let _, index, _, _, dropped, edge_cnt =
+    with_pool ~config ~jobs (fun pool ->
+        bfs ~config ~max_states ~pool ~retain:false ~on_state ~on_edge)
+  in
+  {
+    stream_states = Hashtbl.length index;
+    stream_edges = edge_cnt;
+    stream_truncated = dropped > 0;
+    stream_dropped = dropped;
+  }
+
+let state_count r = Array.length r.states
+let edge_count r = Array.length r.edges
+let iter_states r f = Array.iter f r.states
 
 let iter_edges r f =
-  List.iter
-    (fun (src, move, dst) ->
-      match (Hashtbl.find_opt r.states src, Hashtbl.find_opt r.states dst) with
-      | Some q, Some q' -> f q move q'
-      | _ -> ())
+  Array.iter (fun (src, move, dst) -> f r.states.(src) move r.states.(dst))
     r.edges
 
 let find_state r p =
-  let found = ref None in
-  (try
-     Hashtbl.iter
-       (fun _ q ->
-         if p q then begin
-           found := Some q;
-           raise Exit
-         end)
-       r.states
-   with Exit -> ());
-  !found
+  let n = Array.length r.states in
+  let rec go i =
+    if i >= n then None
+    else if p r.states.(i) then Some r.states.(i)
+    else go (i + 1)
+  in
+  go 0
 
 let path_to r q =
-  let rec build key acc =
-    match Hashtbl.find_opt r.parents key with
-    | None -> acc
-    | Some (parent_key, move) ->
-        let state = Hashtbl.find r.states key in
-        build parent_key ((move, state) :: acc)
-  in
-  build (Model.canon q) []
+  match Hashtbl.find_opt r.index (Model.canon q) with
+  | None -> []
+  | Some id ->
+      let rec build id acc =
+        match r.parents.(id) with
+        | None -> acc
+        | Some (parent, move) -> build parent ((move, r.states.(id)) :: acc)
+      in
+      build id []
 
 let pp_path fmt path =
   List.iter
@@ -73,3 +313,47 @@ let pp_path fmt path =
       Format.fprintf fmt "  %a -> usr=%a lead=%a@." Model.pp_move move
         Model.pp_user_state q.Model.usr Model.pp_leader_state q.Model.lead)
     path
+
+(* The seed engine, kept verbatim for differential benchmarking
+   (bench: model-checker/explore-baseline) and as an independent
+   oracle for state counts in the tests. Its known truncation quirk —
+   edges recorded to destinations that were never stored — is kept
+   too, since it only manifests on truncated runs. *)
+module Baseline = struct
+  type t = {
+    states : (string, Model.state) Hashtbl.t;
+    edges : (string * Model.move * string) list;
+    parents : (string, string * Model.move) Hashtbl.t;
+    truncated : bool;
+  }
+
+  let run ?(config = Model.default_config) ?(max_states = 200_000) () =
+    let states = Hashtbl.create 4096 in
+    let parents = Hashtbl.create 4096 in
+    let edges = ref [] in
+    let queue = Queue.create () in
+    let truncated = ref false in
+    let init = Model.initial in
+    let init_key = Model.canon init in
+    Hashtbl.replace states init_key init;
+    Queue.add (init_key, init) queue;
+    while not (Queue.is_empty queue) do
+      let key, q = Queue.pop queue in
+      List.iter
+        (fun (move, q') ->
+          let key' = Model.canon q' in
+          edges := (key, move, key') :: !edges;
+          if not (Hashtbl.mem states key') then
+            if Hashtbl.length states >= max_states then truncated := true
+            else begin
+              Hashtbl.replace states key' q';
+              Hashtbl.replace parents key' (key, move);
+              Queue.add (key', q') queue
+            end)
+        (Model.successors config q)
+    done;
+    { states; edges = !edges; parents; truncated = !truncated }
+
+  let state_count t = Hashtbl.length t.states
+  let edge_count t = List.length t.edges
+end

@@ -1,24 +1,79 @@
 (** Exhaustive bounded state exploration of the symbolic model.
 
-    Breadth-first search from {!Model.initial} over
+    Level-synchronized breadth-first search from {!Model.initial} over
     {!Model.successors}, deduplicating states by their canonical
     serialization. Within the pool bounds of the configuration the
     exploration is exhaustive: every reachable global state and every
-    transition is visited, so checking an invariant over [states] and
-    an edge obligation over [edges] discharges the corresponding §5
-    proof obligation for the bounded instance. *)
+    transition is visited, so checking an invariant over the states
+    and an edge obligation over the edges discharges the corresponding
+    §5 proof obligation for the bounded instance.
+
+    Canonical keys are interned: each state gets a dense integer id in
+    discovery order, states live in an array indexed by id, and edges
+    are stored as deduplicated [(src id, move, dst id)] triples — one
+    canonical string per state instead of the seed engine's
+    string-keyed tables and cons-list of string triples.
+
+    {2 Parallelism and determinism}
+
+    With [~jobs:n] (n > 1) the successor computation of each BFS level
+    is fanned out over [n] domains with a merge barrier per depth; the
+    merge that assigns ids and records edges is sequential and runs in
+    frontier order, so the result — state order, edge order, every
+    count — is identical for every [jobs] value.
+
+    {2 Truncation}
+
+    When the [max_states] cap stops the search, edges leading to
+    destinations that were not stored are {e not} recorded; they are
+    counted in [frontier_dropped] instead, so [edge_count] always
+    equals the number of edges {!iter_edges} visits. [truncated] is
+    [frontier_dropped > 0]. *)
 
 type result = {
-  states : (string, Model.state) Hashtbl.t;  (** canon -> state *)
-  edges : (string * Model.move * string) list;  (** (src, move, dst) *)
-  parents : (string, string * Model.move) Hashtbl.t;
-      (** BFS tree: state -> (discovering predecessor, move). *)
-  truncated : bool;  (** true if [max_states] stopped the search *)
+  states : Model.state array;  (** id -> state, in discovery order *)
+  index : (string, int) Hashtbl.t;  (** interned canon -> id *)
+  edges : (int * Model.move * int) array;
+      (** deduplicated [(src, move, dst)] id triples; both endpoints
+          are always stored states *)
+  parents : (int * Model.move) option array;
+      (** BFS tree: id -> (discovering predecessor, move); [None] for
+          the initial state *)
+  truncated : bool;  (** true iff [max_states] stopped the search *)
+  frontier_dropped : int;
+      (** successor occurrences not stored (and not recorded as
+          edges) because the cap was reached; 0 on exhaustive runs *)
 }
 
-val run : ?config:Model.config -> ?max_states:int -> unit -> result
+val run :
+  ?config:Model.config -> ?max_states:int -> ?jobs:int -> unit -> result
 (** [run ()] explores with {!Model.default_config} and a 200k-state
-    safety limit. *)
+    safety limit. [~jobs] (default 1) parallelizes successor
+    computation without changing any result. *)
+
+type stream_stats = {
+  stream_states : int;  (** states stored (= what [run] would store) *)
+  stream_edges : int;  (** deduplicated edges visited *)
+  stream_truncated : bool;
+  stream_dropped : int;
+}
+
+val run_stream :
+  ?config:Model.config ->
+  ?max_states:int ->
+  ?jobs:int ->
+  ?on_state:(Model.state -> unit) ->
+  ?on_edge:(Model.state -> Model.move -> Model.state -> unit) ->
+  unit ->
+  stream_stats
+(** Memory-compact exploration: same search as {!run}, but states,
+    parents and edges are handed to the callbacks and dropped instead
+    of retained — only the canonical-key intern table is kept for
+    deduplication. [on_state] fires once per stored state (including
+    the initial state), [on_edge] once per deduplicated edge, in the
+    same order {!iter_states} / {!iter_edges} would visit them.
+    Counterexample reconstruction ({!path_to}) needs a retained
+    {!run}. *)
 
 val state_count : result -> int
 val edge_count : result -> int
@@ -29,6 +84,7 @@ val iter_edges :
   result -> (Model.state -> Model.move -> Model.state -> unit) -> unit
 
 val find_state : result -> (Model.state -> bool) -> Model.state option
+(** First match in discovery (BFS) order — deterministic. *)
 
 val path_to : result -> Model.state -> (Model.move * Model.state) list
 (** [path_to r q] reconstructs a shortest path (BFS tree) from the
@@ -37,3 +93,15 @@ val path_to : result -> Model.state -> (Model.move * Model.state) list
 
 val pp_path :
   Format.formatter -> (Model.move * Model.state) list -> unit
+
+(** The seed engine (string-keyed hashtable, cons-list edge store,
+    [List.length] counting), kept for differential benchmarking and as
+    an independent oracle in the tests. Note its truncation bug is
+    preserved: on truncated runs it records edges to unstored states. *)
+module Baseline : sig
+  type t
+
+  val run : ?config:Model.config -> ?max_states:int -> unit -> t
+  val state_count : t -> int
+  val edge_count : t -> int
+end

@@ -7,6 +7,12 @@ type report = {
   violations : string list;
 }
 
+type checker = {
+  on_state : Model.state -> unit;
+  on_edge : Model.state -> Model.move -> Model.state -> unit;
+  finish : unit -> report list;
+}
+
 let pp_report fmt { name; holds; checked; violations } =
   Format.fprintf fmt "%-28s %s (%d checked)" name
     (if holds then "HOLDS" else "VIOLATED")
@@ -29,45 +35,80 @@ let describe_state q =
     Model.pp_leader_state q.Model.lead
     (Event.Set.cardinal q.Model.trace)
 
-let regularity result =
-  let checked = ref 0 and violations = ref [] in
-  Explore.iter_edges result (fun q move q' ->
-      match move with
-      | Model.E_inject _ -> ()
-      | Model.A_join | Model.A_recv_keydist | Model.A_recv_admin | Model.A_leave
-      | Model.L_recv_init | Model.L_recv_keyack | Model.L_send_admin
-      | Model.L_recv_ack | Model.L_recv_close ->
-          incr checked;
-          let added =
-            Field.Set.diff
-              (Event.contents q'.Model.trace)
-              (Event.contents q.Model.trace)
-          in
-          Field.Set.iter
-            (fun content ->
-              if Field.Set.mem (FKey Pa) (Closure.parts_of_field content) then
-                violations :=
-                  Format.asprintf "%a sends Pa in %a" Model.pp_move move Field.pp
-                    content
-                  :: !violations)
-            added);
-  make_report "regularity (5.1)" !checked !violations
+let no_state (_ : Model.state) = ()
+let no_edge (_ : Model.state) (_ : Model.move) (_ : Model.state) = ()
 
-let long_term_key_secrecy ?config result =
+let combine checkers =
+  {
+    on_state = (fun q -> List.iter (fun c -> c.on_state q) checkers);
+    on_edge = (fun q m q' -> List.iter (fun c -> c.on_edge q m q') checkers);
+    finish = (fun () -> List.concat_map (fun c -> c.finish ()) checkers);
+  }
+
+let check_result result c =
+  Explore.iter_states result c.on_state;
+  Explore.iter_edges result c.on_edge;
+  c.finish ()
+
+(* Run a single-report checker over a retained result. *)
+let one result c =
+  match check_result result c with [ r ] -> r | _ -> assert false
+
+(* A checker built from a per-state predicate-style body. *)
+let state_checker name f =
   let checked = ref 0 and violations = ref [] in
-  Explore.iter_states result (fun q ->
+  {
+    on_state = (fun q -> f checked violations q);
+    on_edge = no_edge;
+    finish = (fun () -> [ make_report name !checked !violations ]);
+  }
+
+let regularity_stream () =
+  let checked = ref 0 and violations = ref [] in
+  let on_edge q move q' =
+    match move with
+    | Model.E_inject _ -> ()
+    | Model.A_join | Model.A_recv_keydist | Model.A_recv_admin | Model.A_leave
+    | Model.L_recv_init | Model.L_recv_keyack | Model.L_send_admin
+    | Model.L_recv_ack | Model.L_recv_close ->
+        incr checked;
+        let added =
+          Field.Set.diff
+            (Event.contents q'.Model.trace)
+            (Event.contents q.Model.trace)
+        in
+        Field.Set.iter
+          (fun content ->
+            if Field.Set.mem (FKey Pa) (Closure.parts_of_field content) then
+              violations :=
+                Format.asprintf "%a sends Pa in %a" Model.pp_move move Field.pp
+                  content
+                :: !violations)
+          added
+  in
+  {
+    on_state = no_state;
+    on_edge;
+    finish = (fun () -> [ make_report "regularity (5.1)" !checked !violations ]);
+  }
+
+let regularity result = one result (regularity_stream ())
+
+let long_term_key_secrecy_stream ?config () =
+  state_checker "P_a secrecy (5.1)" (fun checked violations q ->
       incr checked;
       if Field.Set.mem (FKey Pa) (Model.intruder_knowledge ?config q) then
-        violations := describe_state q :: !violations);
-  make_report "P_a secrecy (5.1)" !checked !violations
+        violations := describe_state q :: !violations)
+
+let long_term_key_secrecy ?config result =
+  one result (long_term_key_secrecy_stream ?config ())
 
 let session_keys_mentioned q =
   (* All session-key indices allocated so far. *)
   List.init q.Model.next_key (fun k -> k)
 
-let session_key_secrecy ?config result =
-  let checked = ref 0 and violations = ref [] in
-  Explore.iter_states result (fun q ->
+let session_key_secrecy_stream ?config () =
+  state_checker "session-key secrecy (5.2)" (fun checked violations q ->
       let know = lazy (Model.intruder_knowledge ?config q) in
       List.iter
         (fun k ->
@@ -75,15 +116,17 @@ let session_key_secrecy ?config result =
             incr checked;
             if Field.Set.mem (FKey (Ka k)) (Lazy.force know) then
               violations :=
-                Format.asprintf "Ka%d leaked while in use: %s" k (describe_state q)
+                Format.asprintf "Ka%d leaked while in use: %s" k
+                  (describe_state q)
                 :: !violations
           end)
-        (session_keys_mentioned q));
-  make_report "session-key secrecy (5.2)" !checked !violations
+        (session_keys_mentioned q))
 
-let coideal_invariant result =
-  let checked = ref 0 and violations = ref [] in
-  Explore.iter_states result (fun q ->
+let session_key_secrecy ?config result =
+  one result (session_key_secrecy_stream ?config ())
+
+let coideal_invariant_stream () =
+  state_checker "coideal invariant (5.2.5)" (fun checked violations q ->
       List.iter
         (fun k ->
           if Model.in_use q k then begin
@@ -96,31 +139,39 @@ let coideal_invariant result =
                   (describe_state q)
                 :: !violations
           end)
-        (session_keys_mentioned q));
-  make_report "coideal invariant (5.2.5)" !checked !violations
+        (session_keys_mentioned q))
 
-let oops_keys_are_public ?config result =
-  let checked = ref 0 and violations = ref [] in
-  Explore.iter_states result (fun q ->
+let coideal_invariant result = one result (coideal_invariant_stream ())
+
+let oops_keys_are_public_stream ?config () =
+  state_checker "oops keys public (4.1)" (fun checked violations q ->
       Event.Set.iter
         (function
           | Event.Oops (FKey (Ka k)) ->
               incr checked;
-              if not (Field.Set.mem (FKey (Ka k)) (Model.intruder_knowledge ?config q))
+              if
+                not
+                  (Field.Set.mem (FKey (Ka k))
+                     (Model.intruder_knowledge ?config q))
               then
                 violations :=
                   Format.asprintf "oopsed Ka%d not in Know(E): %s" k
                     (describe_state q)
                   :: !violations
           | Event.Oops _ | Event.Msg _ -> ())
-        q.Model.trace);
-  make_report "oops keys public (4.1)" !checked !violations
+        q.Model.trace)
 
-let all ?config result =
-  [
-    regularity result;
-    long_term_key_secrecy ?config result;
-    session_key_secrecy ?config result;
-    coideal_invariant result;
-    oops_keys_are_public ?config result;
-  ]
+let oops_keys_are_public ?config result =
+  one result (oops_keys_are_public_stream ?config ())
+
+let stream ?config () =
+  combine
+    [
+      regularity_stream ();
+      long_term_key_secrecy_stream ?config ();
+      session_key_secrecy_stream ?config ();
+      coideal_invariant_stream ();
+      oops_keys_are_public_stream ?config ();
+    ]
+
+let all ?config result = check_result result (stream ?config ())

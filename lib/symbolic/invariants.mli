@@ -14,6 +14,28 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** A streaming check: feed it states and edges as the exploration
+    produces them (e.g. from {!Explore.run_stream}), then collect the
+    reports. Checkers are single-use — the callbacks accumulate into
+    internal state that [finish] reads out (calling [finish] more than
+    once is harmless). *)
+type checker = {
+  on_state : Model.state -> unit;
+  on_edge : Model.state -> Model.move -> Model.state -> unit;
+  finish : unit -> report list;
+}
+
+val combine : checker list -> checker
+(** Fan callbacks out to every checker; [finish] concatenates the
+    reports in order. *)
+
+val check_result : Explore.result -> checker -> report list
+(** Drive a checker over a retained exploration: all states first,
+    then all edges, then [finish]. *)
+
+val stream : ?config:Model.config -> unit -> checker
+(** Streaming form of {!all}: the five §5.1/§5.2 secrecy checks. *)
+
 val regularity : Explore.result -> report
 (** §5.1, the Regularity Lemma's premise: no honest transition ever
     places [P_a] inside a message. Checked per honest edge on the

@@ -280,48 +280,75 @@ let successors bounds q =
   | _ -> ());
   !moves
 
-(* --- Exploration (self-contained BFS with parent tracking) --- *)
+(* --- Exploration (self-contained BFS with parent tracking) ---
+
+   Same compact layout as {!Explore}: states interned to dense ids in
+   discovery order, edges as id triples — one canonical string per
+   state instead of string-keyed tables and a string cons-list. *)
 
 type result = {
-  states : (string, state) Hashtbl.t;
-  parents : (string, string * move) Hashtbl.t;
-  edges : (string * move * string) list;
+  states : state array;
+  index : (string, int) Hashtbl.t;
+  parents : (int * move) option array;
+  edges : (int * move * int) array;
 }
 
 let explore ?(bounds = default_bounds) () =
-  let states = Hashtbl.create 1024 in
-  let parents = Hashtbl.create 1024 in
-  let edges = ref [] in
+  let index = Hashtbl.create 1024 in
+  let states = ref [] and n_states = ref 0 in
+  let parents = ref [] in
+  let edges = ref [] and n_edges = ref 0 in
   let queue = Queue.create () in
-  let init_key = canon initial in
-  Hashtbl.replace states init_key initial;
-  Queue.add (init_key, initial) queue;
+  let intern q parent =
+    let id = !n_states in
+    Hashtbl.add index (canon q) id;
+    states := q :: !states;
+    parents := parent :: !parents;
+    incr n_states;
+    Queue.add (id, q) queue;
+    id
+  in
+  ignore (intern initial None);
   while not (Queue.is_empty queue) do
-    let key, q = Queue.pop queue in
+    let id, q = Queue.pop queue in
     List.iter
       (fun (move, q') ->
-        let key' = canon q' in
-        edges := (key, move, key') :: !edges;
-        if not (Hashtbl.mem states key') then begin
-          Hashtbl.replace states key' q';
-          Hashtbl.replace parents key' (key, move);
-          Queue.add (key', q') queue
-        end)
+        let id' =
+          match Hashtbl.find_opt index (canon q') with
+          | Some id' -> id'
+          | None -> intern q' (Some (id, move))
+        in
+        edges := (id, move, id') :: !edges;
+        incr n_edges)
       (successors bounds q)
   done;
-  { states; parents; edges = !edges }
+  let of_rev_list n l =
+    match l with
+    | [] -> [||]
+    | hd :: _ ->
+        let a = Array.make n hd in
+        List.iteri (fun i x -> a.(n - 1 - i) <- x) l;
+        a
+  in
+  {
+    states = of_rev_list !n_states !states;
+    index;
+    parents = of_rev_list !n_states !parents;
+    edges = of_rev_list !n_edges !edges;
+  }
 
-let state_count r = Hashtbl.length r.states
+let state_count r = Array.length r.states
 
 let path_to r q =
-  let rec build key acc =
-    match Hashtbl.find_opt r.parents key with
-    | None -> acc
-    | Some (parent_key, move) ->
-        let state = Hashtbl.find r.states key in
-        build parent_key ((move, state) :: acc)
-  in
-  build (canon q) []
+  match Hashtbl.find_opt r.index (canon q) with
+  | None -> []
+  | Some id ->
+      let rec build id acc =
+        match r.parents.(id) with
+        | None -> acc
+        | Some (parent, move) -> build parent ((move, r.states.(id)) :: acc)
+      in
+      build id []
 
 let render_path path =
   List.map
@@ -331,17 +358,13 @@ let render_path path =
     path
 
 let find r p =
-  let found = ref None in
-  (try
-     Hashtbl.iter
-       (fun _ q ->
-         if p q then begin
-           found := Some q;
-           raise Exit
-         end)
-       r.states
-   with Exit -> ());
-  !found
+  let n = Array.length r.states in
+  let rec go i =
+    if i >= n then None
+    else if p r.states.(i) then Some r.states.(i)
+    else go (i + 1)
+  in
+  go 0
 
 type finding = {
   weakness : string;
@@ -353,6 +376,29 @@ type finding = {
 let reach_finding r ~weakness ~description p =
   match find r p with
   | Some q -> { weakness; description; violated = true; trace = render_path (path_to r q) }
+  | None -> { weakness; description; violated = false; trace = [] }
+
+(* First edge (in discovery order) whose endpoints satisfy [p]. *)
+let find_edge r p =
+  let n = Array.length r.edges in
+  let rec go i =
+    if i >= n then None
+    else
+      let ((src, move, dst) as e) = r.edges.(i) in
+      if p r.states.(src) move r.states.(dst) then Some e else go (i + 1)
+  in
+  go 0
+
+let edge_finding r ~weakness ~description p =
+  match find_edge r p with
+  | Some (src, move, dst) ->
+      let q_src = r.states.(src) and q_dst = r.states.(dst) in
+      {
+        weakness;
+        description;
+        violated = true;
+        trace = render_path (path_to r q_src @ [ (move, q_dst) ]);
+      }
   | None -> { weakness; description; violated = false; trace = [] }
 
 let findings ?(bounds = default_bounds) r =
@@ -372,63 +418,19 @@ let findings ?(bounds = default_bounds) r =
   in
   (* W3 is an edge property: the epoch decreases along a step. *)
   let w3 =
-    let violating =
-      List.find_opt
-        (fun (src, _move, dst) ->
-          match
-            ( (Hashtbl.find r.states src).mem,
-              (Hashtbl.find r.states dst).mem )
-          with
-          | M_connected { epoch = e; _ }, M_connected { epoch = e'; _ } ->
-              e' < e
-          | _ -> false)
-        r.edges
-    in
-    match violating with
-    | Some (src, move, dst) ->
-        let q_src = Hashtbl.find r.states src in
-        let q_dst = Hashtbl.find r.states dst in
-        {
-          weakness = "W3";
-          description = "member's group-key epoch regressed on a replay (A3)";
-          violated = true;
-          trace = render_path (path_to r q_src @ [ (move, q_dst) ]);
-        }
-    | None ->
-        {
-          weakness = "W3";
-          description = "member's group-key epoch regressed on a replay (A3)";
-          violated = false;
-          trace = [];
-        }
+    edge_finding r ~weakness:"W3"
+      ~description:"member's group-key epoch regressed on a replay (A3)"
+      (fun q_src _move q_dst ->
+        match (q_src.mem, q_dst.mem) with
+        | M_connected { epoch = e; _ }, M_connected { epoch = e'; _ } -> e' < e
+        | _ -> false)
   in
   let w4 =
-    let violating =
-      List.find_opt
-        (fun (src, move, _dst) ->
-          move = L_recv_req_close
-          && (Hashtbl.find r.states src).lead = L_in_session)
-        r.edges
-    in
-    match violating with
-    | Some (src, move, dst) ->
-        let q_src = Hashtbl.find r.states src in
-        let q_dst = Hashtbl.find r.states dst in
-        {
-          weakness = "W4";
-          description =
-            "leader closed the session although the member never asked (A4)";
-          violated = true;
-          trace = render_path (path_to r q_src @ [ (move, q_dst) ]);
-        }
-    | None ->
-        {
-          weakness = "W4";
-          description =
-            "leader closed the session although the member never asked (A4)";
-          violated = false;
-          trace = [];
-        }
+    edge_finding r ~weakness:"W4"
+      ~description:
+        "leader closed the session although the member never asked (A4)"
+      (fun q_src move _q_dst ->
+        move = L_recv_req_close && q_src.lead = L_in_session)
   in
   let pa =
     reach_finding r ~weakness:"Pa-secrecy"

@@ -21,44 +21,67 @@ let rec is_prefix xs ys =
   | _, [] -> false
   | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
 
-let over_states result name check =
+(* A single-report streaming checker over a per-state predicate. *)
+let state_checker name check =
   let checked = ref 0 and violations = ref [] in
-  Explore.iter_states result (fun q ->
-      incr checked;
-      if not (check q) then violations := describe_state q :: !violations);
-  make_report name !checked !violations
+  {
+    Invariants.on_state =
+      (fun q ->
+        incr checked;
+        if not (check q) then violations := describe_state q :: !violations);
+    on_edge = (fun _ _ _ -> ());
+    finish = (fun () -> [ make_report name !checked !violations ]);
+  }
 
-let prefix_property result =
-  over_states result "rcv_A prefix of snd_A (5.4)" (fun q ->
+let one result c =
+  match Invariants.check_result result c with
+  | [ r ] -> r
+  | _ -> assert false
+
+let prefix_stream () =
+  state_checker "rcv_A prefix of snd_A (5.4)" (fun q ->
       is_prefix q.Model.rcv q.Model.snd)
 
-let proper_authentication result =
-  over_states result "proper authentication (5.4)" (fun q ->
+let prefix_property result = one result (prefix_stream ())
+
+let proper_authentication_stream () =
+  state_checker "proper authentication (5.4)" (fun q ->
       q.Model.accepts <= q.Model.joins)
 
-let agreement result =
-  over_states result "key/nonce agreement (5.4)" (fun q ->
+let proper_authentication result = one result (proper_authentication_stream ())
+
+let agreement_stream () =
+  state_checker "key/nonce agreement (5.4)" (fun q ->
       match (q.Model.usr, q.Model.lead) with
       | Model.U_connected (n, k), Model.L_connected (n', k') ->
           n = n' && k = k'
       | _ -> true)
 
-let possession result =
-  over_states result "A connected => InUse (5.4)" (fun q ->
+let agreement result = one result (agreement_stream ())
+
+let possession_stream () =
+  state_checker "A connected => InUse (5.4)" (fun q ->
       match q.Model.usr with
       | Model.U_connected (_, k) -> Model.in_use q k
       | Model.U_not_connected | Model.U_waiting_for_key _ -> true)
 
-let no_duplicates result =
-  over_states result "no duplicate admin accepted (5.4)" (fun q ->
+let possession result = one result (possession_stream ())
+
+let no_duplicates_stream () =
+  state_checker "no duplicate admin accepted (5.4)" (fun q ->
       List.length (List.sort_uniq compare q.Model.rcv)
       = List.length q.Model.rcv)
 
-let all result =
-  [
-    prefix_property result;
-    proper_authentication result;
-    agreement result;
-    possession result;
-    no_duplicates result;
-  ]
+let no_duplicates result = one result (no_duplicates_stream ())
+
+let stream () =
+  Invariants.combine
+    [
+      prefix_stream ();
+      proper_authentication_stream ();
+      agreement_stream ();
+      possession_stream ();
+      no_duplicates_stream ();
+    ]
+
+let all result = Invariants.check_result result (stream ())

@@ -47,6 +47,46 @@ let test_heap_random_sorted () =
   in
   Alcotest.(check int) "all popped" 500 (drain Vtime.zero 0)
 
+(* qcheck: pops come out sorted by time whatever the push order, and
+   equal timestamps preserve insertion order (FIFO stability), also
+   across the internal array-growth boundary (capacity starts at 16). *)
+
+let qcheck_heap_sorted =
+  QCheck.Test.make ~count:200 ~name:"heap pops time-sorted"
+    QCheck.(list_of_size Gen.(int_range 0 100) (int_bound 10_000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h ~time:(Vtime.of_us t) ()) times;
+      let rec drain last n =
+        match Heap.pop h with
+        | None -> n = List.length times
+        | Some (time, ()) -> Vtime.(last <= time) && drain time (n + 1)
+      in
+      drain Vtime.zero 0)
+
+let qcheck_heap_fifo_stable =
+  (* Few distinct timestamps over many entries forces long runs of
+     ties; 20-80 entries straddles the initial capacity of 16. *)
+  QCheck.Test.make ~count:200 ~name:"heap FIFO-stable on equal times"
+    QCheck.(list_of_size Gen.(int_range 20 80) (int_bound 3))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:(Vtime.of_ms t) i) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (time, i) -> drain ((time, i) :: acc)
+      in
+      let popped = drain [] in
+      (* Expected: stable sort of the pushes by time keeps insertion
+         order among ties. *)
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> Int64.compare t1 t2)
+          (List.mapi (fun i t -> (Vtime.of_ms t, i)) times)
+      in
+      popped = expected)
+
 let test_sim_order_and_clock () =
   let sim = Sim.create () in
   let log = ref [] in
@@ -212,10 +252,31 @@ let test_stats_basic () =
   Alcotest.(check int) "sent" 2 st.Stats.sent;
   Alcotest.(check int) "delivered" 3 st.Stats.delivered;
   Alcotest.(check int) "injected" 1 st.Stats.injected;
+  (* the injected frame has no matching Sent *)
+  Alcotest.(check int) "unmatched" 1 st.Stats.unmatched_deliveries;
   Alcotest.(check int) "bytes" 14 st.Stats.bytes_on_wire;
   (* fixed 1ms latency *)
   Alcotest.(check (float 0.001)) "latency min" 1.0 st.Stats.latency_min_ms;
   Alcotest.(check (float 0.001)) "latency max" 1.0 st.Stats.latency_max_ms
+
+let test_stats_unmatched_rewrite () =
+  (* An adversary Replace delivers a payload that was never Sent: it
+     must show up in unmatched_deliveries, not vanish silently. *)
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  Network.register net "bob" (fun _ -> ());
+  Network.set_adversary net
+    (Some
+       (fun ~src:_ ~dst:_ ~payload ->
+         if payload = "orig" then Network.Replace "evil" else Network.Deliver));
+  Network.send net ~src:"alice" ~dst:"bob" "orig";
+  Network.send net ~src:"alice" ~dst:"bob" "fine";
+  let _ = Sim.run sim in
+  let st = Stats.compute (Network.trace net) in
+  Alcotest.(check int) "sent" 2 st.Stats.sent;
+  Alcotest.(check int) "delivered" 2 st.Stats.delivered;
+  Alcotest.(check int) "injected" 0 st.Stats.injected;
+  Alcotest.(check int) "unmatched" 1 st.Stats.unmatched_deliveries
 
 let test_stats_dropped () =
   let sim = Sim.create () in
@@ -258,6 +319,8 @@ let suite =
         Alcotest.test_case "heap order" `Quick test_heap_order;
         Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "heap random sorted" `Quick test_heap_random_sorted;
+        QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+        QCheck_alcotest.to_alcotest qcheck_heap_fifo_stable;
         Alcotest.test_case "sim order and clock" `Quick test_sim_order_and_clock;
         Alcotest.test_case "sim nested scheduling" `Quick
           test_sim_nested_scheduling;
@@ -278,6 +341,8 @@ let suite =
         Alcotest.test_case "network deterministic" `Quick
           test_network_deterministic;
         Alcotest.test_case "stats basic" `Quick test_stats_basic;
+        Alcotest.test_case "stats unmatched rewrite" `Quick
+          test_stats_unmatched_rewrite;
         Alcotest.test_case "stats dropped" `Quick test_stats_dropped;
         Alcotest.test_case "stats by label" `Quick test_stats_by_label;
       ] );

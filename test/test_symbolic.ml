@@ -150,6 +150,98 @@ let test_full_session_reachable () =
   in
   Alcotest.(check bool) "post-oops session reached" true (rejoined <> None)
 
+let test_truncation_consistent () =
+  (* Regression: with a state cap, the edge count must agree with what
+     iter_edges actually visits (dropped frontier states used to leave
+     dangling edges behind). *)
+  (* small_config reaches 471 states exhaustively; cap well below. *)
+  let r = Explore.run ~config:small_config ~max_states:200 () in
+  Alcotest.(check bool) "truncated" true r.Explore.truncated;
+  Alcotest.(check int) "capped exactly" 200 (Explore.state_count r);
+  Alcotest.(check bool) "drops reported" true (r.Explore.frontier_dropped > 0);
+  let visited = ref 0 in
+  Explore.iter_edges r (fun _ _ _ -> incr visited);
+  Alcotest.(check int) "edge_count = edges visited" (Explore.edge_count r)
+    !visited;
+  (* Every edge endpoint is a stored state. *)
+  let n = Explore.state_count r in
+  Explore.iter_edges r (fun q _ q' ->
+      let id s = Hashtbl.find r.Explore.index (Model.canon s) in
+      Alcotest.(check bool) "endpoints stored" true (id q < n && id q' < n))
+
+let test_matches_baseline () =
+  (* The interned engine visits exactly the states the seed engine
+     visited; its edge store is deduplicated, so edges can only
+     shrink. *)
+  let r = Lazy.force explored_small in
+  let b = Explore.Baseline.run ~config:small_config () in
+  Alcotest.(check int) "same state count" (Explore.Baseline.state_count b)
+    (Explore.state_count r);
+  Alcotest.(check bool) "deduplicated edges" true
+    (Explore.edge_count r <= Explore.Baseline.edge_count b)
+
+let test_parallel_deterministic () =
+  (* Any jobs value must produce bit-for-bit the same exploration:
+     same states in the same discovery order, same edges. *)
+  let canons r =
+    Array.to_list (Array.map Model.canon r.Explore.states)
+  in
+  let r1 = Lazy.force explored_small in
+  List.iter
+    (fun jobs ->
+      let r = Explore.run ~config:small_config ~jobs () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "states identical at jobs=%d" jobs)
+        (canons r1) (canons r);
+      Alcotest.(check bool)
+        (Printf.sprintf "edges identical at jobs=%d" jobs)
+        true
+        (r.Explore.edges = r1.Explore.edges))
+    [ 2; 4 ]
+
+let test_stream_matches_retained () =
+  (* Streaming never retains the state set but must see exactly the
+     same states and edges, and the streaming checkers must reach the
+     same verdicts as the retained ones. *)
+  let r = Lazy.force explored_small in
+  let states = ref 0 and edges = ref 0 in
+  let checker =
+    Invariants.combine
+      [ Invariants.stream ~config:small_config (); Properties.stream ();
+        Diagram.stream ~config:small_config () ]
+  in
+  let st =
+    Explore.run_stream ~config:small_config
+      ~on_state:(fun q -> incr states; checker.Invariants.on_state q)
+      ~on_edge:(fun q m q' -> incr edges; checker.Invariants.on_edge q m q')
+      ()
+  in
+  Alcotest.(check int) "stream states = retained" (Explore.state_count r)
+    st.Explore.stream_states;
+  Alcotest.(check int) "stream edges = retained" (Explore.edge_count r)
+    st.Explore.stream_edges;
+  Alcotest.(check int) "callbacks saw every state" st.Explore.stream_states
+    !states;
+  Alcotest.(check int) "callbacks saw every edge" st.Explore.stream_edges
+    !edges;
+  Alcotest.(check bool) "exhaustive" false st.Explore.stream_truncated;
+  let streamed = checker.Invariants.finish () in
+  let retained =
+    Invariants.all ~config:small_config r
+    @ Properties.all r
+    @ Diagram.all ~config:small_config r
+  in
+  Alcotest.(check int) "same report count" (List.length retained)
+    (List.length streamed);
+  List.iter2
+    (fun (s : Invariants.report) (t : Invariants.report) ->
+      Alcotest.(check string) "report name" t.Invariants.name s.Invariants.name;
+      Alcotest.(check bool) ("verdict " ^ s.Invariants.name) t.Invariants.holds
+        s.Invariants.holds;
+      Alcotest.(check int) ("checked " ^ s.Invariants.name) t.Invariants.checked
+        s.Invariants.checked)
+    streamed retained
+
 let test_intruder_injections_happen () =
   let r = Lazy.force explored in
   let injected = ref false in
@@ -342,6 +434,14 @@ let suite =
         Alcotest.test_case "complete within bounds" `Quick
           test_exploration_complete;
         Alcotest.test_case "deterministic" `Quick test_exploration_deterministic;
+        Alcotest.test_case "truncation consistent" `Quick
+          test_truncation_consistent;
+        Alcotest.test_case "matches baseline engine" `Quick
+          test_matches_baseline;
+        Alcotest.test_case "parallel deterministic" `Quick
+          test_parallel_deterministic;
+        Alcotest.test_case "stream matches retained" `Quick
+          test_stream_matches_retained;
         Alcotest.test_case "deep scenarios reachable" `Quick
           test_full_session_reachable;
         Alcotest.test_case "intruder live" `Quick test_intruder_injections_happen;
