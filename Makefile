@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke ci clean
+.PHONY: all build test bench bench-smoke chaos ci clean
 
 all: build
 
@@ -16,7 +16,12 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
-ci: build test bench-smoke
+# Seeded fault-injection sweep: 5-member joins at 20% loss must
+# converge (bounded virtual time, fixed seeds — fully deterministic).
+chaos:
+	dune exec bin/enclaves_cli.exe -- chaos --members 5 --seeds 20 --loss 0.20
+
+ci: build test bench-smoke chaos
 
 clean:
 	dune clean

@@ -4,6 +4,7 @@
    - [session]  run a scripted group session and print the trace
    - [attack]   run the §2.3 attack matrix (optionally one attack)
    - [verify]   run the model checker (§4-§5)
+   - [chaos]    sweep seeded fault plans against the recovery layer
    - [keys]     derive and fingerprint a long-term key (debug helper)
 
    Run with: dune exec bin/enclaves_cli.exe -- <subcommand> --help *)
@@ -271,6 +272,119 @@ let verify_cmd =
       const run_verify $ joins_arg $ admin_arg $ nonces_arg $ keys_arg
       $ legacy_arg $ jobs_arg $ stream_arg $ max_states_arg)
 
+(* --- chaos --- *)
+
+let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
+    verbose =
+  let module D = Enclaves.Driver.Improved in
+  let directory =
+    List.init members (fun i ->
+        let name = Printf.sprintf "user%d" i in
+        (name, name ^ "-pw"))
+  in
+  let plan =
+    Netsim.Faultplan.make
+      ~default_link:
+        (Netsim.Faultplan.lossy_link ~corrupt ~duplicate ~spike_prob loss)
+      ()
+  in
+  let bound = Netsim.Vtime.of_s until_s in
+  let one seed =
+    let retry = if no_retry then None else Some D.default_retry in
+    let d = D.create ~seed ?retry ~leader:"leader" ~directory () in
+    Netsim.Network.set_faultplan (D.net d) (Some plan);
+    List.iter (fun (n, _) -> D.join d n) directory;
+    ignore (D.run ~until:bound d);
+    let converged = D.converged d in
+    let join_time =
+      (* Virtual time by which every member held the current epoch —
+         read off the trace as the last delivery before quiescence
+         when converged; the bound otherwise. *)
+      if converged then
+        List.fold_left
+          (fun acc e ->
+            match e with
+            | Netsim.Trace.Delivered { time; _ } when time > acc -> time
+            | _ -> acc)
+          Netsim.Vtime.zero
+          (Netsim.Trace.entries (Netsim.Network.trace (D.net d)))
+      else bound
+    in
+    let r = D.retry_stats d in
+    let c = Netsim.Network.fault_counters (D.net d) in
+    let stats = Netsim.Stats.compute (Netsim.Network.trace (D.net d)) in
+    Printf.printf
+      "seed=%-3Ld %-9s t=%8.3fs  rtx: hs=%-3d keydist=%-3d admin=%-3d gc=%d \
+       resets=%d\n"
+      seed
+      (if converged then "CONVERGED" else "WEDGED")
+      (Int64.to_float join_time /. 1e6)
+      r.D.handshake_retransmits r.D.keydist_retransmits r.D.admin_retransmits
+      r.D.half_open_gcs r.D.session_resets;
+    if verbose then begin
+      Format.printf "         faults: %a@." Netsim.Faultplan.pp_counters c;
+      Printf.printf "         drops: total=%d adv=%d unreg=%d fault=%d\n"
+        stats.Netsim.Stats.dropped stats.Netsim.Stats.dropped_by_adversary
+        stats.Netsim.Stats.dropped_unregistered
+        stats.Netsim.Stats.dropped_by_fault
+    end;
+    converged
+  in
+  let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
+  Printf.printf
+    "chaos: %d members, loss=%.0f%% corrupt=%.0f%% dup=%.0f%% spikes=%.0f%% \
+     retry=%b bound=%ds\n"
+    members (100. *. loss) (100. *. corrupt) (100. *. duplicate)
+    (100. *. spike_prob) (not no_retry) until_s;
+  let ok = List.filter one seed_list in
+  Printf.printf "\n%d/%d seeds converged\n" (List.length ok) seeds;
+  if List.length ok = seeds then 0 else 1
+
+let chaos_members_arg =
+  Arg.(value & opt int 5 & info [ "members"; "n" ] ~doc:"Number of members")
+
+let chaos_seeds_arg =
+  Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Sweep seeds 1..N")
+
+let loss_arg =
+  Arg.(value & opt float 0.20 & info [ "loss" ] ~doc:"Per-frame loss probability")
+
+let corrupt_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "corrupt" ] ~doc:"Per-frame bit-flip probability")
+
+let duplicate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "duplicate" ] ~doc:"Per-frame duplication probability")
+
+let spike_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "spikes" ] ~doc:"Per-frame latency-spike probability")
+
+let until_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "until" ] ~doc:"Virtual-time bound in seconds per run")
+
+let no_retry_arg =
+  Arg.(
+    value & flag
+    & info [ "no-retry" ]
+        ~doc:"Disable the recovery layer (control runs; expect wedges)")
+
+let chaos_cmd =
+  let doc =
+    "sweep seeded fault plans against the protocol's recovery layer"
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run_chaos $ chaos_members_arg $ chaos_seeds_arg $ loss_arg
+      $ corrupt_arg $ duplicate_arg $ spike_arg $ until_arg $ no_retry_arg
+      $ verbose_arg)
+
 (* --- keys --- *)
 
 let run_keys user password =
@@ -294,4 +408,7 @@ let keys_cmd =
 let () =
   let doc = "intrusion-tolerant group management in Enclaves (DSN 2001)" in
   let info = Cmd.info "enclaves" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ session_cmd; attack_cmd; verify_cmd; keys_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ session_cmd; attack_cmd; verify_cmd; chaos_cmd; keys_cmd ]))

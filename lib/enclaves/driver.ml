@@ -7,11 +7,69 @@ let send_frames net ~src frames =
     frames
 
 module Improved = struct
+  type retry_config = {
+    handshake_initial : Netsim.Vtime.t;
+    handshake_max : Netsim.Vtime.t;
+    backoff : float;
+    jitter : float;
+    scan_period : Netsim.Vtime.t;
+    half_open_gc : Netsim.Vtime.t;
+  }
+
+  let default_retry =
+    {
+      handshake_initial = Netsim.Vtime.of_ms 250;
+      handshake_max = Netsim.Vtime.of_s 4;
+      backoff = 2.0;
+      jitter = 0.2;
+      scan_period = Netsim.Vtime.of_ms 200;
+      half_open_gc = Netsim.Vtime.of_s 3;
+    }
+
+  type retry_stats = {
+    mutable handshake_retransmits : int;
+    mutable keydist_retransmits : int;
+    mutable admin_retransmits : int;
+    mutable half_open_gcs : int;
+    mutable session_resets : int;
+  }
+
+  let fresh_retry_stats () =
+    {
+      handshake_retransmits = 0;
+      keydist_retransmits = 0;
+      admin_retransmits = 0;
+      half_open_gcs = 0;
+      session_resets = 0;
+    }
+
+  (* Leader-side watch entry for one outstanding frame (identified by
+     its nonce): when the nonce survives a whole scan interval the
+     frame is re-sent, with per-entry exponential backoff. *)
+  type lwatch = {
+    mutable w_nonce : Wire.Nonce.t;
+    mutable first_seen : Netsim.Vtime.t;
+    mutable last_rtx : Netsim.Vtime.t;
+    mutable interval : Netsim.Vtime.t;
+  }
+
   type t = {
     sim : Netsim.Sim.t;
     net : Netsim.Network.t;
     leader : Leader.t;
     members : (Types.agent, Member.t) Hashtbl.t;
+    retry : retry_config option;
+    rstats : retry_stats;
+    jrng : Prng.Splitmix.t;  (* jitter; split off the root stream *)
+    mutable retry_stopped : bool;
+    mutable scan_handle : Netsim.Sim.handle option;
+    watches : (Types.agent, lwatch) Hashtbl.t;
+    pending_close : (Types.agent, Wire.Frame.t list) Hashtbl.t;
+        (* Close frames from a session reset, re-sent alongside the
+           handshake retransmit until the new session is accepted: if
+           the close is lost the leader still holds the old session
+           and rejects every AuthInitReq as "in session" — a permanent
+           wedge otherwise. *)
   }
 
   let attach_leader t =
@@ -24,13 +82,103 @@ module Improved = struct
         let replies = Member.receive m bytes in
         send_frames t.net ~src:(Member.self m) replies)
 
-  let create ?(seed = 42L) ?latency_us ?policy ~leader ~directory () =
+  let scale time f = Int64.of_float (Int64.to_float time *. f)
+
+  let jittered t cfg delay =
+    if cfg.jitter <= 0.0 then delay
+    else
+      let factor =
+        1.0 -. cfg.jitter
+        +. (Prng.Splitmix.next_float t.jrng *. 2.0 *. cfg.jitter)
+      in
+      scale delay factor
+
+  let next_delay cfg delay =
+    let d = scale delay cfg.backoff in
+    if Netsim.Vtime.(cfg.handshake_max < d) then cfg.handshake_max else d
+
+  (* One periodic leader-side pass: retransmit outstanding AuthKeyDist
+     and AdminMsg frames whose nonce has not moved since the previous
+     scan, and garbage-collect handshakes half-open past the GC age. *)
+  let leader_scan t cfg () =
+    let now = Netsim.Sim.now t.sim in
+    let lname = Leader.self t.leader in
+    let half_open = Leader.half_open t.leader in
+    let awaiting = Leader.awaiting_ack t.leader in
+    let live = half_open @ awaiting in
+    Hashtbl.iter
+      (fun who _ ->
+        if not (List.mem who live) then Hashtbl.remove t.watches who)
+      (Hashtbl.copy t.watches);
+    let nonce_of who =
+      match Leader.session t.leader who with
+      | Leader.Waiting_for_key_ack (nl, _) | Leader.Waiting_for_ack (nl, _) ->
+          Some nl
+      | Leader.Not_connected | Leader.Connected _ -> None
+    in
+    let visit ~is_half_open who =
+      match nonce_of who with
+      | None -> ()
+      | Some nl -> (
+          match Hashtbl.find_opt t.watches who with
+          | Some w when Wire.Nonce.equal w.w_nonce nl ->
+              if
+                is_half_open
+                && Netsim.Vtime.(cfg.half_open_gc <= Int64.sub now w.first_seen)
+              then begin
+                if Leader.abort_half_open t.leader who then
+                  t.rstats.half_open_gcs <- t.rstats.half_open_gcs + 1;
+                Hashtbl.remove t.watches who
+              end
+              else if Netsim.Vtime.(w.interval <= Int64.sub now w.last_rtx)
+              then begin
+                send_frames t.net ~src:lname (Leader.retransmit t.leader who);
+                if is_half_open then
+                  t.rstats.keydist_retransmits <-
+                    t.rstats.keydist_retransmits + 1
+                else t.rstats.admin_retransmits <- t.rstats.admin_retransmits + 1;
+                w.last_rtx <- now;
+                w.interval <- next_delay cfg w.interval
+              end
+          | Some w ->
+              (* Progress: a different frame is outstanding now. *)
+              w.w_nonce <- nl;
+              w.first_seen <- now;
+              w.last_rtx <- now;
+              w.interval <- cfg.scan_period
+          | None ->
+              Hashtbl.replace t.watches who
+                {
+                  w_nonce = nl;
+                  first_seen = now;
+                  last_rtx = now;
+                  interval = cfg.scan_period;
+                })
+    in
+    List.iter (visit ~is_half_open:true) half_open;
+    List.iter (visit ~is_half_open:false) awaiting
+
+  let create ?(seed = 42L) ?latency_us ?policy ?retry ~leader ~directory () =
     let sim = Netsim.Sim.create ~seed () in
     let net = Netsim.Network.create ~sim ?latency_us () in
     let rng = Netsim.Sim.rng sim in
     let l = Leader.create ~self:leader ~rng ~directory ?policy () in
     let members = Hashtbl.create 8 in
-    let t = { sim; net; leader = l; members } in
+    let t =
+      {
+        sim;
+        net;
+        leader = l;
+        members;
+        retry;
+        rstats = fresh_retry_stats ();
+        jrng = Prng.Splitmix.split rng;
+        retry_stopped = false;
+        scan_handle = None;
+        watches = Hashtbl.create 8;
+        pending_close = Hashtbl.create 8;
+      }
+    in
     attach_leader t;
     List.iter
       (fun (name, password) ->
@@ -38,20 +186,85 @@ module Improved = struct
         Hashtbl.replace members name m;
         attach_member t m)
       directory;
+    (match retry with
+    | Some cfg ->
+        t.scan_handle <-
+          Some
+            (Netsim.Sim.every_handle sim ~period:cfg.scan_period
+               (leader_scan t cfg))
+    | None -> ());
     t
 
   let sim t = t.sim
   let net t = t.net
   let leader t = t.leader
+  let retry_stats t = t.rstats
 
   let member t who =
     match Hashtbl.find_opt t.members who with
     | Some m -> m
     | None -> raise Not_found
 
+  (* Member-side watchdog: retransmit the handshake with capped
+     exponential backoff and jitter while it is outstanding; tear down
+     and restart a session that authenticated but never received its
+     first admin message (the leader's half of the handshake was lost
+     and then GC'd). Stops by itself once this member has the group
+     key — from then on liveness is the leader scan's job. *)
+  let rec watch_member t cfg who ~delay ~keyless_ticks =
+    ignore
+      (Netsim.Sim.schedule_handle t.sim ~delay:(jittered t cfg delay)
+         (fun () ->
+           if not t.retry_stopped then begin
+             let m = member t who in
+             match Member.state m with
+             | Member.Waiting_for_key _ ->
+                 (* If a session reset's close never reached the
+                    leader, it still holds the old session and rejects
+                    our AuthInitReq — re-send the close first. *)
+                 (match Hashtbl.find_opt t.pending_close who with
+                 | Some close -> send_frames t.net ~src:who close
+                 | None -> ());
+                 send_frames t.net ~src:who (Member.retransmit_join m);
+                 t.rstats.handshake_retransmits <-
+                   t.rstats.handshake_retransmits + 1;
+                 watch_member t cfg who ~delay:(next_delay cfg delay)
+                   ~keyless_ticks:0
+             | Member.Connected _ when Member.group_key m = None ->
+                 Hashtbl.remove t.pending_close who;
+                 if keyless_ticks >= 1 then begin
+                   (* Two consecutive keyless observations: the leader
+                      no longer runs our session. Close and start
+                      over. *)
+                   t.rstats.session_resets <- t.rstats.session_resets + 1;
+                   let close = Member.leave m in
+                   send_frames t.net ~src:who close;
+                   Hashtbl.replace t.pending_close who close;
+                   send_frames t.net ~src:who (Member.join m);
+                   watch_member t cfg who ~delay:cfg.handshake_initial
+                     ~keyless_ticks:0
+                 end
+                 else
+                   watch_member t cfg who ~delay:(next_delay cfg delay)
+                     ~keyless_ticks:(keyless_ticks + 1)
+             | Member.Connected _ | Member.Not_connected ->
+                 Hashtbl.remove t.pending_close who
+           end))
+
   let join t who =
     let m = member t who in
-    send_frames t.net ~src:who (Member.join m)
+    send_frames t.net ~src:who (Member.join m);
+    match t.retry with
+    | Some cfg ->
+        watch_member t cfg who ~delay:cfg.handshake_initial ~keyless_ticks:0
+    | None -> ()
+
+  let stop_retry t =
+    t.retry_stopped <- true;
+    (match t.scan_handle with
+    | Some h -> Netsim.Sim.cancel h
+    | None -> ());
+    t.scan_handle <- None
 
   let leave t who =
     let m = member t who in
@@ -68,7 +281,7 @@ module Improved = struct
   let expel t who = dispatch_leader t (Leader.expel t.leader who)
 
   let start_periodic_rekey t ~period ?until () =
-    Netsim.Sim.every t.sim ~period ?until (fun () -> rekey t)
+    Netsim.Sim.every_handle t.sim ~period ?until (fun () -> rekey t)
 
   let run ?until t = Netsim.Sim.run ?until t.sim
 
@@ -93,6 +306,24 @@ module Improved = struct
 
   let all_prefix_ok t =
     Hashtbl.fold (fun who _ acc -> acc && prefix_ok t who) t.members true
+
+  (* The chaos suite's convergence predicate: every member is in
+     session, everyone (leader included) agrees on the group-key
+     epoch, and §5.4 ordering holds for every live session. *)
+  let converged t =
+    match Leader.group_key t.leader with
+    | None -> false
+    | Some gk ->
+        Hashtbl.fold
+          (fun _ m acc ->
+            acc
+            && Member.is_connected m
+            &&
+            match Member.group_key m with
+            | Some gk' -> gk'.Types.epoch = gk.Types.epoch
+            | None -> false)
+          t.members true
+        && all_prefix_ok t
 end
 
 module Legacy = struct

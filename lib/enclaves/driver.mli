@@ -13,16 +13,62 @@
 module Improved : sig
   type t
 
+  (** Tuning for the timeout/retry/backoff layer. All delays are
+      virtual time; the jittered backoff draws from a PRNG split off
+      the simulation seed, so retry schedules replay
+      deterministically. *)
+  type retry_config = {
+    handshake_initial : Netsim.Vtime.t;
+        (** First member-side retransmission delay. *)
+    handshake_max : Netsim.Vtime.t;  (** Backoff cap. *)
+    backoff : float;  (** Delay multiplier per attempt (e.g. [2.0]). *)
+    jitter : float;
+        (** Each delay is scaled by a uniform factor in
+            [1-jitter, 1+jitter]. *)
+    scan_period : Netsim.Vtime.t;
+        (** Leader-side scan period for outstanding
+            [AuthKeyDist]/[AdminMsg] frames. *)
+    half_open_gc : Netsim.Vtime.t;
+        (** Age after which a stalled half-open handshake is
+            garbage-collected on the leader. *)
+  }
+
+  val default_retry : retry_config
+  (** 250 ms initial, 4 s cap, ×2 backoff, ±20% jitter, 200 ms scans,
+      3 s half-open GC. *)
+
+  (** Counters for the recovery layer, for chaos reports. *)
+  type retry_stats = {
+    mutable handshake_retransmits : int;  (** Member re-sent [AuthInitReq]. *)
+    mutable keydist_retransmits : int;  (** Leader re-sent [AuthKeyDist]. *)
+    mutable admin_retransmits : int;  (** Leader re-sent an [AdminMsg]. *)
+    mutable half_open_gcs : int;  (** Stalled handshakes collected. *)
+    mutable session_resets : int;
+        (** Member sessions torn down and restarted after
+            authenticating without ever receiving the group key. *)
+  }
+
   val create :
     ?seed:int64 ->
     ?latency_us:int * int ->
     ?policy:Leader.policy ->
+    ?retry:retry_config ->
     leader:Types.agent ->
     directory:(Types.agent * string) list ->
     unit ->
     t
   (** Build a cluster: one leader plus a member automaton for every
-      directory entry, all attached to a fresh simulated network. *)
+      directory entry, all attached to a fresh simulated network.
+
+      With [retry] set, the driver also runs the recovery layer:
+      member handshakes are retransmitted with capped exponential
+      backoff and jitter, the leader periodically re-sends outstanding
+      [AuthKeyDist]/[AdminMsg] frames and garbage-collects half-open
+      handshakes, and authenticated-but-keyless sessions are reset.
+      The leader scan is an [until]-less periodic task, so runs with
+      [retry] should bound execution via {!run}[ ~until] or call
+      {!stop_retry} to let the queue drain. Without [retry] the driver
+      behaves exactly as before (single-shot sends). *)
 
   val sim : t -> Netsim.Sim.t
   val net : t -> Netsim.Network.t
@@ -33,7 +79,14 @@ module Improved : sig
 
   val join : t -> Types.agent -> unit
   (** Emit the member's [AuthInitReq] now (at the current virtual
-      time). *)
+      time). With [retry] enabled, also start the member's handshake
+      retransmission watchdog. *)
+
+  val retry_stats : t -> retry_stats
+
+  val stop_retry : t -> unit
+  (** Cancel the leader scan and all member watchdogs so the event
+      queue can drain; the protocol keeps working, single-shot. *)
 
   val leave : t -> Types.agent -> unit
   val send_app : t -> Types.agent -> string -> unit
@@ -46,11 +99,13 @@ module Improved : sig
   val expel : t -> Types.agent -> unit
 
   val start_periodic_rekey :
-    t -> period:Netsim.Vtime.t -> ?until:Netsim.Vtime.t -> unit -> unit
+    t -> period:Netsim.Vtime.t -> ?until:Netsim.Vtime.t -> unit ->
+    Netsim.Sim.handle
   (** Schedule leader rekeys every [period] of virtual time — the
       paper's "on a periodic basis" policy. Without [until] the
-      schedule runs for the lifetime of the simulation (use
-      [run ~until] to bound execution). *)
+      schedule runs until the returned handle is
+      {!Netsim.Sim.cancel}led (previously it could never be torn down
+      and prevented quiescence forever). *)
 
   val run : ?until:Netsim.Vtime.t -> t -> int
   (** Run the simulation to quiescence (or [until]); returns events
@@ -62,6 +117,11 @@ module Improved : sig
       is live. *)
 
   val all_prefix_ok : t -> bool
+
+  val converged : t -> bool
+  (** The chaos suite's goal state: every directory member is
+      [Connected], all members and the leader agree on the group-key
+      epoch, and {!all_prefix_ok} holds. *)
 end
 
 module Legacy : sig

@@ -4,6 +4,8 @@ type config = {
   heartbeat_period : Netsim.Vtime.t;
   failure_timeout : Netsim.Vtime.t;
   check_period : Netsim.Vtime.t;
+  retry_budget : int;
+  failback_after : Netsim.Vtime.t;
 }
 
 let default_config =
@@ -11,9 +13,22 @@ let default_config =
     heartbeat_period = Netsim.Vtime.of_ms 300;
     failure_timeout = Netsim.Vtime.of_ms 1000;
     check_period = Netsim.Vtime.of_ms 200;
+    retry_budget = 2;
+    failback_after = Netsim.Vtime.of_ms 1500;
   }
 
-type manager = { name : Types.agent; leader : Leader.t; mutable crashed : bool }
+(* One leader-side watch entry: the nonce of an outstanding frame and
+   when this nonce was first observed by the scan. A frame is only
+   retransmitted once the same nonce survives into a second scan, so a
+   reply in flight gets one scan period to land first. *)
+type mwatch = { w_nonce : Wire.Nonce.t; first_seen : Netsim.Vtime.t }
+
+type manager = {
+  name : Types.agent;
+  leader : Leader.t;
+  mutable crashed : bool;
+  watches : (Types.agent, mwatch) Hashtbl.t;
+}
 
 type member_slot = {
   m_name : Types.agent;
@@ -22,6 +37,10 @@ type member_slot = {
   mutable target : Types.agent;
   mutable active : bool;  (** has been asked to join at least once *)
   mutable last_admin : Netsim.Vtime.t;
+  mutable retries : int;
+      (** consecutive silent timeout windows on the current target *)
+  mutable failback_at : Netsim.Vtime.t option;
+      (** when to abandon a non-preferred manager for the primary *)
 }
 
 type t = {
@@ -31,6 +50,8 @@ type t = {
   managers : manager array;
   members : (Types.agent, member_slot) Hashtbl.t;
   mutable failovers : int;
+  mutable failbacks : int;
+  mutable handles : Netsim.Sim.handle list;
 }
 
 let sim t = t.sim
@@ -43,6 +64,22 @@ let primary t =
     else first (i + 1)
   in
   first 0
+
+(* Next non-crashed manager strictly after [after] in the fixed
+   succession, wrapping — so a live-but-unreachable target is skipped
+   rather than retried forever. Wraps all the way back to [after]
+   itself when it is the only live manager. *)
+let succession_next t after =
+  let n = Array.length t.managers in
+  let idx = ref 0 in
+  Array.iteri (fun i mgr -> if mgr.name = after then idx := i) t.managers;
+  let rec find k =
+    if k > n then primary t
+    else
+      let mgr = t.managers.((!idx + k) mod n) in
+      if not mgr.crashed then mgr.name else find (k + 1)
+  in
+  find 1
 
 let send_frames t ~src frames =
   List.iter
@@ -59,7 +96,8 @@ let attach_member t slot =
       List.iter
         (function
           | Member.Admin_accepted _ | Member.Joined _ ->
-              slot.last_admin <- Netsim.Sim.now t.sim
+              slot.last_admin <- Netsim.Sim.now t.sim;
+              slot.retries <- 0
           | Member.App_received _ | Member.Left | Member.Rejected _ -> ())
         (Member.drain_events slot.automaton))
 
@@ -69,6 +107,21 @@ let attach_manager t mgr =
         let replies = Leader.receive mgr.leader bytes in
         send_frames t ~src:mgr.name replies
       end)
+
+(* Tear down the current session (politely, so a live manager frees
+   its slot) and run a fresh handshake against [target]. *)
+let switch_to t slot ~target =
+  send_frames t ~src:slot.m_name (Member.leave slot.automaton);
+  slot.target <- target;
+  slot.automaton <-
+    Member.create ~self:slot.m_name ~leader:target ~password:slot.password
+      ~rng:(Netsim.Sim.rng t.sim);
+  attach_member t slot;
+  slot.active <- true;
+  slot.retries <- 0;
+  slot.failback_at <- None;
+  slot.last_admin <- Netsim.Sim.now t.sim;
+  send_frames t ~src:slot.m_name (Member.join slot.automaton)
 
 let join_slot t slot =
   let target = primary t in
@@ -80,40 +133,131 @@ let join_slot t slot =
     attach_member t slot
   end;
   slot.active <- true;
+  slot.retries <- 0;
+  slot.failback_at <- None;
   slot.last_admin <- Netsim.Sim.now t.sim;
   send_frames t ~src:slot.m_name (Member.join slot.automaton)
 
 let fail_over t slot =
   t.failovers <- t.failovers + 1;
-  (* If the member still believes in the old session, send the close —
-     a live-but-slow leader can then free the session so a later
-     rejoin is accepted (a crashed one simply never reads it). *)
-  send_frames t ~src:slot.m_name (Member.leave slot.automaton);
-  let target = primary t in
-  slot.target <- target;
-  slot.automaton <-
-    Member.create ~self:slot.m_name ~leader:target ~password:slot.password
-      ~rng:(Netsim.Sim.rng t.sim);
-  attach_member t slot;
-  slot.active <- true;
-  slot.last_admin <- Netsim.Sim.now t.sim;
-  send_frames t ~src:slot.m_name (Member.join slot.automaton)
+  switch_to t slot ~target:(succession_next t slot.target)
 
+let fail_back t slot ~preferred =
+  t.failbacks <- t.failbacks + 1;
+  switch_to t slot ~target:preferred
+
+(* Member-side failure detector. A timeout no longer means "dead":
+   the first [retry_budget] silent windows are treated as "slow" — the
+   member re-arms the window and, if its handshake is still pending,
+   retransmits the stored AuthInitReq as a probe. Only when the budget
+   is exhausted does it fail over to the next manager in succession.
+   Separately, a member that is connected and stable on a manager
+   other than the current primary drifts back to the preferred primary
+   after [failback_after] — so a partition that pushed it sideways
+   heals into the canonical configuration instead of splitting the
+   group forever. *)
 let start_failure_detector t slot =
-  Netsim.Sim.every t.sim ~period:t.config.check_period (fun () ->
-      if slot.active then begin
-        let silence =
-          Int64.sub (Netsim.Sim.now t.sim) slot.last_admin
-        in
-        if Netsim.Vtime.(t.config.failure_timeout <= silence) then
-          fail_over t slot
-      end)
+  let h =
+    Netsim.Sim.every_handle t.sim ~period:t.config.check_period (fun () ->
+        if slot.active then begin
+          let now = Netsim.Sim.now t.sim in
+          let preferred = primary t in
+          let silence = Int64.sub now slot.last_admin in
+          (* Fail-back only from a demonstrably live session — a
+             silent non-preferred target is the detector's business,
+             not a candidate for a polite migration. *)
+          if
+            Member.is_connected slot.automaton
+            && slot.target <> preferred
+            && Netsim.Vtime.(silence < t.config.failure_timeout)
+          then begin
+            match slot.failback_at with
+            | None ->
+                slot.failback_at <-
+                  Some (Netsim.Vtime.add now t.config.failback_after)
+            | Some at when Netsim.Vtime.(at <= now) ->
+                fail_back t slot ~preferred
+            | Some _ -> ()
+          end
+          else slot.failback_at <- None;
+          if Netsim.Vtime.(t.config.failure_timeout <= silence) then
+            if slot.retries < t.config.retry_budget then begin
+              slot.retries <- slot.retries + 1;
+              send_frames t ~src:slot.m_name
+                (Member.retransmit_join slot.automaton);
+              slot.last_admin <- Netsim.Sim.now t.sim
+            end
+            else fail_over t slot
+        end)
+  in
+  t.handles <- h :: t.handles
 
 let start_heartbeat t mgr =
-  Netsim.Sim.every t.sim ~period:t.config.heartbeat_period (fun () ->
-      if not mgr.crashed then
-        send_frames t ~src:mgr.name
-          (Leader.broadcast_admin mgr.leader (Wire.Admin.Notice "hb")))
+  let h =
+    Netsim.Sim.every_handle t.sim ~period:t.config.heartbeat_period (fun () ->
+        if not mgr.crashed then
+          send_frames t ~src:mgr.name
+            (Leader.broadcast_admin mgr.leader (Wire.Admin.Notice "hb")))
+  in
+  t.handles <- h :: t.handles
+
+let watch_nonce = function
+  | Leader.Waiting_for_key_ack (n, _) | Leader.Waiting_for_ack (n, _) -> Some n
+  | Leader.Not_connected | Leader.Connected _ -> None
+
+(* Manager-side scan: re-send outstanding AuthKeyDist/AdminMsg frames
+   whose nonce survived a previous scan unchanged (so lost replies
+   don't wedge a session), and garbage-collect handshakes that stay
+   half-open past twice the failure timeout — by then the member has
+   either probed again (fresh nonce) or failed over elsewhere. *)
+let start_manager_scan t mgr =
+  let gc_after = Int64.mul 2L t.config.failure_timeout in
+  let h =
+    Netsim.Sim.every_handle t.sim ~period:t.config.check_period (fun () ->
+        if not mgr.crashed then begin
+          let now = Netsim.Sim.now t.sim in
+          let outstanding =
+            List.map (fun who -> (who, true)) (Leader.half_open mgr.leader)
+            @ List.map (fun who -> (who, false)) (Leader.awaiting_ack mgr.leader)
+          in
+          let live = List.map fst outstanding in
+          Hashtbl.iter
+            (fun who _ ->
+              if not (List.mem who live) then Hashtbl.remove mgr.watches who)
+            (Hashtbl.copy mgr.watches);
+          List.iter
+            (fun (who, is_half_open) ->
+              match watch_nonce (Leader.session mgr.leader who) with
+              | None -> Hashtbl.remove mgr.watches who
+              | Some n -> (
+                  match Hashtbl.find_opt mgr.watches who with
+                  | Some w when Wire.Nonce.equal w.w_nonce n ->
+                      if Netsim.Vtime.(gc_after <= Int64.sub now w.first_seen)
+                      then begin
+                        (* Stalled past the deadline. A half-open
+                           handshake is silently reset; a member that
+                           never acks an AdminMsg is presumed dead and
+                           expelled — freeing the session so a later
+                           re-handshake (e.g. after a partition heals)
+                           is accepted instead of rejected as
+                           "in session". *)
+                        if is_half_open then
+                          ignore (Leader.abort_half_open mgr.leader who)
+                        else
+                          send_frames t ~src:mgr.name
+                            (Leader.expel mgr.leader who);
+                        Hashtbl.remove mgr.watches who
+                      end
+                      else
+                        send_frames t ~src:mgr.name
+                          (Leader.retransmit mgr.leader who)
+                  | Some _ | None ->
+                      Hashtbl.replace mgr.watches who
+                        { w_nonce = n; first_seen = now }))
+            outstanding
+        end)
+  in
+  t.handles <- h :: t.handles
 
 let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
   if managers = [] then invalid_arg "Failover.create: no managers";
@@ -121,13 +265,30 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
   let net = Netsim.Network.create ~sim () in
   let rng = Netsim.Sim.rng sim in
   let mk_manager name =
-    { name; leader = Leader.create ~self:name ~rng ~directory (); crashed = false }
+    {
+      name;
+      leader = Leader.create ~self:name ~rng ~directory ();
+      crashed = false;
+      watches = Hashtbl.create 8;
+    }
   in
   let managers = Array.of_list (List.map mk_manager managers) in
   let members = Hashtbl.create 8 in
-  let t = { sim; net; config; managers; members; failovers = 0 } in
+  let t =
+    {
+      sim;
+      net;
+      config;
+      managers;
+      members;
+      failovers = 0;
+      failbacks = 0;
+      handles = [];
+    }
+  in
   Array.iter (attach_manager t) t.managers;
   Array.iter (start_heartbeat t) t.managers;
+  Array.iter (start_manager_scan t) t.managers;
   List.iter
     (fun (m_name, password) ->
       let slot =
@@ -140,6 +301,8 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
           target = t.managers.(0).name;
           active = false;
           last_admin = Netsim.Vtime.zero;
+          retries = 0;
+          failback_at = None;
         }
       in
       Hashtbl.replace members m_name slot;
@@ -149,6 +312,10 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
   t
 
 let start t = Hashtbl.iter (fun _ slot -> join_slot t slot) t.members
+
+let stop t =
+  List.iter Netsim.Sim.cancel t.handles;
+  t.handles <- []
 
 let join t who =
   match Hashtbl.find_opt t.members who with
@@ -199,5 +366,6 @@ let connected_members t =
   |> List.sort String.compare
 
 let failovers t = t.failovers
+let failbacks t = t.failbacks
 
 let run ?until t = Netsim.Sim.run ?until t.sim

@@ -21,9 +21,26 @@
       each member's nonce-chained admin channel, so heartbeats are
       authenticated and replay-protected like any admin message;
     - each member tracks the virtual time of the last accepted admin
-      message; when it exceeds [failure_timeout], the member abandons
-      the session locally and re-runs the §3.2 authentication
-      handshake with the next manager in the succession;
+      message; when silence exceeds [failure_timeout] the member first
+      treats the manager as merely {e slow}: it re-arms the window up
+      to [retry_budget] times, retransmitting its stored [AuthInitReq]
+      if the handshake is still pending. Only when the budget is
+      exhausted does it declare the manager {e dead}, abandon the
+      session locally and re-run the §3.2 handshake with the next
+      non-crashed manager after its current target in the succession
+      (so a live-but-partitioned primary is skipped, not retried
+      forever);
+    - managers run the same [check_period] scan on their side:
+      outstanding [AuthKeyDist]/[AdminMsg] frames whose nonce survives
+      a scan unchanged are re-sent; handshakes half-open for more
+      than twice [failure_timeout] are garbage-collected, and a member
+      that never acks an [AdminMsg] for that long is presumed dead and
+      expelled — freeing its session so a re-handshake after a healed
+      partition is accepted;
+    - a member connected to a manager other than the current primary
+      fails {e back} to the primary after [failback_after] of
+      stability, so partitions heal into a single group under the
+      preferred manager rather than leaving the group split;
     - the new primary builds a fresh group (fresh session keys, fresh
       group-key epoch), so no state of the dead manager is trusted.
 
@@ -45,13 +62,27 @@ type t
 type config = {
   heartbeat_period : Netsim.Vtime.t;  (** Primary's admin heartbeat. *)
   failure_timeout : Netsim.Vtime.t;
-      (** Silence after which a member fails over. Must comfortably
-          exceed [heartbeat_period] plus round-trip jitter. *)
-  check_period : Netsim.Vtime.t;  (** How often members check. *)
+      (** Silence after which a member suspects its manager. Must
+          comfortably exceed [heartbeat_period] plus round-trip
+          jitter. *)
+  check_period : Netsim.Vtime.t;
+      (** How often members check, and how often managers scan for
+          outstanding frames to retransmit. *)
+  retry_budget : int;
+      (** Silent windows a member tolerates (probing its stalled
+          handshake each time) before declaring the manager dead —
+          the "slow vs dead" distinction: total patience is
+          [(retry_budget + 1) × failure_timeout]. *)
+  failback_after : Netsim.Vtime.t;
+      (** How long a member stays connected to a non-preferred manager
+          before drifting back to the current primary, so a healed
+          partition reconverges to one group instead of staying
+          split. *)
 }
 
 val default_config : config
-(** 300 ms heartbeat, 1 s timeout, 200 ms check period. *)
+(** 300 ms heartbeat, 1 s timeout, 200 ms check period, 2 retries,
+    1.5 s fail-back. *)
 
 val create :
   ?seed:int64 ->
@@ -99,3 +130,11 @@ val connected_members : t -> Types.agent list
 
 val failovers : t -> int
 (** Total member failover events so far. *)
+
+val failbacks : t -> int
+(** Members that returned to the preferred primary after riding out a
+    partition on a successor. *)
+
+val stop : t -> unit
+(** Cancel all heartbeat, detector and scan timers so the event queue
+    can drain; existing sessions keep working, single-shot. *)

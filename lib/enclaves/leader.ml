@@ -39,7 +39,11 @@ type mstate =
       reply : F.t;  (* stored AuthKeyDist, resent on duplicate requests *)
     }
   | S_connected of { na : Wire.Nonce.t; ka : Key.t }
-  | S_waiting_for_ack of { nl : Wire.Nonce.t; ka : Key.t }
+  | S_waiting_for_ack of {
+      nl : Wire.Nonce.t;
+      ka : Key.t;
+      reply : F.t;  (* the outstanding AdminMsg, re-sent on timeout *)
+    }
 
 type session_view =
   | Not_connected
@@ -106,7 +110,7 @@ let session t who =
   | S_not_connected -> Not_connected
   | S_waiting_for_key_ack { nl; ka; _ } -> Waiting_for_key_ack (nl, ka)
   | S_connected { na; ka } -> Connected (na, ka)
-  | S_waiting_for_ack { nl; ka } -> Waiting_for_ack (nl, ka)
+  | S_waiting_for_ack { nl; ka; _ } -> Waiting_for_ack (nl, ka)
 
 (* A user is "in session" — counted as a member — from the moment its
    AuthAckKey is accepted until its session closes. *)
@@ -136,18 +140,22 @@ let reject t ?label ?claimed reason =
   []
 
 (* Put one admin payload on the wire for a member whose channel is
-   idle: AdminMsg carrying (N_{2i+1} = na, fresh N_{2i+2}). *)
+   idle: AdminMsg carrying (N_{2i+1} = na, fresh N_{2i+2}). The sealed
+   frame is stored so a retransmission re-sends the identical bytes —
+   [sent_rev] grows exactly once per payload regardless of how many
+   times the frame hits the wire, preserving §5.4. *)
 let fire_admin t who s x ~na ~ka =
   let nl = Wire.Nonce.fresh t.rng in
-  s.mstate <- S_waiting_for_ack { nl; ka };
   s.sent_rev <- x :: s.sent_rev;
   let plaintext =
     P.encode_admin_body { P.l = t.self; a = who; expected = na; next = nl; x }
   in
-  [
+  let reply =
     Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Admin_msg ~sender:t.self
-      ~recipient:who plaintext;
-  ]
+      ~recipient:who plaintext
+  in
+  s.mstate <- S_waiting_for_ack { nl; ka; reply };
+  [ reply ]
 
 let enqueue_admin t who x =
   let s = session_of t who in
@@ -202,6 +210,39 @@ let close_session t who s ~expelled =
 let expel t who =
   let s = session_of t who in
   if in_session s then close_session t who s ~expelled:true else []
+
+(* --- retransmission support --- *)
+
+let retransmit t who =
+  match (session_of t who).mstate with
+  | S_waiting_for_key_ack { reply; _ } -> [ reply ]
+  | S_waiting_for_ack { reply; _ } -> [ reply ]
+  | S_not_connected | S_connected _ -> []
+
+let sessions_where t pred =
+  Hashtbl.fold (fun who s acc -> if pred s.mstate then who :: acc else acc)
+    t.sessions []
+  |> List.sort String.compare
+
+let half_open t =
+  sessions_where t (function S_waiting_for_key_ack _ -> true | _ -> false)
+
+let awaiting_ack t =
+  sessions_where t (function S_waiting_for_ack _ -> true | _ -> false)
+
+(* Garbage-collect a half-open handshake: the member never produced
+   its AuthAckKey, so it was never a group member — no notices, no
+   rekey, no Oops (the provisional Ka never protected anything the
+   member acknowledged). A later AuthInitReq simply starts over. *)
+let abort_half_open t who =
+  let s = session_of t who in
+  match s.mstate with
+  | S_waiting_for_key_ack _ ->
+      s.mstate <- S_not_connected;
+      s.queue <- [];
+      s.sent_rev <- [];
+      true
+  | S_not_connected | S_connected _ | S_waiting_for_ack _ -> false
 
 let handle_auth_init_req t (frame : F.t) =
   let claimed = frame.F.sender in
@@ -305,7 +346,7 @@ let handle_admin_ack t (frame : F.t) =
   let claimed = frame.F.sender in
   let s = session_of t claimed in
   match s.mstate with
-  | S_waiting_for_ack { nl; ka } -> (
+  | S_waiting_for_ack { nl; ka; _ } -> (
       match Sealed_channel.open_ ~key:ka frame with
       | Error reason -> reject t ~label:frame.F.label ~claimed reason
       | Ok plaintext -> (

@@ -103,6 +103,27 @@ val expel : t -> Types.agent -> Wire.Frame.t list
     [Member_expelled] — an Oops), notify the remaining members, and
     rekey if the policy says so. *)
 
+val retransmit : t -> Types.agent -> Wire.Frame.t list
+(** The stored outstanding frame for this member, byte-identical to
+    its first transmission: the [AuthKeyDist] when
+    [WaitingForKeyAck], the [AdminMsg] when [WaitingForAck]; empty
+    otherwise. Re-sending advances no state and re-appends nothing to
+    [snd_A]. *)
+
+val half_open : t -> Types.agent list
+(** Members with an outstanding handshake ([WaitingForKeyAck]),
+    sorted — candidates for timeout-driven retransmission or GC. *)
+
+val awaiting_ack : t -> Types.agent list
+(** Members with an outstanding [AdminMsg] ([WaitingForAck]),
+    sorted. *)
+
+val abort_half_open : t -> Types.agent -> bool
+(** Garbage-collect a half-open handshake: reset the session to
+    [NotConnected], discarding the provisional session key. The user
+    was never a member, so no notices or rekeys are emitted. Returns
+    whether a handshake was actually aborted. *)
+
 val sent_admin : t -> Types.agent -> Wire.Admin.t list
 (** The ordered list [snd_A]: admin payloads sent to this member in
     its current session (§5.4). Reset when the session closes. *)

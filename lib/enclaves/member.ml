@@ -42,6 +42,15 @@ type t = {
   mutable accepted_rev : Wire.Admin.t list;
   mutable app_rev : (Types.agent * string) list;
   mutable events_rev : event list;
+  (* Retransmission state. Each field stores a frame already emitted
+     once, so re-sending it never advances the automaton and never
+     hands an attacker anything the first transmission did not. *)
+  mutable last_init : F.t option;  (* outstanding AuthInitReq *)
+  mutable last_key_ack : (Wire.Nonce.t * F.t) option;
+      (* (N2 answered, AuthAckKey frame) of the current session *)
+  mutable last_admin_ack : (Wire.Nonce.t * F.t) option;
+      (* (leader nonce answered, AdminAck frame) of the latest accepted
+         AdminMsg *)
 }
 
 let create_with_key ~self ~leader ~long_term ~rng =
@@ -58,6 +67,9 @@ let create_with_key ~self ~leader ~long_term ~rng =
     accepted_rev = [];
     app_rev = [];
     events_rev = [];
+    last_init = None;
+    last_key_ack = None;
+    last_admin_ack = None;
   }
 
 let create ~self ~leader ~password ~rng =
@@ -100,17 +112,27 @@ let join t =
       let plaintext =
         P.encode_auth_init { P.a = t.self; l = t.leader; n1 }
       in
-      [
+      let frame =
         Sealed_channel.seal ~rng:t.rng ~key:t.pa ~label:F.Auth_init_req
-          ~sender:t.self ~recipient:t.leader plaintext;
-      ]
+          ~sender:t.self ~recipient:t.leader plaintext
+      in
+      t.last_init <- Some frame;
+      [ frame ]
   | S_waiting_for_key _ | S_connected _ -> []
+
+let retransmit_join t =
+  match (t.state, t.last_init) with
+  | S_waiting_for_key _, Some frame -> [ frame ]
+  | _ -> []
 
 let reset_session t =
   t.state <- S_not_connected;
   t.group_key <- None;
   t.view <- [];
   t.accepted_rev <- [];
+  t.last_init <- None;
+  t.last_key_ack <- None;
+  t.last_admin_ack <- None;
   emit t Left
 
 let leave t =
@@ -162,14 +184,35 @@ let handle_auth_key_dist t (frame : F.t) =
                 let ka = Key.of_raw Key.Session ka in
                 let n3 = Wire.Nonce.fresh t.rng in
                 t.state <- S_connected { na = n3; ka };
+                t.last_init <- None;
                 emit t (Joined { session_key = ka });
                 let plaintext = P.encode_auth_ack_key { P.n2; n3 } in
-                [
+                let ack =
                   Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Auth_ack_key
-                    ~sender:t.self ~recipient:t.leader plaintext;
-                ]
+                    ~sender:t.self ~recipient:t.leader plaintext
+                in
+                t.last_key_ack <- Some (n2, ack);
+                [ ack ]
               end))
-  | S_not_connected | S_connected _ ->
+  | S_connected _ -> (
+      (* Already connected: a retransmitted AuthKeyDist for the
+         handshake we just completed means our AuthAckKey was lost.
+         Re-send the stored ack — no state change, so a replaying
+         attacker learns nothing and moves nothing. *)
+      match Sealed_channel.open_ ~key:t.pa frame with
+      | Error reason -> reject t ~label:frame.F.label reason
+      | Ok plaintext -> (
+          match P.decode_auth_key_dist plaintext with
+          | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
+          | Ok { P.l; a; n2; _ } -> (
+              match t.last_key_ack with
+              | Some (n2', ack)
+                when l = t.leader && a = t.self && Wire.Nonce.equal n2 n2' ->
+                  [ ack ]
+              | _ ->
+                  reject t ~label:frame.F.label
+                    (Types.Wrong_state "not waiting for key"))))
+  | S_not_connected ->
       reject t ~label:frame.F.label (Types.Wrong_state "not waiting for key")
 
 let handle_admin_msg t (frame : F.t) =
@@ -183,10 +226,17 @@ let handle_admin_msg t (frame : F.t) =
           | Ok { P.l; a; expected; next; x } ->
               if l <> t.leader || a <> t.self then
                 reject t ~label:frame.F.label Types.Identity_mismatch
-              else if not (Wire.Nonce.equal expected na) then
-                (* Replay or out-of-order admin message: the freshness
-                   evidence N_{2i+1} does not match. *)
-                reject t ~label:frame.F.label Types.Stale_nonce
+              else if not (Wire.Nonce.equal expected na) then (
+                (* The freshness evidence N_{2i+1} does not match. If
+                   this is a retransmission of the admin message we
+                   accepted last (its AdminAck was lost), re-send the
+                   stored ack so the leader's channel unblocks;
+                   anything else is a replay or out-of-order message
+                   and is silently rejected. *)
+                match t.last_admin_ack with
+                | Some (nl_prev, ack) when Wire.Nonce.equal next nl_prev ->
+                    [ ack ]
+                | _ -> reject t ~label:frame.F.label Types.Stale_nonce)
               else begin
                 apply_admin t x;
                 let n_next = Wire.Nonce.fresh t.rng in
@@ -195,10 +245,12 @@ let handle_admin_msg t (frame : F.t) =
                   P.encode_admin_ack
                     { P.a = t.self; l = t.leader; echo = next; next = n_next }
                 in
-                [
+                let ack =
                   Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Admin_ack
-                    ~sender:t.self ~recipient:t.leader plaintext;
-                ]
+                    ~sender:t.self ~recipient:t.leader plaintext
+                in
+                t.last_admin_ack <- Some (next, ack);
+                [ ack ]
               end))
   | S_not_connected | S_waiting_for_key _ ->
       reject t ~label:frame.F.label (Types.Wrong_state "not connected")

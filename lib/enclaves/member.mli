@@ -19,7 +19,16 @@
     nonce check, or arrives in the wrong state is {e rejected}: the
     member's protocol state does not change and a [Rejected] event is
     recorded. This silent-drop discipline is the intrusion tolerance —
-    attacker bytes cannot make the automaton move. *)
+    attacker bytes cannot make the automaton move.
+
+    One carve-out makes the automaton retransmission-tolerant without
+    weakening that discipline: an authenticated {e duplicate} of the
+    last frame this member already answered (an [AuthKeyDist] whose
+    [N2] it already acked, or an [AdminMsg] whose nonce it already
+    acked) elicits a re-send of the stored answer — a frame that was
+    already on the wire — with no state change and no fresh
+    randomness. Lost acks therefore heal instead of wedging the peer,
+    and a replaying attacker gains nothing. *)
 
 type t
 
@@ -57,6 +66,12 @@ val is_connected : t -> bool
 val join : t -> Wire.Frame.t list
 (** Start the §3.2 handshake: emits [AuthInitReq]. No-op (empty list)
     unless [NotConnected]. *)
+
+val retransmit_join : t -> Wire.Frame.t list
+(** The stored [AuthInitReq] of the outstanding handshake, for
+    timeout-driven retransmission; empty unless [WaitingForKey]. The
+    same frame (same [N1]) is re-sent, so the leader recognises the
+    duplicate and answers with its stored [AuthKeyDist]. *)
 
 val leave : t -> Wire.Frame.t list
 (** Emit [ReqClose] sealed under [K_a] and drop to [NotConnected].

@@ -1,0 +1,149 @@
+type link = {
+  loss : float;
+  corrupt : float;
+  duplicate : float;
+  spike_prob : float;
+  spike : Vtime.t;
+}
+
+let perfect_link =
+  { loss = 0.0; corrupt = 0.0; duplicate = 0.0; spike_prob = 0.0; spike = Vtime.zero }
+
+let check_prob name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Faultplan: %s probability %g outside [0,1]" name p)
+
+let lossy_link ?(corrupt = 0.0) ?(duplicate = 0.0) ?(spike_prob = 0.0)
+    ?(spike = Vtime.of_ms 50) loss =
+  check_prob "loss" loss;
+  check_prob "corrupt" corrupt;
+  check_prob "duplicate" duplicate;
+  check_prob "spike" spike_prob;
+  { loss; corrupt; duplicate; spike_prob; spike }
+
+type partition = {
+  west : string list;
+  east : string list;
+  from_ : Vtime.t;
+  heal : Vtime.t;
+}
+
+type outage = { node : string; down : Vtime.t; up : Vtime.t option }
+
+type t = {
+  default_link : link;
+  links : ((string * string) * link) list;
+  partitions : partition list;
+  outages : outage list;
+}
+
+let none =
+  { default_link = perfect_link; links = []; partitions = []; outages = [] }
+
+let make ?(default_link = perfect_link) ?(links = []) ?(partitions = [])
+    ?(outages = []) () =
+  { default_link; links; partitions; outages }
+
+let uniform_loss p = { none with default_link = lossy_link p }
+
+let link_for t ~src ~dst =
+  match List.assoc_opt (src, dst) t.links with
+  | Some l -> l
+  | None -> t.default_link
+
+let active_interval ~now ~from_ ~until_ =
+  Vtime.(from_ <= now) && Vtime.(now < until_)
+
+let separates p ~src ~dst =
+  (List.mem src p.west && List.mem dst p.east)
+  || (List.mem src p.east && List.mem dst p.west)
+
+let partitioned t ~now ~src ~dst =
+  List.exists
+    (fun p ->
+      active_interval ~now ~from_:p.from_ ~until_:p.heal && separates p ~src ~dst)
+    t.partitions
+
+let node_down t ~now node =
+  List.exists
+    (fun o ->
+      o.node = node
+      && Vtime.(o.down <= now)
+      && match o.up with None -> true | Some up -> Vtime.(now < up))
+    t.outages
+
+type counters = {
+  mutable lost : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable spiked : int;
+  mutable cut : int;
+  mutable down : int;
+}
+
+let fresh_counters () =
+  { lost = 0; corrupted = 0; duplicated = 0; spiked = 0; cut = 0; down = 0 }
+
+let total_dropped c = c.lost + c.cut + c.down
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "lost=%d corrupted=%d duplicated=%d spiked=%d cut=%d down=%d" c.lost
+    c.corrupted c.duplicated c.spiked c.cut c.down
+
+type verdict =
+  | Fault_drop of [ `Loss | `Partition | `Outage ]
+  | Fault_pass of { payload : string; extra : Vtime.t; copies : int }
+
+let hit rng p = p > 0.0 && Prng.Splitmix.next_float rng < p
+
+let flip_one_bit rng payload =
+  if String.length payload = 0 then payload
+  else begin
+    let b = Bytes.of_string payload in
+    let i = Prng.Splitmix.next_int rng (Bytes.length b) in
+    let bit = 1 lsl Prng.Splitmix.next_int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+    Bytes.to_string b
+  end
+
+let apply t ~rng ~counters ~now ~src ~dst ~payload =
+  if node_down t ~now src || node_down t ~now dst then begin
+    counters.down <- counters.down + 1;
+    Fault_drop `Outage
+  end
+  else if partitioned t ~now ~src ~dst then begin
+    counters.cut <- counters.cut + 1;
+    Fault_drop `Partition
+  end
+  else begin
+    let link = link_for t ~src ~dst in
+    if hit rng link.loss then begin
+      counters.lost <- counters.lost + 1;
+      Fault_drop `Loss
+    end
+    else begin
+      let payload =
+        if hit rng link.corrupt then begin
+          counters.corrupted <- counters.corrupted + 1;
+          flip_one_bit rng payload
+        end
+        else payload
+      in
+      let extra =
+        if hit rng link.spike_prob then begin
+          counters.spiked <- counters.spiked + 1;
+          link.spike
+        end
+        else Vtime.zero
+      in
+      let copies =
+        if hit rng link.duplicate then begin
+          counters.duplicated <- counters.duplicated + 1;
+          2
+        end
+        else 1
+      in
+      Fault_pass { payload; extra; copies }
+    end
+  end

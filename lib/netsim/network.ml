@@ -9,6 +9,11 @@ type t = {
   nodes : (string, string -> unit) Hashtbl.t;
   rng : Prng.Splitmix.t;
   mutable adversary : adversary option;
+  mutable faultplan : Faultplan.t option;
+  (* Split lazily on the first [set_faultplan] so fault-free runs draw
+     exactly the same random stream as before the fault layer existed. *)
+  mutable fault_rng : Prng.Splitmix.t option;
+  fault_counters : Faultplan.counters;
   (* Last scheduled delivery time per (src,dst), to keep per-pair FIFO. *)
   last_delivery : (string * string, Vtime.t) Hashtbl.t;
 }
@@ -24,6 +29,9 @@ let create ~sim ?(latency_us = (500, 1500)) ?(trace = Trace.create ()) () =
     nodes = Hashtbl.create 16;
     rng = Prng.Splitmix.split (Sim.rng sim);
     adversary = None;
+    faultplan = None;
+    fault_rng = None;
+    fault_counters = Faultplan.fresh_counters ();
     last_delivery = Hashtbl.create 16;
   }
 
@@ -31,6 +39,15 @@ let trace t = t.trace
 let register t name handler = Hashtbl.replace t.nodes name handler
 let unregister t name = Hashtbl.remove t.nodes name
 let set_adversary t adv = t.adversary <- adv
+
+let set_faultplan t plan =
+  (match (plan, t.fault_rng) with
+  | Some _, None -> t.fault_rng <- Some (Prng.Splitmix.split t.rng)
+  | _ -> ());
+  t.faultplan <- plan
+
+let faultplan t = t.faultplan
+let fault_counters t = t.fault_counters
 
 let draw_latency t =
   let span = t.latency_hi - t.latency_lo in
@@ -53,31 +70,66 @@ let fifo_time t ~src ~dst ~extra =
   Hashtbl.replace t.last_delivery key time;
   time
 
+let record_drop t ~src ~dst ~payload ~cause =
+  Trace.record t.trace
+    (Trace.Dropped { time = Sim.now t.sim; src; dst; payload; cause })
+
 let deliver t ~src ~dst ~payload ~extra =
   let time = fifo_time t ~src ~dst ~extra in
   Sim.schedule_at t.sim ~time (fun () ->
-      match Hashtbl.find_opt t.nodes dst with
-      | Some handler ->
-          Trace.record t.trace
-            (Trace.Delivered { time = Sim.now t.sim; src; dst; payload });
-          handler payload
-      | None ->
-          Trace.record t.trace
-            (Trace.Dropped { time = Sim.now t.sim; src; dst; payload }))
+      (* An outage is re-checked at delivery time: frames in flight
+         toward a node that has since crashed are lost with it. *)
+      let dst_down =
+        match t.faultplan with
+        | Some plan when Faultplan.node_down plan ~now:(Sim.now t.sim) dst ->
+            t.fault_counters.Faultplan.down <-
+              t.fault_counters.Faultplan.down + 1;
+            true
+        | _ -> false
+      in
+      if dst_down then record_drop t ~src ~dst ~payload ~cause:Trace.By_fault
+      else
+        match Hashtbl.find_opt t.nodes dst with
+        | Some handler ->
+            Trace.record t.trace
+              (Trace.Delivered { time = Sim.now t.sim; src; dst; payload });
+            handler payload
+        | None -> record_drop t ~src ~dst ~payload ~cause:Trace.Unregistered)
+
+(* The fault layer sits after the adversary tap: whatever the
+   adversary lets through (possibly rewritten or delayed) is then
+   subject to loss, corruption, duplication, spikes, partitions and
+   outages from the installed plan. *)
+let faulted_deliver t ~src ~dst ~payload ~extra =
+  match (t.faultplan, t.fault_rng) with
+  | Some plan, Some rng -> (
+      match
+        Faultplan.apply plan ~rng ~counters:t.fault_counters
+          ~now:(Sim.now t.sim) ~src ~dst ~payload
+      with
+      | Faultplan.Fault_drop _ ->
+          record_drop t ~src ~dst ~payload ~cause:Trace.By_fault
+      | Faultplan.Fault_pass { payload; extra = fault_extra; copies } ->
+          let extra = Vtime.add extra fault_extra in
+          for _ = 1 to copies do
+            deliver t ~src ~dst ~payload ~extra
+          done)
+  | _ -> deliver t ~src ~dst ~payload ~extra
 
 let send t ~src ~dst payload =
   Trace.record t.trace (Trace.Sent { time = Sim.now t.sim; src; dst; payload });
   match t.adversary with
-  | None -> deliver t ~src ~dst ~payload ~extra:Vtime.zero
+  | None -> faulted_deliver t ~src ~dst ~payload ~extra:Vtime.zero
   | Some adv -> (
       match adv ~src ~dst ~payload with
-      | Deliver -> deliver t ~src ~dst ~payload ~extra:Vtime.zero
-      | Drop ->
-          Trace.record t.trace
-            (Trace.Dropped { time = Sim.now t.sim; src; dst; payload })
-      | Replace payload' -> deliver t ~src ~dst ~payload:payload' ~extra:Vtime.zero
-      | Delay extra -> deliver t ~src ~dst ~payload ~extra)
+      | Deliver -> faulted_deliver t ~src ~dst ~payload ~extra:Vtime.zero
+      | Drop -> record_drop t ~src ~dst ~payload ~cause:Trace.By_adversary
+      | Replace payload' ->
+          faulted_deliver t ~src ~dst ~payload:payload' ~extra:Vtime.zero
+      | Delay extra -> faulted_deliver t ~src ~dst ~payload ~extra)
 
 let inject t ~dst payload =
   Trace.record t.trace (Trace.Injected { time = Sim.now t.sim; dst; payload });
+  (* Injection bypasses the fault plan: the adversary's own frames are
+     placed on the last hop directly. *)
   deliver t ~src:"<adversary>" ~dst ~payload ~extra:Vtime.zero

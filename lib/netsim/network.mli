@@ -44,6 +44,18 @@ val send : t -> src:string -> dst:string -> string -> unit
 val set_adversary : t -> adversary option -> unit
 (** Install or remove the man-in-the-middle tap. *)
 
+val set_faultplan : t -> Faultplan.t option -> unit
+(** Install or remove a deterministic {!Faultplan}. The plan applies
+    after the adversary tap, to every honest frame the adversary lets
+    through (adversary injections bypass it). Faults draw from a
+    dedicated PRNG split off the network's stream the first time a
+    plan is installed, so runs without a plan are unaffected and runs
+    with one replay bit-for-bit from the simulation seed. *)
+
+val faultplan : t -> Faultplan.t option
+val fault_counters : t -> Faultplan.counters
+(** Running tally of faults injected so far on this network. *)
+
 val inject : t -> dst:string -> string -> unit
 (** Adversary primitive: deliver arbitrary bytes to [dst] after normal
     latency, recorded as an injection. *)

@@ -10,6 +10,11 @@ let create ?(seed = 1L) () =
 let now t = t.clock
 let rng t = t.root_rng
 
+type handle = { mutable cancelled : bool }
+
+let cancel h = h.cancelled <- true
+let is_cancelled h = h.cancelled
+
 let schedule_at t ~time f =
   let time = if Vtime.(time < t.clock) then t.clock else time in
   Heap.push t.queue ~time f
@@ -18,15 +23,26 @@ let schedule t ~delay f =
   if Vtime.(delay < Vtime.zero) then invalid_arg "Sim.schedule: negative delay";
   schedule_at t ~time:(Vtime.add t.clock delay) f
 
-let every t ~period ?until f =
+let schedule_handle t ~delay f =
+  let h = { cancelled = false } in
+  schedule t ~delay (fun () -> if not h.cancelled then f ());
+  h
+
+let every_handle t ~period ?until f =
   if Vtime.(period <= Vtime.zero) then invalid_arg "Sim.every: period must be positive";
+  let h = { cancelled = false } in
   let rec tick () =
-    f ();
-    match until with
-    | Some stop when Vtime.(Vtime.add t.clock period < stop) = false -> ()
-    | _ -> schedule t ~delay:period tick
+    if not h.cancelled then begin
+      f ();
+      match until with
+      | Some stop when Vtime.(Vtime.add t.clock period < stop) = false -> ()
+      | _ -> schedule t ~delay:period tick
+    end
   in
-  schedule t ~delay:period tick
+  schedule t ~delay:period tick;
+  h
+
+let every t ~period ?until f = ignore (every_handle t ~period ?until f)
 
 let run ?until ?(max_events = max_int) t =
   let executed = ref 0 in

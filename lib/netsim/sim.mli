@@ -16,9 +16,25 @@ val rng : t -> Prng.Splitmix.t
 (** The engine's root PRNG; components should {!Prng.Splitmix.split}
     it rather than share one stream. *)
 
+type handle
+(** A cancellation handle for a scheduled or periodic callback. A
+    cancelled callback's queue entry still pops (the heap does not
+    support removal) but the callback body is skipped and, for
+    periodic tasks, no further occurrence is scheduled — so cancelling
+    every periodic task lets the event queue drain and [run] reach
+    quiescence. *)
+
+val cancel : handle -> unit
+(** Idempotent; takes effect from the next firing. *)
+
+val is_cancelled : handle -> bool
+
 val schedule : t -> delay:Vtime.t -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t + delay].
     @raise Invalid_argument if [delay < 0]. *)
+
+val schedule_handle : t -> delay:Vtime.t -> (unit -> unit) -> handle
+(** Like {!schedule} but cancellable. *)
 
 val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> unit
 (** Absolute-time variant; times in the past fire at the current
@@ -27,6 +43,12 @@ val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> unit
 val every : t -> period:Vtime.t -> ?until:Vtime.t -> (unit -> unit) -> unit
 (** [every t ~period f] runs [f] each [period], first firing after one
     period, stopping after [until] when given. *)
+
+val every_handle :
+  t -> period:Vtime.t -> ?until:Vtime.t -> (unit -> unit) -> handle
+(** Like {!every} but returns a handle; {!cancel} tears the schedule
+    down, which is the only way to stop an [until]-less periodic task
+    (e.g. a heartbeat or periodic rekey) before the simulation ends. *)
 
 val run : ?until:Vtime.t -> ?max_events:int -> t -> int
 (** [run t] executes events until the queue empties, [until] is

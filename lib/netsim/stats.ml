@@ -2,6 +2,9 @@ type t = {
   sent : int;
   delivered : int;
   dropped : int;
+  dropped_by_adversary : int;
+  dropped_unregistered : int;
+  dropped_by_fault : int;
   injected : int;
   unmatched_deliveries : int;
   bytes_on_wire : int;
@@ -14,6 +17,9 @@ let compute trace =
   let sent = ref 0
   and delivered = ref 0
   and dropped = ref 0
+  and dropped_adv = ref 0
+  and dropped_unreg = ref 0
+  and dropped_fault = ref 0
   and injected = ref 0
   and unmatched = ref 0
   and bytes = ref 0 in
@@ -48,7 +54,12 @@ let compute trace =
               (* No matching Sent: an injected or adversary-rewritten
                  frame reached its destination. *)
               incr unmatched)
-      | Trace.Dropped _ -> incr dropped
+      | Trace.Dropped { cause; _ } -> (
+          incr dropped;
+          match cause with
+          | Trace.By_adversary -> incr dropped_adv
+          | Trace.Unregistered -> incr dropped_unreg
+          | Trace.By_fault -> incr dropped_fault)
       | Trace.Injected { payload; _ } ->
           incr injected;
           bytes := !bytes + String.length payload)
@@ -62,6 +73,9 @@ let compute trace =
     sent = !sent;
     delivered = !delivered;
     dropped = !dropped;
+    dropped_by_adversary = !dropped_adv;
+    dropped_unregistered = !dropped_unreg;
+    dropped_by_fault = !dropped_fault;
     injected = !injected;
     unmatched_deliveries = !unmatched;
     bytes_on_wire = !bytes;
@@ -87,7 +101,9 @@ let by_label ~decode_label trace =
 
 let pp fmt t =
   Format.fprintf fmt
-    "sent=%d delivered=%d dropped=%d injected=%d unmatched=%d bytes=%d \
-     latency(ms) min/mean/max=%.2f/%.2f/%.2f"
-    t.sent t.delivered t.dropped t.injected t.unmatched_deliveries
-    t.bytes_on_wire t.latency_min_ms t.latency_mean_ms t.latency_max_ms
+    "sent=%d delivered=%d dropped=%d (adv=%d unreg=%d fault=%d) injected=%d \
+     unmatched=%d bytes=%d latency(ms) min/mean/max=%.2f/%.2f/%.2f"
+    t.sent t.delivered t.dropped t.dropped_by_adversary
+    t.dropped_unregistered t.dropped_by_fault t.injected
+    t.unmatched_deliveries t.bytes_on_wire t.latency_min_ms t.latency_mean_ms
+    t.latency_max_ms

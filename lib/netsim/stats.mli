@@ -8,7 +8,10 @@
 type t = {
   sent : int;
   delivered : int;
-  dropped : int;
+  dropped : int;  (** Aggregate of the three cause-split fields below. *)
+  dropped_by_adversary : int;  (** Adversary tap returned [Drop]. *)
+  dropped_unregistered : int;  (** Destination had no handler. *)
+  dropped_by_fault : int;  (** Fault plan: loss, partition or outage. *)
   injected : int;
   unmatched_deliveries : int;
       (** Deliveries with no matching [Sent] record: injected or

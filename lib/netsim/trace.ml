@@ -1,7 +1,20 @@
+type drop_cause = By_adversary | Unregistered | By_fault
+
+let drop_cause_to_string = function
+  | By_adversary -> "adversary"
+  | Unregistered -> "unregistered"
+  | By_fault -> "fault"
+
 type entry =
   | Sent of { time : Vtime.t; src : string; dst : string; payload : string }
   | Delivered of { time : Vtime.t; src : string; dst : string; payload : string }
-  | Dropped of { time : Vtime.t; src : string; dst : string; payload : string }
+  | Dropped of {
+      time : Vtime.t;
+      src : string;
+      dst : string;
+      payload : string;
+      cause : drop_cause;
+    }
   | Injected of { time : Vtime.t; dst : string; payload : string }
 
 type t = { mutable rev_entries : entry list; mutable length : int }
@@ -29,9 +42,10 @@ let pp_entry fmt = function
   | Delivered { time; src; dst; payload } ->
       Format.fprintf fmt "[%a] DLVR %s->%s (%d bytes)" Vtime.pp time src dst
         (String.length payload)
-  | Dropped { time; src; dst; payload } ->
-      Format.fprintf fmt "[%a] DROP %s->%s (%d bytes)" Vtime.pp time src dst
-        (String.length payload)
+  | Dropped { time; src; dst; payload; cause } ->
+      Format.fprintf fmt "[%a] DROP %s->%s (%d bytes, %s)" Vtime.pp time src
+        dst (String.length payload)
+        (drop_cause_to_string cause)
   | Injected { time; dst; payload } ->
       Format.fprintf fmt "[%a] INJT ->%s (%d bytes)" Vtime.pp time dst
         (String.length payload)

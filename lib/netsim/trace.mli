@@ -6,13 +6,26 @@
     Payloads are raw frame bytes — the trace is below the crypto
     boundary, so recording them leaks nothing the network would not. *)
 
+type drop_cause =
+  | By_adversary  (** The adversary tap returned [Drop]. *)
+  | Unregistered  (** No handler registered for the destination. *)
+  | By_fault  (** Suppressed by the {!Faultplan} (loss/partition/outage). *)
+
+val drop_cause_to_string : drop_cause -> string
+
 type entry =
   | Sent of { time : Vtime.t; src : string; dst : string; payload : string }
       (** An honest node handed a frame to the network. *)
   | Delivered of { time : Vtime.t; src : string; dst : string; payload : string }
       (** The network invoked [dst]'s handler. *)
-  | Dropped of { time : Vtime.t; src : string; dst : string; payload : string }
-      (** The adversary suppressed a frame. *)
+  | Dropped of {
+      time : Vtime.t;
+      src : string;
+      dst : string;
+      payload : string;
+      cause : drop_cause;
+    }
+      (** The frame was suppressed; [cause] attributes the loss. *)
   | Injected of { time : Vtime.t; dst : string; payload : string }
       (** The adversary placed a frame of its own making. *)
 

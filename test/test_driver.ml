@@ -137,8 +137,10 @@ let test_periodic_rekey () =
     | None -> -1
   in
   let e0 = epoch_now () in
-  D.start_periodic_rekey d ~period:(Netsim.Vtime.of_ms 100)
-    ~until:(Netsim.Vtime.of_ms 550) ();
+  let _handle =
+    D.start_periodic_rekey d ~period:(Netsim.Vtime.of_ms 100)
+      ~until:(Netsim.Vtime.of_ms 550) ()
+  in
   let _ = D.run ~until:(Netsim.Vtime.of_s 2) d in
   Alcotest.(check int) "five periodic rekeys" (e0 + 5) (epoch_now ());
   (* Members follow. *)

@@ -14,6 +14,8 @@ let quick_config =
     Failover.heartbeat_period = Netsim.Vtime.of_ms 100;
     failure_timeout = Netsim.Vtime.of_ms 400;
     check_period = Netsim.Vtime.of_ms 100;
+    retry_budget = 2;
+    failback_after = Netsim.Vtime.of_ms 800;
   }
 
 let make () =

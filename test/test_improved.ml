@@ -247,11 +247,26 @@ let test_admin_replay_rejected () =
   Test_util.route router frames;
   let before = List.length (Member.accepted_admin alice) in
   let _ = Member.drain_events alice in
-  (* Replay the very same bytes. *)
+  (* Replay the very same bytes: the member recognises the duplicate of
+     the admin message it just answered and re-sends the stored ack —
+     and nothing else. No second acceptance, no state change; feeding
+     the duplicate ack to the leader moves nothing either. *)
   let replies = Member.receive alice (F.encode admin_frame) in
-  Alcotest.(check int) "no ack for replay" 0 (List.length replies);
+  Alcotest.(check int) "stored ack re-sent for duplicate" 1
+    (List.length replies);
   Alcotest.(check int) "no duplicate accepted" before
     (List.length (Member.accepted_admin alice));
+  let leader_replies =
+    List.concat_map (fun f -> Leader.receive leader (F.encode f)) replies
+  in
+  Alcotest.(check int) "duplicate ack ignored by leader" 0
+    (List.length leader_replies);
+  (* An older admin frame (not the last answered) is still stale. *)
+  let frames2 = Leader.enqueue_admin leader "alice" (Wire.Admin.Notice "two") in
+  Test_util.route router frames2;
+  let _ = Member.drain_events alice in
+  let replies = Member.receive alice (F.encode admin_frame) in
+  Alcotest.(check int) "no ack for stale replay" 0 (List.length replies);
   let stale =
     List.exists
       (function

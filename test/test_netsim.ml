@@ -311,6 +311,157 @@ let test_stats_by_label () =
     [ ("<garbage>", 1); ("AppData", 1) ]
     labels
 
+(* --- cancellation handles --- *)
+
+let test_handle_cancel_schedule () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_handle sim ~delay:(Vtime.of_ms 10) (fun () -> fired := true) in
+  Sim.schedule sim ~delay:(Vtime.of_ms 5) (fun () -> Sim.cancel h);
+  let _ = Sim.run sim in
+  Alcotest.(check bool) "cancelled callback never fires" false !fired;
+  Alcotest.(check bool) "reports cancelled" true (Sim.is_cancelled h)
+
+let test_handle_cancel_every () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let h = Sim.every_handle sim ~period:(Vtime.of_ms 10) (fun () -> incr ticks) in
+  Sim.schedule sim ~delay:(Vtime.of_ms 35) (fun () -> Sim.cancel h);
+  (* An until-less periodic task would never quiesce; cancellation
+     must end it. *)
+  let _ = Sim.run ~until:(Vtime.of_ms 500) sim in
+  Alcotest.(check int) "three ticks then silence" 3 !ticks
+
+(* --- fault plan --- *)
+
+let test_faultplan_total_loss () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  Network.register net "bob" (fun _ -> ());
+  Network.set_faultplan net (Some (Faultplan.uniform_loss 1.0));
+  Network.send net ~src:"a" ~dst:"bob" "x";
+  Network.send net ~src:"a" ~dst:"bob" "y";
+  let _ = Sim.run sim in
+  let c = Network.fault_counters net in
+  Alcotest.(check int) "both lost" 2 c.Faultplan.lost;
+  let st = Stats.compute (Network.trace net) in
+  Alcotest.(check int) "attributed to the fault plan" 2 st.Stats.dropped_by_fault;
+  Alcotest.(check int) "aggregate matches" 2 st.Stats.dropped;
+  Alcotest.(check int) "nothing delivered" 0 st.Stats.delivered
+
+let test_faultplan_duplication () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  let inbox = ref 0 in
+  Network.register net "bob" (fun _ -> incr inbox);
+  Network.set_faultplan net
+    (Some
+       (Faultplan.make
+          ~default_link:(Faultplan.lossy_link ~duplicate:1.0 0.0)
+          ()));
+  Network.send net ~src:"a" ~dst:"bob" "x";
+  let _ = Sim.run sim in
+  Alcotest.(check int) "two copies" 2 !inbox;
+  Alcotest.(check int) "counted" 1 (Network.fault_counters net).Faultplan.duplicated
+
+let test_faultplan_partition_window () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim ~latency_us:(10, 10) () in
+  let inbox = ref [] in
+  Network.register net "bob" (fun b -> inbox := b :: !inbox);
+  Network.set_faultplan net
+    (Some
+       (Faultplan.make
+          ~partitions:
+            [
+              {
+                Faultplan.west = [ "a" ];
+                east = [ "bob" ];
+                from_ = Vtime.of_ms 10;
+                heal = Vtime.of_ms 20;
+              };
+            ]
+          ()));
+  (* Send at t=0 (before), t=15ms (inside), t=25ms (after). The cut is
+     evaluated at delivery time. *)
+  Network.send net ~src:"a" ~dst:"bob" "before";
+  Sim.schedule sim ~delay:(Vtime.of_ms 15) (fun () ->
+      Network.send net ~src:"a" ~dst:"bob" "inside");
+  Sim.schedule sim ~delay:(Vtime.of_ms 25) (fun () ->
+      Network.send net ~src:"a" ~dst:"bob" "after");
+  let _ = Sim.run sim in
+  Alcotest.(check (list string)) "only the cut frame is lost"
+    [ "before"; "after" ] (List.rev !inbox);
+  Alcotest.(check int) "cut counted" 1 (Network.fault_counters net).Faultplan.cut
+
+let test_faultplan_outage () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim ~latency_us:(10, 10) () in
+  let inbox = ref [] in
+  Network.register net "bob" (fun b -> inbox := b :: !inbox);
+  Network.set_faultplan net
+    (Some
+       (Faultplan.make
+          ~outages:
+            [
+              {
+                Faultplan.node = "bob";
+                down = Vtime.of_ms 10;
+                up = Some (Vtime.of_ms 20);
+              };
+            ]
+          ()));
+  Network.send net ~src:"a" ~dst:"bob" "before";
+  Sim.schedule sim ~delay:(Vtime.of_ms 12) (fun () ->
+      Network.send net ~src:"a" ~dst:"bob" "while-down");
+  Sim.schedule sim ~delay:(Vtime.of_ms 22) (fun () ->
+      Network.send net ~src:"a" ~dst:"bob" "restarted");
+  let _ = Sim.run sim in
+  Alcotest.(check (list string)) "down window swallows the frame"
+    [ "before"; "restarted" ] (List.rev !inbox);
+  Alcotest.(check int) "down counted" 1 (Network.fault_counters net).Faultplan.down
+
+let test_faultplan_deterministic_replay () =
+  let run () =
+    let sim = Sim.create ~seed:123L () in
+    let net = Network.create ~sim ~latency_us:(100, 5000) () in
+    Network.register net "bob" (fun _ -> ());
+    Network.set_faultplan net
+      (Some
+         (Faultplan.make
+            ~default_link:
+              (Faultplan.lossy_link ~corrupt:0.2 ~duplicate:0.2 ~spike_prob:0.2
+                 0.2)
+            ()));
+    for i = 1 to 50 do
+      Network.send net ~src:"a" ~dst:"bob" (string_of_int i)
+    done;
+    let _ = Sim.run sim in
+    let c = Network.fault_counters net in
+    ( Trace.length (Network.trace net),
+      (c.Faultplan.lost, c.Faultplan.corrupted, c.Faultplan.duplicated,
+       c.Faultplan.spiked) )
+  in
+  let (len1, c1) = run () and (len2, c2) = run () in
+  Alcotest.(check int) "same trace length" len1 len2;
+  Alcotest.(check bool) "same fault counters" true (c1 = c2);
+  (* And the plan did something on every axis. *)
+  let lost, corrupted, duplicated, spiked = c1 in
+  Alcotest.(check bool) "all four fault kinds fired" true
+    (lost > 0 && corrupted > 0 && duplicated > 0 && spiked > 0)
+
+let test_faultplan_injection_bypasses () =
+  (* Adversary injections model the attacker's own transmissions —
+     the fault plan must not eat them. *)
+  let sim = Sim.create () in
+  let net = Network.create ~sim () in
+  let inbox = ref 0 in
+  Network.register net "bob" (fun _ -> incr inbox);
+  Network.set_faultplan net (Some (Faultplan.uniform_loss 1.0));
+  Network.inject net ~dst:"bob" "evil";
+  let _ = Sim.run sim in
+  Alcotest.(check int) "injected frame delivered" 1 !inbox
+
 let suite =
   [
     ( "netsim",
@@ -345,5 +496,20 @@ let suite =
           test_stats_unmatched_rewrite;
         Alcotest.test_case "stats dropped" `Quick test_stats_dropped;
         Alcotest.test_case "stats by label" `Quick test_stats_by_label;
+        Alcotest.test_case "handle cancels schedule" `Quick
+          test_handle_cancel_schedule;
+        Alcotest.test_case "handle cancels every" `Quick
+          test_handle_cancel_every;
+        Alcotest.test_case "faultplan total loss" `Quick
+          test_faultplan_total_loss;
+        Alcotest.test_case "faultplan duplication" `Quick
+          test_faultplan_duplication;
+        Alcotest.test_case "faultplan partition window" `Quick
+          test_faultplan_partition_window;
+        Alcotest.test_case "faultplan outage" `Quick test_faultplan_outage;
+        Alcotest.test_case "faultplan deterministic replay" `Quick
+          test_faultplan_deterministic_replay;
+        Alcotest.test_case "faultplan injection bypasses" `Quick
+          test_faultplan_injection_bypasses;
       ] );
   ]
