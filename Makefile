@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos ci clean
+.PHONY: all build test bench bench-smoke chaos chaos-crash journal-fuzz doc ci clean
 
 all: build
 
@@ -21,7 +21,28 @@ bench-smoke:
 chaos:
 	dune exec bin/enclaves_cli.exe -- chaos --members 5 --seeds 20 --loss 0.20
 
-ci: build test bench-smoke chaos
+# Crash-recovery sweep: kill the leader mid-session under loss, warm
+# restart from the journal — every seed must reconverge with views in
+# agreement (the anti-entropy layer's job).
+chaos-crash:
+	dune exec bin/enclaves_cli.exe -- chaos --members 5 --seeds 10 --loss 0.05 \
+	  --crash-at 2 --restart-after 1 --until 30
+
+# The journal's totality property (truncation/bit-flip recovery) plus
+# the crash-recovery scenarios, as a focused filter over the test tree.
+journal-fuzz:
+	dune exec test/test_main.exe -- test journal
+	dune exec test/test_main.exe -- test recovery
+
+# API docs — only where odoc is installed; CI images without it skip.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc; \
+	else \
+	  echo "doc: odoc not installed, skipping"; \
+	fi
+
+ci: build test bench-smoke chaos chaos-crash journal-fuzz doc
 
 clean:
 	dune clean

@@ -275,7 +275,7 @@ let verify_cmd =
 (* --- chaos --- *)
 
 let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
-    verbose =
+    crash_at restart_after cold verbose =
   let module D = Enclaves.Driver.Improved in
   let directory =
     List.init members (fun i ->
@@ -289,13 +289,22 @@ let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
       ()
   in
   let bound = Netsim.Vtime.of_s until_s in
+  let crashing = crash_at > 0.0 in
   let one seed =
     let retry = if no_retry then None else Some D.default_retry in
-    let d = D.create ~seed ?retry ~leader:"leader" ~directory () in
+    let recovery = if crashing then Some D.default_recovery else None in
+    let d = D.create ~seed ?retry ?recovery ~leader:"leader" ~directory () in
     Netsim.Network.set_faultplan (D.net d) (Some plan);
     List.iter (fun (n, _) -> D.join d n) directory;
+    if crashing then
+      D.schedule_leader_crash d
+        ~at:(Int64.of_float (crash_at *. 1e6))
+        ~restart_after:(Int64.of_float (restart_after *. 1e6))
+        ~warm:(not cold) ();
     ignore (D.run ~until:bound d);
-    let converged = D.converged d in
+    (* With anti-entropy on, convergence additionally requires view
+       agreement — that is what the digests are for. *)
+    let converged = if crashing then D.view_converged d else D.converged d in
     let join_time =
       (* Virtual time by which every member held the current epoch —
          read off the trace as the last delivery before quiescence
@@ -321,21 +330,31 @@ let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
       (Int64.to_float join_time /. 1e6)
       r.D.handshake_retransmits r.D.keydist_retransmits r.D.admin_retransmits
       r.D.half_open_gcs r.D.session_resets;
+    if crashing then
+      Format.printf "         recovery: %a@." Netsim.Stats.pp_named
+        (D.recovery_counters d);
     if verbose then begin
+      Format.printf "         retry: %a@." Netsim.Stats.pp_named
+        (D.retry_counters d);
       Format.printf "         faults: %a@." Netsim.Faultplan.pp_counters c;
       Printf.printf "         drops: total=%d adv=%d unreg=%d fault=%d\n"
         stats.Netsim.Stats.dropped stats.Netsim.Stats.dropped_by_adversary
         stats.Netsim.Stats.dropped_unregistered
-        stats.Netsim.Stats.dropped_by_fault
+        stats.Netsim.Stats.dropped_by_fault;
+      Format.printf "         wire: %a@." Netsim.Stats.pp stats
     end;
     converged
   in
   let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
   Printf.printf
     "chaos: %d members, loss=%.0f%% corrupt=%.0f%% dup=%.0f%% spikes=%.0f%% \
-     retry=%b bound=%ds\n"
+     retry=%b bound=%ds%s\n"
     members (100. *. loss) (100. *. corrupt) (100. *. duplicate)
-    (100. *. spike_prob) (not no_retry) until_s;
+    (100. *. spike_prob) (not no_retry) until_s
+    (if crashing then
+       Printf.sprintf " crash@%.1fs restart+%.1fs (%s)" crash_at restart_after
+         (if cold then "cold" else "warm")
+     else "");
   let ok = List.filter one seed_list in
   Printf.printf "\n%d/%d seeds converged\n" (List.length ok) seeds;
   if List.length ok = seeds then 0 else 1
@@ -375,6 +394,28 @@ let no_retry_arg =
     & info [ "no-retry" ]
         ~doc:"Disable the recovery layer (control runs; expect wedges)")
 
+let crash_at_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "crash-at" ]
+        ~doc:
+          "Crash the leader at this virtual time (seconds); 0 disables. \
+           Enables journalling and view anti-entropy.")
+
+let restart_after_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "restart-after" ]
+        ~doc:"Restart the leader this long after the crash (seconds)")
+
+let cold_arg =
+  Arg.(
+    value & flag
+    & info [ "cold" ]
+        ~doc:
+          "Restart cold (discard the journal) instead of warm — the \
+           control arm for recovery experiments")
+
 let chaos_cmd =
   let doc =
     "sweep seeded fault plans against the protocol's recovery layer"
@@ -383,7 +424,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ chaos_members_arg $ chaos_seeds_arg $ loss_arg
       $ corrupt_arg $ duplicate_arg $ spike_arg $ until_arg $ no_retry_arg
-      $ verbose_arg)
+      $ crash_at_arg $ restart_after_arg $ cold_arg $ verbose_arg)
 
 (* --- keys --- *)
 

@@ -5,6 +5,7 @@ module P = Wire.Payload
 type anomaly =
   | Replayed_admin of { recipient : Types.agent; occurrences : int }
   | Forged_frame of { recipient : Types.agent; label : F.label }
+  | Stale_rekey of { recipient : Types.agent; epoch : int; current : int }
 
 let pp_anomaly fmt = function
   | Replayed_admin { recipient; occurrences } ->
@@ -13,6 +14,10 @@ let pp_anomaly fmt = function
   | Forged_frame { recipient; label } ->
       Format.fprintf fmt "forged %s frame delivered to %s"
         (F.label_to_string label) recipient
+  | Stale_rekey { recipient; epoch; current } ->
+      Format.fprintf fmt
+        "stale rekey to %s: delivered epoch %d does not exceed current %d"
+        recipient epoch current
 
 type report = {
   handshakes_completed : int;
@@ -23,16 +28,17 @@ type report = {
 
 let clean r = r.anomalies = []
 
-(* Per-member audit state: the long-term key from the directory, and
-   the session key currently in force (learned from AuthKeyDist). *)
-type session = { pa : Key.t; mutable ka : Key.t option }
+(* Per-member audit state: the long-term key from the directory, the
+   session key currently in force (learned from AuthKeyDist), and the
+   highest group-key epoch genuinely delivered to this member. *)
+type session = { pa : Key.t; mutable ka : Key.t option; mutable epoch : int }
 
 let run ~directory ~leader trace =
   let sessions = Hashtbl.create 8 in
   List.iter
     (fun (user, password) ->
       Hashtbl.replace sessions user
-        { pa = Key.long_term ~user ~password; ka = None })
+        { pa = Key.long_term ~user ~password; ka = None; epoch = 0 })
     directory;
   let handshakes = ref 0 and admin = ref 0 and closes = ref 0 in
   let anomalies = ref [] in
@@ -78,15 +84,33 @@ let run ~directory ~leader trace =
         | F.Admin_msg -> (
             match member_of frame ~field:(fun f -> f.F.recipient) with
             | None -> ()
-            | Some { ka = Some key; _ } -> (
+            | Some ({ ka = Some key; _ } as s) -> (
                 match Sealed_channel.open_ ~key frame with
-                | Ok _ ->
+                | Ok plaintext ->
                     incr admin;
+                    let first = not (Hashtbl.mem admin_seen payload) in
                     let count =
                       1
                       + Option.value ~default:0 (Hashtbl.find_opt admin_seen payload)
                     in
-                    Hashtbl.replace admin_seen payload count
+                    Hashtbl.replace admin_seen payload count;
+                    (* Epoch regression check on DISTINCT payloads only:
+                       a network-duplicated frame is already reported as
+                       Replayed_admin, not also as a stale rekey. *)
+                    if first then (
+                      match P.decode_admin_body plaintext with
+                      | Ok { P.x = Wire.Admin.New_group_key { epoch; _ }; _ }
+                        ->
+                          if epoch <= s.epoch then
+                            flag
+                              (Stale_rekey
+                                 {
+                                   recipient = frame.F.recipient;
+                                   epoch;
+                                   current = s.epoch;
+                                 })
+                          else s.epoch <- epoch
+                      | Ok _ | Error _ -> ())
                 | Error _ ->
                     flag
                       (Forged_frame

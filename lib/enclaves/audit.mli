@@ -22,6 +22,12 @@ type anomaly =
   | Forged_frame of { recipient : Types.agent; label : Wire.Frame.label }
       (** A delivered protocol frame that fails authentication under
           the session key the auditor derived for that member. *)
+  | Stale_rekey of { recipient : Types.agent; epoch : int; current : int }
+      (** An authentic, first-seen [New_group_key] delivery whose
+          epoch does not exceed the highest epoch already delivered to
+          that member — a replayed or misordered rekey that a correct
+          member must not install. Byte-identical duplicates are
+          reported as [Replayed_admin] only. *)
 
 val pp_anomaly : Format.formatter -> anomaly -> unit
 

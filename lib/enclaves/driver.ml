@@ -53,16 +53,67 @@ module Improved = struct
     mutable interval : Netsim.Vtime.t;
   }
 
+  type recovery_config = {
+    digest_period : Netsim.Vtime.t;
+    challenge_timeout : Netsim.Vtime.t;
+    probe_after : Netsim.Vtime.t;
+    reset_after : Netsim.Vtime.t;
+  }
+
+  let default_recovery =
+    {
+      digest_period = Netsim.Vtime.of_s 1;
+      challenge_timeout = Netsim.Vtime.of_s 3;
+      probe_after = Netsim.Vtime.of_s 4;
+      reset_after = Netsim.Vtime.of_s 10;
+    }
+
+  type recovery_stats = {
+    mutable leader_crashes : int;
+    mutable warm_restarts : int;
+    mutable cold_restarts : int;
+    mutable challenges_sent : int;
+    mutable challenge_retransmits : int;
+    mutable challenges_failed : int;
+    mutable digests_broadcast : int;
+    mutable probes_sent : int;
+    mutable cold_reauths : int;
+  }
+
+  let fresh_recovery_stats () =
+    {
+      leader_crashes = 0;
+      warm_restarts = 0;
+      cold_restarts = 0;
+      challenges_sent = 0;
+      challenge_retransmits = 0;
+      challenges_failed = 0;
+      digests_broadcast = 0;
+      probes_sent = 0;
+      cold_reauths = 0;
+    }
+
   type t = {
     sim : Netsim.Sim.t;
     net : Netsim.Network.t;
-    leader : Leader.t;
+    mutable leader : Leader.t;  (* replaced on a leader restart *)
     members : (Types.agent, Member.t) Hashtbl.t;
+    directory : (Types.agent * string) list;
+    policy : Leader.policy option;
     retry : retry_config option;
     rstats : retry_stats;
+    recovery : recovery_config option;
+    recstats : recovery_stats;
+    mutable journal : Journal.t option;  (* the leader's "disk" *)
+    mutable leader_down : bool;
+    (* Recoveries/resyncs performed by previous leader incarnations —
+       those counters die with the crashed instance. *)
+    mutable acc_recoveries : int;
+    mutable acc_resyncs : int;
     jrng : Prng.Splitmix.t;  (* jitter; split off the root stream *)
     mutable retry_stopped : bool;
     mutable scan_handle : Netsim.Sim.handle option;
+    mutable recovery_handles : Netsim.Sim.handle list;
     watches : (Types.agent, lwatch) Hashtbl.t;
     pending_close : (Types.agent, Wire.Frame.t list) Hashtbl.t;
         (* Close frames from a session reset, re-sent alongside the
@@ -72,10 +123,14 @@ module Improved = struct
            wedge otherwise. *)
   }
 
+  (* The handler reads [t.leader] at delivery time, so re-registering
+     after a restart picks up the replacement automaton. *)
   let attach_leader t =
     Netsim.Network.register t.net (Leader.self t.leader) (fun bytes ->
-        let replies = Leader.receive t.leader bytes in
-        send_frames t.net ~src:(Leader.self t.leader) replies)
+        if not t.leader_down then begin
+          let replies = Leader.receive t.leader bytes in
+          send_frames t.net ~src:(Leader.self t.leader) replies
+        end)
 
   let attach_member t m =
     Netsim.Network.register t.net (Member.self m) (fun bytes ->
@@ -101,6 +156,8 @@ module Improved = struct
      and AdminMsg frames whose nonce has not moved since the previous
      scan, and garbage-collect handshakes half-open past the GC age. *)
   let leader_scan t cfg () =
+    if t.leader_down then ()
+    else begin
     let now = Netsim.Sim.now t.sim in
     let lname = Leader.self t.leader in
     let half_open = Leader.half_open t.leader in
@@ -114,7 +171,9 @@ module Improved = struct
       match Leader.session t.leader who with
       | Leader.Waiting_for_key_ack (nl, _) | Leader.Waiting_for_ack (nl, _) ->
           Some nl
-      | Leader.Not_connected | Leader.Connected _ -> None
+      | Leader.Not_connected | Leader.Connected _ | Leader.Recovering _ ->
+          (* Recovery challenges have their own retransmission scan. *)
+          None
     in
     let visit ~is_half_open who =
       match nonce_of who with
@@ -157,48 +216,7 @@ module Improved = struct
     in
     List.iter (visit ~is_half_open:true) half_open;
     List.iter (visit ~is_half_open:false) awaiting
-
-  let create ?(seed = 42L) ?latency_us ?policy ?retry ~leader ~directory () =
-    let sim = Netsim.Sim.create ~seed () in
-    let net = Netsim.Network.create ~sim ?latency_us () in
-    let rng = Netsim.Sim.rng sim in
-    let l = Leader.create ~self:leader ~rng ~directory ?policy () in
-    let members = Hashtbl.create 8 in
-    let t =
-      {
-        sim;
-        net;
-        leader = l;
-        members;
-        retry;
-        rstats = fresh_retry_stats ();
-        jrng = Prng.Splitmix.split rng;
-        retry_stopped = false;
-        scan_handle = None;
-        watches = Hashtbl.create 8;
-        pending_close = Hashtbl.create 8;
-      }
-    in
-    attach_leader t;
-    List.iter
-      (fun (name, password) ->
-        let m = Member.create ~self:name ~leader ~password ~rng in
-        Hashtbl.replace members name m;
-        attach_member t m)
-      directory;
-    (match retry with
-    | Some cfg ->
-        t.scan_handle <-
-          Some
-            (Netsim.Sim.every_handle sim ~period:cfg.scan_period
-               (leader_scan t cfg))
-    | None -> ());
-    t
-
-  let sim t = t.sim
-  let net t = t.net
-  let leader t = t.leader
-  let retry_stats t = t.rstats
+    end
 
   let member t who =
     match Hashtbl.find_opt t.members who with
@@ -251,6 +269,154 @@ module Improved = struct
                  Hashtbl.remove t.pending_close who
            end))
 
+  (* --- view anti-entropy --- *)
+
+  (* Periodic beacon: enqueue the current [View_digest] for every
+     member whose admin channel is idle. Members with an outstanding
+     AdminMsg are skipped (not queued behind it) — the next beacon
+     will catch them, and the queue cannot fill with stale digests. *)
+  let broadcast_digests t =
+    if not t.leader_down then begin
+      let l = t.leader in
+      let digest = Leader.view_digest l in
+      let epoch =
+        match Leader.group_key l with
+        | Some gk -> gk.Types.epoch
+        | None -> 0
+      in
+      List.iter
+        (fun who ->
+          match Leader.session l who with
+          | Leader.Connected _ ->
+              t.recstats.digests_broadcast <- t.recstats.digests_broadcast + 1;
+              send_frames t.net ~src:(Leader.self l)
+                (Leader.enqueue_admin l who
+                   (Wire.Admin.View_digest { digest; epoch }))
+          | Leader.Not_connected | Leader.Waiting_for_key_ack _
+          | Leader.Waiting_for_ack _ | Leader.Recovering _ ->
+              ())
+        (Leader.members l)
+    end
+
+  (* Member-side anti-entropy watchdog: a keyed member that stops
+     seeing beacons first probes the leader with its own digest
+     ([probe_after] of silence), then — if the probe also goes
+     unanswered — tears the session down and cold re-authenticates
+     ([reset_after]). This is the member's escape hatch when a leader
+     restart dropped it (failed challenge, damaged journal): the
+     member cannot distinguish that from a dead leader, so it probes,
+     then rejoins from scratch. *)
+  let rec ae_watch t rc who ~last_seen ~silent_for =
+    ignore
+      (Netsim.Sim.schedule_handle t.sim ~delay:rc.digest_period (fun () ->
+           if not t.retry_stopped then begin
+             let m = member t who in
+             let seen = Member.digests_seen m in
+             if
+               (not (Member.is_connected m))
+               || Member.group_key m = None
+               || seen > last_seen
+             then ae_watch t rc who ~last_seen:seen ~silent_for:0L
+             else begin
+               let silent = Int64.add silent_for rc.digest_period in
+               if Netsim.Vtime.(rc.reset_after <= silent) then begin
+                 t.recstats.cold_reauths <- t.recstats.cold_reauths + 1;
+                 let close = Member.leave m in
+                 send_frames t.net ~src:who close;
+                 Hashtbl.replace t.pending_close who close;
+                 send_frames t.net ~src:who (Member.join m);
+                 (match t.retry with
+                 | Some cfg ->
+                     watch_member t cfg who ~delay:cfg.handshake_initial
+                       ~keyless_ticks:0
+                 | None -> ());
+                 ae_watch t rc who ~last_seen:(Member.digests_seen m)
+                   ~silent_for:0L
+               end
+               else begin
+                 if Netsim.Vtime.(rc.probe_after <= silent) then begin
+                   t.recstats.probes_sent <- t.recstats.probes_sent + 1;
+                   send_frames t.net ~src:who (Member.resync_request m)
+                 end;
+                 ae_watch t rc who ~last_seen ~silent_for:silent
+               end
+             end
+           end))
+
+  let create ?(seed = 42L) ?latency_us ?policy ?retry ?recovery ~leader
+      ~directory () =
+    let sim = Netsim.Sim.create ~seed () in
+    let net = Netsim.Network.create ~sim ?latency_us () in
+    let rng = Netsim.Sim.rng sim in
+    let journal =
+      match recovery with Some _ -> Some (Journal.create ()) | None -> None
+    in
+    let l = Leader.create ~self:leader ~rng ~directory ?policy ?journal () in
+    let members = Hashtbl.create 8 in
+    let t =
+      {
+        sim;
+        net;
+        leader = l;
+        members;
+        directory;
+        policy;
+        retry;
+        rstats = fresh_retry_stats ();
+        recovery;
+        recstats = fresh_recovery_stats ();
+        journal;
+        leader_down = false;
+        acc_recoveries = 0;
+        acc_resyncs = 0;
+        jrng = Prng.Splitmix.split rng;
+        retry_stopped = false;
+        scan_handle = None;
+        recovery_handles = [];
+        watches = Hashtbl.create 8;
+        pending_close = Hashtbl.create 8;
+      }
+    in
+    attach_leader t;
+    List.iter
+      (fun (name, password) ->
+        let m = Member.create ~self:name ~leader ~password ~rng in
+        Hashtbl.replace members name m;
+        attach_member t m)
+      directory;
+    (match retry with
+    | Some cfg ->
+        t.scan_handle <-
+          Some
+            (Netsim.Sim.every_handle sim ~period:cfg.scan_period
+               (leader_scan t cfg))
+    | None -> ());
+    (match recovery with
+    | Some rc ->
+        t.recovery_handles <-
+          [
+            Netsim.Sim.every_handle sim ~period:rc.digest_period (fun () ->
+                broadcast_digests t);
+          ];
+        List.iter
+          (fun (name, _) -> ae_watch t rc name ~last_seen:0 ~silent_for:0L)
+          directory
+    | None -> ());
+    t
+
+  let sim t = t.sim
+  let net t = t.net
+  let leader t = t.leader
+  let retry_stats t = t.rstats
+  let recovery_stats t = t.recstats
+  let journal_bytes t = Option.map Journal.contents t.journal
+
+  let sessions_recovered t = t.acc_recoveries + Leader.recoveries t.leader
+  let resyncs_served t = t.acc_resyncs + Leader.resyncs_served t.leader
+
+  let divergences_detected t =
+    Hashtbl.fold (fun _ m acc -> acc + Member.view_divergences m) t.members 0
+
   let join t who =
     let m = member t who in
     send_frames t.net ~src:who (Member.join m);
@@ -264,7 +430,9 @@ module Improved = struct
     (match t.scan_handle with
     | Some h -> Netsim.Sim.cancel h
     | None -> ());
-    t.scan_handle <- None
+    t.scan_handle <- None;
+    List.iter Netsim.Sim.cancel t.recovery_handles;
+    t.recovery_handles <- []
 
   let leave t who =
     let m = member t who in
@@ -280,6 +448,118 @@ module Improved = struct
   let rekey t = dispatch_leader t (Leader.rekey t.leader)
   let expel t who = dispatch_leader t (Leader.expel t.leader who)
 
+  (* --- leader crash and restart --- *)
+
+  let crash_leader t =
+    if not t.leader_down then begin
+      t.leader_down <- true;
+      t.recstats.leader_crashes <- t.recstats.leader_crashes + 1;
+      (* These counters die with the crashed instance; bank them. *)
+      t.acc_recoveries <- t.acc_recoveries + Leader.recoveries t.leader;
+      t.acc_resyncs <- t.acc_resyncs + Leader.resyncs_served t.leader;
+      Netsim.Network.unregister t.net (Leader.self t.leader)
+    end
+
+  (* Retransmit outstanding recovery challenges every scan until they
+     are answered or [challenge_timeout] has passed, then give up on
+     the stragglers — the cold path. *)
+  let rec recovery_scan t rc ~started ~period =
+    ignore
+      (Netsim.Sim.schedule_handle t.sim ~delay:period (fun () ->
+           if (not t.leader_down) && not t.retry_stopped then begin
+             let now = Netsim.Sim.now t.sim in
+             let pending = Leader.recovering t.leader in
+             if pending <> [] then begin
+               let expired =
+                 Netsim.Vtime.(rc.challenge_timeout <= Int64.sub now started)
+               in
+               List.iter
+                 (fun who ->
+                   if expired then begin
+                     if Leader.abort_recovery t.leader who then
+                       t.recstats.challenges_failed <-
+                         t.recstats.challenges_failed + 1
+                   end
+                   else begin
+                     t.recstats.challenge_retransmits <-
+                       t.recstats.challenge_retransmits + 1;
+                     send_frames t.net ~src:(Leader.self t.leader)
+                       (Leader.retransmit t.leader who)
+                   end)
+                 pending;
+               if not expired then recovery_scan t rc ~started ~period
+             end
+           end))
+
+  let restart_leader ?(warm = true) ?journal_bytes t =
+    let lname = Leader.self t.leader in
+    let rng = Netsim.Sim.rng t.sim in
+    let bytes =
+      match journal_bytes with
+      | Some _ as b -> b
+      | None -> Option.map Journal.contents t.journal
+    in
+    match (warm, bytes) with
+    | true, Some b ->
+        let j, state, status = Journal.recover b in
+        let l, challenges =
+          Leader.recover ~self:lname ~rng ~directory:t.directory
+            ?policy:t.policy ~journal:j ~state ()
+        in
+        t.leader <- l;
+        t.journal <- Some j;
+        t.leader_down <- false;
+        attach_leader t;
+        t.recstats.warm_restarts <- t.recstats.warm_restarts + 1;
+        t.recstats.challenges_sent <-
+          t.recstats.challenges_sent + List.length challenges;
+        send_frames t.net ~src:lname challenges;
+        let rc = Option.value t.recovery ~default:default_recovery in
+        let period =
+          match t.retry with
+          | Some cfg -> cfg.scan_period
+          | None -> Netsim.Vtime.of_ms 200
+        in
+        recovery_scan t rc ~started:(Netsim.Sim.now t.sim) ~period;
+        status
+    | _ ->
+        (* Cold restart: trust nothing — fresh automaton, fresh
+           (empty) journal; members must re-authenticate from
+           scratch. *)
+        let j =
+          match t.journal with
+          | Some _ -> Some (Journal.create ())
+          | None -> None
+        in
+        let l =
+          Leader.create ~self:lname ~rng ~directory:t.directory
+            ?policy:t.policy ?journal:j ()
+        in
+        t.leader <- l;
+        t.journal <- j;
+        t.leader_down <- false;
+        attach_leader t;
+        t.recstats.cold_restarts <- t.recstats.cold_restarts + 1;
+        Journal.Clean
+
+  let schedule_leader_crash ?restart_after ?(warm = true) ?journal_bytes t ~at
+      () =
+    let delay =
+      let now = Netsim.Sim.now t.sim in
+      if Netsim.Vtime.(now < at) then Int64.sub at now else 0L
+    in
+    ignore
+      (Netsim.Sim.schedule_handle t.sim ~delay (fun () ->
+           crash_leader t;
+           match restart_after with
+           | Some d ->
+               ignore
+                 (Netsim.Sim.schedule_handle t.sim ~delay:d (fun () ->
+                      ignore (restart_leader ~warm ?journal_bytes t)))
+           | None -> ()))
+
+  let leader_down t = t.leader_down
+
   let start_periodic_rekey t ~period ?until () =
     Netsim.Sim.every_handle t.sim ~period ?until (fun () -> rekey t)
 
@@ -291,7 +571,12 @@ module Improved = struct
        the leader still runs a session for [who]. An expelled member
        keeps its old [rcv_A] but the session it belonged to is gone. *)
     match Leader.session t.leader who with
-    | Leader.Not_connected | Leader.Waiting_for_key_ack _ -> true
+    | Leader.Not_connected | Leader.Waiting_for_key_ack _
+    | Leader.Recovering _ ->
+        (* A recovering session's [snd_A] died with the crashed leader;
+           the ledger restarts on both sides once the challenge is
+           answered. *)
+        true
     | Leader.Connected _ | Leader.Waiting_for_ack _ ->
         let m = member t who in
         let rcv = Member.accepted_admin m in
@@ -324,6 +609,41 @@ module Improved = struct
             | None -> false)
           t.members true
         && all_prefix_ok t
+
+  (* Anti-entropy's goal state: converged AND every member's
+     membership view equals the leader's. *)
+  let view_converged t =
+    converged t
+    &&
+    let lview = Leader.members t.leader in
+    Hashtbl.fold
+      (fun _ m acc -> acc && Member.group_view m = lview)
+      t.members true
+
+  let retry_counters t =
+    [
+      ("handshake_retransmits", t.rstats.handshake_retransmits);
+      ("keydist_retransmits", t.rstats.keydist_retransmits);
+      ("admin_retransmits", t.rstats.admin_retransmits);
+      ("half_open_gcs", t.rstats.half_open_gcs);
+      ("session_resets", t.rstats.session_resets);
+    ]
+
+  let recovery_counters t =
+    [
+      ("leader_crashes", t.recstats.leader_crashes);
+      ("warm_restarts", t.recstats.warm_restarts);
+      ("cold_restarts", t.recstats.cold_restarts);
+      ("challenges_sent", t.recstats.challenges_sent);
+      ("challenge_retransmits", t.recstats.challenge_retransmits);
+      ("challenges_failed", t.recstats.challenges_failed);
+      ("sessions_recovered", sessions_recovered t);
+      ("digests_broadcast", t.recstats.digests_broadcast);
+      ("divergences_detected", divergences_detected t);
+      ("resyncs_served", resyncs_served t);
+      ("probes_sent", t.recstats.probes_sent);
+      ("cold_reauths", t.recstats.cold_reauths);
+    ]
 end
 
 module Legacy = struct

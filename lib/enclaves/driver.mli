@@ -48,11 +48,51 @@ module Improved : sig
             authenticating without ever receiving the group key. *)
   }
 
+  (** Tuning for the durability/anti-entropy layer. All delays are
+      virtual time. *)
+  type recovery_config = {
+    digest_period : Netsim.Vtime.t;
+        (** Period of the leader's [View_digest] beacon broadcast, and
+            the tick of the member-side anti-entropy watchdog. *)
+    challenge_timeout : Netsim.Vtime.t;
+        (** How long a restarted leader retransmits an unanswered
+            [RecoveryChallenge] before dropping the journalled session
+            (cold fallback). *)
+    probe_after : Netsim.Vtime.t;
+        (** Beacon silence after which a keyed member probes the
+            leader with its own digest ([ViewResyncReq]). *)
+    reset_after : Netsim.Vtime.t;
+        (** Beacon silence after which the member gives up on the
+            session entirely and cold re-authenticates. Must exceed
+            [probe_after]. *)
+  }
+
+  val default_recovery : recovery_config
+  (** 1 s beacons, 3 s challenge timeout, probe at 4 s of silence,
+      cold reset at 10 s. *)
+
+  (** Counters for the crash-recovery and anti-entropy layer. *)
+  type recovery_stats = {
+    mutable leader_crashes : int;
+    mutable warm_restarts : int;
+    mutable cold_restarts : int;
+    mutable challenges_sent : int;  (** Initial challenges at restart. *)
+    mutable challenge_retransmits : int;
+    mutable challenges_failed : int;
+        (** Journalled sessions dropped after [challenge_timeout]. *)
+    mutable digests_broadcast : int;  (** Beacons enqueued (per member). *)
+    mutable probes_sent : int;  (** Member-initiated resync probes. *)
+    mutable cold_reauths : int;
+        (** Members that gave up on a silent session and rejoined from
+            scratch. *)
+  }
+
   val create :
     ?seed:int64 ->
     ?latency_us:int * int ->
     ?policy:Leader.policy ->
     ?retry:retry_config ->
+    ?recovery:recovery_config ->
     leader:Types.agent ->
     directory:(Types.agent * string) list ->
     unit ->
@@ -68,7 +108,15 @@ module Improved : sig
       The leader scan is an [until]-less periodic task, so runs with
       [retry] should bound execution via {!run}[ ~until] or call
       {!stop_retry} to let the queue drain. Without [retry] the driver
-      behaves exactly as before (single-shot sends). *)
+      behaves exactly as before (single-shot sends).
+
+      With [recovery] set, the driver additionally journals the
+      leader's trust-critical state, broadcasts periodic [View_digest]
+      beacons, runs a member-side anti-entropy watchdog
+      (probe-then-cold-reset on beacon silence), and supports
+      {!crash_leader}/{!restart_leader}. Like the leader scan, these
+      are periodic tasks: bound runs with {!run}[ ~until] or
+      {!stop_retry}. *)
 
   val sim : t -> Netsim.Sim.t
   val net : t -> Netsim.Network.t
@@ -83,10 +131,64 @@ module Improved : sig
       retransmission watchdog. *)
 
   val retry_stats : t -> retry_stats
+  val recovery_stats : t -> recovery_stats
+
+  val retry_counters : t -> (string * int) list
+  (** {!retry_stats} as labelled counters for
+      {!Netsim.Stats.pp_named}. *)
+
+  val recovery_counters : t -> (string * int) list
+  (** {!recovery_stats} plus the derived totals
+      ([sessions_recovered], [divergences_detected], [resyncs_served])
+      as labelled counters. *)
+
+  val sessions_recovered : t -> int
+  (** Sessions restored warm (challenge answered), summed across all
+      leader incarnations. *)
+
+  val resyncs_served : t -> int
+  (** Divergent views repaired by the leader, summed across
+      incarnations. *)
+
+  val divergences_detected : t -> int
+  (** Beacon mismatches observed by members (cumulative). *)
+
+  val crash_leader : t -> unit
+  (** Kill the leader: detach it from the network and drop every frame
+      addressed to it. In-memory automaton state is lost; only the
+      journal bytes survive. Idempotent while down. *)
+
+  val restart_leader : ?warm:bool -> ?journal_bytes:string -> t -> Journal.status
+  (** Bring the leader back. With [warm] (default) and a journal, the
+      surviving bytes ([journal_bytes] overrides what the driver
+      holds — e.g. a truncated copy) are {!Journal.recover}ed, the
+      automaton is rebuilt via {!Leader.recover}, and a
+      [RecoveryChallenge] goes to every journalled session, with
+      retransmission until [challenge_timeout]. Returns the journal
+      damage report. [~warm:false] (or no journal) is a cold restart:
+      fresh automaton, empty journal, every member re-authenticates. *)
+
+  val schedule_leader_crash :
+    ?restart_after:Netsim.Vtime.t ->
+    ?warm:bool ->
+    ?journal_bytes:string ->
+    t ->
+    at:Netsim.Vtime.t ->
+    unit ->
+    unit
+  (** Schedule {!crash_leader} at virtual time [at] and, if
+      [restart_after] is given, {!restart_leader} that much later. *)
+
+  val leader_down : t -> bool
+
+  val journal_bytes : t -> string option
+  (** The leader journal's current on-"disk" bytes, when journalling
+      is enabled. *)
 
   val stop_retry : t -> unit
-  (** Cancel the leader scan and all member watchdogs so the event
-      queue can drain; the protocol keeps working, single-shot. *)
+  (** Cancel the leader scan, the digest broadcast, and all member
+      watchdogs so the event queue can drain; the protocol keeps
+      working, single-shot. *)
 
   val leave : t -> Types.agent -> unit
   val send_app : t -> Types.agent -> string -> unit
@@ -122,6 +224,11 @@ module Improved : sig
   (** The chaos suite's goal state: every directory member is
       [Connected], all members and the leader agree on the group-key
       epoch, and {!all_prefix_ok} holds. *)
+
+  val view_converged : t -> bool
+  (** {!converged} plus view agreement: every member's membership view
+      equals the leader's member list — what the anti-entropy layer
+      drives the system back to. *)
 end
 
 module Legacy : sig

@@ -95,10 +95,12 @@ let attach_member t slot =
       send_frames t ~src:slot.m_name replies;
       List.iter
         (function
-          | Member.Admin_accepted _ | Member.Joined _ ->
+          | Member.Admin_accepted _ | Member.Joined _
+          | Member.Recovery_challenged ->
               slot.last_admin <- Netsim.Sim.now t.sim;
               slot.retries <- 0
-          | Member.App_received _ | Member.Left | Member.Rejected _ -> ())
+          | Member.App_received _ | Member.Left | Member.Rejected _
+          | Member.View_diverged _ -> ())
         (Member.drain_events slot.automaton))
 
 let attach_manager t mgr =
@@ -203,7 +205,7 @@ let start_heartbeat t mgr =
 
 let watch_nonce = function
   | Leader.Waiting_for_key_ack (n, _) | Leader.Waiting_for_ack (n, _) -> Some n
-  | Leader.Not_connected | Leader.Connected _ -> None
+  | Leader.Not_connected | Leader.Connected _ | Leader.Recovering _ -> None
 
 (* Manager-side scan: re-send outstanding AuthKeyDist/AdminMsg frames
    whose nonce survived a previous scan unchanged (so lost replies

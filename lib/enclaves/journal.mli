@@ -1,0 +1,118 @@
+(** Durable leader journal — an append-only, checksummed,
+    truncation-tolerant binary log of the leader's trust-critical
+    state: session establishments and closes, and group-key epoch
+    bumps.
+
+    The journal is what makes leader failover {e warm}: after a crash
+    the replacement process replays the surviving bytes, recovers the
+    last consistent prefix, and re-validates each recovered session
+    with a live challenge over the journalled [K_a] before trusting it
+    (see {!Leader.recover}). PR-2's failover was deliberately cold —
+    "no state of the dead manager is trusted"; the journal upgrade is
+    "no state of the dead manager is trusted {e until it answers a
+    challenge under the key only that member and the leader hold}".
+
+    {2 Format}
+
+    {v
+    header  := "EJNL" version:u8(=1)
+    record  := len:u32 payload:len sum:8
+    payload := seq:u32 tag:u8 fields...
+    v}
+
+    [sum] is SipHash-2-4 of the payload under the journal's MAC key.
+    Records are framed independently, so any {e tail} damage — a torn
+    final write, truncation at an arbitrary byte, a flipped bit — costs
+    at most the records from the damage onward: {!replay} walks
+    records in order and stops at the first length that overruns the
+    buffer, checksum mismatch, malformed payload, or out-of-sequence
+    record, returning the valid prefix. It never raises on any input.
+
+    {2 Compaction}
+
+    A [Snapshot] record captures the whole folded state; {!compact}
+    rewrites the journal as a single snapshot, and {!append}
+    auto-compacts once enough records accumulate since the last
+    snapshot, so the journal's size is bounded by the live-session
+    count, not the session churn. *)
+
+type record =
+  | Session_established of { member : Types.agent; key : string }
+      (** A member completed the §3.2 handshake; [key] is the raw
+          session key [K_a]. *)
+  | Session_closed of { member : Types.agent }
+      (** The session ended (leave, expulsion, or recovery
+          fallback) — the journalled [K_a] is no longer trusted. *)
+  | Epoch_bump of { key : string; epoch : int }
+      (** A fresh group key [K_g] was generated for [epoch]. *)
+  | Snapshot of state
+      (** The folded state of everything before this record. *)
+
+and state = {
+  sessions : (Types.agent * string) list;
+      (** Live sessions, sorted by member name; raw [K_a] bytes. *)
+  group_key : (string * int) option;  (** Raw [K_g] bytes and epoch. *)
+  next_epoch : int;
+}
+
+val empty_state : state
+
+val pp_record : Format.formatter -> record -> unit
+val record_equal : record -> record -> bool
+
+type status =
+  | Clean  (** Every byte of the buffer parsed and verified. *)
+  | Damaged of { valid_records : int; valid_bytes : int }
+      (** Replay stopped early; only the prefix described here was
+          recovered. *)
+
+val pp_status : Format.formatter -> status -> unit
+
+type t
+
+val create : ?mac_key:string -> ?compact_every:int -> unit -> t
+(** An empty journal. [mac_key] (16 bytes, default a fixed public key)
+    keys the per-record SipHash checksum; [compact_every] (default
+    [256]) is the record count past which {!append} folds the log into
+    a snapshot.
+    @raise Invalid_argument if [mac_key] is not 16 bytes or
+    [compact_every < 1]. *)
+
+val append : t -> record -> unit
+(** Append one checksummed record; may trigger auto-compaction. *)
+
+val compact : t -> unit
+(** Rewrite the journal as one [Snapshot] of the current folded
+    state. *)
+
+val reset : t -> unit
+(** Erase everything — the cold-restart path, where no journalled
+    state is trusted. *)
+
+val state : t -> state
+(** The folded state of every record appended so far (maintained
+    incrementally; O(1)). *)
+
+val records : t -> int
+(** Records currently in the buffer (snapshot included). *)
+
+val size : t -> int
+(** Buffer size in bytes. *)
+
+val contents : t -> string
+(** The raw journal bytes — what would be on disk. *)
+
+val replay : ?mac_key:string -> string -> record list * status
+(** [replay bytes] decodes the longest valid prefix of [bytes]. Total:
+    never raises, for arbitrary (truncated, bit-flipped, adversarial)
+    input. *)
+
+val state_of_records : record list -> state
+(** Fold records into the state they describe. A [Snapshot] replaces
+    the accumulated state; establishment/close/bump update it. *)
+
+val recover : ?mac_key:string -> ?compact_every:int -> string -> t * state * status
+(** [recover bytes] is the crash-recovery entry point: {!replay} the
+    surviving bytes, fold the valid prefix, and return a fresh journal
+    already compacted to a snapshot of that state (plus the state and
+    the damage report). *)

@@ -12,6 +12,8 @@ type event =
   | Member_expelled of { member : Types.agent; session_key : Key.t }
   | Ack_received of Types.agent
   | App_relayed of { author : Types.agent }
+  | Member_recovered of Types.agent
+  | Resync_served of Types.agent
   | Rejected of {
       label : F.label option;
       claimed : Types.agent option;
@@ -24,6 +26,8 @@ let pp_event fmt = function
   | Member_expelled { member; _ } -> Format.fprintf fmt "MemberExpelled(%s)" member
   | Ack_received who -> Format.fprintf fmt "AckReceived(%s)" who
   | App_relayed { author } -> Format.fprintf fmt "AppRelayed(%s)" author
+  | Member_recovered who -> Format.fprintf fmt "MemberRecovered(%s)" who
+  | Resync_served who -> Format.fprintf fmt "ResyncServed(%s)" who
   | Rejected { label; claimed; reason } ->
       Format.fprintf fmt "Rejected(%s, %s, %a)"
         (match label with Some l -> F.label_to_string l | None -> "?")
@@ -44,12 +48,18 @@ type mstate =
       ka : Key.t;
       reply : F.t;  (* the outstanding AdminMsg, re-sent on timeout *)
     }
+  | S_recovering of {
+      nc : Wire.Nonce.t;
+      ka : Key.t;  (* journalled, not yet trusted *)
+      reply : F.t;  (* the outstanding RecoveryChallenge *)
+    }
 
 type session_view =
   | Not_connected
   | Waiting_for_key_ack of Wire.Nonce.t * Key.t
   | Connected of Wire.Nonce.t * Key.t
   | Waiting_for_ack of Wire.Nonce.t * Key.t
+  | Recovering of Wire.Nonce.t * Key.t
 
 type session = {
   mutable mstate : mstate;
@@ -63,12 +73,16 @@ type t = {
   directory : (Types.agent, Key.t) Hashtbl.t;
   sessions : (Types.agent, session) Hashtbl.t;
   policy : policy;
+  journal : Journal.t option;
   mutable group_key : Types.group_key option;
   mutable next_epoch : int;
   mutable events_rev : event list;
+  mutable recoveries : int;
+  mutable resyncs : int;
 }
 
-let create_with_keys ~self ~rng ~directory ?(policy = default_policy) () =
+let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
+    () =
   let dir = Hashtbl.create 16 in
   List.iter
     (fun (user, key) ->
@@ -82,18 +96,24 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) () =
     directory = dir;
     sessions = Hashtbl.create 16;
     policy;
+    journal;
     group_key = None;
     next_epoch = 1;
     events_rev = [];
+    recoveries = 0;
+    resyncs = 0;
   }
 
-let create ~self ~rng ~directory ?policy () =
+let create ~self ~rng ~directory ?policy ?journal () =
   let keyed =
     List.map
       (fun (user, password) -> (user, Key.long_term ~user ~password))
       directory
   in
-  create_with_keys ~self ~rng ~directory:keyed ?policy ()
+  create_with_keys ~self ~rng ~directory:keyed ?policy ?journal ()
+
+let jot t record =
+  match t.journal with None -> () | Some j -> Journal.append j record
 
 let self t = t.self
 
@@ -111,13 +131,16 @@ let session t who =
   | S_waiting_for_key_ack { nl; ka; _ } -> Waiting_for_key_ack (nl, ka)
   | S_connected { na; ka } -> Connected (na, ka)
   | S_waiting_for_ack { nl; ka; _ } -> Waiting_for_ack (nl, ka)
+  | S_recovering { nc; ka; _ } -> Recovering (nc, ka)
 
 (* A user is "in session" — counted as a member — from the moment its
-   AuthAckKey is accepted until its session closes. *)
+   AuthAckKey is accepted until its session closes. A recovering
+   session is NOT a member yet: the journalled key is trusted only
+   once the member answers the challenge. *)
 let in_session s =
   match s.mstate with
   | S_connected _ | S_waiting_for_ack _ -> true
-  | S_not_connected | S_waiting_for_key_ack _ -> false
+  | S_not_connected | S_waiting_for_key_ack _ | S_recovering _ -> false
 
 let members t =
   Hashtbl.fold (fun who s acc -> if in_session s then who :: acc else acc)
@@ -164,6 +187,11 @@ let enqueue_admin t who x =
   | S_waiting_for_ack _ ->
       s.queue <- s.queue @ [ x ];
       []
+  | S_recovering _ ->
+      (* Hold until the challenge confirms the session; drained by
+         {!handle_recovery_response}. *)
+      s.queue <- s.queue @ [ x ];
+      []
   | S_not_connected | S_waiting_for_key_ack _ ->
       (* Not in session: group-management messages are only for
          members. *)
@@ -177,6 +205,7 @@ let fresh_group_key t =
   let gk = { Types.key; epoch = t.next_epoch } in
   t.next_epoch <- t.next_epoch + 1;
   t.group_key <- Some gk;
+  jot t (Journal.Epoch_bump { key = Key.raw key; epoch = gk.Types.epoch });
   gk
 
 let rekey t =
@@ -189,11 +218,13 @@ let close_session t who s ~expelled =
   | S_not_connected -> []
   | S_waiting_for_key_ack { ka; _ }
   | S_connected { ka; _ }
-  | S_waiting_for_ack { ka; _ } ->
+  | S_waiting_for_ack { ka; _ }
+  | S_recovering { ka; _ } ->
       let was_member = in_session s in
       s.mstate <- S_not_connected;
       s.queue <- [];
       s.sent_rev <- [];
+      jot t (Journal.Session_closed { member = who });
       if expelled then emit t (Member_expelled { member = who; session_key = ka })
       else emit t (Member_closed { member = who; session_key = ka });
       if was_member then begin
@@ -217,6 +248,7 @@ let retransmit t who =
   match (session_of t who).mstate with
   | S_waiting_for_key_ack { reply; _ } -> [ reply ]
   | S_waiting_for_ack { reply; _ } -> [ reply ]
+  | S_recovering { reply; _ } -> [ reply ]
   | S_not_connected | S_connected _ -> []
 
 let sessions_where t pred =
@@ -230,6 +262,9 @@ let half_open t =
 let awaiting_ack t =
   sessions_where t (function S_waiting_for_ack _ -> true | _ -> false)
 
+let recovering t =
+  sessions_where t (function S_recovering _ -> true | _ -> false)
+
 (* Garbage-collect a half-open handshake: the member never produced
    its AuthAckKey, so it was never a group member — no notices, no
    rekey, no Oops (the provisional Ka never protected anything the
@@ -242,7 +277,26 @@ let abort_half_open t who =
       s.queue <- [];
       s.sent_rev <- [];
       true
-  | S_not_connected | S_connected _ | S_waiting_for_ack _ -> false
+  | S_not_connected | S_connected _ | S_waiting_for_ack _ | S_recovering _ ->
+      false
+
+(* Give up on a recovery challenge the member never answered: the
+   journalled key is discarded untrusted — the cold path. The member
+   was never re-admitted, so no notices or rekeys; if it is alive it
+   will cold re-authenticate. *)
+let abort_recovery t who =
+  let s = session_of t who in
+  match s.mstate with
+  | S_recovering { ka; _ } ->
+      s.mstate <- S_not_connected;
+      s.queue <- [];
+      s.sent_rev <- [];
+      jot t (Journal.Session_closed { member = who });
+      emit t (Member_closed { member = who; session_key = ka });
+      true
+  | S_not_connected | S_waiting_for_key_ack _ | S_connected _
+  | S_waiting_for_ack _ ->
+      false
 
 let handle_auth_init_req t (frame : F.t) =
   let claimed = frame.F.sender in
@@ -256,7 +310,7 @@ let handle_auth_init_req t (frame : F.t) =
              must not reset an active member (cf. Figure 3: no such
              transition from Connected). *)
           reject t ~label:frame.F.label ~claimed (Types.Wrong_state "in session")
-      | S_not_connected | S_waiting_for_key_ack _ -> (
+      | S_not_connected | S_waiting_for_key_ack _ | S_recovering _ -> (
           match Sealed_channel.open_ ~key:pa frame with
           | Error reason -> reject t ~label:frame.F.label ~claimed reason
           | Ok plaintext -> (
@@ -275,7 +329,15 @@ let handle_auth_init_req t (frame : F.t) =
                            whichever copy the member processes first,
                            both sides agree. *)
                         [ reply ]
-                    | S_not_connected | S_waiting_for_key_ack _ ->
+                    | S_not_connected | S_waiting_for_key_ack _
+                    | S_recovering _ ->
+                        (* A fresh AuthInitReq from a recovering member
+                           is the cold fallback: the journalled session
+                           is abandoned in favour of a new handshake. *)
+                        (match s.mstate with
+                        | S_recovering _ ->
+                            jot t (Journal.Session_closed { member = a })
+                        | _ -> ());
                         let ka = Key.fresh Key.Session t.rng in
                         let n2 = Wire.Nonce.fresh t.rng in
                         let plaintext =
@@ -336,9 +398,12 @@ let handle_auth_ack_key t (frame : F.t) =
                 reject t ~label:frame.F.label ~claimed Types.Stale_nonce
               else begin
                 s.mstate <- S_connected { na = n3; ka };
+                jot t
+                  (Journal.Session_established
+                     { member = claimed; key = Key.raw ka });
                 on_member_joined t claimed
               end))
-  | S_not_connected | S_connected _ | S_waiting_for_ack _ ->
+  | S_not_connected | S_connected _ | S_waiting_for_ack _ | S_recovering _ ->
       reject t ~label:frame.F.label ~claimed
         (Types.Wrong_state "not waiting for key ack")
 
@@ -366,7 +431,8 @@ let handle_admin_ack t (frame : F.t) =
                     s.queue <- rest;
                     fire_admin t claimed s x ~na:next ~ka
               end))
-  | S_not_connected | S_waiting_for_key_ack _ | S_connected _ ->
+  | S_not_connected | S_waiting_for_key_ack _ | S_connected _
+  | S_recovering _ ->
       reject t ~label:frame.F.label ~claimed
         (Types.Wrong_state "no outstanding admin message")
 
@@ -378,7 +444,8 @@ let handle_req_close t (frame : F.t) =
       reject t ~label:frame.F.label ~claimed (Types.Wrong_state "not in session")
   | S_waiting_for_key_ack { ka; _ }
   | S_connected { ka; _ }
-  | S_waiting_for_ack { ka; _ } -> (
+  | S_waiting_for_ack { ka; _ }
+  | S_recovering { ka; _ } -> (
       match Sealed_channel.open_ ~key:ka frame with
       | Error reason -> reject t ~label:frame.F.label ~claimed reason
       | Ok plaintext -> (
@@ -412,6 +479,129 @@ let handle_app_data t (frame : F.t) =
                   ~body:frame.F.body)
               others)
 
+(* --- view anti-entropy --- *)
+
+let current_epoch t =
+  match t.group_key with Some gk -> gk.Types.epoch | None -> 0
+
+let view_digest t =
+  Wire.Admin.view_digest ~members:(members t) ~epoch:(current_epoch t)
+
+let broadcast_view_digest t =
+  broadcast_admin t
+    (Wire.Admin.View_digest { digest = view_digest t; epoch = current_epoch t })
+
+(* A member reported its own (digest, epoch). On mismatch, repair with
+   the current group key, the full membership, and a fresh digest; on
+   match, answer with the digest alone so a probing member learns the
+   leader is alive and agrees. *)
+let handle_view_resync_req t (frame : F.t) =
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_connected { ka; _ } | S_waiting_for_ack { ka; _ } -> (
+      match Sealed_channel.open_ ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed reason
+      | Ok plaintext -> (
+          match P.decode_view_resync plaintext with
+          | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+          | Ok { P.a; l; digest; epoch } ->
+              if a <> claimed || l <> t.self then
+                reject t ~label:frame.F.label ~claimed Types.Identity_mismatch
+              else begin
+                let mine = view_digest t and my_epoch = current_epoch t in
+                if String.equal digest mine && epoch = my_epoch then
+                  enqueue_admin t claimed
+                    (Wire.Admin.View_digest { digest = mine; epoch = my_epoch })
+                else begin
+                  t.resyncs <- t.resyncs + 1;
+                  emit t (Resync_served claimed);
+                  let rekeys =
+                    match t.group_key with
+                    | Some gk ->
+                        enqueue_admin t claimed
+                          (Wire.Admin.New_group_key
+                             { key = Key.raw gk.Types.key; epoch = gk.Types.epoch })
+                    | None -> []
+                  in
+                  let snapshot =
+                    enqueue_admin t claimed
+                      (Wire.Admin.Membership_snapshot (members t))
+                  in
+                  let digests =
+                    enqueue_admin t claimed
+                      (Wire.Admin.View_digest
+                         { digest = view_digest t; epoch = current_epoch t })
+                  in
+                  rekeys @ snapshot @ digests
+                end
+              end))
+  | S_not_connected | S_waiting_for_key_ack _ | S_recovering _ ->
+      reject t ~label:frame.F.label ~claimed (Types.Wrong_state "not in session")
+
+(* --- warm crash recovery --- *)
+
+let recoveries t = t.recoveries
+let resyncs_served t = t.resyncs
+
+let challenge t who ka =
+  let nc = Wire.Nonce.fresh t.rng in
+  let plaintext = P.encode_recovery_challenge { P.l = t.self; a = who; nc } in
+  let reply =
+    Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.Recovery_challenge
+      ~sender:t.self ~recipient:who plaintext
+  in
+  let s = session_of t who in
+  s.mstate <- S_recovering { nc; ka; reply };
+  reply
+
+let recover ~self ~rng ~directory ?policy ~journal ~state () =
+  let t = create ~self ~rng ~directory ?policy ~journal () in
+  (match state.Journal.group_key with
+  | Some (raw, epoch) ->
+      t.group_key <- Some { Types.key = Key.of_raw Key.Group raw; epoch }
+  | None -> ());
+  t.next_epoch <- max t.next_epoch state.Journal.next_epoch;
+  let challenges =
+    List.map
+      (fun (who, raw) -> challenge t who (Key.of_raw Key.Session raw))
+      state.Journal.sessions
+  in
+  (t, challenges)
+
+let handle_recovery_response t (frame : F.t) =
+  let claimed = frame.F.sender in
+  let s = session_of t claimed in
+  match s.mstate with
+  | S_recovering { nc; ka; _ } -> (
+      match Sealed_channel.open_ ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label ~claimed reason
+      | Ok plaintext -> (
+          match P.decode_recovery_response plaintext with
+          | Error e -> reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+          | Ok { P.a; l; echo; next } ->
+              if a <> claimed || l <> t.self then
+                reject t ~label:frame.F.label ~claimed Types.Identity_mismatch
+              else if not (Wire.Nonce.equal echo nc) then
+                reject t ~label:frame.F.label ~claimed Types.Stale_nonce
+              else begin
+                (* The member proved it holds K_a and answered THIS
+                   challenge: re-admit it and re-seed the admin nonce
+                   chain from its fresh nonce. *)
+                s.mstate <- S_connected { na = next; ka };
+                t.recoveries <- t.recoveries + 1;
+                emit t (Member_recovered claimed);
+                match s.queue with
+                | [] -> []
+                | x :: rest ->
+                    s.queue <- rest;
+                    fire_admin t claimed s x ~na:next ~ka
+              end))
+  | S_not_connected | S_waiting_for_key_ack _ | S_connected _
+  | S_waiting_for_ack _ ->
+      reject t ~label:frame.F.label ~claimed
+        (Types.Wrong_state "no outstanding recovery challenge")
+
 let receive t bytes =
   match F.decode bytes with
   | Error e -> reject t (Types.Malformed e)
@@ -422,8 +612,10 @@ let receive t bytes =
       | F.Admin_ack -> handle_admin_ack t frame
       | F.Req_close -> handle_req_close t frame
       | F.App_data -> handle_app_data t frame
+      | F.Recovery_response -> handle_recovery_response t frame
+      | F.View_resync_req -> handle_view_resync_req t frame
       | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
       | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
-      | F.Auth_key_dist | F.Admin_msg ->
+      | F.Auth_key_dist | F.Admin_msg | F.Recovery_challenge ->
           reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

@@ -43,6 +43,11 @@ type event =
   | Member_expelled of { member : Types.agent; session_key : Sym_crypto.Key.t }
   | Ack_received of Types.agent
   | App_relayed of { author : Types.agent }
+  | Member_recovered of Types.agent
+      (** A recovery challenge was answered: the journalled session is
+          trusted again without a full re-handshake. *)
+  | Resync_served of Types.agent
+      (** A member reported a divergent view digest and was repaired. *)
   | Rejected of {
       label : Wire.Frame.label option;
       claimed : Types.agent option;
@@ -56,27 +61,52 @@ type session_view =
   | Waiting_for_key_ack of Wire.Nonce.t * Sym_crypto.Key.t
   | Connected of Wire.Nonce.t * Sym_crypto.Key.t
   | Waiting_for_ack of Wire.Nonce.t * Sym_crypto.Key.t
+  | Recovering of Wire.Nonce.t * Sym_crypto.Key.t
+      (** A [RecoveryChallenge] under the journalled [K_a] is
+          outstanding; the member is not counted as a member until it
+          answers. *)
 
 val create :
   self:Types.agent ->
   rng:Prng.Splitmix.t ->
   directory:(Types.agent * string) list ->
   ?policy:policy ->
+  ?journal:Journal.t ->
   unit ->
   t
 (** [create ~self ~rng ~directory ()] builds a leader knowing the
-    password of every prospective member in [directory]. *)
+    password of every prospective member in [directory]. When
+    [journal] is given, session establishments and closes and
+    group-key epoch bumps are appended to it as they happen. *)
 
 val create_with_keys :
   self:Types.agent ->
   rng:Prng.Splitmix.t ->
   directory:(Types.agent * Sym_crypto.Key.t) list ->
   ?policy:policy ->
+  ?journal:Journal.t ->
   unit ->
   t
 (** Like {!create} but with explicit long-term keys per member — used
     by {!Pk_auth}.
     @raise Invalid_argument if any key kind is not [Long_term]. *)
+
+val recover :
+  self:Types.agent ->
+  rng:Prng.Splitmix.t ->
+  directory:(Types.agent * string) list ->
+  ?policy:policy ->
+  journal:Journal.t ->
+  state:Journal.state ->
+  unit ->
+  t * Wire.Frame.t list
+(** Warm restart from a journal recovered with {!Journal.recover}: the
+    group key and epoch counter are restored, and each journalled
+    session enters [Recovering] with a [RecoveryChallenge] sealed
+    under its [K_a] (the returned frames). No journalled session is
+    trusted until its member echoes the challenge nonce
+    ({!event.Member_recovered}); a member that never answers is
+    dropped with {!abort_recovery} — the cold path. *)
 
 val self : t -> Types.agent
 val receive : t -> string -> Wire.Frame.t list
@@ -117,6 +147,29 @@ val half_open : t -> Types.agent list
 val awaiting_ack : t -> Types.agent list
 (** Members with an outstanding [AdminMsg] ([WaitingForAck]),
     sorted. *)
+
+val recovering : t -> Types.agent list
+(** Sessions with an outstanding [RecoveryChallenge], sorted —
+    candidates for retransmission or {!abort_recovery}. *)
+
+val abort_recovery : t -> Types.agent -> bool
+(** Give up on an unanswered recovery challenge: discard the
+    journalled key (reported via [Member_closed] — an Oops) and reset
+    the session to [NotConnected]. Returns whether a recovery was
+    actually aborted. *)
+
+val view_digest : t -> string
+(** {!Wire.Admin.view_digest} of the current member list and key
+    epoch. *)
+
+val broadcast_view_digest : t -> Wire.Frame.t list
+(** Queue a [View_digest] anti-entropy beacon for every member. *)
+
+val recoveries : t -> int
+(** Sessions recovered warm (challenges answered) since creation. *)
+
+val resyncs_served : t -> int
+(** Divergent view digests repaired since creation. *)
 
 val abort_half_open : t -> Types.agent -> bool
 (** Garbage-collect a half-open handshake: reset the session to

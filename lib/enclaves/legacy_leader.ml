@@ -336,5 +336,6 @@ let receive t bytes =
       | F.Ack_open | F.Connection_denied | F.Legacy_auth2 | F.New_key
       | F.Close_connection | F.Mem_joined | F.Mem_removed | F.Auth_init_req
       | F.Auth_key_dist | F.Auth_ack_key | F.Admin_msg | F.Admin_ack
-      | F.Req_close ->
+      | F.Req_close | F.Recovery_challenge | F.Recovery_response
+      | F.View_resync_req ->
           reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

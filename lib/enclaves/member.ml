@@ -12,6 +12,8 @@ type event =
   | Admin_accepted of Wire.Admin.t
   | App_received of { author : Types.agent; body : string }
   | Left
+  | Recovery_challenged
+  | View_diverged of { leader_epoch : int }
   | Rejected of { label : F.label option; reason : Types.reject_reason }
 
 let pp_event fmt = function
@@ -21,6 +23,9 @@ let pp_event fmt = function
   | App_received { author; body } ->
       Format.fprintf fmt "AppReceived(%s: %s)" author body
   | Left -> Format.pp_print_string fmt "Left"
+  | Recovery_challenged -> Format.pp_print_string fmt "RecoveryChallenged"
+  | View_diverged { leader_epoch } ->
+      Format.fprintf fmt "ViewDiverged(leader_epoch=%d)" leader_epoch
   | Rejected { label; reason } ->
       Format.fprintf fmt "Rejected(%s, %a)"
         (match label with Some l -> F.label_to_string l | None -> "?")
@@ -51,6 +56,12 @@ type t = {
   mutable last_admin_ack : (Wire.Nonce.t * F.t) option;
       (* (leader nonce answered, AdminAck frame) of the latest accepted
          AdminMsg *)
+  mutable last_recovery : (Wire.Nonce.t * F.t) option;
+      (* (challenge nonce answered, RecoveryResponse frame) — re-sent
+         on a duplicated challenge, like the other carve-outs *)
+  (* Anti-entropy counters (cumulative across sessions). *)
+  mutable digests_seen : int;
+  mutable divergences : int;
 }
 
 let create_with_key ~self ~leader ~long_term ~rng =
@@ -70,6 +81,9 @@ let create_with_key ~self ~leader ~long_term ~rng =
     last_init = None;
     last_key_ack = None;
     last_admin_ack = None;
+    last_recovery = None;
+    digests_seen = 0;
+    divergences = 0;
   }
 
 let create ~self ~leader ~password ~rng =
@@ -133,6 +147,7 @@ let reset_session t =
   t.last_init <- None;
   t.last_key_ack <- None;
   t.last_admin_ack <- None;
+  t.last_recovery <- None;
   emit t Left
 
 let leave t =
@@ -147,22 +162,68 @@ let leave t =
       [ frame ]
   | S_not_connected | S_waiting_for_key _ -> []
 
-(* Membership view updates triggered by accepted admin messages. *)
+let own_epoch t =
+  match t.group_key with Some { Types.epoch; _ } -> epoch | None -> 0
+
+let own_digest t = Wire.Admin.view_digest ~members:t.view ~epoch:(own_epoch t)
+let digests_seen t = t.digests_seen
+let view_divergences t = t.divergences
+
+(* Report our own (digest, epoch) to the leader under [K_a]; the
+   leader answers with a repair (key + snapshot + digest) on mismatch,
+   or just a digest on agreement. Also the anti-entropy liveness
+   probe. *)
+let resync_request t =
+  match t.state with
+  | S_connected { ka; _ } ->
+      let plaintext =
+        P.encode_view_resync
+          {
+            P.a = t.self;
+            l = t.leader;
+            digest = own_digest t;
+            epoch = own_epoch t;
+          }
+      in
+      [
+        Sealed_channel.seal ~rng:t.rng ~key:ka ~label:F.View_resync_req
+          ~sender:t.self ~recipient:t.leader plaintext;
+      ]
+  | S_not_connected | S_waiting_for_key _ -> []
+
+(* Membership view updates triggered by accepted admin messages.
+   Returns follow-up frames (a resync request when a [View_digest]
+   beacon reveals divergence). *)
 let apply_admin t (x : Wire.Admin.t) =
-  (match x with
-  | Wire.Admin.New_group_key { key; epoch } ->
-      if String.length key = Key.size then
-        t.group_key <- Some { Types.key = Key.of_raw Key.Group key; epoch }
-  | Wire.Admin.Member_joined who ->
-      if not (List.mem who t.view) then
-        t.view <- List.sort String.compare (who :: t.view)
-  | Wire.Admin.Member_left who | Wire.Admin.Member_expelled who ->
-      t.view <- List.filter (fun m -> m <> who) t.view
-  | Wire.Admin.Membership_snapshot members ->
-      t.view <- List.sort_uniq String.compare members
-  | Wire.Admin.Notice _ -> ());
+  let followups =
+    match x with
+    | Wire.Admin.New_group_key { key; epoch } ->
+        if String.length key = Key.size then
+          t.group_key <- Some { Types.key = Key.of_raw Key.Group key; epoch };
+        []
+    | Wire.Admin.Member_joined who ->
+        if not (List.mem who t.view) then
+          t.view <- List.sort String.compare (who :: t.view);
+        []
+    | Wire.Admin.Member_left who | Wire.Admin.Member_expelled who ->
+        t.view <- List.filter (fun m -> m <> who) t.view;
+        []
+    | Wire.Admin.Membership_snapshot members ->
+        t.view <- List.sort_uniq String.compare members;
+        []
+    | Wire.Admin.Notice _ -> []
+    | Wire.Admin.View_digest { digest; epoch } ->
+        t.digests_seen <- t.digests_seen + 1;
+        if String.equal digest (own_digest t) && epoch = own_epoch t then []
+        else begin
+          t.divergences <- t.divergences + 1;
+          emit t (View_diverged { leader_epoch = epoch });
+          resync_request t
+        end
+  in
   t.accepted_rev <- x :: t.accepted_rev;
-  emit t (Admin_accepted x)
+  emit t (Admin_accepted x);
+  followups
 
 let handle_auth_key_dist t (frame : F.t) =
   match t.state with
@@ -238,7 +299,7 @@ let handle_admin_msg t (frame : F.t) =
                     [ ack ]
                 | _ -> reject t ~label:frame.F.label Types.Stale_nonce)
               else begin
-                apply_admin t x;
+                let followups = apply_admin t x in
                 let n_next = Wire.Nonce.fresh t.rng in
                 t.state <- S_connected { na = n_next; ka };
                 let plaintext =
@@ -250,7 +311,7 @@ let handle_admin_msg t (frame : F.t) =
                     ~sender:t.self ~recipient:t.leader plaintext
                 in
                 t.last_admin_ack <- Some (next, ack);
-                [ ack ]
+                ack :: followups
               end))
   | S_not_connected | S_waiting_for_key _ ->
       reject t ~label:frame.F.label (Types.Wrong_state "not connected")
@@ -268,6 +329,52 @@ let handle_app_data t (frame : F.t) =
               t.app_rev <- (author, body) :: t.app_rev;
               emit t (App_received { author; body });
               []))
+
+(* A restarted leader proves it still holds our [K_a] by sealing a
+   fresh challenge nonce under it. Answering re-seeds the admin nonce
+   chain from our fresh nonce AND forgets the old session's §5.4 log
+   ([rcv_A]) and stored admin ack: the leader's [snd_A] died in the
+   crash, so both sides restart the ordered-prefix ledger together.
+   Group key and membership view survive — that is what makes the
+   recovery warm. A replayed challenge (same nonce) elicits the stored
+   response; a forged one fails the seal. *)
+let handle_recovery_challenge t (frame : F.t) =
+  match t.state with
+  | S_connected { ka; _ } -> (
+      match Sealed_channel.open_ ~key:ka frame with
+      | Error reason -> reject t ~label:frame.F.label reason
+      | Ok plaintext -> (
+          match P.decode_recovery_challenge plaintext with
+          | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
+          | Ok { P.l; a; nc } ->
+              if l <> t.leader || a <> t.self then
+                reject t ~label:frame.F.label Types.Identity_mismatch
+              else begin
+                match t.last_recovery with
+                | Some (nc', resp) when Wire.Nonce.equal nc nc' ->
+                    (* Duplicate of the challenge we already answered:
+                       the response was lost. Re-send it unchanged. *)
+                    [ resp ]
+                | _ ->
+                    let next = Wire.Nonce.fresh t.rng in
+                    t.state <- S_connected { na = next; ka };
+                    t.accepted_rev <- [];
+                    t.last_admin_ack <- None;
+                    emit t Recovery_challenged;
+                    let plaintext =
+                      P.encode_recovery_response
+                        { P.a = t.self; l = t.leader; echo = nc; next }
+                    in
+                    let resp =
+                      Sealed_channel.seal ~rng:t.rng ~key:ka
+                        ~label:F.Recovery_response ~sender:t.self
+                        ~recipient:t.leader plaintext
+                    in
+                    t.last_recovery <- Some (nc, resp);
+                    [ resp ]
+              end))
+  | S_not_connected | S_waiting_for_key _ ->
+      reject t ~label:frame.F.label (Types.Wrong_state "not connected")
 
 let send_app t body =
   match (t.state, t.group_key) with
@@ -287,10 +394,12 @@ let receive t bytes =
       | F.Auth_key_dist -> handle_auth_key_dist t frame
       | F.Admin_msg -> handle_admin_msg t frame
       | F.App_data -> handle_app_data t frame
+      | F.Recovery_challenge -> handle_recovery_challenge t frame
       | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
       | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
-      | F.Auth_init_req | F.Auth_ack_key | F.Admin_ack | F.Req_close ->
+      | F.Auth_init_req | F.Auth_ack_key | F.Admin_ack | F.Req_close
+      | F.Recovery_response | F.View_resync_req ->
           (* The improved member consumes only the three labels above;
              everything else — legacy traffic, leader-bound messages,
              forged denials — is ignored. The absence of any reaction

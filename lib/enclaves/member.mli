@@ -37,6 +37,12 @@ type event =
   | Admin_accepted of Wire.Admin.t
   | App_received of { author : Types.agent; body : string }
   | Left
+  | Recovery_challenged
+      (** A restarted leader proved possession of [K_a]; the admin
+          nonce chain was re-seeded and the §5.4 log restarted. *)
+  | View_diverged of { leader_epoch : int }
+      (** A [View_digest] beacon did not match this member's own view;
+          a resync request was sent. *)
   | Rejected of { label : Wire.Frame.label option; reason : Types.reject_reason }
 
 val pp_event : Format.formatter -> event -> unit
@@ -94,6 +100,18 @@ val accepted_admin : t -> Wire.Admin.t list
 
 val app_log : t -> (Types.agent * string) list
 (** Decrypted application messages, oldest first. *)
+
+val resync_request : t -> Wire.Frame.t list
+(** A [ViewResyncReq] carrying this member's own view digest and key
+    epoch, sealed under [K_a] — sent spontaneously as a liveness probe
+    or automatically when a beacon mismatches. Empty unless
+    connected. *)
+
+val digests_seen : t -> int
+(** [View_digest] beacons accepted (cumulative). *)
+
+val view_divergences : t -> int
+(** Beacons that mismatched this member's own view (cumulative). *)
 
 val drain_events : t -> event list
 (** Events since the last drain, oldest first. *)

@@ -107,3 +107,9 @@ let pp fmt t =
     t.dropped_unregistered t.dropped_by_fault t.injected
     t.unmatched_deliveries t.bytes_on_wire t.latency_min_ms t.latency_mean_ms
     t.latency_max_ms
+
+let pp_named fmt counters =
+  let pp_one fmt (name, v) = Format.fprintf fmt "%s=%d" name v in
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    pp_one fmt counters

@@ -35,3 +35,7 @@ val by_label : decode_label:(string -> string option) -> Trace.t -> (string * in
     Undecodable payloads count under ["<garbage>"]. Sorted by label. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_named : Format.formatter -> (string * int) list -> unit
+(** Render labelled counters as ["name=value name=value ..."] — used
+    by the chaos CLI for retry and recovery counter summaries. *)

@@ -7,6 +7,7 @@ type t =
   | Member_expelled of string
   | Membership_snapshot of string list
   | Notice of string
+  | View_digest of { digest : string; epoch : int }
 
 let tag_of = function
   | New_group_key _ -> 1
@@ -15,6 +16,7 @@ let tag_of = function
   | Member_expelled _ -> 4
   | Membership_snapshot _ -> 5
   | Notice _ -> 6
+  | View_digest _ -> 7
 
 let encode t =
   let w = Cursor.Writer.create () in
@@ -28,7 +30,10 @@ let encode t =
   | Membership_snapshot members ->
       Cursor.Writer.u32 w (List.length members);
       List.iter (Cursor.Writer.bytes w) members
-  | Notice text -> Cursor.Writer.bytes w text);
+  | Notice text -> Cursor.Writer.bytes w text
+  | View_digest { digest; epoch } ->
+      Cursor.Writer.bytes w digest;
+      Cursor.Writer.u32 w epoch);
   Cursor.Writer.contents w
 
 let decode s =
@@ -66,6 +71,10 @@ let decode s =
       | 6 ->
           let* text = Reader.bytes r in
           Ok (Notice text)
+      | 7 ->
+          let* digest = Reader.bytes r in
+          let* epoch = Reader.u32 r in
+          Ok (View_digest { digest; epoch })
       | n -> Error (`Malformed (Printf.sprintf "unknown admin tag %d" n))
     in
     let* () = Reader.expect_end r in
@@ -83,3 +92,18 @@ let pp fmt = function
   | Membership_snapshot ms ->
       Format.fprintf fmt "MembershipSnapshot(%s)" (String.concat "," ms)
   | Notice text -> Format.fprintf fmt "Notice(%s)" text
+  | View_digest { digest; epoch } ->
+      Format.fprintf fmt "ViewDigest(epoch=%d,%s)" epoch
+        (Byteskit.Hex.encode (String.sub digest 0 (min 4 (String.length digest))))
+
+(* The digest key is public and fixed: a view digest is not a secret —
+   its authenticity comes from the [K_a] seal of the AdminMsg or
+   ViewResyncReq that carries it. SipHash just compresses (members,
+   epoch) into 8 comparable bytes. *)
+let digest_key = Sym_crypto.Siphash.key_of_string "enclaves-viewdig"
+
+let view_digest ~members ~epoch =
+  let w = Cursor.Writer.create () in
+  Cursor.Writer.u32 w epoch;
+  List.iter (Cursor.Writer.bytes w) (List.sort_uniq String.compare members);
+  Sym_crypto.Siphash.hash_to_bytes digest_key (Cursor.Writer.contents w)

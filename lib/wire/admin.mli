@@ -16,8 +16,19 @@ type t =
   | Membership_snapshot of string list
       (** Full current membership, sent to a newly joined member. *)
   | Notice of string  (** Free-form leader-to-member administrative text. *)
+  | View_digest of { digest : string; epoch : int }
+      (** Anti-entropy beacon: {!view_digest} of the leader's current
+          member list and key epoch. A member whose own digest differs
+          answers with a [View_resync_req] repair request. *)
 
 val encode : t -> string
 val decode : string -> (t, string) result
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+val view_digest : members:string list -> epoch:int -> string
+(** [view_digest ~members ~epoch] is an 8-byte SipHash digest of the
+    sorted, deduplicated member list and the group-key epoch. The
+    digest key is fixed and public: authenticity comes from the [K_a]
+    seal of whatever frame carries the digest, not from the digest
+    itself. *)

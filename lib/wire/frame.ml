@@ -22,6 +22,9 @@ type label =
   | Admin_ack
   | Req_close
   | App_data
+  | Recovery_challenge
+  | Recovery_response
+  | View_resync_req
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 
@@ -30,7 +33,8 @@ let all_labels =
     Req_open; Ack_open; Connection_denied; Legacy_auth1; Legacy_auth2;
     Legacy_auth3; New_key; New_key_ack; Legacy_req_close; Close_connection;
     Mem_joined; Mem_removed; Auth_init_req; Auth_key_dist; Auth_ack_key;
-    Admin_msg; Admin_ack; Req_close; App_data;
+    Admin_msg; Admin_ack; Req_close; App_data; Recovery_challenge;
+    Recovery_response; View_resync_req;
   ]
 
 let label_tag = function
@@ -53,6 +57,9 @@ let label_tag = function
   | Admin_ack -> 17
   | Req_close -> 18
   | App_data -> 19
+  | Recovery_challenge -> 20
+  | Recovery_response -> 21
+  | View_resync_req -> 22
 
 let label_of_tag = function
   | 1 -> Some Req_open
@@ -74,6 +81,9 @@ let label_of_tag = function
   | 17 -> Some Admin_ack
   | 18 -> Some Req_close
   | 19 -> Some App_data
+  | 20 -> Some Recovery_challenge
+  | 21 -> Some Recovery_response
+  | 22 -> Some View_resync_req
   | _ -> None
 
 let label_to_string = function
@@ -96,6 +106,9 @@ let label_to_string = function
   | Admin_ack -> "Ack"
   | Req_close -> "ReqClose"
   | App_data -> "AppData"
+  | Recovery_challenge -> "RecoveryChallenge"
+  | Recovery_response -> "RecoveryResponse"
+  | View_resync_req -> "ViewResyncReq"
 
 let pp_label fmt l = Format.pp_print_string fmt (label_to_string l)
 

@@ -36,6 +36,16 @@ type label =
   | Req_close
   (* Application traffic under the group key (both protocols). *)
   | App_data
+  (* Crash-recovery and view anti-entropy (improved protocol only). *)
+  | Recovery_challenge
+      (** Leader → member after a warm restart: proves the leader still
+          holds [K_a] and asks the member to re-seed the nonce chain. *)
+  | Recovery_response
+      (** Member → leader: echoes the challenge nonce and supplies a
+          fresh one, restoring the admin channel. *)
+  | View_resync_req
+      (** Member → leader: the member's view digest diverged (or it
+          heard no digest for too long) and asks for repair. *)
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 

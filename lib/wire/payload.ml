@@ -225,3 +225,55 @@ let decode_app_data s =
       let* author = Reader.bytes r in
       let* body = Reader.bytes r in
       Ok ({ author; body } : app_data))
+
+type recovery_challenge = { l : agent; a : agent; nc : Nonce.t }
+
+let encode_recovery_challenge ({ l; a; nc } : recovery_challenge) =
+  with_tag 13 (fun w ->
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w a;
+      nonce w nc)
+
+let decode_recovery_challenge s =
+  decoded 13 s (fun r ->
+      let open Cursor in
+      let* l = Reader.bytes r in
+      let* a = Reader.bytes r in
+      let* nc = read_nonce r in
+      Ok ({ l; a; nc } : recovery_challenge))
+
+type recovery_response = { a : agent; l : agent; echo : Nonce.t; next : Nonce.t }
+
+let encode_recovery_response ({ a; l; echo; next } : recovery_response) =
+  with_tag 14 (fun w ->
+      Cursor.Writer.bytes w a;
+      Cursor.Writer.bytes w l;
+      nonce w echo;
+      nonce w next)
+
+let decode_recovery_response s =
+  decoded 14 s (fun r ->
+      let open Cursor in
+      let* a = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* echo = read_nonce r in
+      let* next = read_nonce r in
+      Ok ({ a; l; echo; next } : recovery_response))
+
+type view_resync = { a : agent; l : agent; digest : string; epoch : int }
+
+let encode_view_resync ({ a; l; digest; epoch } : view_resync) =
+  with_tag 15 (fun w ->
+      Cursor.Writer.bytes w a;
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w digest;
+      Cursor.Writer.u32 w epoch)
+
+let decode_view_resync s =
+  decoded 15 s (fun r ->
+      let open Cursor in
+      let* a = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* digest = Reader.bytes r in
+      let* epoch = Reader.u32 r in
+      Ok ({ a; l; digest; epoch } : view_resync))

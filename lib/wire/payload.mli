@@ -92,3 +92,24 @@ type app_data = { author : agent; body : string }
 
 val encode_app_data : app_data -> string
 val decode_app_data : string -> (app_data, string) result
+
+type recovery_challenge = { l : agent; a : agent; nc : Nonce.t }
+(** Warm-recovery challenge: [{L, A, Nc}] sealed under the journalled
+    [K_a]. Proves the restarted leader still holds the session key;
+    the member's response re-seeds the admin nonce chain. *)
+
+type recovery_response = { a : agent; l : agent; echo : Nonce.t; next : Nonce.t }
+(** [{A, L, Nc, N'}] sealed under [K_a]: echoes the challenge nonce and
+    supplies the fresh nonce that becomes the chain's new [N_a]. *)
+
+type view_resync = { a : agent; l : agent; digest : string; epoch : int }
+(** Anti-entropy repair request: the member's own view digest and key
+    epoch, sealed under [K_a], asking the leader to re-send the
+    membership snapshot and current group key if they differ. *)
+
+val encode_recovery_challenge : recovery_challenge -> string
+val decode_recovery_challenge : string -> (recovery_challenge, string) result
+val encode_recovery_response : recovery_response -> string
+val decode_recovery_response : string -> (recovery_response, string) result
+val encode_view_resync : view_resync -> string
+val decode_view_resync : string -> (view_resync, string) result

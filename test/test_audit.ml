@@ -120,6 +120,133 @@ let test_detects_stale_close_replay () =
   in
   Alcotest.(check bool) "stale close flagged" true stale_close
 
+let test_detects_stale_rekey () =
+  (* The leader (e.g. one restarted from a truncated journal) serves a
+     rekey whose epoch does not exceed what the member already holds.
+     It is authentic and first-seen — not a wire replay — so only the
+     epoch check can catch it. *)
+  let d = D.create ~seed:93L ~leader:"leader" ~directory () in
+  List.iter
+    (fun (n, _) ->
+      D.join d n;
+      ignore (D.run d))
+    directory;
+  D.rekey d;
+  ignore (D.run d);
+  let l = D.leader d in
+  let current =
+    match Leader.group_key l with
+    | Some gk -> gk.Types.epoch
+    | None -> Alcotest.fail "no group key after rekey"
+  in
+  let old_key =
+    Sym_crypto.Key.raw
+      (Sym_crypto.Key.fresh Sym_crypto.Key.Group (Prng.Splitmix.create 9L))
+  in
+  D.dispatch_leader d
+    (Leader.enqueue_admin l "bob"
+       (Wire.Admin.New_group_key { key = old_key; epoch = current - 1 }));
+  ignore (D.run d);
+  let report = audit (Netsim.Network.trace (D.net d)) in
+  let stale =
+    List.exists
+      (function
+        | Audit.Stale_rekey { recipient = "bob"; epoch; current = c } ->
+            epoch = current - 1 && c = current
+        | _ -> false)
+      report.Audit.anomalies
+  in
+  Alcotest.(check bool) "stale rekey flagged" true stale;
+  Alcotest.(check bool) "not misreported as replay" false
+    (List.exists
+       (function Audit.Replayed_admin _ -> true | _ -> false)
+       report.Audit.anomalies)
+
+(* --- the auditor over Faultplan-mutated traces --- *)
+
+let faultplan_run ~seed ~plan =
+  let d =
+    D.create ~seed ~retry:D.default_retry ~leader:"leader" ~directory ()
+  in
+  Netsim.Network.set_faultplan (D.net d) (Some plan);
+  List.iter (fun (n, _) -> D.join d n) directory;
+  ignore (D.run ~until:(Netsim.Vtime.of_s 20) d);
+  audit (Netsim.Network.trace (D.net d))
+
+let seeds = List.init 10 (fun i -> Int64.of_int (i + 1))
+
+let test_corrupted_traces_audit_as_forgeries () =
+  (* Bit-flipped deliveries fail authentication under the session key:
+     the auditor reports them as forged and never crashes. (Replays
+     may ALSO appear: the retry layer's retransmissions are
+     byte-identical redeliveries, indistinguishable from wire replays
+     by design.) *)
+  let forged = ref 0 in
+  List.iter
+    (fun seed ->
+      let plan =
+        Netsim.Faultplan.make
+          ~default_link:(Netsim.Faultplan.lossy_link ~corrupt:0.25 0.0)
+          ()
+      in
+      let report = faultplan_run ~seed ~plan in
+      List.iter
+        (function
+          | Audit.Forged_frame _ -> incr forged
+          | Audit.Replayed_admin _ | Audit.Stale_rekey _ -> ())
+        report.Audit.anomalies)
+    seeds;
+  Alcotest.(check bool)
+    (Printf.sprintf "corrupted frames audited as forgeries (%d)" !forged)
+    true (!forged > 0)
+
+let test_duplicated_traces_audit_as_replays () =
+  (* Duplicated deliveries are byte-identical repeats: replays, never
+     forgeries. *)
+  let replays = ref 0 in
+  List.iter
+    (fun seed ->
+      let plan =
+        Netsim.Faultplan.make
+          ~default_link:(Netsim.Faultplan.lossy_link ~duplicate:0.5 0.0)
+          ()
+      in
+      let report = faultplan_run ~seed ~plan in
+      List.iter
+        (function
+          | Audit.Replayed_admin { occurrences; _ } ->
+              Alcotest.(check bool) "counted at least twice" true
+                (occurrences > 1);
+              incr replays
+          | Audit.Forged_frame _ ->
+              Alcotest.fail "duplication misread as forgery"
+          | Audit.Stale_rekey _ -> Alcotest.fail "duplication misread as stale")
+        report.Audit.anomalies)
+    seeds;
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicated frames audited as replays (%d)" !replays)
+    true (!replays > 0)
+
+let test_full_chaos_never_crashes_auditor () =
+  (* Loss + corruption + duplication together: the auditor is total
+     over whatever the fault plan leaves in the trace. *)
+  List.iter
+    (fun seed ->
+      let plan =
+        Netsim.Faultplan.make
+          ~default_link:
+            (Netsim.Faultplan.lossy_link ~corrupt:0.1 ~duplicate:0.2
+               ~spike_prob:0.05 0.15)
+          ()
+      in
+      let report = faultplan_run ~seed ~plan in
+      ignore (Audit.clean report);
+      List.iter
+        (fun a -> ignore (Format.asprintf "%a" Audit.pp_anomaly a))
+        report.Audit.anomalies)
+    seeds;
+  Alcotest.(check pass) "auditor total over chaos traces" () ()
+
 let test_report_printing () =
   let report = audit (scenario ()) in
   List.iter
@@ -136,6 +263,13 @@ let suite =
         Alcotest.test_case "detects forgery" `Quick test_detects_forgery;
         Alcotest.test_case "detects stale close replay" `Quick
           test_detects_stale_close_replay;
+        Alcotest.test_case "detects stale rekey" `Quick test_detects_stale_rekey;
+        Alcotest.test_case "faultplan corruption audits as forgeries" `Quick
+          test_corrupted_traces_audit_as_forgeries;
+        Alcotest.test_case "faultplan duplication audits as replays" `Quick
+          test_duplicated_traces_audit_as_replays;
+        Alcotest.test_case "full chaos never crashes the auditor" `Quick
+          test_full_chaos_never_crashes_auditor;
         Alcotest.test_case "report printing" `Quick test_report_printing;
       ] );
   ]
