@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-crash journal-fuzz doc ci clean
+.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk crash-matrix journal-fuzz doc ci clean
 
 all: build
 
@@ -28,11 +28,28 @@ chaos-crash:
 	dune exec bin/enclaves_cli.exe -- chaos --members 5 --seeds 10 --loss 0.05 \
 	  --crash-at 2 --restart-after 1 --until 30
 
+# Crash-recovery under a faulty disk as well: torn writes, dropped
+# fsyncs and transient EIO injected into the journal's write path while
+# the leader crashes and restarts from the durable image.
+chaos-disk:
+	dune exec bin/enclaves_cli.exe -- chaos --members 5 --seeds 10 --loss 0.05 \
+	  --crash-at 2 --restart-after 1 --until 30 \
+	  --torn 0.05 --drop-fsync 0.10 --eio 0.05
+
+# ALICE-style crash-point enumeration: every disk image a crash could
+# leave behind (boundaries + torn-write prefixes) must replay without
+# an exception, without resurrecting a closed session, and without
+# regressing the group-key epoch; acknowledged writes must survive.
+crash-matrix:
+	dune exec bin/enclaves_cli.exe -- crash-matrix --appends 24 --compact-every 8
+
 # The journal's totality property (truncation/bit-flip recovery) plus
-# the crash-recovery scenarios, as a focused filter over the test tree.
+# the crash-recovery scenarios and the storage layer, as a focused
+# filter over the test tree.
 journal-fuzz:
 	dune exec test/test_main.exe -- test journal
 	dune exec test/test_main.exe -- test recovery
+	dune exec test/test_main.exe -- test store
 
 # API docs — only where odoc is installed; CI images without it skip.
 doc:
@@ -42,7 +59,7 @@ doc:
 	  echo "doc: odoc not installed, skipping"; \
 	fi
 
-ci: build test bench-smoke chaos chaos-crash journal-fuzz doc
+ci: build test bench-smoke chaos chaos-crash chaos-disk crash-matrix journal-fuzz doc
 
 clean:
 	dune clean

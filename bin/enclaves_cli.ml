@@ -5,6 +5,7 @@
    - [attack]   run the §2.3 attack matrix (optionally one attack)
    - [verify]   run the model checker (§4-§5)
    - [chaos]    sweep seeded fault plans against the recovery layer
+   - [crash-matrix] enumerate every journal crash point and check recovery
    - [keys]     derive and fingerprint a long-term key (debug helper)
 
    Run with: dune exec bin/enclaves_cli.exe -- <subcommand> --help *)
@@ -275,8 +276,28 @@ let verify_cmd =
 (* --- chaos --- *)
 
 let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
-    crash_at restart_after cold verbose =
+    crash_at restart_after cold torn short_write drop_fsync eio verbose =
   let module D = Enclaves.Driver.Improved in
+  let crashing = crash_at > 0.0 in
+  (* Flag validation: a crash with no restart would leave the leader
+     down for the rest of the run and every seed would "wedge" for a
+     trivial reason — reject the combination loudly instead. *)
+  if crashing && restart_after = None then begin
+    prerr_endline
+      "chaos: --crash-at requires --restart-after (a crashed leader that \
+       never restarts cannot converge; give --restart-after SECONDS)";
+    exit 2
+  end;
+  let restart_after = Option.value ~default:2.0 restart_after in
+  let faulty_disk =
+    torn > 0.0 || short_write > 0.0 || drop_fsync > 0.0 || eio > 0.0
+  in
+  if faulty_disk && not crashing then begin
+    prerr_endline
+      "chaos: storage faults (--torn/--short-write/--drop-fsync/--eio) only \
+       bite the journal's disk; enable journalling with --crash-at SECONDS";
+    exit 2
+  end;
   let directory =
     List.init members (fun i ->
         let name = Printf.sprintf "user%d" i in
@@ -289,11 +310,25 @@ let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
       ()
   in
   let bound = Netsim.Vtime.of_s until_s in
-  let crashing = crash_at > 0.0 in
   let one seed =
     let retry = if no_retry then None else Some D.default_retry in
     let recovery = if crashing then Some D.default_recovery else None in
-    let d = D.create ~seed ?retry ?recovery ~leader:"leader" ~directory () in
+    let storage_faults =
+      if faulty_disk then
+        Some
+          {
+            Store.Fault.none with
+            Store.Fault.torn_write = torn;
+            short_write;
+            drop_fsync;
+            eio;
+          }
+      else None
+    in
+    let d =
+      D.create ~seed ?retry ?recovery ?storage_faults ~leader:"leader"
+        ~directory ()
+    in
     Netsim.Network.set_faultplan (D.net d) (Some plan);
     List.iter (fun (n, _) -> D.join d n) directory;
     if crashing then
@@ -330,9 +365,12 @@ let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
       (Int64.to_float join_time /. 1e6)
       r.D.handshake_retransmits r.D.keydist_retransmits r.D.admin_retransmits
       r.D.half_open_gcs r.D.session_resets;
-    if crashing then
+    if crashing then begin
       Format.printf "         recovery: %a@." Netsim.Stats.pp_named
         (D.recovery_counters d);
+      Format.printf "         storage:  %a@." Netsim.Stats.pp_named
+        (D.storage_counters d)
+    end;
     if verbose then begin
       Format.printf "         retry: %a@." Netsim.Stats.pp_named
         (D.retry_counters d);
@@ -404,9 +442,11 @@ let crash_at_arg =
 
 let restart_after_arg =
   Arg.(
-    value & opt float 2.0
+    value & opt (some float) None
     & info [ "restart-after" ]
-        ~doc:"Restart the leader this long after the crash (seconds)")
+        ~doc:
+          "Restart the leader this long after the crash (seconds). \
+           Required whenever --crash-at is given.")
 
 let cold_arg =
   Arg.(
@@ -414,7 +454,41 @@ let cold_arg =
     & info [ "cold" ]
         ~doc:
           "Restart cold (discard the journal) instead of warm — the \
-           control arm for recovery experiments")
+           control arm for recovery experiments. The restarted leader \
+           still broadcasts authenticated ColdRestart beacons so members \
+           rejoin without waiting out the anti-entropy watchdog.")
+
+let torn_fault_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "torn" ]
+        ~doc:
+          "Per-write probability that only a byte-prefix of a journal \
+           write silently lands on disk (requires --crash-at)")
+
+let short_write_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "short-write" ]
+        ~doc:
+          "Per-write probability of a short write: a prefix lands and the \
+           write raises a transient EIO (requires --crash-at)")
+
+let drop_fsync_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop-fsync" ]
+        ~doc:
+          "Per-fsync probability the fsync is silently skipped, so the \
+           bytes die with a later crash (requires --crash-at)")
+
+let eio_fault_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "eio" ]
+        ~doc:
+          "Per-operation probability of a transient EIO with no effect; \
+           absorbed by the journal's bounded retry (requires --crash-at)")
 
 let chaos_cmd =
   let doc =
@@ -424,7 +498,62 @@ let chaos_cmd =
     Term.(
       const run_chaos $ chaos_members_arg $ chaos_seeds_arg $ loss_arg
       $ corrupt_arg $ duplicate_arg $ spike_arg $ until_arg $ no_retry_arg
-      $ crash_at_arg $ restart_after_arg $ cold_arg $ verbose_arg)
+      $ crash_at_arg $ restart_after_arg $ cold_arg $ torn_fault_arg
+      $ short_write_arg $ drop_fsync_arg $ eio_fault_arg $ verbose_arg)
+
+(* --- crash-matrix --- *)
+
+let run_crash_matrix members appends compact_every seed no_torn verbose =
+  let report =
+    Enclaves.Crash_matrix.run ~members ~appends ~compact_every ~seed
+      ~torn:(not no_torn) ()
+  in
+  Format.printf "%a@." Enclaves.Crash_matrix.pp_report report;
+  if verbose || report.Enclaves.Crash_matrix.violations <> [] then
+    List.iter
+      (fun v -> Format.printf "  %a@." Enclaves.Crash_matrix.pp_violation v)
+      report.Enclaves.Crash_matrix.violations;
+  if report.Enclaves.Crash_matrix.violations = [] then begin
+    print_endline
+      "every crash image recovers: no exception, no resurrected session, no \
+       epoch regression, no acknowledged write lost";
+    0
+  end
+  else 1
+
+let cm_members_arg =
+  Arg.(value & opt int 4 & info [ "members"; "n" ] ~doc:"Sessions in the workload")
+
+let cm_appends_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "appends" ]
+        ~doc:"Extra epoch bumps appended (drives repeated compaction)")
+
+let cm_compact_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "compact-every" ] ~doc:"Journal auto-compaction threshold")
+
+let cm_seed_arg =
+  Arg.(value & opt int64 11L & info [ "seed" ] ~doc:"Workload key/nonce seed")
+
+let cm_no_torn_arg =
+  Arg.(
+    value & flag
+    & info [ "no-torn" ]
+        ~doc:"Skip torn-write variants (boundary images only; faster)")
+
+let crash_matrix_cmd =
+  let doc =
+    "enumerate every crash point of the journal's disk protocol and check \
+     that recovery survives each one"
+  in
+  Cmd.v
+    (Cmd.info "crash-matrix" ~doc)
+    Term.(
+      const run_crash_matrix $ cm_members_arg $ cm_appends_arg $ cm_compact_arg
+      $ cm_seed_arg $ cm_no_torn_arg $ verbose_arg)
 
 (* --- keys --- *)
 
@@ -452,4 +581,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ session_cmd; attack_cmd; verify_cmd; chaos_cmd; keys_cmd ]))
+          [
+            session_cmd; attack_cmd; verify_cmd; chaos_cmd; crash_matrix_cmd;
+            keys_cmd;
+          ]))

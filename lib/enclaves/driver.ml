@@ -58,6 +58,7 @@ module Improved = struct
     challenge_timeout : Netsim.Vtime.t;
     probe_after : Netsim.Vtime.t;
     reset_after : Netsim.Vtime.t;
+    beacon_on_cold : bool;
   }
 
   let default_recovery =
@@ -66,6 +67,7 @@ module Improved = struct
       challenge_timeout = Netsim.Vtime.of_s 3;
       probe_after = Netsim.Vtime.of_s 4;
       reset_after = Netsim.Vtime.of_s 10;
+      beacon_on_cold = true;
     }
 
   type recovery_stats = {
@@ -78,6 +80,9 @@ module Improved = struct
     mutable digests_broadcast : int;
     mutable probes_sent : int;
     mutable cold_reauths : int;
+    mutable cold_beacons_sent : int;
+    mutable beacon_reauths : int;
+    mutable crash_images : int;
   }
 
   let fresh_recovery_stats () =
@@ -91,6 +96,9 @@ module Improved = struct
       digests_broadcast = 0;
       probes_sent = 0;
       cold_reauths = 0;
+      cold_beacons_sent = 0;
+      beacon_reauths = 0;
+      crash_images = 0;
     }
 
   type t = {
@@ -104,7 +112,15 @@ module Improved = struct
     rstats : retry_stats;
     recovery : recovery_config option;
     recstats : recovery_stats;
-    mutable journal : Journal.t option;  (* the leader's "disk" *)
+    mutable journal : Journal.t option;  (* write-through to [backend] *)
+    disk : Store.Mem.t option;  (* simulated disk under the journal *)
+    fault : Store.Fault.t option;  (* seeded fault layer, if configured *)
+    backend : Store.Backend.t option;  (* fault-wrapped handle to [disk] *)
+    mutable crash_bytes : string option;
+        (* Durable journal image captured at the last crash — what a
+           restarted process actually finds, as opposed to the live
+           buffer (which includes unsynced bytes the crash lost). *)
+    mutable acc_eio : int;  (* EIO retries banked from dead journals *)
     mutable leader_down : bool;
     (* Recoveries/resyncs performed by previous leader incarnations —
        those counters die with the crashed instance. *)
@@ -131,11 +147,6 @@ module Improved = struct
           let replies = Leader.receive t.leader bytes in
           send_frames t.net ~src:(Leader.self t.leader) replies
         end)
-
-  let attach_member t m =
-    Netsim.Network.register t.net (Member.self m) (fun bytes ->
-        let replies = Member.receive m bytes in
-        send_frames t.net ~src:(Member.self m) replies)
 
   let scale time f = Int64.of_float (Int64.to_float time *. f)
 
@@ -343,13 +354,56 @@ module Improved = struct
              end
            end))
 
-  let create ?(seed = 42L) ?latency_us ?policy ?retry ?recovery ~leader
-      ~directory () =
+  (* The member handler also watches for a completed cold-restart
+     beacon handshake: the member has already reset and sent its
+     AuthInitReq (inside [Member.receive]); the driver's job is to
+     count the shortcut and re-arm the handshake watchdog so a lost
+     reply still heals. *)
+  let attach_member t m =
+    let who = Member.self m in
+    Netsim.Network.register t.net who (fun bytes ->
+        let replies = Member.receive m bytes in
+        send_frames t.net ~src:who replies;
+        if Member.consume_beacon_reset m then begin
+          t.recstats.beacon_reauths <- t.recstats.beacon_reauths + 1;
+          Hashtbl.remove t.pending_close who;
+          match t.retry with
+          | Some cfg ->
+              watch_member t cfg who ~delay:cfg.handshake_initial
+                ~keyless_ticks:0
+          | None -> ()
+        end)
+
+  let create ?(seed = 42L) ?latency_us ?policy ?retry ?recovery ?storage_faults
+      ~leader ~directory () =
     let sim = Netsim.Sim.create ~seed () in
     let net = Netsim.Network.create ~sim ?latency_us () in
     let rng = Netsim.Sim.rng sim in
+    (* With recovery on, the journal writes through a simulated disk —
+       optionally wrapped in the seeded fault layer — so a crash can
+       capture the durable image instead of trusting the live buffer. *)
+    let disk, fault, backend =
+      match recovery with
+      | None -> (None, None, None)
+      | Some _ ->
+          let mem = Store.Mem.create () in
+          let inner = Store.Mem.handle mem in
+          let fault, handle =
+            match storage_faults with
+            | Some config ->
+                let f =
+                  Store.Fault.create ~config ~rng:(Prng.Splitmix.split rng)
+                    inner
+                in
+                (Some f, Store.Fault.handle f)
+            | None -> (None, inner)
+          in
+          (Some mem, fault, Some handle)
+    in
     let journal =
-      match recovery with Some _ -> Some (Journal.create ()) | None -> None
+      match recovery with
+      | Some _ -> Some (Journal.create ?disk:backend ())
+      | None -> None
     in
     let l = Leader.create ~self:leader ~rng ~directory ?policy ?journal () in
     let members = Hashtbl.create 8 in
@@ -366,6 +420,11 @@ module Improved = struct
         recovery;
         recstats = fresh_recovery_stats ();
         journal;
+        disk;
+        fault;
+        backend;
+        crash_bytes = None;
+        acc_eio = 0;
         leader_down = false;
         acc_recoveries = 0;
         acc_resyncs = 0;
@@ -457,6 +516,14 @@ module Improved = struct
       (* These counters die with the crashed instance; bank them. *)
       t.acc_recoveries <- t.acc_recoveries + Leader.recoveries t.leader;
       t.acc_resyncs <- t.acc_resyncs + Leader.resyncs_served t.leader;
+      (* What a restarted process will find is the DURABLE image, not
+         the live buffer: unsynced bytes (e.g. behind a dropped fsync)
+         die here. *)
+      (match (t.disk, t.journal) with
+      | Some mem, Some j ->
+          t.crash_bytes <-
+            Some (Option.value ~default:"" (Store.Mem.durable_of mem (Journal.file j)))
+      | _ -> ());
       Netsim.Network.unregister t.net (Leader.self t.leader)
     end
 
@@ -491,17 +558,63 @@ module Improved = struct
              end
            end))
 
+  (* Re-broadcast the cold-restart beacons to members that have not
+     rejoined yet, every [period], until [challenge_timeout] has
+     passed. A member that already challenged re-sends its stored
+     challenge on the duplicate (same nonce), and the leader re-acks a
+     matching challenge, so every lost frame in the 3-message exchange
+     is covered. Stops early if this leader incarnation is replaced. *)
+  let rec beacon_scan t rc ~incarnation ~beacons ~started ~period =
+    ignore
+      (Netsim.Sim.schedule_handle t.sim ~delay:period (fun () ->
+           if
+             (not t.leader_down) && (not t.retry_stopped)
+             && t.leader == incarnation
+             && Netsim.Vtime.(
+                  Int64.sub (Netsim.Sim.now t.sim) started < rc.challenge_timeout)
+           then begin
+             let missing =
+               List.filter
+                 (fun (f : Wire.Frame.t) ->
+                   match Leader.session t.leader f.Wire.Frame.recipient with
+                   | Leader.Not_connected -> true
+                   | _ -> false)
+                 beacons
+             in
+             if missing <> [] then begin
+               t.recstats.cold_beacons_sent <-
+                 t.recstats.cold_beacons_sent + List.length missing;
+               send_frames t.net ~src:(Leader.self t.leader) missing;
+               beacon_scan t rc ~incarnation ~beacons ~started ~period
+             end
+           end))
+
+  (* Bank the dying journal's retry counter before replacing it. *)
+  let retire_journal t =
+    (match t.journal with
+    | Some j -> t.acc_eio <- t.acc_eio + Journal.eio_retries j
+    | None -> ());
+    t.journal <- None
+
   let restart_leader ?(warm = true) ?journal_bytes t =
     let lname = Leader.self t.leader in
     let rng = Netsim.Sim.rng t.sim in
+    (* Explicit bytes (tests feeding tampered journals) win; then the
+       durable crash image if one was captured; the live buffer is the
+       last resort (restart without a crash). *)
     let bytes =
-      match journal_bytes with
-      | Some _ as b -> b
-      | None -> Option.map Journal.contents t.journal
+      match (journal_bytes, t.crash_bytes) with
+      | (Some _ as b), _ -> b
+      | None, Some _ ->
+          t.recstats.crash_images <- t.recstats.crash_images + 1;
+          t.crash_bytes
+      | None, None -> Option.map Journal.contents t.journal
     in
+    t.crash_bytes <- None;
     match (warm, bytes) with
     | true, Some b ->
-        let j, state, status = Journal.recover b in
+        retire_journal t;
+        let j, state, status = Journal.recover ?disk:t.backend b in
         let l, challenges =
           Leader.recover ~self:lname ~rng ~directory:t.directory
             ?policy:t.policy ~journal:j ~state ()
@@ -522,21 +635,40 @@ module Improved = struct
         in
         recovery_scan t rc ~started:(Netsim.Sim.now t.sim) ~period;
         status
-    | _ ->
-        (* Cold restart: trust nothing — fresh automaton, fresh
-           (empty) journal; members must re-authenticate from
-           scratch. *)
-        let j =
-          match t.journal with
-          | Some _ -> Some (Journal.create ())
-          | None -> None
-        in
-        let l =
-          Leader.create ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ?journal:j ()
+    | false, Some b ->
+        (* Cold restart with a surviving journal: no session is
+           trusted, but the journal still pins the epoch floor and
+           stamps the cold-restart beacons. *)
+        retire_journal t;
+        let recs, status = Journal.replay b in
+        let state = Journal.state_of_records recs in
+        let j = Journal.create ?disk:t.backend () in
+        let l, beacons =
+          Leader.cold_recover ~self:lname ~rng ~directory:t.directory
+            ?policy:t.policy ~journal:j ~state ()
         in
         t.leader <- l;
-        t.journal <- j;
+        t.journal <- Some j;
+        t.leader_down <- false;
+        attach_leader t;
+        t.recstats.cold_restarts <- t.recstats.cold_restarts + 1;
+        let rc = Option.value t.recovery ~default:default_recovery in
+        if rc.beacon_on_cold then begin
+          t.recstats.cold_beacons_sent <-
+            t.recstats.cold_beacons_sent + List.length beacons;
+          send_frames t.net ~src:lname beacons;
+          beacon_scan t rc ~incarnation:l ~beacons
+            ~started:(Netsim.Sim.now t.sim) ~period:rc.digest_period
+        end;
+        status
+    | _, None ->
+        (* No journal at all (recovery off): the PR-2 baseline — a
+           fresh automaton that knows nothing. *)
+        let l =
+          Leader.create ~self:lname ~rng ~directory:t.directory
+            ?policy:t.policy ()
+        in
+        t.leader <- l;
         t.leader_down <- false;
         attach_leader t;
         t.recstats.cold_restarts <- t.recstats.cold_restarts + 1;
@@ -643,7 +775,36 @@ module Improved = struct
       ("resyncs_served", resyncs_served t);
       ("probes_sent", t.recstats.probes_sent);
       ("cold_reauths", t.recstats.cold_reauths);
+      ("cold_beacons_sent", t.recstats.cold_beacons_sent);
+      ("beacon_reauths", t.recstats.beacon_reauths);
     ]
+
+  let storage_stats t =
+    let faults =
+      match t.fault with
+      | Some f -> Store.Fault.counters f
+      | None ->
+          {
+            Store.Fault.torn_writes = 0;
+            short_writes = 0;
+            dropped_fsyncs = 0;
+            eio_injected = 0;
+            crashes = 0;
+          }
+    in
+    let live_retries =
+      match t.journal with Some j -> Journal.eio_retries j | None -> 0
+    in
+    {
+      Netsim.Stats.torn_writes = faults.Store.Fault.torn_writes;
+      short_writes = faults.Store.Fault.short_writes;
+      dropped_fsyncs = faults.Store.Fault.dropped_fsyncs;
+      eio_injected = faults.Store.Fault.eio_injected;
+      eio_retries = t.acc_eio + live_retries;
+      crash_images_replayed = t.recstats.crash_images;
+    }
+
+  let storage_counters t = Netsim.Stats.storage_named (storage_stats t)
 end
 
 module Legacy = struct

@@ -65,11 +65,16 @@ module Improved : sig
         (** Beacon silence after which the member gives up on the
             session entirely and cold re-authenticates. Must exceed
             [probe_after]. *)
+    beacon_on_cold : bool;
+        (** Broadcast authenticated [ColdRestart] beacons on a cold
+            restart ({!Leader.cold_recover}), letting members rejoin
+            immediately instead of waiting out [reset_after]. Disable
+            to measure the watchdog-only baseline. *)
   }
 
   val default_recovery : recovery_config
   (** 1 s beacons, 3 s challenge timeout, probe at 4 s of silence,
-      cold reset at 10 s. *)
+      cold reset at 10 s, beacons on cold restart enabled. *)
 
   (** Counters for the crash-recovery and anti-entropy layer. *)
   type recovery_stats = {
@@ -85,6 +90,13 @@ module Improved : sig
     mutable cold_reauths : int;
         (** Members that gave up on a silent session and rejoined from
             scratch. *)
+    mutable cold_beacons_sent : int;
+        (** [ColdRestart] beacons broadcast by cold-restarted leaders. *)
+    mutable beacon_reauths : int;
+        (** Members that rejoined via the beacon shortcut instead of
+            waiting out the [reset_after] watchdog. *)
+    mutable crash_images : int;
+        (** Restarts recovered from a captured durable crash image. *)
   }
 
   val create :
@@ -93,6 +105,7 @@ module Improved : sig
     ?policy:Leader.policy ->
     ?retry:retry_config ->
     ?recovery:recovery_config ->
+    ?storage_faults:Store.Fault.config ->
     leader:Types.agent ->
     directory:(Types.agent * string) list ->
     unit ->
@@ -116,7 +129,15 @@ module Improved : sig
       (probe-then-cold-reset on beacon silence), and supports
       {!crash_leader}/{!restart_leader}. Like the leader scan, these
       are periodic tasks: bound runs with {!run}[ ~until] or
-      {!stop_retry}. *)
+      {!stop_retry}.
+
+      With [recovery] set the journal also writes through a simulated
+      disk ({!Store.Mem}); [storage_faults] additionally wraps the
+      disk in the seeded fault layer ({!Store.Fault}), injecting torn
+      writes, short writes, dropped fsyncs and transient EIO into the
+      journal's write path. A subsequent {!crash_leader} captures the
+      {e durable} disk image, and {!restart_leader} recovers from that
+      image — so unsynced bytes really die in the crash. *)
 
   val sim : t -> Netsim.Sim.t
   val net : t -> Netsim.Network.t
@@ -142,6 +163,16 @@ module Improved : sig
       ([sessions_recovered], [divergences_detected], [resyncs_served])
       as labelled counters. *)
 
+  val storage_stats : t -> Netsim.Stats.storage
+  (** What the storage-fault layer did to the journal so far:
+      injection counters from {!Store.Fault}, EIO retries absorbed by
+      the journal (summed across leader incarnations), and crash
+      images replayed. All zero when [storage_faults] was not given. *)
+
+  val storage_counters : t -> (string * int) list
+  (** {!storage_stats} as labelled counters for
+      {!Netsim.Stats.pp_named}. *)
+
   val sessions_recovered : t -> int
   (** Sessions restored warm (challenge answered), summed across all
       leader incarnations. *)
@@ -161,12 +192,21 @@ module Improved : sig
   val restart_leader : ?warm:bool -> ?journal_bytes:string -> t -> Journal.status
   (** Bring the leader back. With [warm] (default) and a journal, the
       surviving bytes ([journal_bytes] overrides what the driver
-      holds — e.g. a truncated copy) are {!Journal.recover}ed, the
+      holds; after a {!crash_leader} the captured durable image is
+      used, not the live buffer) are {!Journal.recover}ed, the
       automaton is rebuilt via {!Leader.recover}, and a
       [RecoveryChallenge] goes to every journalled session, with
       retransmission until [challenge_timeout]. Returns the journal
-      damage report. [~warm:false] (or no journal) is a cold restart:
-      fresh automaton, empty journal, every member re-authenticates. *)
+      damage report.
+
+      [~warm:false] is a cold restart: no session is trusted and every
+      member re-authenticates from scratch — but the surviving journal
+      bytes still pin the epoch floor, and (unless
+      [recovery_config.beacon_on_cold] is off) the new incarnation
+      broadcasts authenticated [ColdRestart] beacons so members rejoin
+      without waiting out their watchdog. With no journal at all the
+      cold restart is the PR-2 baseline: a fresh automaton that knows
+      nothing. *)
 
   val schedule_leader_crash :
     ?restart_after:Netsim.Vtime.t ->

@@ -96,7 +96,8 @@ let attach_member t slot =
       List.iter
         (function
           | Member.Admin_accepted _ | Member.Joined _
-          | Member.Recovery_challenged ->
+          | Member.Recovery_challenged | Member.Cold_beacon_challenged _
+          | Member.Beacon_reset _ ->
               slot.last_admin <- Netsim.Sim.now t.sim;
               slot.retries <- 0
           | Member.App_received _ | Member.Left | Member.Rejected _

@@ -156,6 +156,9 @@ type t = {
   buf : Buffer.t;
   mac : Sym_crypto.Siphash.key;
   compact_every : int;
+  disk : Store.Backend.t option;
+  file : string;
+  mutable eio_retries : int;
   mutable st : state;
   mutable nrecords : int;
   mutable next_seq : int;
@@ -168,27 +171,82 @@ let header () =
   Cursor.Writer.u8 w version;
   Cursor.Writer.contents w
 
-let create ?(mac_key = default_mac_key) ?(compact_every = 256) () =
+(* --- disk write-through ---
+
+   The in-memory buffer stays authoritative for reads; every mutation
+   is mirrored to the backend before returning. Transient EIO is
+   retried a bounded number of times — safe because both mirror shapes
+   are idempotent: an append rewrites the same offset, a publish
+   restages the whole image. [Backend.Crashed] is never caught: a
+   crashed store means the process is gone. *)
+
+let max_eio_retries = 8
+
+let with_retry t f =
+  let rec go attempt =
+    try f ()
+    with Store.Backend.Eio _ when attempt < max_eio_retries ->
+      t.eio_retries <- t.eio_retries + 1;
+      go (attempt + 1)
+  in
+  go 0
+
+(* Full-image publish: stage, fsync, atomic rename. Used whenever the
+   on-disk bytes are replaced rather than extended (create, reset,
+   compaction). The staging file is removed first so a stale longer
+   tmp can never leak a garbage tail past the rename. *)
+let disk_publish t =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      let bytes = Buffer.contents t.buf in
+      let tmp = t.file ^ ".tmp" in
+      with_retry t (fun () -> Store.Backend.remove d ~file:tmp);
+      with_retry t (fun () -> Store.Backend.pwrite d ~file:tmp ~off:0 bytes);
+      with_retry t (fun () -> Store.Backend.fsync d ~file:tmp);
+      with_retry t (fun () -> Store.Backend.rename d ~src:tmp ~dst:t.file)
+
+(* Incremental append: write the new record bytes at their offset and
+   fsync. A crash between the two loses at most the record's tail,
+   which replay's per-record checksum absorbs. *)
+let disk_append t ~off bytes =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      with_retry t (fun () -> Store.Backend.pwrite d ~file:t.file ~off bytes);
+      with_retry t (fun () -> Store.Backend.fsync d ~file:t.file)
+
+let create ?(mac_key = default_mac_key) ?(compact_every = 256) ?disk
+    ?(file = "journal") () =
   if String.length mac_key <> 16 then
     invalid_arg "Journal.create: mac_key must be 16 bytes";
   if compact_every < 1 then
     invalid_arg "Journal.create: compact_every must be positive";
   let buf = Buffer.create 256 in
   Buffer.add_string buf (header ());
-  {
-    buf;
-    mac = Sym_crypto.Siphash.key_of_string mac_key;
-    compact_every;
-    st = empty_state;
-    nrecords = 0;
-    next_seq = 0;
-    since_snapshot = 0;
-  }
+  let t =
+    {
+      buf;
+      mac = Sym_crypto.Siphash.key_of_string mac_key;
+      compact_every;
+      disk;
+      file;
+      eio_retries = 0;
+      st = empty_state;
+      nrecords = 0;
+      next_seq = 0;
+      since_snapshot = 0;
+    }
+  in
+  disk_publish t;
+  t
 
 let state t = t.st
 let records t = t.nrecords
 let size t = Buffer.length t.buf
 let contents t = Buffer.contents t.buf
+let eio_retries t = t.eio_retries
+let file t = t.file
 
 let append_raw t record =
   let payload = encode_payload ~seq:t.next_seq record in
@@ -208,7 +266,8 @@ let rewrite_as_snapshot t =
   t.nrecords <- 0;
   t.next_seq <- 0;
   t.since_snapshot <- 0;
-  append_raw t (Snapshot st)
+  append_raw t (Snapshot st);
+  disk_publish t
 
 let compact t = rewrite_as_snapshot t
 
@@ -218,12 +277,15 @@ let reset t =
   t.st <- empty_state;
   t.nrecords <- 0;
   t.next_seq <- 0;
-  t.since_snapshot <- 0
+  t.since_snapshot <- 0;
+  disk_publish t
 
 let append t record =
+  let off = Buffer.length t.buf in
   append_raw t record;
   t.since_snapshot <- t.since_snapshot + 1;
   if t.since_snapshot > t.compact_every then rewrite_as_snapshot t
+  else disk_append t ~off (Buffer.sub t.buf off (Buffer.length t.buf - off))
 
 (* --- replay: total on arbitrary bytes --- *)
 
@@ -275,10 +337,14 @@ let replay ?(mac_key = default_mac_key) bytes =
     else (recs, Damaged { valid_records = List.length recs; valid_bytes = !valid_bytes })
   end
 
-let recover ?(mac_key = default_mac_key) ?compact_every bytes =
+let recover ?(mac_key = default_mac_key) ?compact_every ?disk ?file bytes =
   let records, status = replay ~mac_key bytes in
   let st = state_of_records records in
-  let t = create ~mac_key ?compact_every () in
+  let t = create ~mac_key ?compact_every ?disk ?file () in
   t.st <- st;
   rewrite_as_snapshot t;
   (t, st, status)
+
+let load ?mac_key ?compact_every ?(file = "journal") ~disk () =
+  let bytes = Option.value ~default:"" (Store.Backend.read disk ~file) in
+  recover ?mac_key ?compact_every ~disk ~file bytes

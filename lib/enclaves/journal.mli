@@ -70,11 +70,26 @@ val pp_status : Format.formatter -> status -> unit
 
 type t
 
-val create : ?mac_key:string -> ?compact_every:int -> unit -> t
+val create :
+  ?mac_key:string ->
+  ?compact_every:int ->
+  ?disk:Store.Backend.t ->
+  ?file:string ->
+  unit ->
+  t
 (** An empty journal. [mac_key] (16 bytes, default a fixed public key)
     keys the per-record SipHash checksum; [compact_every] (default
     [256]) is the record count past which {!append} folds the log into
     a snapshot.
+
+    With [disk], every mutation is mirrored through the store backend
+    to [file] (default ["journal"]) before returning: appends are an
+    incremental [pwrite] at the record's offset followed by [fsync];
+    anything that replaces the image (creation, {!reset}, compaction)
+    stages the full bytes in [file ^ ".tmp"], fsyncs, then atomically
+    renames over [file]. Transient [Store.Backend.Eio] is retried a
+    bounded number of times (see {!eio_retries});
+    [Store.Backend.Crashed] propagates.
     @raise Invalid_argument if [mac_key] is not 16 bytes or
     [compact_every < 1]. *)
 
@@ -100,7 +115,14 @@ val size : t -> int
 (** Buffer size in bytes. *)
 
 val contents : t -> string
-(** The raw journal bytes — what would be on disk. *)
+(** The raw journal bytes — with a [disk] backend, byte-identical to
+    the file after every successful fault-free mutation. *)
+
+val eio_retries : t -> int
+(** Transient-EIO retries absorbed by the write-through path so far. *)
+
+val file : t -> string
+(** The backing file name (meaningful only with a [disk] backend). *)
 
 val replay : ?mac_key:string -> string -> record list * status
 (** [replay bytes] decodes the longest valid prefix of [bytes]. Total:
@@ -111,8 +133,26 @@ val state_of_records : record list -> state
 (** Fold records into the state they describe. A [Snapshot] replaces
     the accumulated state; establishment/close/bump update it. *)
 
-val recover : ?mac_key:string -> ?compact_every:int -> string -> t * state * status
+val recover :
+  ?mac_key:string ->
+  ?compact_every:int ->
+  ?disk:Store.Backend.t ->
+  ?file:string ->
+  string ->
+  t * state * status
 (** [recover bytes] is the crash-recovery entry point: {!replay} the
     surviving bytes, fold the valid prefix, and return a fresh journal
     already compacted to a snapshot of that state (plus the state and
-    the damage report). *)
+    the damage report). With [disk], the fresh journal writes through
+    to it. *)
+
+val load :
+  ?mac_key:string ->
+  ?compact_every:int ->
+  ?file:string ->
+  disk:Store.Backend.t ->
+  unit ->
+  t * state * status
+(** {!recover} from whatever bytes the backend holds for [file] — the
+    restart-from-disk entry point. A missing file recovers the empty
+    state. *)

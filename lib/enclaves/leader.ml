@@ -13,6 +13,7 @@ type event =
   | Ack_received of Types.agent
   | App_relayed of { author : Types.agent }
   | Member_recovered of Types.agent
+  | Cold_restart_acked of Types.agent
   | Resync_served of Types.agent
   | Rejected of {
       label : F.label option;
@@ -27,6 +28,7 @@ let pp_event fmt = function
   | Ack_received who -> Format.fprintf fmt "AckReceived(%s)" who
   | App_relayed { author } -> Format.fprintf fmt "AppRelayed(%s)" author
   | Member_recovered who -> Format.fprintf fmt "MemberRecovered(%s)" who
+  | Cold_restart_acked who -> Format.fprintf fmt "ColdRestartAcked(%s)" who
   | Resync_served who -> Format.fprintf fmt "ResyncServed(%s)" who
   | Rejected { label; claimed; reason } ->
       Format.fprintf fmt "Rejected(%s, %s, %a)"
@@ -79,6 +81,12 @@ type t = {
   mutable events_rev : event list;
   mutable recoveries : int;
   mutable resyncs : int;
+  (* Cold-restart beacon state: [Some epoch] marks this incarnation as
+     cold-restarted (the only incarnation that answers beacon
+     challenges); [cold_nb] holds the fresh nonce each beacon carried. *)
+  mutable beacon_epoch : int option;
+  cold_nb : (Types.agent, Wire.Nonce.t) Hashtbl.t;
+  mutable cold_acks : int;
 }
 
 let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
@@ -102,6 +110,9 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
     events_rev = [];
     recoveries = 0;
     resyncs = 0;
+    beacon_epoch = None;
+    cold_nb = Hashtbl.create 8;
+    cold_acks = 0;
   }
 
 let create ~self ~rng ~directory ?policy ?journal () =
@@ -569,6 +580,98 @@ let recover ~self ~rng ~directory ?policy ~journal ~state () =
   in
   (t, challenges)
 
+(* --- cold-restart beacons --- *)
+
+let cold_beacon_epoch t = t.beacon_epoch
+let cold_acks t = t.cold_acks
+
+(* A leader that lost its sessions (journal destroyed or distrusted)
+   still remembers, via the journal's surviving prefix, which epoch
+   the group had reached. Instead of sitting silent until every
+   member's watchdog expires, it broadcasts an authenticated beacon
+   under each member's long-term [P_a]. The beacon itself grants
+   nothing: members answer with a liveness challenge, and only the
+   incarnation that generated these nonces can ack it. *)
+let cold_recover ~self ~rng ~directory ?policy ?journal ~state () =
+  let t = create ~self ~rng ~directory ?policy ?journal () in
+  t.next_epoch <- max t.next_epoch state.Journal.next_epoch;
+  let epoch =
+    match state.Journal.group_key with Some (_, e) -> e | None -> 0
+  in
+  (* Make the epoch floor durable immediately, so a second crash
+     before the first rekey still cannot regress the epoch. *)
+  if t.next_epoch > 1 then
+    jot t
+      (Journal.Snapshot
+         { Journal.sessions = []; group_key = None; next_epoch = t.next_epoch });
+  t.beacon_epoch <- Some epoch;
+  let targets =
+    Hashtbl.fold (fun who _ acc -> who :: acc) t.directory []
+    |> List.sort String.compare
+  in
+  let beacons =
+    List.map
+      (fun who ->
+        let pa = Hashtbl.find t.directory who in
+        let nb = Wire.Nonce.fresh t.rng in
+        Hashtbl.replace t.cold_nb who nb;
+        let plaintext =
+          P.encode_cold_restart { P.l = t.self; a = who; epoch; nb }
+        in
+        Sealed_channel.seal ~rng:t.rng ~key:pa ~label:F.Cold_restart
+          ~sender:t.self ~recipient:who plaintext)
+      targets
+  in
+  (t, beacons)
+
+let handle_cold_restart_challenge t (frame : F.t) =
+  let claimed = frame.F.sender in
+  match t.beacon_epoch with
+  | None ->
+      (* A live (never-cold) incarnation answers no beacon challenges:
+         this is what makes a replayed beacon harmless — the member
+         stays in session because no ack will ever come. *)
+      reject t ~label:frame.F.label ~claimed
+        (Types.Wrong_state "not a cold-restarted leader")
+  | Some _ -> (
+      let s = session_of t claimed in
+      if in_session s then
+        (* The member already re-authenticated; a late or replayed
+           challenge must not elicit an ack that could reset it. *)
+        reject t ~label:frame.F.label ~claimed (Types.Wrong_state "in session")
+      else
+        match Hashtbl.find_opt t.directory claimed with
+        | None ->
+            reject t ~label:frame.F.label ~claimed (Types.Unknown_sender claimed)
+        | Some pa -> (
+            match Sealed_channel.open_ ~key:pa frame with
+            | Error reason -> reject t ~label:frame.F.label ~claimed reason
+            | Ok plaintext -> (
+                match P.decode_cold_restart_challenge plaintext with
+                | Error e ->
+                    reject t ~label:frame.F.label ~claimed (Types.Malformed e)
+                | Ok { P.a; l; echo; nm } ->
+                    if a <> claimed || l <> t.self then
+                      reject t ~label:frame.F.label ~claimed
+                        Types.Identity_mismatch
+                    else
+                      match Hashtbl.find_opt t.cold_nb claimed with
+                      | Some nb when Wire.Nonce.equal echo nb ->
+                          t.cold_acks <- t.cold_acks + 1;
+                          emit t (Cold_restart_acked claimed);
+                          let plaintext =
+                            P.encode_cold_restart_ack
+                              { P.l = t.self; a = claimed; echo = nm }
+                          in
+                          [
+                            Sealed_channel.seal ~rng:t.rng ~key:pa
+                              ~label:F.Cold_restart_ack ~sender:t.self
+                              ~recipient:claimed plaintext;
+                          ]
+                      | Some _ | None ->
+                          reject t ~label:frame.F.label ~claimed
+                            Types.Stale_nonce)))
+
 let handle_recovery_response t (frame : F.t) =
   let claimed = frame.F.sender in
   let s = session_of t claimed in
@@ -614,8 +717,10 @@ let receive t bytes =
       | F.App_data -> handle_app_data t frame
       | F.Recovery_response -> handle_recovery_response t frame
       | F.View_resync_req -> handle_view_resync_req t frame
+      | F.Cold_restart_challenge -> handle_cold_restart_challenge t frame
       | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
       | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
-      | F.Auth_key_dist | F.Admin_msg | F.Recovery_challenge ->
+      | F.Auth_key_dist | F.Admin_msg | F.Recovery_challenge | F.Cold_restart
+      | F.Cold_restart_ack ->
           reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

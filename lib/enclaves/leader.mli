@@ -46,6 +46,9 @@ type event =
   | Member_recovered of Types.agent
       (** A recovery challenge was answered: the journalled session is
           trusted again without a full re-handshake. *)
+  | Cold_restart_acked of Types.agent
+      (** A member answered this cold incarnation's beacon with a
+          liveness challenge and was acked; its rejoin should follow. *)
   | Resync_served of Types.agent
       (** A member reported a divergent view digest and was repaired. *)
   | Rejected of {
@@ -107,6 +110,33 @@ val recover :
     trusted until its member echoes the challenge nonce
     ({!event.Member_recovered}); a member that never answers is
     dropped with {!abort_recovery} — the cold path. *)
+
+val cold_recover :
+  self:Types.agent ->
+  rng:Prng.Splitmix.t ->
+  directory:(Types.agent * string) list ->
+  ?policy:policy ->
+  ?journal:Journal.t ->
+  state:Journal.state ->
+  unit ->
+  t * Wire.Frame.t list
+(** Cold restart that still announces itself. No journalled session is
+    trusted — every member must re-run the full handshake — but the
+    journal's surviving prefix supplies two things: the epoch counter
+    floor (so the group-key epoch never regresses across a cold
+    restart; the floor is re-journalled immediately) and the group
+    epoch to stamp into an authenticated [ColdRestart] beacon per
+    directory member (the returned frames), sealed under each member's
+    long-term [P_a]. Members that verify the beacon challenge this
+    leader's liveness and, on the ack, rejoin immediately instead of
+    waiting out their anti-entropy watchdog. Only the incarnation
+    created by this call answers those challenges. *)
+
+val cold_beacon_epoch : t -> int option
+(** [Some epoch] iff this incarnation was built by {!cold_recover}. *)
+
+val cold_acks : t -> int
+(** Beacon challenges answered (members told to rejoin). *)
 
 val self : t -> Types.agent
 val receive : t -> string -> Wire.Frame.t list

@@ -337,5 +337,6 @@ let receive t bytes =
       | F.Close_connection | F.Mem_joined | F.Mem_removed | F.Auth_init_req
       | F.Auth_key_dist | F.Auth_ack_key | F.Admin_msg | F.Admin_ack
       | F.Req_close | F.Recovery_challenge | F.Recovery_response
-      | F.View_resync_req ->
+      | F.View_resync_req | F.Cold_restart | F.Cold_restart_challenge
+      | F.Cold_restart_ack ->
           reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

@@ -13,6 +13,8 @@ type event =
   | App_received of { author : Types.agent; body : string }
   | Left
   | Recovery_challenged
+  | Cold_beacon_challenged of { epoch : int }
+  | Beacon_reset of { epoch : int }
   | View_diverged of { leader_epoch : int }
   | Rejected of { label : F.label option; reason : Types.reject_reason }
 
@@ -24,6 +26,9 @@ let pp_event fmt = function
       Format.fprintf fmt "AppReceived(%s: %s)" author body
   | Left -> Format.pp_print_string fmt "Left"
   | Recovery_challenged -> Format.pp_print_string fmt "RecoveryChallenged"
+  | Cold_beacon_challenged { epoch } ->
+      Format.fprintf fmt "ColdBeaconChallenged(epoch=%d)" epoch
+  | Beacon_reset { epoch } -> Format.fprintf fmt "BeaconReset(epoch=%d)" epoch
   | View_diverged { leader_epoch } ->
       Format.fprintf fmt "ViewDiverged(leader_epoch=%d)" leader_epoch
   | Rejected { label; reason } ->
@@ -59,6 +64,11 @@ type t = {
   mutable last_recovery : (Wire.Nonce.t * F.t) option;
       (* (challenge nonce answered, RecoveryResponse frame) — re-sent
          on a duplicated challenge, like the other carve-outs *)
+  (* Cold-restart beacon handshake in flight: (Nm we challenged with,
+     Nb of the beacon we answered, beacon epoch, stored challenge
+     frame). The session is NOT reset until the leader echoes Nm. *)
+  mutable pending_cold : (Wire.Nonce.t * Wire.Nonce.t * int * F.t) option;
+  mutable beacon_reset_pending : bool;
   (* Anti-entropy counters (cumulative across sessions). *)
   mutable digests_seen : int;
   mutable divergences : int;
@@ -82,6 +92,8 @@ let create_with_key ~self ~leader ~long_term ~rng =
     last_key_ack = None;
     last_admin_ack = None;
     last_recovery = None;
+    pending_cold = None;
+    beacon_reset_pending = false;
     digests_seen = 0;
     divergences = 0;
   }
@@ -148,6 +160,7 @@ let reset_session t =
   t.last_key_ack <- None;
   t.last_admin_ack <- None;
   t.last_recovery <- None;
+  t.pending_cold <- None;
   emit t Left
 
 let leave t =
@@ -376,6 +389,87 @@ let handle_recovery_challenge t (frame : F.t) =
   | S_not_connected | S_waiting_for_key _ ->
       reject t ~label:frame.F.label (Types.Wrong_state "not connected")
 
+(* A cold-restarted leader announces itself with a beacon sealed under
+   our long-term [P_a], carrying its journalled group-key epoch. The
+   beacon alone resets NOTHING: we answer with a challenge carrying a
+   fresh nonce [Nm], and only a live leader that echoes [Nm] back
+   (also under [P_a]) convinces us to drop the dead session and
+   rejoin. A replayed beacon therefore costs one challenge frame — the
+   live leader rejects the challenge because we are still in session —
+   and a beacon from an older incarnation is rejected outright by the
+   epoch check. *)
+let handle_cold_restart t (frame : F.t) =
+  match t.state with
+  | S_connected _ -> (
+      match Sealed_channel.open_ ~key:t.pa frame with
+      | Error reason -> reject t ~label:frame.F.label reason
+      | Ok plaintext -> (
+          match P.decode_cold_restart plaintext with
+          | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
+          | Ok { P.l; a; epoch; nb } ->
+              if l <> t.leader || a <> t.self then
+                reject t ~label:frame.F.label Types.Identity_mismatch
+              else if epoch < own_epoch t then
+                reject t ~label:frame.F.label
+                  (Types.Stale_epoch { got = epoch; have = own_epoch t })
+              else begin
+                match t.pending_cold with
+                | Some (_, nb', _, chal) when Wire.Nonce.equal nb nb' ->
+                    (* Duplicate beacon: our challenge was lost.
+                       Re-send it unchanged. *)
+                    [ chal ]
+                | _ ->
+                    let nm = Wire.Nonce.fresh t.rng in
+                    let plaintext =
+                      P.encode_cold_restart_challenge
+                        { P.a = t.self; l = t.leader; echo = nb; nm }
+                    in
+                    let chal =
+                      Sealed_channel.seal ~rng:t.rng ~key:t.pa
+                        ~label:F.Cold_restart_challenge ~sender:t.self
+                        ~recipient:t.leader plaintext
+                    in
+                    t.pending_cold <- Some (nm, nb, epoch, chal);
+                    emit t (Cold_beacon_challenged { epoch });
+                    [ chal ]
+              end))
+  | S_not_connected | S_waiting_for_key _ ->
+      (* Out of session there is nothing to shortcut: the normal join
+         path already applies. *)
+      reject t ~label:frame.F.label (Types.Wrong_state "not connected")
+
+let handle_cold_restart_ack t (frame : F.t) =
+  match t.pending_cold with
+  | None ->
+      (* No challenge outstanding — a stray or replayed ack moves
+         nothing. *)
+      reject t ~label:frame.F.label (Types.Wrong_state "no cold challenge outstanding")
+  | Some (nm, _, epoch, _) -> (
+      match Sealed_channel.open_ ~key:t.pa frame with
+      | Error reason -> reject t ~label:frame.F.label reason
+      | Ok plaintext -> (
+          match P.decode_cold_restart_ack plaintext with
+          | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
+          | Ok { P.l; a; echo } ->
+              if l <> t.leader || a <> t.self then
+                reject t ~label:frame.F.label Types.Identity_mismatch
+              else if not (Wire.Nonce.equal echo nm) then
+                reject t ~label:frame.F.label Types.Stale_nonce
+              else begin
+                (* The restarted leader is live and answered our fresh
+                   nonce: drop the dead session and rejoin now instead
+                   of waiting out the watchdog. *)
+                reset_session t;
+                t.beacon_reset_pending <- true;
+                emit t (Beacon_reset { epoch });
+                join t
+              end))
+
+let consume_beacon_reset t =
+  let v = t.beacon_reset_pending in
+  t.beacon_reset_pending <- false;
+  v
+
 let send_app t body =
   match (t.state, t.group_key) with
   | S_connected _, Some { Types.key; _ } ->
@@ -395,11 +489,13 @@ let receive t bytes =
       | F.Admin_msg -> handle_admin_msg t frame
       | F.App_data -> handle_app_data t frame
       | F.Recovery_challenge -> handle_recovery_challenge t frame
+      | F.Cold_restart -> handle_cold_restart t frame
+      | F.Cold_restart_ack -> handle_cold_restart_ack t frame
       | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
       | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
       | F.Auth_init_req | F.Auth_ack_key | F.Admin_ack | F.Req_close
-      | F.Recovery_response | F.View_resync_req ->
+      | F.Recovery_response | F.View_resync_req | F.Cold_restart_challenge ->
           (* The improved member consumes only the three labels above;
              everything else — legacy traffic, leader-bound messages,
              forged denials — is ignored. The absence of any reaction

@@ -40,6 +40,13 @@ type event =
   | Recovery_challenged
       (** A restarted leader proved possession of [K_a]; the admin
           nonce chain was re-seeded and the §5.4 log restarted. *)
+  | Cold_beacon_challenged of { epoch : int }
+      (** A [ColdRestart] beacon verified under [P_a]; a liveness
+          challenge was sent back. The session is untouched. *)
+  | Beacon_reset of { epoch : int }
+      (** The leader answered the challenge: the dead session was
+          dropped and a rejoin started — without waiting for the
+          anti-entropy watchdog. *)
   | View_diverged of { leader_epoch : int }
       (** A [View_digest] beacon did not match this member's own view;
           a resync request was sent. *)
@@ -112,6 +119,11 @@ val digests_seen : t -> int
 
 val view_divergences : t -> int
 (** Beacons that mismatched this member's own view (cumulative). *)
+
+val consume_beacon_reset : t -> bool
+(** [true] exactly once after a completed cold-restart beacon
+    handshake reset this member's session — the driver's hook for
+    counting beacon re-authentications and re-arming watchdogs. *)
 
 val drain_events : t -> event list
 (** Events since the last drain, oldest first. *)

@@ -12,6 +12,7 @@ type reject_reason =
   | Stale_nonce
   | Unknown_sender of agent
   | Unexpected_label of Wire.Frame.label
+  | Stale_epoch of { got : int; have : int }
 
 let pp_reject_reason fmt = function
   | Malformed what -> Format.fprintf fmt "malformed: %s" what
@@ -22,3 +23,5 @@ let pp_reject_reason fmt = function
   | Unknown_sender who -> Format.fprintf fmt "unknown sender %s" who
   | Unexpected_label l ->
       Format.fprintf fmt "unexpected label %s" (Wire.Frame.label_to_string l)
+  | Stale_epoch { got; have } ->
+      Format.fprintf fmt "stale epoch %d (have %d)" got have

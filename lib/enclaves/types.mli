@@ -18,5 +18,8 @@ type reject_reason =
   | Stale_nonce  (** Nonce check failed: replay or reordering. *)
   | Unknown_sender of agent  (** No credentials for the claimed sender. *)
   | Unexpected_label of Wire.Frame.label
+  | Stale_epoch of { got : int; have : int }
+      (** A cold-restart beacon carried an epoch older than this
+          member's own — a replay from a dead incarnation. *)
 
 val pp_reject_reason : Format.formatter -> reject_reason -> unit

@@ -108,6 +108,35 @@ let pp fmt t =
     t.unmatched_deliveries t.bytes_on_wire t.latency_min_ms t.latency_mean_ms
     t.latency_max_ms
 
+type storage = {
+  torn_writes : int;
+  short_writes : int;
+  dropped_fsyncs : int;
+  eio_injected : int;
+  eio_retries : int;
+  crash_images_replayed : int;
+}
+
+let empty_storage =
+  {
+    torn_writes = 0;
+    short_writes = 0;
+    dropped_fsyncs = 0;
+    eio_injected = 0;
+    eio_retries = 0;
+    crash_images_replayed = 0;
+  }
+
+let storage_named s =
+  [
+    ("torn_writes", s.torn_writes);
+    ("short_writes", s.short_writes);
+    ("dropped_fsyncs", s.dropped_fsyncs);
+    ("eio_injected", s.eio_injected);
+    ("eio_retries", s.eio_retries);
+    ("crash_images_replayed", s.crash_images_replayed);
+  ]
+
 let pp_named fmt counters =
   let pp_one fmt (name, v) = Format.fprintf fmt "%s=%d" name v in
   Format.pp_print_list

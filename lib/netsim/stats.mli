@@ -36,6 +36,26 @@ val by_label : decode_label:(string -> string option) -> Trace.t -> (string * in
 
 val pp : Format.formatter -> t -> unit
 
+type storage = {
+  torn_writes : int;  (** Writes where only a prefix silently landed. *)
+  short_writes : int;  (** Prefix landed and the write raised EIO. *)
+  dropped_fsyncs : int;  (** fsyncs silently skipped by injection. *)
+  eio_injected : int;  (** Transient EIOs raised with no effect. *)
+  eio_retries : int;  (** EIOs absorbed by the journal's retry loop. *)
+  crash_images_replayed : int;
+      (** Restarts that recovered from a captured durable crash image
+          rather than the live in-memory journal. *)
+}
+(** Storage-fault counters — what the seeded disk-fault layer did to
+    the leader's journal during a run. Computed by the driver (the
+    trace does not see disk operations), rendered with {!pp_named}
+    via {!storage_named}. *)
+
+val empty_storage : storage
+
+val storage_named : storage -> (string * int) list
+(** Labelled counters for {!pp_named}, in declaration order. *)
+
 val pp_named : Format.formatter -> (string * int) list -> unit
 (** Render labelled counters as ["name=value name=value ..."] — used
     by the chaos CLI for retry and recovery counter summaries. *)

@@ -1,0 +1,35 @@
+exception Eio of string
+exception Crashed of string
+
+module type S = sig
+  type t
+
+  val pwrite : t -> file:string -> off:int -> string -> unit
+  val read : t -> file:string -> string option
+  val fsync : t -> file:string -> unit
+  val rename : t -> src:string -> dst:string -> unit
+  val remove : t -> file:string -> unit
+end
+
+type t = {
+  pwrite : file:string -> off:int -> string -> unit;
+  read : file:string -> string option;
+  fsync : file:string -> unit;
+  rename : src:string -> dst:string -> unit;
+  remove : file:string -> unit;
+}
+
+let pack (type a) (module B : S with type t = a) (h : a) =
+  {
+    pwrite = (fun ~file ~off data -> B.pwrite h ~file ~off data);
+    read = (fun ~file -> B.read h ~file);
+    fsync = (fun ~file -> B.fsync h ~file);
+    rename = (fun ~src ~dst -> B.rename h ~src ~dst);
+    remove = (fun ~file -> B.remove h ~file);
+  }
+
+let pwrite t ~file ~off data = t.pwrite ~file ~off data
+let read t ~file = t.read ~file
+let fsync t ~file = t.fsync ~file
+let rename t ~src ~dst = t.rename ~src ~dst
+let remove t ~file = t.remove ~file

@@ -1,0 +1,129 @@
+type op =
+  | Pwrite of { file : string; off : int; data : string }
+  | Fsync of string
+  | Rename of { src : string; dst : string }
+  | Remove of string
+
+let pp_op ppf = function
+  | Pwrite { file; off; data } ->
+      Format.fprintf ppf "pwrite %s@%d (%d bytes)" file off (String.length data)
+  | Fsync file -> Format.fprintf ppf "fsync %s" file
+  | Rename { src; dst } -> Format.fprintf ppf "rename %s -> %s" src dst
+  | Remove file -> Format.fprintf ppf "remove %s" file
+
+type recorder = { mem : Mem.t; mutable log : op list }
+
+let recorder mem = { mem; log = [] }
+let ops r = List.rev r.log
+
+let handle r = Backend.pack (module struct
+  type t = recorder
+
+  let pwrite r ~file ~off data =
+    r.log <- Pwrite { file; off; data } :: r.log;
+    Mem.pwrite r.mem ~file ~off data
+
+  let read r ~file = Mem.read r.mem ~file
+
+  let fsync r ~file =
+    r.log <- Fsync file :: r.log;
+    Mem.fsync r.mem ~file
+
+  let rename r ~src ~dst =
+    r.log <- Rename { src; dst } :: r.log;
+    Mem.rename r.mem ~src ~dst
+
+  let remove r ~file =
+    r.log <- Remove file :: r.log;
+    Mem.remove r.mem ~file
+end) r
+
+module M = Map.Make (String)
+
+let splice cur ~off data =
+  let cur_len = String.length cur and dlen = String.length data in
+  let len = max cur_len (off + dlen) in
+  let b = Bytes.make len '\000' in
+  Bytes.blit_string cur 0 b 0 cur_len;
+  Bytes.blit_string data 0 b off dlen;
+  Bytes.unsafe_to_string b
+
+let apply_pwrite m ~file ~off data =
+  let cur = Option.value ~default:"" (M.find_opt file m) in
+  M.add file (splice cur ~off data) m
+
+(* Mirror the Mem model: an op advances the volatile view always, the
+   durable view only through fsync / rename-of-durable / remove. *)
+let step (durable, volatile) = function
+  | Pwrite { file; off; data } ->
+      (durable, apply_pwrite volatile ~file ~off data)
+  | Fsync file -> (
+      match M.find_opt file volatile with
+      | Some c -> (M.add file c durable, volatile)
+      | None -> (durable, volatile))
+  | Rename { src; dst } ->
+      let volatile =
+        match M.find_opt src volatile with
+        | Some c -> M.add dst c (M.remove src volatile)
+        | None -> volatile
+      in
+      let durable =
+        match M.find_opt src durable with
+        | Some c -> M.add dst c (M.remove src durable)
+        | None -> M.remove dst durable
+      in
+      (durable, volatile)
+  | Remove file -> (M.remove file durable, M.remove file volatile)
+
+type image = { label : string; files : (string * string) list }
+
+let files_of m = M.bindings m
+
+(* Every strict prefix for small writes; for large ones a bounded,
+   deterministic sample that always includes both extremes. *)
+let tear_points len =
+  if len <= 64 then List.init len Fun.id
+  else
+    let pts = List.init 64 (fun i -> i * len / 64) in
+    List.sort_uniq compare ((len - 1) :: pts)
+
+let enumerate ?(torn = true) ops =
+  let images = ref [] in
+  let emit label m = images := { label; files = files_of m } :: !images in
+  let rec go i (durable, volatile) = function
+    | [] ->
+        emit (Printf.sprintf "boundary %d: durable" i) durable;
+        emit (Printf.sprintf "boundary %d: volatile" i) volatile
+    | op :: rest ->
+        emit (Printf.sprintf "boundary %d: durable" i) durable;
+        emit (Printf.sprintf "boundary %d: volatile" i) volatile;
+        (match op with
+        | Pwrite { file; off; data } when torn ->
+            List.iter
+              (fun k ->
+                let prefix = String.sub data 0 k in
+                emit
+                  (Printf.sprintf "boundary %d: durable + %d/%d bytes of %s@%d"
+                     i k (String.length data) file off)
+                  (apply_pwrite durable ~file ~off prefix);
+                emit
+                  (Printf.sprintf "boundary %d: volatile + %d/%d bytes of %s@%d"
+                     i k (String.length data) file off)
+                  (apply_pwrite volatile ~file ~off prefix))
+              (tear_points (String.length data))
+        | _ -> ());
+        go (i + 1) (step (durable, volatile) op) rest
+  in
+  go 0 (M.empty, M.empty) ops;
+  List.rev !images
+
+let durable_at ops i =
+  let rec go k st = function
+    | [] -> st
+    | _ when k = i -> st
+    | op :: rest -> go (k + 1) (step st op) rest
+  in
+  files_of (fst (go 0 (M.empty, M.empty) ops))
+
+let dedup_count images =
+  List.sort_uniq compare (List.map (fun i -> i.files) images) |> List.length

@@ -1,0 +1,47 @@
+(** ALICE-style crash-point enumeration.
+
+    Record the exact sequence of store operations a workload performs
+    (via {!recorder}), then {!enumerate} every disk image a crash
+    could leave behind: for each operation boundary, the durable image
+    (everything unsynced lost), the volatile image (everything
+    happened to hit disk), and — for boundaries followed by a write —
+    torn variants where only a byte-prefix of that write survived.
+
+    Feeding every image back through recovery and asserting invariants
+    is the crash-consistency harness of [Crash_matrix]. *)
+
+type op =
+  | Pwrite of { file : string; off : int; data : string }
+  | Fsync of string
+  | Rename of { src : string; dst : string }
+  | Remove of string
+
+val pp_op : Format.formatter -> op -> unit
+
+type recorder
+
+val recorder : Mem.t -> recorder
+(** A backend that applies every operation to [mem] and records it. *)
+
+val handle : recorder -> Backend.t
+val ops : recorder -> op list
+(** Operations in execution order. *)
+
+type image = {
+  label : string;  (** human-readable crash point, for diagnostics *)
+  files : (string * string) list;  (** disk contents after the crash *)
+}
+
+val enumerate : ?torn:bool -> op list -> image list
+(** All crash images of the operation sequence. With [torn] (default
+    true), each pending write additionally contributes images where
+    only a strict byte-prefix of it survived. Images are not deduped —
+    use {!dedup_count} for reporting. *)
+
+val durable_at : op list -> int -> (string * string) list
+(** Disk contents if the crash strikes at boundary [i] — before the
+    [i]th operation — and every unsynced byte is lost. Boundary
+    [List.length ops] is the final durable state. *)
+
+val dedup_count : image list -> int
+(** Number of distinct disk states among the images. *)

@@ -1,0 +1,137 @@
+type config = {
+  eio : float;
+  short_write : float;
+  torn_write : float;
+  drop_fsync : float;
+  crash_after_writes : int option;
+}
+
+let none =
+  {
+    eio = 0.;
+    short_write = 0.;
+    torn_write = 0.;
+    drop_fsync = 0.;
+    crash_after_writes = None;
+  }
+
+type counters = {
+  mutable torn_writes : int;
+  mutable short_writes : int;
+  mutable dropped_fsyncs : int;
+  mutable eio_injected : int;
+  mutable crashes : int;
+}
+
+type t = {
+  inner : Backend.t;
+  config : config;
+  rng : Prng.Splitmix.t;
+  counters : counters;
+  mutable writes_done : int;
+  mutable crashed : bool;
+}
+
+let create ?(config = none) ~rng inner =
+  {
+    inner;
+    config;
+    rng;
+    counters =
+      {
+        torn_writes = 0;
+        short_writes = 0;
+        dropped_fsyncs = 0;
+        eio_injected = 0;
+        crashes = 0;
+      };
+    writes_done = 0;
+    crashed = false;
+  }
+
+let counters t = t.counters
+let crashed t = t.crashed
+
+let hit t p = p > 0. && Prng.Splitmix.next_float t.rng < p
+
+let check_alive t =
+  if t.crashed then raise (Backend.Crashed "store already crashed")
+
+(* A torn boundary can fall anywhere in the record, including 0 and
+   len — the extremes are where off-by-one recovery bugs live. *)
+let tear_len t data =
+  Prng.Splitmix.next_int t.rng (String.length data + 1)
+
+(* Returns true when this mutating call is the crash point. *)
+let crash_due t =
+  match t.config.crash_after_writes with
+  | None -> false
+  | Some k ->
+      t.writes_done <- t.writes_done + 1;
+      t.writes_done >= k
+
+let mark_crash t =
+  t.crashed <- true;
+  t.counters.crashes <- t.counters.crashes + 1
+
+let pwrite t ~file ~off data =
+  check_alive t;
+  if crash_due t then (
+    (* The dying write tears at a seeded boundary, then the process is
+       gone: every later call fails. *)
+    let k = tear_len t data in
+    Backend.pwrite t.inner ~file ~off (String.sub data 0 k);
+    mark_crash t;
+    raise (Backend.Crashed (Printf.sprintf "crash during pwrite %s@%d" file off)));
+  if hit t t.config.eio then (
+    t.counters.eio_injected <- t.counters.eio_injected + 1;
+    raise (Backend.Eio "injected transient EIO"));
+  if hit t t.config.short_write then (
+    let k = tear_len t data in
+    Backend.pwrite t.inner ~file ~off (String.sub data 0 k);
+    t.counters.short_writes <- t.counters.short_writes + 1;
+    raise (Backend.Eio (Printf.sprintf "injected short write (%d/%d bytes)" k (String.length data))));
+  if hit t t.config.torn_write then (
+    let k = tear_len t data in
+    Backend.pwrite t.inner ~file ~off (String.sub data 0 k);
+    t.counters.torn_writes <- t.counters.torn_writes + 1)
+  else Backend.pwrite t.inner ~file ~off data
+
+let read t ~file =
+  check_alive t;
+  Backend.read t.inner ~file
+
+let fsync t ~file =
+  check_alive t;
+  if hit t t.config.eio then (
+    t.counters.eio_injected <- t.counters.eio_injected + 1;
+    raise (Backend.Eio "injected transient EIO"));
+  if hit t t.config.drop_fsync then
+    t.counters.dropped_fsyncs <- t.counters.dropped_fsyncs + 1
+  else Backend.fsync t.inner ~file
+
+let rename t ~src ~dst =
+  check_alive t;
+  if crash_due t then (
+    (* Crash before the rename is applied: [dst] keeps its old
+       durable content, [src] is left staged. *)
+    mark_crash t;
+    raise (Backend.Crashed (Printf.sprintf "crash before rename %s -> %s" src dst)));
+  if hit t t.config.eio then (
+    t.counters.eio_injected <- t.counters.eio_injected + 1;
+    raise (Backend.Eio "injected transient EIO"));
+  Backend.rename t.inner ~src ~dst
+
+let remove t ~file =
+  check_alive t;
+  Backend.remove t.inner ~file
+
+let handle t = Backend.pack (module struct
+  type nonrec t = t
+
+  let pwrite = pwrite
+  let read = read
+  let fsync = fsync
+  let rename = rename
+  let remove = remove
+end) t

@@ -1,0 +1,48 @@
+(** Seeded fault injection over any {!Backend.t}.
+
+    Four probabilistic faults plus one deterministic crash trigger:
+
+    - {b torn write}: only a seeded byte-prefix of a [pwrite] reaches
+      the backend, yet the call reports success — the silent
+      corruption a power cut mid-write produces.
+    - {b short write}: a prefix lands and the call raises
+      {!Backend.Eio}; because journal appends rewrite the same offset,
+      a retry heals this one.
+    - {b transient EIO}: the call raises {!Backend.Eio} with no
+      effect.
+    - {b dropped fsync}: [fsync] silently does nothing, leaving the
+      file's tail volatile.
+    - {b crash-after-k-writes}: the k-th mutation ([pwrite] or
+      [rename]) tears mid-operation and raises {!Backend.Crashed};
+      every call after that raises too. Combined with
+      {!Mem.crash_image} this yields a deterministic disk image for
+      recovery testing.
+
+    All randomness comes from the caller's [Prng.Splitmix.t], so a
+    fault schedule is a pure function of the seed. *)
+
+type config = {
+  eio : float;  (** probability a call raises [Eio] with no effect *)
+  short_write : float;  (** probability a [pwrite] lands a prefix and raises *)
+  torn_write : float;  (** probability a [pwrite] lands a prefix silently *)
+  drop_fsync : float;  (** probability an [fsync] is silently skipped *)
+  crash_after_writes : int option;
+      (** crash on the k-th mutating call (1-based), if set *)
+}
+
+val none : config
+
+type counters = {
+  mutable torn_writes : int;
+  mutable short_writes : int;
+  mutable dropped_fsyncs : int;
+  mutable eio_injected : int;
+  mutable crashes : int;
+}
+
+type t
+
+val create : ?config:config -> rng:Prng.Splitmix.t -> Backend.t -> t
+val handle : t -> Backend.t
+val counters : t -> counters
+val crashed : t -> bool

@@ -25,6 +25,9 @@ type label =
   | Recovery_challenge
   | Recovery_response
   | View_resync_req
+  | Cold_restart
+  | Cold_restart_challenge
+  | Cold_restart_ack
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 
@@ -34,7 +37,8 @@ let all_labels =
     Legacy_auth3; New_key; New_key_ack; Legacy_req_close; Close_connection;
     Mem_joined; Mem_removed; Auth_init_req; Auth_key_dist; Auth_ack_key;
     Admin_msg; Admin_ack; Req_close; App_data; Recovery_challenge;
-    Recovery_response; View_resync_req;
+    Recovery_response; View_resync_req; Cold_restart; Cold_restart_challenge;
+    Cold_restart_ack;
   ]
 
 let label_tag = function
@@ -60,6 +64,9 @@ let label_tag = function
   | Recovery_challenge -> 20
   | Recovery_response -> 21
   | View_resync_req -> 22
+  | Cold_restart -> 23
+  | Cold_restart_challenge -> 24
+  | Cold_restart_ack -> 25
 
 let label_of_tag = function
   | 1 -> Some Req_open
@@ -84,6 +91,9 @@ let label_of_tag = function
   | 20 -> Some Recovery_challenge
   | 21 -> Some Recovery_response
   | 22 -> Some View_resync_req
+  | 23 -> Some Cold_restart
+  | 24 -> Some Cold_restart_challenge
+  | 25 -> Some Cold_restart_ack
   | _ -> None
 
 let label_to_string = function
@@ -109,6 +119,9 @@ let label_to_string = function
   | Recovery_challenge -> "RecoveryChallenge"
   | Recovery_response -> "RecoveryResponse"
   | View_resync_req -> "ViewResyncReq"
+  | Cold_restart -> "ColdRestart"
+  | Cold_restart_challenge -> "ColdRestartChallenge"
+  | Cold_restart_ack -> "ColdRestartAck"
 
 let pp_label fmt l = Format.pp_print_string fmt (label_to_string l)
 

@@ -46,6 +46,18 @@ type label =
   | View_resync_req
       (** Member → leader: the member's view digest diverged (or it
           heard no digest for too long) and asks for repair. *)
+  | Cold_restart
+      (** Leader → member after a {e cold} restart: an authenticated
+          beacon (sealed under the member's long-term [P_a]) carrying
+          the journalled group-key epoch, so members can skip the
+          watchdog wait and re-authenticate immediately. *)
+  | Cold_restart_challenge
+      (** Member → leader: echoes the beacon nonce and adds a fresh one
+          — the member does not trust the beacon until the leader
+          proves liveness by echoing it back. *)
+  | Cold_restart_ack
+      (** Leader → member: echoes the member's challenge nonce; only
+          now does the member reset its session and rejoin. *)
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 

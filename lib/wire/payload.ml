@@ -277,3 +277,56 @@ let decode_view_resync s =
       let* digest = Reader.bytes r in
       let* epoch = Reader.u32 r in
       Ok ({ a; l; digest; epoch } : view_resync))
+
+type cold_restart = { l : agent; a : agent; epoch : int; nb : Nonce.t }
+
+let encode_cold_restart ({ l; a; epoch; nb } : cold_restart) =
+  with_tag 16 (fun w ->
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w a;
+      Cursor.Writer.u32 w epoch;
+      nonce w nb)
+
+let decode_cold_restart s =
+  decoded 16 s (fun r ->
+      let open Cursor in
+      let* l = Reader.bytes r in
+      let* a = Reader.bytes r in
+      let* epoch = Reader.u32 r in
+      let* nb = read_nonce r in
+      Ok ({ l; a; epoch; nb } : cold_restart))
+
+type cold_restart_challenge = { a : agent; l : agent; echo : Nonce.t; nm : Nonce.t }
+
+let encode_cold_restart_challenge
+    ({ a; l; echo; nm } : cold_restart_challenge) =
+  with_tag 17 (fun w ->
+      Cursor.Writer.bytes w a;
+      Cursor.Writer.bytes w l;
+      nonce w echo;
+      nonce w nm)
+
+let decode_cold_restart_challenge s =
+  decoded 17 s (fun r ->
+      let open Cursor in
+      let* a = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* echo = read_nonce r in
+      let* nm = read_nonce r in
+      Ok ({ a; l; echo; nm } : cold_restart_challenge))
+
+type cold_restart_ack = { l : agent; a : agent; echo : Nonce.t }
+
+let encode_cold_restart_ack ({ l; a; echo } : cold_restart_ack) =
+  with_tag 18 (fun w ->
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w a;
+      nonce w echo)
+
+let decode_cold_restart_ack s =
+  decoded 18 s (fun r ->
+      let open Cursor in
+      let* l = Reader.bytes r in
+      let* a = Reader.bytes r in
+      let* echo = read_nonce r in
+      Ok ({ l; a; echo } : cold_restart_ack))

@@ -113,3 +113,26 @@ val encode_recovery_response : recovery_response -> string
 val decode_recovery_response : string -> (recovery_response, string) result
 val encode_view_resync : view_resync -> string
 val decode_view_resync : string -> (view_resync, string) result
+
+type cold_restart = { l : agent; a : agent; epoch : int; nb : Nonce.t }
+(** Cold-restart beacon: [{L, A, epoch, Nb}] sealed under the member's
+    long-term [P_a]. [epoch] is the journalled group-key epoch — a
+    member whose own epoch is newer rejects the beacon as stale, so a
+    replayed beacon from an older incarnation cannot win. *)
+
+type cold_restart_challenge = { a : agent; l : agent; echo : Nonce.t; nm : Nonce.t }
+(** [{A, L, Nb, Nm}] sealed under [P_a]: echo proves the member saw
+    {e this} beacon; [nm] is the liveness challenge the leader must
+    echo before the member resets anything. *)
+
+type cold_restart_ack = { l : agent; a : agent; echo : Nonce.t }
+(** [{L, A, Nm}] sealed under [P_a]: the restarted leader is live and
+    answered the member's fresh nonce — only now does the member reset
+    its session and rejoin. *)
+
+val encode_cold_restart : cold_restart -> string
+val decode_cold_restart : string -> (cold_restart, string) result
+val encode_cold_restart_challenge : cold_restart_challenge -> string
+val decode_cold_restart_challenge : string -> (cold_restart_challenge, string) result
+val encode_cold_restart_ack : cold_restart_ack -> string
+val decode_cold_restart_ack : string -> (cold_restart_ack, string) result

@@ -16,10 +16,10 @@ let directory =
 
 let n_members = List.length directory
 
-let make ?(seed = 7L) ?plan () =
+let make ?(seed = 7L) ?(recovery = D.default_recovery) ?plan () =
   let d =
-    D.create ~seed ~retry:D.default_retry ~recovery:D.default_recovery
-      ~leader:"leader" ~directory ()
+    D.create ~seed ~retry:D.default_retry ~recovery ~leader:"leader"
+      ~directory ()
   in
   (match plan with
   | Some p -> Netsim.Network.set_faultplan (D.net d) (Some p)
@@ -54,7 +54,11 @@ let test_warm_recovery () =
     (audit d).Audit.handshakes_completed
 
 let test_cold_restart_control () =
-  let d = make () in
+  (* Beacons off: this is the watchdog-only baseline the beacon tests
+     below compare against. *)
+  let d =
+    make ~recovery:{ D.default_recovery with D.beacon_on_cold = false } ()
+  in
   D.schedule_leader_crash d ~at:(Netsim.Vtime.of_s 2)
     ~restart_after:(Netsim.Vtime.of_s 1) ~warm:false ();
   ignore (D.run ~until:(Netsim.Vtime.of_s 30) d);
@@ -62,6 +66,7 @@ let test_cold_restart_control () =
   Alcotest.(check int) "one cold restart" 1 r.D.cold_restarts;
   Alcotest.(check int) "nothing recovered warm" 0 (D.sessions_recovered d);
   Alcotest.(check int) "everyone re-authenticated" n_members r.D.cold_reauths;
+  Alcotest.(check int) "no beacons sent" 0 r.D.cold_beacons_sent;
   Alcotest.(check bool) "views converged anyway" true (D.view_converged d);
   (* The price of cold: a second full handshake per member. *)
   Alcotest.(check int) "handshakes doubled" (2 * n_members)
@@ -187,6 +192,183 @@ let test_truncated_journal_partial_recovery () =
     (D.recovery_stats d).D.cold_reauths;
   Alcotest.(check bool) "views converged" true (D.view_converged d)
 
+(* --- cold-restart beacons (§ storage/beacon PR) --- *)
+
+(* Step the simulation in 0.5 s increments and return the first time
+   (in seconds) at which [view_converged] holds, or [max_s] if it never
+   does. *)
+let converge_time d ~from_s ~max_s =
+  let rec go t =
+    if t > max_s then max_s
+    else begin
+      ignore (D.run ~until:(Netsim.Vtime.of_ms (int_of_float (t *. 1000.))) d);
+      if D.view_converged d then t else go (t +. 0.5)
+    end
+  in
+  go from_s
+
+let test_beacon_beats_watchdog () =
+  (* Same cold crash, two arms: beacons on (default) vs watchdog-only.
+     The beacon arm must re-converge strictly — and substantially —
+     earlier, with every member arriving via the beacon shortcut. *)
+  let crash_s = 2.0 and restart_s = 1.0 in
+  let arm recovery =
+    let d = make ~recovery () in
+    D.schedule_leader_crash d ~at:(Netsim.Vtime.of_s 2)
+      ~restart_after:(Netsim.Vtime.of_s 1) ~warm:false ();
+    let t = converge_time d ~from_s:(crash_s +. restart_s) ~max_s:30.0 in
+    (d, t)
+  in
+  let beacon_d, beacon_t = arm D.default_recovery in
+  let control_d, control_t =
+    arm { D.default_recovery with D.beacon_on_cold = false }
+  in
+  let br = D.recovery_stats beacon_d and cr = D.recovery_stats control_d in
+  Alcotest.(check int) "beacons broadcast to every member" n_members
+    br.D.cold_beacons_sent;
+  Alcotest.(check int) "everyone rejoined via the beacon" n_members
+    br.D.beacon_reauths;
+  Alcotest.(check int) "nobody waited out the watchdog" 0 br.D.cold_reauths;
+  Alcotest.(check int) "control: everyone via the watchdog" n_members
+    cr.D.cold_reauths;
+  Alcotest.(check int) "control: no beacon rejoins" 0 cr.D.beacon_reauths;
+  (* The latency claim (E19): the watchdog path cannot beat
+     [reset_after] past the last beacon, while the beacon path needs
+     only a few RTTs after the restart. *)
+  let reset_after_s =
+    Netsim.Vtime.to_float_ms D.default_recovery.D.reset_after /. 1000.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "beacon (%.1fs) well before watchdog floor" beacon_t)
+    true
+    (beacon_t < crash_s +. reset_after_s);
+  Alcotest.(check bool)
+    (Printf.sprintf "beacon (%.1fs) faster than control (%.1fs)" beacon_t
+       control_t)
+    true
+    (beacon_t < control_t);
+  Alcotest.(check bool)
+    (Printf.sprintf "control (%.1fs) paid the watchdog" control_t)
+    true
+    (control_t >= reset_after_s)
+
+(* Forgery/replay resistance: a beacon alone must reset nothing. These
+   drive the automata directly (synchronous router), modelling an
+   attacker who can replay or forge ColdRestart traffic. *)
+
+let forgery_cluster () =
+  let rng = Prng.Splitmix.create 42L in
+  let leader = Leader.create ~self:"leader" ~rng ~directory () in
+  let members =
+    List.map
+      (fun (name, password) ->
+        (name, Member.create ~self:name ~leader:"leader" ~password ~rng))
+      directory
+  in
+  let router = Test_util.improved_router leader members in
+  List.iter (fun (_, m) -> Test_util.route router (Member.join m)) members;
+  let alice = List.assoc "alice" members in
+  let _ = Member.drain_events alice in
+  (leader, router, alice, rng)
+
+let seal_beacon ~rng ~key ~epoch ~nb =
+  let plaintext =
+    Wire.Payload.encode_cold_restart { Wire.Payload.l = "leader"; a = "alice"; epoch; nb }
+  in
+  Sealed_channel.seal ~rng ~key ~label:Wire.Frame.Cold_restart ~sender:"leader"
+    ~recipient:"alice" plaintext
+
+let member_epoch m =
+  match Member.group_key m with Some { Types.epoch; _ } -> epoch | None -> 0
+
+let test_beacon_wrong_key_rejected () =
+  let _, _, alice, rng = forgery_cluster () in
+  let wrong = Sym_crypto.Key.long_term ~user:"alice" ~password:"WRONG" in
+  let frame =
+    seal_beacon ~rng ~key:wrong ~epoch:(member_epoch alice)
+      ~nb:(Wire.Nonce.fresh rng)
+  in
+  let replies = Member.receive alice (Wire.Frame.encode frame) in
+  Alcotest.(check int) "no challenge for a bad MAC" 0 (List.length replies);
+  Alcotest.(check bool) "rejected" true (Test_util.has_reject_member alice);
+  Alcotest.(check bool) "still connected" true (Member.is_connected alice);
+  Alcotest.(check bool) "no reset" false (Member.consume_beacon_reset alice)
+
+let test_beacon_stale_epoch_rejected () =
+  let _, _, alice, rng = forgery_cluster () in
+  let pa = Sym_crypto.Key.long_term ~user:"alice" ~password:"pw-a" in
+  (* Correctly sealed, but claiming an epoch BEHIND alice's group key:
+     a beacon replayed from an older incarnation. *)
+  let frame =
+    seal_beacon ~rng ~key:pa ~epoch:(member_epoch alice - 1)
+      ~nb:(Wire.Nonce.fresh rng)
+  in
+  let replies = Member.receive alice (Wire.Frame.encode frame) in
+  Alcotest.(check int) "no challenge for a stale epoch" 0 (List.length replies);
+  let stale =
+    List.exists
+      (function
+        | Member.Rejected { reason = Types.Stale_epoch _; _ } -> true
+        | _ -> false)
+      (Member.drain_events alice)
+  in
+  Alcotest.(check bool) "rejected as stale epoch" true stale;
+  Alcotest.(check bool) "still connected" true (Member.is_connected alice)
+
+let test_replayed_beacon_does_not_reset_live_session () =
+  (* The strongest replay: a byte-valid beacon (attacker even knows
+     P_a) reaches a member whose leader is alive and was never cold.
+     The member answers with a liveness challenge — and that is ALL
+     that happens: the live leader refuses to ack, so the session
+     survives. *)
+  let leader, _, alice, rng = forgery_cluster () in
+  let pa = Sym_crypto.Key.long_term ~user:"alice" ~password:"pw-a" in
+  let frame =
+    seal_beacon ~rng ~key:pa ~epoch:(member_epoch alice)
+      ~nb:(Wire.Nonce.fresh rng)
+  in
+  let replies = Member.receive alice (Wire.Frame.encode frame) in
+  Alcotest.(check int) "exactly one liveness challenge" 1 (List.length replies);
+  let challenged =
+    List.exists
+      (function Member.Cold_beacon_challenged _ -> true | _ -> false)
+      (Member.drain_events alice)
+  in
+  Alcotest.(check bool) "challenge event" true challenged;
+  (* Deliver the challenge to the LIVE leader: it was not built by
+     cold_recover, so it answers no beacon challenges. *)
+  let acks =
+    List.concat_map
+      (fun f -> Leader.receive leader (Wire.Frame.encode f))
+      replies
+  in
+  Alcotest.(check int) "live leader sends no ack" 0 (List.length acks);
+  Alcotest.(check bool) "leader rejected the challenge" true
+    (Test_util.has_reject_leader leader);
+  Alcotest.(check bool) "alice still connected" true (Member.is_connected alice);
+  Alcotest.(check bool) "alice never reset" false
+    (Member.consume_beacon_reset alice);
+  (* A forged ack with the wrong echo nonce cannot finish the job
+     either. *)
+  let bad_ack =
+    let plaintext =
+      Wire.Payload.encode_cold_restart_ack
+        { Wire.Payload.l = "leader"; a = "alice"; echo = Wire.Nonce.fresh rng }
+    in
+    Sealed_channel.seal ~rng ~key:pa ~label:Wire.Frame.Cold_restart_ack
+      ~sender:"leader" ~recipient:"alice" plaintext
+  in
+  let replies = Member.receive alice (Wire.Frame.encode bad_ack) in
+  Alcotest.(check int) "stale ack moves nothing" 0 (List.length replies);
+  let stale =
+    List.exists
+      (function
+        | Member.Rejected { reason = Types.Stale_nonce; _ } -> true | _ -> false)
+      (Member.drain_events alice)
+  in
+  Alcotest.(check bool) "rejected as stale nonce" true stale;
+  Alcotest.(check bool) "alice STILL connected" true (Member.is_connected alice)
+
 let test_no_recovery_layer_unchanged () =
   (* Without [~recovery] the driver must not journal, beacon, or
      watchdog: PR-2 behaviour exactly. *)
@@ -210,6 +392,11 @@ let suite =
           ("acceptance: crash + partition, 10 seeds", test_acceptance_crash_plus_partition);
           ("deterministic from seed", test_deterministic_replay);
           ("truncated journal: partial warm recovery", test_truncated_journal_partial_recovery);
+          ("beacon cold restart beats the watchdog", test_beacon_beats_watchdog);
+          ("forged beacon MAC rejected", test_beacon_wrong_key_rejected);
+          ("stale-epoch beacon rejected", test_beacon_stale_epoch_rejected);
+          ("replayed beacon cannot reset a live session",
+           test_replayed_beacon_does_not_reset_live_session);
           ("recovery off: PR-2 behaviour", test_no_recovery_layer_unchanged);
         ] );
   ]
