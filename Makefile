@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk crash-matrix journal-fuzz doc ci clean
+.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-failover crash-matrix journal-fuzz doc ci clean
 
 all: build
 
@@ -36,6 +36,19 @@ chaos-disk:
 	  --crash-at 2 --restart-after 1 --until 30 \
 	  --torn 0.05 --drop-fsync 0.10 --eio 0.05
 
+# Warm-standby failover sweep: kill the primary of a 3-manager group
+# under loss, with the replication links additionally lagged — the
+# successor must promote warm from its replica and every member must
+# end the run in session. The cold arm is the baseline the warm path
+# is measured against (E20).
+chaos-failover:
+	dune exec bin/enclaves_cli.exe -- failover --members 5 --seeds 10 \
+	  --loss 0.10 --kill-primary-at 1 --until 15
+	dune exec bin/enclaves_cli.exe -- failover --members 5 --seeds 5 \
+	  --loss 0.05 --kill-primary-at 1 --repl-lag 150 --until 15
+	dune exec bin/enclaves_cli.exe -- failover --members 5 --seeds 5 \
+	  --loss 0.10 --kill-primary-at 1 --until 20 --cold
+
 # ALICE-style crash-point enumeration: every disk image a crash could
 # leave behind (boundaries + torn-write prefixes) must replay without
 # an exception, without resurrecting a closed session, and without
@@ -59,7 +72,7 @@ doc:
 	  echo "doc: odoc not installed, skipping"; \
 	fi
 
-ci: build test bench-smoke chaos chaos-crash chaos-disk crash-matrix journal-fuzz doc
+ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-failover crash-matrix journal-fuzz doc
 
 clean:
 	dune clean

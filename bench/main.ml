@@ -251,6 +251,8 @@ let failover_tests =
       check_period = Netsim.Vtime.of_ms 100;
       retry_budget = 2;
       failback_after = Netsim.Vtime.of_ms 800;
+      repl_heartbeat_period = Netsim.Vtime.of_ms 100;
+      warm_failover = true;
     }
   in
   [

@@ -5,6 +5,8 @@
    - [attack]   run the §2.3 attack matrix (optionally one attack)
    - [verify]   run the model checker (§4-§5)
    - [chaos]    sweep seeded fault plans against the recovery layer
+   - [failover] kill the primary of a multi-manager group and report
+                warm/cold promotion, replication counters and lag
    - [crash-matrix] enumerate every journal crash point and check recovery
    - [keys]     derive and fingerprint a long-term key (debug helper)
 
@@ -501,6 +503,130 @@ let chaos_cmd =
       $ crash_at_arg $ restart_after_arg $ cold_arg $ torn_fault_arg
       $ short_write_arg $ drop_fsync_arg $ eio_fault_arg $ verbose_arg)
 
+(* --- failover --- *)
+
+let run_failover members n_managers seeds loss kill_at repl_lag_ms until_s cold
+    verbose =
+  let module FO = Enclaves.Failover in
+  let directory =
+    List.init members (fun i ->
+        let name = Printf.sprintf "user%d" i in
+        (name, name ^ "-pw"))
+  in
+  let manager_names = List.init n_managers (fun i -> Printf.sprintf "m%d" i) in
+  let config = { FO.default_config with FO.warm_failover = not cold } in
+  (* --repl-lag delays only the manager↔manager links (a guaranteed
+     latency spike per frame), so the replication stream runs behind
+     the member-facing traffic — the lagging-backup scenario. *)
+  let links =
+    if repl_lag_ms <= 0 then []
+    else
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if a = b then None
+              else
+                Some
+                  ( (a, b),
+                    Netsim.Faultplan.lossy_link ~spike_prob:1.0
+                      ~spike:(Netsim.Vtime.of_ms repl_lag_ms) loss ))
+            manager_names)
+        manager_names
+  in
+  let plan =
+    Netsim.Faultplan.make ~default_link:(Netsim.Faultplan.lossy_link loss)
+      ~links ()
+  in
+  let one seed =
+    let t = FO.create ~seed ~config ~managers:manager_names ~directory () in
+    Netsim.Network.set_faultplan (FO.net t) (Some plan);
+    FO.start t;
+    if kill_at > 0.0 then
+      FO.crash_primary_at t (Int64.of_float (kill_at *. 1e6));
+    ignore (FO.run ~until:(Netsim.Vtime.of_s until_s) t);
+    let connected = FO.connected_members t in
+    let ok = List.length connected = members in
+    Printf.printf
+      "seed=%-3Ld %-9s connected=%d/%d primary=%s failovers=%d failbacks=%d\n"
+      seed
+      (if ok then "CONVERGED" else "WEDGED")
+      (List.length connected) members
+      (match FO.primary t with Some p -> p | None -> "(none)")
+      (FO.failovers t) (FO.failbacks t);
+    Format.printf "         replication: %a@." Netsim.Stats.pp_named
+      (Netsim.Stats.replication_named (FO.replication_stats t));
+    if verbose then begin
+      let pp_pairs fmt l =
+        List.iter (fun (b, v) -> Format.fprintf fmt " %s=%Ld" b v) l
+      in
+      Format.printf "         lag (records):%a@." pp_pairs
+        (List.map
+           (fun (b, l) -> (b, Int64.of_int l))
+           (FO.replication_lag t));
+      Format.printf "         silence (µs): %a@." pp_pairs
+        (FO.replication_silence t)
+    end;
+    ok
+  in
+  Printf.printf
+    "failover: %d members, %d managers, loss=%.0f%%%s repl-lag=%dms bound=%ds \
+     (%s)\n"
+    members n_managers (100. *. loss)
+    (if kill_at > 0.0 then Printf.sprintf " kill-primary@%.1fs" kill_at else "")
+    repl_lag_ms until_s
+    (if cold then "cold baseline" else "warm");
+  let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
+  let ok = List.filter one seed_list in
+  Printf.printf "\n%d/%d seeds converged\n" (List.length ok) seeds;
+  if List.length ok = seeds then 0 else 1
+
+let fo_managers_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "managers" ] ~doc:"Number of managers in the succession")
+
+let kill_primary_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "kill-primary-at" ]
+        ~doc:
+          "Fail-stop the current primary at this virtual time (seconds); \
+           0 disables the kill (liveness-only run)")
+
+let repl_lag_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "repl-lag" ]
+        ~doc:
+          "Extra latency (milliseconds) on every manager-to-manager link, \
+           so backups replicate behind the member-facing traffic")
+
+let fo_until_arg =
+  Arg.(
+    value & opt int 15
+    & info [ "until" ] ~doc:"Virtual-time bound in seconds per run")
+
+let fo_cold_arg =
+  Arg.(
+    value & flag
+    & info [ "cold" ]
+        ~doc:
+          "Disable warm promotion: the successor always cold-restarts and \
+           members re-handshake — the baseline warm failover is measured \
+           against")
+
+let failover_cmd =
+  let doc =
+    "kill the primary of a multi-manager group under seeded faults and \
+     report promotion mode, replication counters and per-backup lag"
+  in
+  Cmd.v (Cmd.info "failover" ~doc)
+    Term.(
+      const run_failover $ chaos_members_arg $ fo_managers_arg
+      $ chaos_seeds_arg $ loss_arg $ kill_primary_arg $ repl_lag_arg
+      $ fo_until_arg $ fo_cold_arg $ verbose_arg)
+
 (* --- crash-matrix --- *)
 
 let run_crash_matrix members appends compact_every seed no_torn verbose =
@@ -582,6 +708,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            session_cmd; attack_cmd; verify_cmd; chaos_cmd; crash_matrix_cmd;
-            keys_cmd;
+            session_cmd; attack_cmd; verify_cmd; chaos_cmd; failover_cmd;
+            crash_matrix_cmd; keys_cmd;
           ]))

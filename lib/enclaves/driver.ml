@@ -113,6 +113,8 @@ module Improved = struct
     recovery : recovery_config option;
     recstats : recovery_stats;
     mutable journal : Journal.t option;  (* write-through to [backend] *)
+    mutable vault : Store.Vault.t option;
+        (* durable epoch vault, on the same backend as the journal *)
     disk : Store.Mem.t option;  (* simulated disk under the journal *)
     fault : Store.Fault.t option;  (* seeded fault layer, if configured *)
     backend : Store.Backend.t option;  (* fault-wrapped handle to [disk] *)
@@ -120,6 +122,8 @@ module Improved = struct
         (* Durable journal image captured at the last crash — what a
            restarted process actually finds, as opposed to the live
            buffer (which includes unsynced bytes the crash lost). *)
+    mutable vault_crash_bytes : string option;
+        (* Durable epoch-vault image captured at the same crash. *)
     mutable acc_eio : int;  (* EIO retries banked from dead journals *)
     mutable leader_down : bool;
     (* Recoveries/resyncs performed by previous leader incarnations —
@@ -405,7 +409,14 @@ module Improved = struct
       | Some _ -> Some (Journal.create ?disk:backend ())
       | None -> None
     in
-    let l = Leader.create ~self:leader ~rng ~directory ?policy ?journal () in
+    let vault =
+      match recovery with
+      | Some _ -> Some (Store.Vault.create ?disk:backend ())
+      | None -> None
+    in
+    let l =
+      Leader.create ~self:leader ~rng ~directory ?policy ?journal ?vault ()
+    in
     let members = Hashtbl.create 8 in
     let t =
       {
@@ -420,10 +431,12 @@ module Improved = struct
         recovery;
         recstats = fresh_recovery_stats ();
         journal;
+        vault;
         disk;
         fault;
         backend;
         crash_bytes = None;
+        vault_crash_bytes = None;
         acc_eio = 0;
         leader_down = false;
         acc_recoveries = 0;
@@ -469,6 +482,7 @@ module Improved = struct
   let retry_stats t = t.rstats
   let recovery_stats t = t.recstats
   let journal_bytes t = Option.map Journal.contents t.journal
+  let epoch_vault t = t.vault
 
   let sessions_recovered t = t.acc_recoveries + Leader.recoveries t.leader
   let resyncs_served t = t.acc_resyncs + Leader.resyncs_served t.leader
@@ -524,6 +538,13 @@ module Improved = struct
           t.crash_bytes <-
             Some (Option.value ~default:"" (Store.Mem.durable_of mem (Journal.file j)))
       | _ -> ());
+      (match t.disk with
+      | Some mem ->
+          t.vault_crash_bytes <-
+            Some
+              (Option.value ~default:""
+                 (Store.Mem.durable_of mem Store.Vault.default_file))
+      | None -> ());
       Netsim.Network.unregister t.net (Leader.self t.leader)
     end
 
@@ -611,13 +632,28 @@ module Improved = struct
       | None, None -> Option.map Journal.contents t.journal
     in
     t.crash_bytes <- None;
+    (* The restarted process re-opens the epoch vault from its durable
+       image (what the crash left on "disk"), not the live structure —
+       a put whose fsync was dropped must not survive. *)
+    (match t.recovery with
+    | Some _ ->
+        let image =
+          match t.vault_crash_bytes with
+          | Some b -> b
+          | None -> (
+              match t.vault with Some v -> Store.Vault.contents v | None -> "")
+        in
+        t.vault <- Some (Store.Vault.of_bytes ?disk:t.backend image)
+    | None -> ());
+    t.vault_crash_bytes <- None;
+    let vault = t.vault in
     match (warm, bytes) with
     | true, Some b ->
         retire_journal t;
         let j, state, status = Journal.recover ?disk:t.backend b in
         let l, challenges =
           Leader.recover ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ~journal:j ~state ()
+            ?policy:t.policy ~journal:j ?vault ~state ()
         in
         t.leader <- l;
         t.journal <- Some j;
@@ -645,7 +681,7 @@ module Improved = struct
         let j = Journal.create ?disk:t.backend () in
         let l, beacons =
           Leader.cold_recover ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ~journal:j ~state ()
+            ?policy:t.policy ~journal:j ?vault ~state ()
         in
         t.leader <- l;
         t.journal <- Some j;

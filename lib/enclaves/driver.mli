@@ -225,6 +225,13 @@ module Improved : sig
   (** The leader journal's current on-"disk" bytes, when journalling
       is enabled. *)
 
+  val epoch_vault : t -> Store.Vault.t option
+  (** The durable epoch vault, when recovery is enabled. Rebuilt from
+      its durable image on every {!restart_leader}; the leader floors
+      its epoch counter (and stamps its cold-restart beacons) at the
+      vault's value, so losing the journal's last [Epoch_bump] record
+      no longer yields a stale beacon. *)
+
   val stop_retry : t -> unit
   (** Cancel the leader scan, the digest broadcast, and all member
       watchdogs so the event queue can drain; the protocol keeps

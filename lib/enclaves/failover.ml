@@ -1,4 +1,5 @@
 module F = Wire.Frame
+module Key = Sym_crypto.Key
 
 type config = {
   heartbeat_period : Netsim.Vtime.t;
@@ -6,6 +7,8 @@ type config = {
   check_period : Netsim.Vtime.t;
   retry_budget : int;
   failback_after : Netsim.Vtime.t;
+  repl_heartbeat_period : Netsim.Vtime.t;
+  warm_failover : bool;
 }
 
 let default_config =
@@ -15,6 +18,8 @@ let default_config =
     check_period = Netsim.Vtime.of_ms 200;
     retry_budget = 2;
     failback_after = Netsim.Vtime.of_ms 1500;
+    repl_heartbeat_period = Netsim.Vtime.of_ms 300;
+    warm_failover = true;
   }
 
 (* One leader-side watch entry: the nonce of an outstanding frame and
@@ -25,7 +30,15 @@ type mwatch = { w_nonce : Wire.Nonce.t; first_seen : Netsim.Vtime.t }
 
 type manager = {
   name : Types.agent;
-  leader : Leader.t;
+  idx : int;  (* position in the fixed succession *)
+  disk : Store.Mem.t;  (* this manager's own simulated disk *)
+  vault : Store.Vault.t;
+  mutable leader : Leader.t;  (* replaced on promotion *)
+  mutable journal : Journal.t option;  (* Some iff primary (journalling) *)
+  mutable source : Replication.Source.t option;  (* Some iff primary *)
+  mutable replica : Replication.Replica.t option;  (* Some iff backup *)
+  mutable repl_last : Netsim.Vtime.t;
+      (* last liveness-proving replication frame from the primary *)
   mutable crashed : bool;
   watches : (Types.agent, mwatch) Hashtbl.t;
 }
@@ -47,6 +60,9 @@ type t = {
   sim : Netsim.Sim.t;
   net : Netsim.Network.t;
   config : config;
+  directory : (Types.agent * string) list;
+  repl_key : Key.t;
+  counters : Replication.counters;
   managers : manager array;
   members : (Types.agent, member_slot) Hashtbl.t;
   mutable failovers : int;
@@ -57,27 +73,31 @@ type t = {
 let sim t = t.sim
 let net t = t.net
 
+(* The preferred primary: the first non-crashed manager in the fixed
+   succession. [None] when every manager is down — callers must treat
+   that as "no service", not silently target a corpse (the bug this
+   replaces returned [managers.(0)] in that case). *)
 let primary t =
+  let n = Array.length t.managers in
   let rec first i =
-    if i >= Array.length t.managers then t.managers.(0).name
-    else if not t.managers.(i).crashed then t.managers.(i).name
+    if i >= n then None
+    else if not t.managers.(i).crashed then Some t.managers.(i).name
     else first (i + 1)
   in
   first 0
 
 (* Next non-crashed manager strictly after [after] in the fixed
-   succession, wrapping — so a live-but-unreachable target is skipped
-   rather than retried forever. Wraps all the way back to [after]
-   itself when it is the only live manager. *)
+   succession, wrapping all the way around — back to [after] itself
+   when it is the only live manager, [None] when none are live. *)
 let succession_next t after =
   let n = Array.length t.managers in
   let idx = ref 0 in
   Array.iteri (fun i mgr -> if mgr.name = after then idx := i) t.managers;
   let rec find k =
-    if k > n then primary t
+    if k > n then None
     else
       let mgr = t.managers.((!idx + k) mod n) in
-      if not mgr.crashed then mgr.name else find (k + 1)
+      if not mgr.crashed then Some mgr.name else find (k + 1)
   in
   find 1
 
@@ -95,20 +115,50 @@ let attach_member t slot =
       send_frames t ~src:slot.m_name replies;
       List.iter
         (function
+          | Member.Recovery_challenged { from } ->
+              (* Warm handoff: whoever proved possession of our [K_a]
+                 is the manager we now follow — keep the detector quiet
+                 and move the slot's allegiance with the automaton's. *)
+              slot.target <- from;
+              slot.failback_at <- None;
+              slot.last_admin <- Netsim.Sim.now t.sim;
+              slot.retries <- 0
           | Member.Admin_accepted _ | Member.Joined _
-          | Member.Recovery_challenged | Member.Cold_beacon_challenged _
-          | Member.Beacon_reset _ ->
+          | Member.Cold_beacon_challenged _ | Member.Beacon_reset _ ->
               slot.last_admin <- Netsim.Sim.now t.sim;
               slot.retries <- 0
           | Member.App_received _ | Member.Left | Member.Rejected _
           | Member.View_diverged _ -> ())
         (Member.drain_events slot.automaton))
 
+(* Manager frame routing: replication frames go to the replication
+   plane, everything else to the leader automaton. Undecodable bytes
+   also go to the leader so its reject accounting stays authoritative. *)
 let attach_manager t mgr =
   Netsim.Network.register t.net mgr.name (fun bytes ->
       if not mgr.crashed then begin
-        let replies = Leader.receive mgr.leader bytes in
-        send_frames t ~src:mgr.name replies
+        let to_leader () =
+          let replies = Leader.receive mgr.leader bytes in
+          send_frames t ~src:mgr.name replies
+        in
+        match F.decode bytes with
+        | Error _ -> to_leader ()
+        | Ok frame -> (
+            match frame.F.label with
+            | F.Repl_record -> (
+                match mgr.replica with
+                | Some r ->
+                    send_frames t ~src:mgr.name
+                      (Replication.Replica.handle_frame r frame)
+                | None ->
+                    (* A primary does not consume its own stream's
+                       labels; stray records are just dropped. *)
+                    ())
+            | F.Repl_ack | F.Repl_fetch -> (
+                match mgr.source with
+                | Some s -> Replication.Source.handle_frame s frame
+                | None -> ())
+            | _ -> to_leader ())
       end)
 
 (* Tear down the current session (politely, so a live manager frees
@@ -127,23 +177,29 @@ let switch_to t slot ~target =
   send_frames t ~src:slot.m_name (Member.join slot.automaton)
 
 let join_slot t slot =
-  let target = primary t in
-  if slot.target <> target || not (Member.is_connected slot.automaton) then begin
-    slot.target <- target;
-    slot.automaton <-
-      Member.create ~self:slot.m_name ~leader:target ~password:slot.password
-        ~rng:(Netsim.Sim.rng t.sim);
-    attach_member t slot
-  end;
-  slot.active <- true;
-  slot.retries <- 0;
-  slot.failback_at <- None;
-  slot.last_admin <- Netsim.Sim.now t.sim;
-  send_frames t ~src:slot.m_name (Member.join slot.automaton)
+  match primary t with
+  | None -> ()
+  | Some target ->
+      if slot.target <> target || not (Member.is_connected slot.automaton)
+      then begin
+        slot.target <- target;
+        slot.automaton <-
+          Member.create ~self:slot.m_name ~leader:target
+            ~password:slot.password ~rng:(Netsim.Sim.rng t.sim);
+        attach_member t slot
+      end;
+      slot.active <- true;
+      slot.retries <- 0;
+      slot.failback_at <- None;
+      slot.last_admin <- Netsim.Sim.now t.sim;
+      send_frames t ~src:slot.m_name (Member.join slot.automaton)
 
 let fail_over t slot =
-  t.failovers <- t.failovers + 1;
-  switch_to t slot ~target:(succession_next t slot.target)
+  match succession_next t slot.target with
+  | None -> ()  (* nobody left to fail over to; keep waiting *)
+  | Some target ->
+      t.failovers <- t.failovers + 1;
+      switch_to t slot ~target
 
 let fail_back t slot ~preferred =
   t.failbacks <- t.failbacks + 1;
@@ -158,31 +214,31 @@ let fail_back t slot ~preferred =
    other than the current primary drifts back to the preferred primary
    after [failback_after] — so a partition that pushed it sideways
    heals into the canonical configuration instead of splitting the
-   group forever. *)
+   group forever. The budgeted patience is what gives a warm-promoted
+   successor its window: its recovery challenge lands (and resets the
+   silence clock) well before the cold failover would trigger. *)
 let start_failure_detector t slot =
   let h =
     Netsim.Sim.every_handle t.sim ~period:t.config.check_period (fun () ->
         if slot.active then begin
           let now = Netsim.Sim.now t.sim in
-          let preferred = primary t in
           let silence = Int64.sub now slot.last_admin in
           (* Fail-back only from a demonstrably live session — a
              silent non-preferred target is the detector's business,
              not a candidate for a polite migration. *)
-          if
-            Member.is_connected slot.automaton
-            && slot.target <> preferred
-            && Netsim.Vtime.(silence < t.config.failure_timeout)
-          then begin
-            match slot.failback_at with
-            | None ->
-                slot.failback_at <-
-                  Some (Netsim.Vtime.add now t.config.failback_after)
-            | Some at when Netsim.Vtime.(at <= now) ->
-                fail_back t slot ~preferred
-            | Some _ -> ()
-          end
-          else slot.failback_at <- None;
+          (match primary t with
+          | Some preferred
+            when Member.is_connected slot.automaton
+                 && slot.target <> preferred
+                 && Netsim.Vtime.(silence < t.config.failure_timeout) -> (
+              match slot.failback_at with
+              | None ->
+                  slot.failback_at <-
+                    Some (Netsim.Vtime.add now t.config.failback_after)
+              | Some at when Netsim.Vtime.(at <= now) ->
+                  fail_back t slot ~preferred
+              | Some _ -> ())
+          | Some _ | None -> slot.failback_at <- None);
           if Netsim.Vtime.(t.config.failure_timeout <= silence) then
             if slot.retries < t.config.retry_budget then begin
               slot.retries <- slot.retries + 1;
@@ -205,14 +261,22 @@ let start_heartbeat t mgr =
   t.handles <- h :: t.handles
 
 let watch_nonce = function
-  | Leader.Waiting_for_key_ack (n, _) | Leader.Waiting_for_ack (n, _) -> Some n
-  | Leader.Not_connected | Leader.Connected _ | Leader.Recovering _ -> None
+  | Leader.Waiting_for_key_ack (n, _)
+  | Leader.Waiting_for_ack (n, _)
+  | Leader.Recovering (n, _) ->
+      Some n
+  | Leader.Not_connected | Leader.Connected _ -> None
 
-(* Manager-side scan: re-send outstanding AuthKeyDist/AdminMsg frames
-   whose nonce survived a previous scan unchanged (so lost replies
-   don't wedge a session), and garbage-collect handshakes that stay
-   half-open past twice the failure timeout — by then the member has
-   either probed again (fresh nonce) or failed over elsewhere. *)
+type outstanding = Half_open | Awaiting | Recovering
+
+(* Manager-side scan: re-send outstanding AuthKeyDist/AdminMsg/
+   RecoveryChallenge frames whose nonce survived a previous scan
+   unchanged (so lost replies don't wedge a session), and
+   garbage-collect exchanges that stay open past twice the failure
+   timeout — by then the member has either probed again (fresh nonce)
+   or failed over elsewhere. An unanswered recovery challenge is
+   aborted, which discards the journalled key: the cold fallback for
+   that one member. *)
 let start_manager_scan t mgr =
   let gc_after = Int64.mul 2L t.config.failure_timeout in
   let h =
@@ -220,8 +284,11 @@ let start_manager_scan t mgr =
         if not mgr.crashed then begin
           let now = Netsim.Sim.now t.sim in
           let outstanding =
-            List.map (fun who -> (who, true)) (Leader.half_open mgr.leader)
-            @ List.map (fun who -> (who, false)) (Leader.awaiting_ack mgr.leader)
+            List.map (fun who -> (who, Half_open)) (Leader.half_open mgr.leader)
+            @ List.map (fun who -> (who, Awaiting))
+                (Leader.awaiting_ack mgr.leader)
+            @ List.map (fun who -> (who, Recovering))
+                (Leader.recovering mgr.leader)
           in
           let live = List.map fst outstanding in
           Hashtbl.iter
@@ -229,7 +296,7 @@ let start_manager_scan t mgr =
               if not (List.mem who live) then Hashtbl.remove mgr.watches who)
             (Hashtbl.copy mgr.watches);
           List.iter
-            (fun (who, is_half_open) ->
+            (fun (who, kind) ->
               match watch_nonce (Leader.session mgr.leader who) with
               | None -> Hashtbl.remove mgr.watches who
               | Some n -> (
@@ -244,11 +311,14 @@ let start_manager_scan t mgr =
                            re-handshake (e.g. after a partition heals)
                            is accepted instead of rejected as
                            "in session". *)
-                        if is_half_open then
-                          ignore (Leader.abort_half_open mgr.leader who)
-                        else
-                          send_frames t ~src:mgr.name
-                            (Leader.expel mgr.leader who);
+                        (match kind with
+                        | Half_open ->
+                            ignore (Leader.abort_half_open mgr.leader who)
+                        | Awaiting ->
+                            send_frames t ~src:mgr.name
+                              (Leader.expel mgr.leader who)
+                        | Recovering ->
+                            ignore (Leader.abort_recovery mgr.leader who));
                         Hashtbl.remove mgr.watches who
                       end
                       else
@@ -262,26 +332,146 @@ let start_manager_scan t mgr =
   in
   t.handles <- h :: t.handles
 
+(* --- the replication plane --- *)
+
+let live_backups t mgr =
+  Array.to_list t.managers
+  |> List.filter_map (fun m ->
+         if m.name <> mgr.name && not m.crashed then Some m.name else None)
+
+let make_source t mgr ~term ~journal =
+  mgr.replica <- None;
+  mgr.journal <- Some journal;
+  mgr.source <-
+    Some
+      (Replication.Source.create ~self:mgr.name ~backups:(live_backups t mgr)
+         ~term ~key:t.repl_key ~rng:(Netsim.Sim.rng t.sim)
+         ~send:(fun f -> send_frames t ~src:mgr.name [ f ])
+         ~journal ~counters:t.counters ())
+
+let make_replica t mgr ~primary_name =
+  mgr.replica <-
+    Some
+      (Replication.Replica.create ~self:mgr.name ~primary:primary_name
+         ~key:t.repl_key ~rng:(Netsim.Sim.rng t.sim)
+         ~disk:(Store.Mem.handle mgr.disk) ~counters:t.counters ());
+  mgr.repl_last <- Netsim.Sim.now t.sim
+
+let start_repl_heartbeat t mgr =
+  let h =
+    Netsim.Sim.every_handle t.sim ~period:t.config.repl_heartbeat_period
+      (fun () ->
+        if not mgr.crashed then
+          match mgr.source with
+          | Some s -> Replication.Source.heartbeat s
+          | None -> ())
+  in
+  t.handles <- h :: t.handles
+
+(* Promote a backup whose replication channel has gone silent. The
+   replica bytes are replayed exactly like a local journal surviving a
+   crash: a usable prefix yields a warm leader that challenges every
+   replicated session under its [K_a] (members keep their keys and
+   redirect to us), an unusable one yields a cold leader that beacons.
+   Either way this manager becomes the stream's source at term + 1, so
+   the remaining backups adopt the succession from one frame. *)
+let promote t mgr =
+  match mgr.replica with
+  | None -> ()
+  | Some r ->
+      let bytes = Replication.Replica.contents r in
+      let term = Replication.Replica.term r + 1 in
+      let backend = Store.Mem.handle mgr.disk in
+      let rng = Netsim.Sim.rng t.sim in
+      let journal, state, _status =
+        Journal.recover ~disk:backend ~file:"journal" bytes
+      in
+      let warm =
+        t.config.warm_failover && state.Journal.sessions <> []
+      in
+      if warm then begin
+        t.counters.warm_promotions <- t.counters.warm_promotions + 1;
+        let leader', challenges =
+          Leader.recover ~self:mgr.name ~rng ~directory:t.directory ~journal
+            ~vault:mgr.vault ~state ()
+        in
+        mgr.leader <- leader';
+        make_source t mgr ~term ~journal;
+        send_frames t ~src:mgr.name challenges
+      end
+      else begin
+        t.counters.cold_promotions <- t.counters.cold_promotions + 1;
+        (* Distrust the replica's sessions: restart from an empty
+           journal, keeping only the epoch floor (journal belief plus
+           vault) for the beacons. *)
+        let journal = Journal.create ~disk:backend ~file:"journal" () in
+        let leader', beacons =
+          Leader.cold_recover ~self:mgr.name ~rng ~directory:t.directory
+            ~journal ~vault:mgr.vault ~state ()
+        in
+        mgr.leader <- leader';
+        make_source t mgr ~term ~journal;
+        send_frames t ~src:mgr.name beacons
+      end
+
+(* Backup-side promotion watchdog. Silence thresholds are staggered by
+   succession position — the first backup waits one failure timeout,
+   the second two, and so on — so at most one backup promotes per
+   failure: the survivor's term+1 snapshot resets everyone else's
+   silence clock before their own (longer) threshold expires. *)
+let start_promotion_watchdog t mgr =
+  let threshold =
+    Int64.mul (Int64.of_int (max 1 mgr.idx)) t.config.failure_timeout
+  in
+  let h =
+    Netsim.Sim.every_handle t.sim ~period:t.config.check_period (fun () ->
+        if not mgr.crashed then
+          match mgr.replica with
+          | None -> ()
+          | Some r ->
+              let now = Netsim.Sim.now t.sim in
+              if Replication.Replica.take_activity r then
+                mgr.repl_last <- now
+              else if
+                Netsim.Vtime.(threshold <= Int64.sub now mgr.repl_last)
+              then promote t mgr)
+  in
+  t.handles <- h :: t.handles
+
 let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
   if managers = [] then invalid_arg "Failover.create: no managers";
   let sim = Netsim.Sim.create ~seed () in
   let net = Netsim.Network.create ~sim () in
   let rng = Netsim.Sim.rng sim in
-  let mk_manager name =
+  let counters = Replication.fresh_counters () in
+  let repl_key = Key.fresh Key.Long_term rng in
+  let mk_manager idx name =
+    let disk = Store.Mem.create () in
+    let vault = Store.Vault.create ~disk:(Store.Mem.handle disk) () in
     {
       name;
-      leader = Leader.create ~self:name ~rng ~directory ();
+      idx;
+      disk;
+      vault;
+      leader = Leader.create ~self:name ~rng ~directory ~vault ();
+      journal = None;
+      source = None;
+      replica = None;
+      repl_last = Netsim.Vtime.zero;
       crashed = false;
       watches = Hashtbl.create 8;
     }
   in
-  let managers = Array.of_list (List.map mk_manager managers) in
+  let managers = Array.of_list (List.mapi mk_manager managers) in
   let members = Hashtbl.create 8 in
   let t =
     {
       sim;
       net;
       config;
+      directory;
+      repl_key;
+      counters;
       managers;
       members;
       failovers = 0;
@@ -292,6 +482,20 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
   Array.iter (attach_manager t) t.managers;
   Array.iter (start_heartbeat t) t.managers;
   Array.iter (start_manager_scan t) t.managers;
+  Array.iter (start_repl_heartbeat t) t.managers;
+  Array.iter (start_promotion_watchdog t) t.managers;
+  (* The initial primary journals through its own disk and ships the
+     stream; every other manager follows as a replica. *)
+  let m0 = t.managers.(0) in
+  let journal =
+    Journal.create ~disk:(Store.Mem.handle m0.disk) ~file:"journal" ()
+  in
+  m0.leader <-
+    Leader.create ~self:m0.name ~rng ~directory ~journal ~vault:m0.vault ();
+  make_source t m0 ~term:1 ~journal;
+  Array.iter
+    (fun mgr -> if mgr.idx > 0 then make_replica t mgr ~primary_name:m0.name)
+    t.managers;
   List.iter
     (fun (m_name, password) ->
       let slot =
@@ -340,15 +544,25 @@ let send_app t who body =
   | Some slot -> send_frames t ~src:who (Member.send_app slot.automaton body)
   | None -> raise Not_found
 
+let crash_manager t mgr =
+  mgr.crashed <- true;
+  (match mgr.source with
+  | Some s ->
+      Replication.Source.detach s;
+      mgr.source <- None
+  | None -> ());
+  Netsim.Network.unregister t.net mgr.name
+
 let crash_primary t =
-  let name = primary t in
-  Array.iter
-    (fun mgr ->
-      if mgr.name = name then begin
-        mgr.crashed <- true;
-        Netsim.Network.unregister t.net mgr.name
-      end)
-    t.managers
+  match primary t with
+  | None -> ()
+  | Some name ->
+      Array.iter
+        (fun mgr -> if mgr.name = name then crash_manager t mgr)
+        t.managers
+
+let crash_primary_at t time =
+  Netsim.Sim.schedule_at t.sim ~time (fun () -> crash_primary t)
 
 let manager_of t who =
   match Hashtbl.find_opt t.members who with
@@ -370,5 +584,25 @@ let connected_members t =
 
 let failovers t = t.failovers
 let failbacks t = t.failbacks
+
+let replication_stats t = Replication.snapshot_counters t.counters
+
+let replication_lag t =
+  let found = ref [] in
+  Array.iter
+    (fun mgr ->
+      match mgr.source with
+      | Some s -> found := Replication.Source.lag s
+      | None -> ())
+    t.managers;
+  !found
+
+let replication_silence t =
+  Array.to_list t.managers
+  |> List.filter_map (fun mgr ->
+         match mgr.replica with
+         | Some _ when not mgr.crashed ->
+             Some (mgr.name, Int64.sub (Netsim.Sim.now t.sim) mgr.repl_last)
+         | Some _ | None -> None)
 
 let run ?until t = Netsim.Sim.run ?until t.sim

@@ -40,18 +40,43 @@
     - a member connected to a manager other than the current primary
       fails {e back} to the primary after [failback_after] of
       stability, so partitions heal into a single group under the
-      preferred manager rather than leaving the group split;
-    - the new primary builds a fresh group (fresh session keys, fresh
-      group-key epoch), so no state of the dead manager is trusted.
+      preferred manager rather than leaving the group split.
+
+    {2 Warm standby}
+
+    On top of the cold member-driven failover, managers run an
+    {e authenticated journal-replication channel} ({!Replication}):
+    the primary journals its trust-critical state through its own
+    simulated disk and ships every durable change to each backup as a
+    sealed, term- and sequence-tagged frame; backups persist the
+    replica through their own store backend and watch the channel for
+    silence. When the primary dies, the first backup in succession
+    promotes itself (thresholds are staggered by succession position,
+    so at most one backup promotes per failure): it replays its
+    replica exactly like a locally surviving journal and, if the
+    recovered prefix holds sessions, runs {!Leader.recover} — every
+    member gets a [RecoveryChallenge] under its journalled [K_a],
+    answers it, and {e redirects to the successor keeping its session
+    key, group key and view} (the warm path; members' cold failover
+    never fires because the challenge lands well inside their patience
+    budget). Only when the replica is unusable — or a member's
+    challenge goes unanswered past the garbage-collection deadline —
+    does that member fall back to the cold re-join path above. Each
+    manager also persists a durable {e epoch vault}
+    ({!Store.Vault}), so a cold promotion (or cold restart) beacons an
+    epoch at least as new as any member's even if the journal tail
+    lost the last bump.
 
     Security is inherited rather than re-proven: every (member,
-    manager) pair runs exactly the verified two-party protocol, and a
-    failover is indistinguishable from "leave, then join elsewhere" —
-    a sequence already covered by the model (§5's guarantees are per
-    session). Availability, of course, is only as good as the failure
-    detector: a partitioned member rejoins the successor while the old
-    primary may still serve others; members of the same partition
-    reconverge because the succession order is fixed and deterministic.
+    manager) pair runs exactly the verified two-party protocol; the
+    replication channel adds no new member-facing authority because
+    managers are inside the paper's trust boundary (the leader is
+    trusted), and possession of the replicated [K_a] is exactly the
+    warm-restart credential {!Leader.recover} already demands. A
+    member accepts a challenge only under its own live session key,
+    sealed by the sender bound into the AEAD associated data — forged,
+    replayed or stale-term replication traffic is counted and dropped
+    without moving any replica (see {!Replication}).
 
     The whole mechanism lives above {!Member}/{!Leader}: managers are
     ordinary leaders, members are ordinary members plus a timeout
@@ -78,11 +103,21 @@ type config = {
           before drifting back to the current primary, so a healed
           partition reconverges to one group instead of staying
           split. *)
+  repl_heartbeat_period : Netsim.Vtime.t;
+      (** How often the primary ships a replication heartbeat to every
+          backup — the backups' liveness signal during journal-quiet
+          periods. *)
+  warm_failover : bool;
+      (** When [false], a promoting backup always takes the cold path
+          (fresh group, full re-handshakes) even if its replica is
+          usable — the experimental baseline warm failover is measured
+          against. *)
 }
 
 val default_config : config
 (** 300 ms heartbeat, 1 s timeout, 200 ms check period, 2 retries,
-    1.5 s fail-back. *)
+    1.5 s fail-back, 300 ms replication heartbeat, warm failover
+    on. *)
 
 val create :
   ?seed:int64 ->
@@ -110,10 +145,19 @@ val send_app : t -> Types.agent -> string -> unit
 
 val crash_primary : t -> unit
 (** Fail-stop the current primary: it is detached from the network and
-    its heartbeats cease. Members will fail over to the successor. *)
+    its heartbeats (admin and replication) cease. The first surviving
+    backup's promotion watchdog will fire; members follow it warm via
+    recovery challenges, or cold via their own failure detector. No-op
+    when every manager is already down. *)
 
-val primary : t -> Types.agent
-(** The manager members currently target. *)
+val crash_primary_at : t -> Netsim.Vtime.t -> unit
+(** Schedule {!crash_primary} at an absolute virtual time — the chaos
+    CLI's [--kill-primary-at] hook. *)
+
+val primary : t -> Types.agent option
+(** The preferred primary: the first non-crashed manager in the fixed
+    succession, or [None] when every manager is down (previously this
+    silently reported the first manager's corpse). *)
 
 val manager_of : t -> Types.agent -> Types.agent option
 (** Which manager a member is currently connected to (after its last
@@ -134,6 +178,19 @@ val failovers : t -> int
 val failbacks : t -> int
 (** Members that returned to the preferred primary after riding out a
     partition on a successor. *)
+
+val replication_stats : t -> Netsim.Stats.replication
+(** The run's aggregated replication counters: records and snapshots
+    shipped, acks, gap fetches, rejected forged/replayed/stale frames,
+    and warm vs cold promotions. *)
+
+val replication_lag : t -> (Types.agent * int) list
+(** Per-backup lag in records (current source's frontier minus that
+    backup's cumulative ack); empty when no source is live. *)
+
+val replication_silence : t -> (Types.agent * Netsim.Vtime.t) list
+(** Per-backup virtual time since the last liveness-proving
+    replication frame — the promotion watchdog's view of lag. *)
 
 val stop : t -> unit
 (** Cancel all heartbeat, detector and scan timers so the event queue

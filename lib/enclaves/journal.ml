@@ -152,6 +152,8 @@ let version = 1
 let default_mac_key = "enclaves-journal"  (* 16 bytes, public: integrity
                                              only, not secrecy *)
 
+type event = Appended of string | Published of string
+
 type t = {
   buf : Buffer.t;
   mac : Sym_crypto.Siphash.key;
@@ -163,6 +165,7 @@ type t = {
   mutable nrecords : int;
   mutable next_seq : int;
   mutable since_snapshot : int;
+  mutable observer : (event -> unit) option;
 }
 
 let header () =
@@ -236,10 +239,14 @@ let create ?(mac_key = default_mac_key) ?(compact_every = 256) ?disk
       nrecords = 0;
       next_seq = 0;
       since_snapshot = 0;
+      observer = None;
     }
   in
   disk_publish t;
   t
+
+let set_observer t obs = t.observer <- obs
+let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let state t = t.st
 let records t = t.nrecords
@@ -267,7 +274,8 @@ let rewrite_as_snapshot t =
   t.next_seq <- 0;
   t.since_snapshot <- 0;
   append_raw t (Snapshot st);
-  disk_publish t
+  disk_publish t;
+  notify t (Published (Buffer.contents t.buf))
 
 let compact t = rewrite_as_snapshot t
 
@@ -278,14 +286,19 @@ let reset t =
   t.nrecords <- 0;
   t.next_seq <- 0;
   t.since_snapshot <- 0;
-  disk_publish t
+  disk_publish t;
+  notify t (Published (Buffer.contents t.buf))
 
 let append t record =
   let off = Buffer.length t.buf in
   append_raw t record;
   t.since_snapshot <- t.since_snapshot + 1;
   if t.since_snapshot > t.compact_every then rewrite_as_snapshot t
-  else disk_append t ~off (Buffer.sub t.buf off (Buffer.length t.buf - off))
+  else begin
+    let chunk = Buffer.sub t.buf off (Buffer.length t.buf - off) in
+    disk_append t ~off chunk;
+    notify t (Appended chunk)
+  end
 
 (* --- replay: total on arbitrary bytes --- *)
 

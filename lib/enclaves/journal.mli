@@ -124,6 +124,21 @@ val eio_retries : t -> int
 val file : t -> string
 (** The backing file name (meaningful only with a [disk] backend). *)
 
+type event =
+  | Appended of string
+      (** One framed record (len + payload + checksum) was appended;
+          the argument is exactly the bytes that extended the image. *)
+  | Published of string
+      (** The whole image was replaced (compaction or {!reset}); the
+          argument is the complete new journal bytes. *)
+
+val set_observer : t -> (event -> unit) option -> unit
+(** Mutation hook — the warm-standby replication source subscribes
+    here to ship every durable change to the backup managers. Fired
+    {e after} the disk write-through succeeds, so an observed event
+    describes bytes that are already durable locally. At most one
+    observer; [None] unsubscribes. *)
+
 val replay : ?mac_key:string -> string -> record list * status
 (** [replay bytes] decodes the longest valid prefix of [bytes]. Total:
     never raises, for arbitrary (truncated, bit-flipped, adversarial)

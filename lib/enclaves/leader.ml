@@ -76,6 +76,7 @@ type t = {
   sessions : (Types.agent, session) Hashtbl.t;
   policy : policy;
   journal : Journal.t option;
+  vault : Store.Vault.t option;
   mutable group_key : Types.group_key option;
   mutable next_epoch : int;
   mutable events_rev : event list;
@@ -90,7 +91,7 @@ type t = {
 }
 
 let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
-    () =
+    ?vault () =
   let dir = Hashtbl.create 16 in
   List.iter
     (fun (user, key) ->
@@ -105,6 +106,7 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
     sessions = Hashtbl.create 16;
     policy;
     journal;
+    vault;
     group_key = None;
     next_epoch = 1;
     events_rev = [];
@@ -115,13 +117,13 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
     cold_acks = 0;
   }
 
-let create ~self ~rng ~directory ?policy ?journal () =
+let create ~self ~rng ~directory ?policy ?journal ?vault () =
   let keyed =
     List.map
       (fun (user, password) -> (user, Key.long_term ~user ~password))
       directory
   in
-  create_with_keys ~self ~rng ~directory:keyed ?policy ?journal ()
+  create_with_keys ~self ~rng ~directory:keyed ?policy ?journal ?vault ()
 
 let jot t record =
   match t.journal with None -> () | Some j -> Journal.append j record
@@ -217,6 +219,13 @@ let fresh_group_key t =
   t.next_epoch <- t.next_epoch + 1;
   t.group_key <- Some gk;
   jot t (Journal.Epoch_bump { key = Key.raw key; epoch = gk.Types.epoch });
+  (* The vault persists the bare counter through a separate write path:
+     losing the journal's tail (torn write, dropped fsync) can lose the
+     Epoch_bump record, but not the vault slot — so a later cold
+     restart still beacons an epoch members accept. *)
+  (match t.vault with
+  | Some v -> Store.Vault.put v gk.Types.epoch
+  | None -> ());
   gk
 
 let rekey t =
@@ -566,13 +575,16 @@ let challenge t who ka =
   s.mstate <- S_recovering { nc; ka; reply };
   reply
 
-let recover ~self ~rng ~directory ?policy ~journal ~state () =
-  let t = create ~self ~rng ~directory ?policy ~journal () in
+let recover ~self ~rng ~directory ?policy ~journal ?vault ~state () =
+  let t = create ~self ~rng ~directory ?policy ~journal ?vault () in
   (match state.Journal.group_key with
   | Some (raw, epoch) ->
       t.group_key <- Some { Types.key = Key.of_raw Key.Group raw; epoch }
   | None -> ());
   t.next_epoch <- max t.next_epoch state.Journal.next_epoch;
+  (match vault with
+  | Some v -> t.next_epoch <- max t.next_epoch (Store.Vault.get v + 1)
+  | None -> ());
   let challenges =
     List.map
       (fun (who, raw) -> challenge t who (Key.of_raw Key.Session raw))
@@ -592,12 +604,21 @@ let cold_acks t = t.cold_acks
    under each member's long-term [P_a]. The beacon itself grants
    nothing: members answer with a liveness challenge, and only the
    incarnation that generated these nonces can ack it. *)
-let cold_recover ~self ~rng ~directory ?policy ?journal ~state () =
-  let t = create ~self ~rng ~directory ?policy ?journal () in
+let cold_recover ~self ~rng ~directory ?policy ?journal ?vault ~state () =
+  let t = create ~self ~rng ~directory ?policy ?journal ?vault () in
   t.next_epoch <- max t.next_epoch state.Journal.next_epoch;
-  let epoch =
+  let journal_epoch =
     match state.Journal.group_key with Some (_, e) -> e | None -> 0
   in
+  (* The vault may remember a bump the journal's tail lost: beacon the
+     maximum of the two so members whose epoch moved with the lost
+     bump do not reject the beacon as stale (E19b's residue). *)
+  let epoch =
+    match vault with
+    | Some v -> max journal_epoch (Store.Vault.get v)
+    | None -> journal_epoch
+  in
+  t.next_epoch <- max t.next_epoch (epoch + 1);
   (* Make the epoch floor durable immediately, so a second crash
      before the first rekey still cannot regress the epoch. *)
   if t.next_epoch > 1 then
@@ -722,5 +743,5 @@ let receive t bytes =
       | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
       | F.Auth_key_dist | F.Admin_msg | F.Recovery_challenge | F.Cold_restart
-      | F.Cold_restart_ack ->
+      | F.Cold_restart_ack | F.Repl_record | F.Repl_ack | F.Repl_fetch ->
           reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

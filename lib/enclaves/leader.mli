@@ -75,12 +75,16 @@ val create :
   directory:(Types.agent * string) list ->
   ?policy:policy ->
   ?journal:Journal.t ->
+  ?vault:Store.Vault.t ->
   unit ->
   t
 (** [create ~self ~rng ~directory ()] builds a leader knowing the
     password of every prospective member in [directory]. When
     [journal] is given, session establishments and closes and
-    group-key epoch bumps are appended to it as they happen. *)
+    group-key epoch bumps are appended to it as they happen. When
+    [vault] is given, every granted epoch is also written to the
+    durable epoch vault at grant time — a second, tail-independent
+    write path that survives losing the journal's last record. *)
 
 val create_with_keys :
   self:Types.agent ->
@@ -88,6 +92,7 @@ val create_with_keys :
   directory:(Types.agent * Sym_crypto.Key.t) list ->
   ?policy:policy ->
   ?journal:Journal.t ->
+  ?vault:Store.Vault.t ->
   unit ->
   t
 (** Like {!create} but with explicit long-term keys per member — used
@@ -100,11 +105,13 @@ val recover :
   directory:(Types.agent * string) list ->
   ?policy:policy ->
   journal:Journal.t ->
+  ?vault:Store.Vault.t ->
   state:Journal.state ->
   unit ->
   t * Wire.Frame.t list
 (** Warm restart from a journal recovered with {!Journal.recover}: the
-    group key and epoch counter are restored, and each journalled
+    group key and epoch counter are restored (the epoch floor also
+    honours [vault] when given), and each journalled
     session enters [Recovering] with a [RecoveryChallenge] sealed
     under its [K_a] (the returned frames). No journalled session is
     trusted until its member echoes the challenge nonce
@@ -117,6 +124,7 @@ val cold_recover :
   directory:(Types.agent * string) list ->
   ?policy:policy ->
   ?journal:Journal.t ->
+  ?vault:Store.Vault.t ->
   state:Journal.state ->
   unit ->
   t * Wire.Frame.t list
@@ -127,7 +135,11 @@ val cold_recover :
     restart; the floor is re-journalled immediately) and the group
     epoch to stamp into an authenticated [ColdRestart] beacon per
     directory member (the returned frames), sealed under each member's
-    long-term [P_a]. Members that verify the beacon challenge this
+    long-term [P_a]. When [vault] is given the beacon epoch (and the
+    floor) is the {e maximum} of the journal's belief and the vault's
+    — this is what closes E19b's residue: a torn tail that loses the
+    final [Epoch_bump] record no longer makes the beacon look stale to
+    members who saw that bump, because the vault slot survived. Members that verify the beacon challenge this
     leader's liveness and, on the ack, rejoin immediately instead of
     waiting out their anti-entropy watchdog. Only the incarnation
     created by this call answers those challenges. *)

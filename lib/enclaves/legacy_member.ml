@@ -273,5 +273,6 @@ let receive t bytes =
       | F.Legacy_req_close | F.Auth_init_req | F.Auth_key_dist | F.Auth_ack_key
       | F.Admin_msg | F.Admin_ack | F.Req_close | F.Recovery_challenge
       | F.Recovery_response | F.View_resync_req | F.Cold_restart
-      | F.Cold_restart_challenge | F.Cold_restart_ack ->
+      | F.Cold_restart_challenge | F.Cold_restart_ack | F.Repl_record
+      | F.Repl_ack | F.Repl_fetch ->
           reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

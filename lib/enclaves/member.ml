@@ -12,7 +12,7 @@ type event =
   | Admin_accepted of Wire.Admin.t
   | App_received of { author : Types.agent; body : string }
   | Left
-  | Recovery_challenged
+  | Recovery_challenged of { from : Types.agent }
   | Cold_beacon_challenged of { epoch : int }
   | Beacon_reset of { epoch : int }
   | View_diverged of { leader_epoch : int }
@@ -25,7 +25,8 @@ let pp_event fmt = function
   | App_received { author; body } ->
       Format.fprintf fmt "AppReceived(%s: %s)" author body
   | Left -> Format.pp_print_string fmt "Left"
-  | Recovery_challenged -> Format.pp_print_string fmt "RecoveryChallenged"
+  | Recovery_challenged { from } ->
+      Format.fprintf fmt "RecoveryChallenged(from=%s)" from
   | Cold_beacon_challenged { epoch } ->
       Format.fprintf fmt "ColdBeaconChallenged(epoch=%d)" epoch
   | Beacon_reset { epoch } -> Format.fprintf fmt "BeaconReset(epoch=%d)" epoch
@@ -43,7 +44,7 @@ type state_view =
 
 type t = {
   self : Types.agent;
-  leader : Types.agent;
+  mutable leader : Types.agent;
   pa : Key.t;
   rng : Prng.Splitmix.t;
   mutable state : state;
@@ -103,6 +104,7 @@ let create ~self ~leader ~password ~rng =
     ~rng
 
 let self t = t.self
+let leader t = t.leader
 
 let state t =
   match t.state with
@@ -350,7 +352,16 @@ let handle_app_data t (frame : F.t) =
    crash, so both sides restart the ordered-prefix ledger together.
    Group key and membership view survive — that is what makes the
    recovery warm. A replayed challenge (same nonce) elicits the stored
-   response; a forged one fails the seal. *)
+   response; a forged one fails the seal.
+
+   The challenger need not be the leader we joined: a warm-promoted
+   successor manager recovers [K_a] from the replicated journal and
+   challenges under it. Possession of [K_a] is the proof of
+   legitimacy — only the leader (and, via the authenticated
+   replication channel, the trusted manager set) ever holds it — so a
+   challenge whose sealed [l] matches the frame's sender (bound into
+   the AEAD associated data) is accepted, and the member follows the
+   handoff by retargeting its [leader] to the challenger. *)
 let handle_recovery_challenge t (frame : F.t) =
   match t.state with
   | S_connected { ka; _ } -> (
@@ -360,7 +371,7 @@ let handle_recovery_challenge t (frame : F.t) =
           match P.decode_recovery_challenge plaintext with
           | Error e -> reject t ~label:frame.F.label (Types.Malformed e)
           | Ok { P.l; a; nc } ->
-              if l <> t.leader || a <> t.self then
+              if l <> frame.F.sender || a <> t.self then
                 reject t ~label:frame.F.label Types.Identity_mismatch
               else begin
                 match t.last_recovery with
@@ -369,11 +380,12 @@ let handle_recovery_challenge t (frame : F.t) =
                        the response was lost. Re-send it unchanged. *)
                     [ resp ]
                 | _ ->
+                    t.leader <- l;
                     let next = Wire.Nonce.fresh t.rng in
                     t.state <- S_connected { na = next; ka };
                     t.accepted_rev <- [];
                     t.last_admin_ack <- None;
-                    emit t Recovery_challenged;
+                    emit t (Recovery_challenged { from = l });
                     let plaintext =
                       P.encode_recovery_response
                         { P.a = t.self; l = t.leader; echo = nc; next }
@@ -495,7 +507,8 @@ let receive t bytes =
       | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
       | F.Auth_init_req | F.Auth_ack_key | F.Admin_ack | F.Req_close
-      | F.Recovery_response | F.View_resync_req | F.Cold_restart_challenge ->
+      | F.Recovery_response | F.View_resync_req | F.Cold_restart_challenge
+      | F.Repl_record | F.Repl_ack | F.Repl_fetch ->
           (* The improved member consumes only the three labels above;
              everything else — legacy traffic, leader-bound messages,
              forged denials — is ignored. The absence of any reaction

@@ -37,9 +37,14 @@ type event =
   | Admin_accepted of Wire.Admin.t
   | App_received of { author : Types.agent; body : string }
   | Left
-  | Recovery_challenged
-      (** A restarted leader proved possession of [K_a]; the admin
-          nonce chain was re-seeded and the §5.4 log restarted. *)
+  | Recovery_challenged of { from : Types.agent }
+      (** [from] proved possession of [K_a]; the admin nonce chain was
+          re-seeded and the §5.4 log restarted. [from] is usually the
+          leader that restarted, but may be a warm-promoted successor
+          manager that recovered the session from the replicated
+          journal — in that case this member retargeted its leader to
+          [from] (the {e warm handoff}: session key, group key and
+          view all survive). *)
   | Cold_beacon_challenged of { epoch : int }
       (** A [ColdRestart] beacon verified under [P_a]; a liveness
           challenge was sent back. The session is untouched. *)
@@ -73,6 +78,12 @@ val create_with_key :
     @raise Invalid_argument if the key kind is not [Long_term]. *)
 
 val self : t -> Types.agent
+
+val leader : t -> Types.agent
+(** The manager this member currently follows — the [leader] it was
+    created with until a warm handoff retargets it (see
+    [Recovery_challenged]). *)
+
 val state : t -> state_view
 val is_connected : t -> bool
 

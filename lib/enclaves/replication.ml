@@ -1,0 +1,420 @@
+(* Warm-standby journal replication.
+
+   The primary manager subscribes to its journal's mutation hook and
+   ships every durable change — appended record chunks and full-image
+   publishes — to each backup as a sealed [Repl_record] frame tagged
+   with the primary's term (incarnation counter) and a per-term
+   sequence number. Backups apply strictly in order, persist the
+   replica through their own store backend, acknowledge cumulatively,
+   and request re-sends when they detect a gap. Every term opens with
+   a full-image snapshot at sequence 0, so a newly promoted primary
+   (term + 1) resynchronises every surviving backup with one frame.
+
+   Trust argument: frames are sealed under the shared manager key
+   [K_r] with the frame header (label, sender, recipient) bound as
+   AEAD associated data, so a frame shipped to backup B1 cannot be
+   spliced to B2 and the apparent sender cannot be rewritten. Replays
+   are inert: a duplicated in-order frame re-acknowledges, an
+   out-of-window sequence or stale term is counted and dropped, and
+   nothing an attacker can replay moves the replica backwards. Only
+   frames that advance the replica (or prove a future frontier) count
+   as primary liveness, so replayed heartbeats cannot indefinitely
+   suppress a backup's promotion watchdog. *)
+
+module F = Wire.Frame
+module P = Wire.Payload
+
+type counters = {
+  mutable records_shipped : int;
+  mutable records_acked : int;
+  mutable snapshots_shipped : int;
+  mutable heartbeats_shipped : int;
+  mutable gap_fetches : int;
+  mutable rejected_forged : int;
+  mutable rejected_replayed : int;
+  mutable rejected_stale : int;
+  mutable warm_promotions : int;
+  mutable cold_promotions : int;
+}
+
+let fresh_counters () =
+  {
+    records_shipped = 0;
+    records_acked = 0;
+    snapshots_shipped = 0;
+    heartbeats_shipped = 0;
+    gap_fetches = 0;
+    rejected_forged = 0;
+    rejected_replayed = 0;
+    rejected_stale = 0;
+    warm_promotions = 0;
+    cold_promotions = 0;
+  }
+
+let snapshot_counters c : Netsim.Stats.replication =
+  {
+    records_shipped = c.records_shipped;
+    records_acked = c.records_acked;
+    snapshots_shipped = c.snapshots_shipped;
+    heartbeats_shipped = c.heartbeats_shipped;
+    gap_fetches = c.gap_fetches;
+    rejected_forged = c.rejected_forged;
+    rejected_replayed = c.rejected_replayed;
+    rejected_stale = c.rejected_stale;
+    warm_promotions = c.warm_promotions;
+    cold_promotions = c.cold_promotions;
+  }
+
+module Source = struct
+  type t = {
+    self : Types.agent;
+    backups : Types.agent list;
+    term : int;
+    key : Sym_crypto.Key.t;
+    rng : Prng.Splitmix.t;
+    send : F.t -> unit;
+    journal : Journal.t;
+    counters : counters;
+    (* Per-term sequence space. [image_seq] is the sequence number of
+       the most recent full-image publish; [ops] holds the append
+       chunks after it. Journal auto-compaction periodically replaces
+       the image, which empties [ops] — that is the op log's bound. *)
+    mutable next_seq : int;
+    mutable image_seq : int;
+    mutable last_image : string;
+    ops : (int, string) Hashtbl.t;
+    acked : (Types.agent, int) Hashtbl.t;
+  }
+
+  let seal t ~recipient ~label payload =
+    Sealed_channel.seal ~rng:t.rng ~key:t.key ~label ~sender:t.self ~recipient
+      payload
+
+  let record_frame t ~recipient ~seq ~op ~data =
+    seal t ~recipient ~label:F.Repl_record
+      (P.encode_repl_record
+         { P.l = t.self; b = recipient; term = t.term; seq; op; data })
+
+  let ship_append t ~seq chunk =
+    List.iter
+      (fun b ->
+        t.counters.records_shipped <- t.counters.records_shipped + 1;
+        t.send (record_frame t ~recipient:b ~seq ~op:P.Repl_append ~data:chunk))
+      t.backups
+
+  let ship_image t ~seq image =
+    List.iter
+      (fun b ->
+        t.counters.snapshots_shipped <- t.counters.snapshots_shipped + 1;
+        t.send (record_frame t ~recipient:b ~seq ~op:P.Repl_snapshot ~data:image))
+      t.backups
+
+  let on_journal_event t = function
+    | Journal.Appended chunk ->
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        Hashtbl.replace t.ops seq chunk;
+        ship_append t ~seq chunk
+    | Journal.Published image ->
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        t.image_seq <- seq;
+        t.last_image <- image;
+        Hashtbl.reset t.ops;
+        ship_image t ~seq image
+
+  let create ~self ~backups ~term ~key ~rng ~send ~journal ?counters () =
+    let counters = match counters with Some c -> c | None -> fresh_counters () in
+    let t =
+      {
+        self;
+        backups;
+        term;
+        key;
+        rng;
+        send;
+        journal;
+        counters;
+        next_seq = 0;
+        image_seq = 0;
+        last_image = "";
+        ops = Hashtbl.create 64;
+        acked = Hashtbl.create 8;
+      }
+    in
+    Journal.set_observer journal (Some (on_journal_event t));
+    (* Every term opens with the primary's current image at sequence 0:
+       backups that just adopted the term resynchronise from one frame. *)
+    on_journal_event t (Journal.Published (Journal.contents journal));
+    t
+
+  let detach t = Journal.set_observer t.journal None
+  let term t = t.term
+
+  let heartbeat t =
+    List.iter
+      (fun b ->
+        t.counters.heartbeats_shipped <- t.counters.heartbeats_shipped + 1;
+        t.send
+          (record_frame t ~recipient:b ~seq:t.next_seq ~op:P.Repl_heartbeat
+             ~data:""))
+      t.backups
+
+  let acked t backup = Option.value ~default:0 (Hashtbl.find_opt t.acked backup)
+
+  let lag t =
+    List.map (fun b -> (b, max 0 (t.next_seq - acked t b))) t.backups
+
+  (* Re-send everything from [from_] on, to the requesting backup only.
+     Below the image floor the ops are gone — compaction subsumed them
+     — so the catch-up starts with the image itself, which is
+     equivalent by construction. *)
+  let resend t ~backup ~from_ =
+    let start =
+      if from_ <= t.image_seq then begin
+        t.counters.snapshots_shipped <- t.counters.snapshots_shipped + 1;
+        t.send
+          (record_frame t ~recipient:backup ~seq:t.image_seq
+             ~op:P.Repl_snapshot ~data:t.last_image);
+        t.image_seq + 1
+      end
+      else from_
+    in
+    for seq = start to t.next_seq - 1 do
+      match Hashtbl.find_opt t.ops seq with
+      | Some chunk ->
+          t.counters.records_shipped <- t.counters.records_shipped + 1;
+          t.send
+            (record_frame t ~recipient:backup ~seq ~op:P.Repl_append
+               ~data:chunk)
+      | None -> ()
+    done
+
+  let handle_frame t (frame : F.t) =
+    match Sealed_channel.open_ ~key:t.key frame with
+    | Error _ -> t.counters.rejected_forged <- t.counters.rejected_forged + 1
+    | Ok plain -> (
+        match frame.F.label with
+        | F.Repl_ack -> (
+            match P.decode_repl_ack plain with
+            | Error _ ->
+                t.counters.rejected_forged <- t.counters.rejected_forged + 1
+            | Ok a ->
+                if a.P.b <> frame.F.sender || a.P.l <> t.self then
+                  t.counters.rejected_forged <- t.counters.rejected_forged + 1
+                else if a.P.term <> t.term then
+                  t.counters.rejected_stale <- t.counters.rejected_stale + 1
+                else begin
+                  t.counters.records_acked <- t.counters.records_acked + 1;
+                  if a.P.upto > acked t a.P.b then
+                    Hashtbl.replace t.acked a.P.b a.P.upto
+                end)
+        | F.Repl_fetch -> (
+            match P.decode_repl_fetch plain with
+            | Error _ ->
+                t.counters.rejected_forged <- t.counters.rejected_forged + 1
+            | Ok f ->
+                if f.P.b <> frame.F.sender || f.P.l <> t.self then
+                  t.counters.rejected_forged <- t.counters.rejected_forged + 1
+                else if f.P.term <> t.term then
+                  t.counters.rejected_stale <- t.counters.rejected_stale + 1
+                else resend t ~backup:f.P.b ~from_:f.P.from_)
+        | _ -> t.counters.rejected_forged <- t.counters.rejected_forged + 1)
+
+  let stats t = snapshot_counters t.counters
+end
+
+module Replica = struct
+  type t = {
+    self : Types.agent;
+    key : Sym_crypto.Key.t;
+    rng : Prng.Splitmix.t;
+    disk : Store.Backend.t option;
+    file : string;
+    counters : counters;
+    buf : Buffer.t;
+    mutable primary : Types.agent;
+    mutable term : int;
+    mutable expected : int;
+    mutable fresh_activity : bool;
+    mutable eio_retries : int;
+  }
+
+  let max_eio_retries = 8
+
+  let with_retry t f =
+    let rec go attempt =
+      try f ()
+      with Store.Backend.Eio _ when attempt < max_eio_retries ->
+        t.eio_retries <- t.eio_retries + 1;
+        go (attempt + 1)
+    in
+    go 0
+
+  let disk_append t ~off bytes =
+    match t.disk with
+    | None -> ()
+    | Some d ->
+        with_retry t (fun () -> Store.Backend.pwrite d ~file:t.file ~off bytes);
+        with_retry t (fun () -> Store.Backend.fsync d ~file:t.file)
+
+  let disk_publish t =
+    match t.disk with
+    | None -> ()
+    | Some d ->
+        let bytes = Buffer.contents t.buf in
+        let tmp = t.file ^ ".tmp" in
+        with_retry t (fun () -> Store.Backend.remove d ~file:tmp);
+        with_retry t (fun () -> Store.Backend.pwrite d ~file:tmp ~off:0 bytes);
+        with_retry t (fun () -> Store.Backend.fsync d ~file:tmp);
+        with_retry t (fun () -> Store.Backend.rename d ~src:tmp ~dst:t.file)
+
+  let default_file = "journal_replica"
+
+  let create ~self ~primary ~key ~rng ?disk ?(file = default_file) ?counters ()
+      =
+    let counters = match counters with Some c -> c | None -> fresh_counters () in
+    {
+      self;
+      key;
+      rng;
+      disk;
+      file;
+      counters;
+      buf = Buffer.create 256;
+      primary;
+      term = 0;
+      expected = 0;
+      fresh_activity = false;
+      eio_retries = 0;
+    }
+
+  let contents t = Buffer.contents t.buf
+  let primary t = t.primary
+  let term t = t.term
+  let expected t = t.expected
+  let file t = t.file
+  let eio_retries t = t.eio_retries
+
+  let take_activity t =
+    let a = t.fresh_activity in
+    t.fresh_activity <- false;
+    a
+
+  let seal t ~label payload =
+    Sealed_channel.seal ~rng:t.rng ~key:t.key ~label ~sender:t.self
+      ~recipient:t.primary payload
+
+  let ack t =
+    seal t ~label:F.Repl_ack
+      (P.encode_repl_ack
+         { P.b = t.self; l = t.primary; term = t.term; upto = t.expected })
+
+  let fetch t =
+    t.counters.gap_fetches <- t.counters.gap_fetches + 1;
+    seal t ~label:F.Repl_fetch
+      (P.encode_repl_fetch
+         { P.b = t.self; l = t.primary; term = t.term; from_ = t.expected })
+
+  let apply_append t data =
+    let off = Buffer.length t.buf in
+    Buffer.add_string t.buf data;
+    disk_append t ~off data
+
+  let apply_image t data =
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf data;
+    disk_publish t
+
+  let forged t = t.counters.rejected_forged <- t.counters.rejected_forged + 1
+
+  let handle_frame t (frame : F.t) =
+    match Sealed_channel.open_ ~key:t.key frame with
+    | Error _ ->
+        forged t;
+        []
+    | Ok plain -> (
+        match P.decode_repl_record plain with
+        | Error _ ->
+            forged t;
+            []
+        | Ok r ->
+            if r.P.b <> t.self || r.P.l <> frame.F.sender then begin
+              forged t;
+              []
+            end
+            else if r.P.term < t.term then begin
+              t.counters.rejected_stale <- t.counters.rejected_stale + 1;
+              []
+            end
+            else if r.P.term = t.term && t.expected > 0 && r.P.l <> t.primary
+            then begin
+              (* Two distinct primaries claiming one term: impossible for
+                 honest managers (terms are claimed by succession order),
+                 so this is a forgery attempt that somehow holds the key.
+                 Drop it rather than fork the replica. *)
+              forged t;
+              []
+            end
+            else begin
+              if r.P.term > t.term then begin
+                (* A successor took over. Adopt its term; its stream
+                   opens with a snapshot at sequence 0, which lands in
+                   the in-order path below. *)
+                t.term <- r.P.term;
+                t.primary <- r.P.l;
+                t.expected <- 0
+              end
+              else if t.expected = 0 then t.primary <- r.P.l;
+              match r.P.op with
+              | P.Repl_heartbeat ->
+                  if r.P.seq > t.expected then begin
+                    t.fresh_activity <- true;
+                    [ fetch t ]
+                  end
+                  else if r.P.seq = t.expected then begin
+                    t.fresh_activity <- true;
+                    [ ack t ]
+                  end
+                  else begin
+                    (* Old frontier: a replayed heartbeat. Not counted as
+                       liveness — replays must not starve the promotion
+                       watchdog. *)
+                    t.counters.rejected_replayed <-
+                      t.counters.rejected_replayed + 1;
+                    []
+                  end
+              | P.Repl_append ->
+                  if r.P.seq = t.expected then begin
+                    apply_append t r.P.data;
+                    t.expected <- t.expected + 1;
+                    t.fresh_activity <- true;
+                    [ ack t ]
+                  end
+                  else if r.P.seq < t.expected then begin
+                    t.counters.rejected_replayed <-
+                      t.counters.rejected_replayed + 1;
+                    [ ack t ]
+                  end
+                  else begin
+                    t.fresh_activity <- true;
+                    [ fetch t ]
+                  end
+              | P.Repl_snapshot ->
+                  if r.P.seq >= t.expected then begin
+                    (* A snapshot subsumes everything before it, so a
+                       future-sequence image is itself the catch-up. *)
+                    apply_image t r.P.data;
+                    t.expected <- r.P.seq + 1;
+                    t.fresh_activity <- true;
+                    [ ack t ]
+                  end
+                  else begin
+                    t.counters.rejected_replayed <-
+                      t.counters.rejected_replayed + 1;
+                    [ ack t ]
+                  end
+            end)
+
+  let stats t = snapshot_counters t.counters
+end

@@ -1,0 +1,149 @@
+(** Warm-standby journal replication — the authenticated channel that
+    keeps every backup manager holding a near-live copy of the
+    primary's durable journal, so failover can be {e warm}.
+
+    The {!Source} runs on the primary: it subscribes to the journal's
+    mutation hook ({!Journal.set_observer}) and ships each durable
+    change — an appended record chunk or a full-image publish — to
+    every backup as a sealed [Repl_record] frame carrying the
+    primary's {e term} (incarnation counter) and a per-term sequence
+    number. The {!Replica} runs on each backup: it applies frames
+    strictly in order, persists the replica bytes through the backup's
+    own {!Store.Backend}, acknowledges cumulatively, and requests a
+    re-send when it detects a gap. Every term opens with a full-image
+    snapshot at sequence 0, so one frame resynchronises a backup that
+    just adopted a new primary, and journal compaction periodically
+    replaces the image, which bounds the source's re-send log.
+
+    {2 Trust argument}
+
+    Frames are sealed under the shared manager key [K_r] with the
+    frame header bound as AEAD associated data:
+
+    - {b forged} frames (wrong key, spliced header, rewritten sender,
+      recipient swapped to another backup) fail to open and are
+      counted, never applied;
+    - {b replayed} frames are inert — an in-order duplicate merely
+      re-acknowledges, an old sequence or old heartbeat frontier is
+      counted and dropped, and nothing moves the replica backwards;
+    - {b stale-term} frames from a superseded primary are counted and
+      dropped, so a dead incarnation's traffic cannot corrupt a
+      replica that has already adopted the successor.
+
+    Only frames that advance the replica (or prove a future frontier)
+    register as primary liveness ({!Replica.take_activity}), so
+    replayed heartbeats cannot indefinitely suppress the backup's
+    promotion watchdog. *)
+
+type counters = {
+  mutable records_shipped : int;
+  mutable records_acked : int;
+  mutable snapshots_shipped : int;
+  mutable heartbeats_shipped : int;
+  mutable gap_fetches : int;
+  mutable rejected_forged : int;
+  mutable rejected_replayed : int;
+  mutable rejected_stale : int;
+  mutable warm_promotions : int;
+  mutable cold_promotions : int;
+}
+(** Shared mutable counters: the failover harness passes one instance
+    to the source and every replica (and bumps the promotion fields
+    itself), so a run's replication activity aggregates in one
+    place. *)
+
+val fresh_counters : unit -> counters
+
+val snapshot_counters : counters -> Netsim.Stats.replication
+(** Freeze into the immutable report record. *)
+
+module Source : sig
+  type t
+
+  val create :
+    self:Types.agent ->
+    backups:Types.agent list ->
+    term:int ->
+    key:Sym_crypto.Key.t ->
+    rng:Prng.Splitmix.t ->
+    send:(Wire.Frame.t -> unit) ->
+    journal:Journal.t ->
+    ?counters:counters ->
+    unit ->
+    t
+  (** Attach a replication source to [journal]: subscribes to its
+      mutation hook and immediately ships the journal's current image
+      to every backup as the term's sequence-0 snapshot. [send] puts a
+      frame on the wire (the harness posts it into the simulated
+      network). A promoted backup creates its source with
+      [term = predecessor's term + 1]. *)
+
+  val detach : t -> unit
+  (** Unsubscribe from the journal (crash or demotion). *)
+
+  val heartbeat : t -> unit
+  (** Ship a liveness heartbeat carrying the current sequence frontier
+      to every backup — lets an idle-period backup detect both primary
+      death (silence) and lost appends (frontier gap). *)
+
+  val handle_frame : t -> Wire.Frame.t -> unit
+  (** Process a backup's [Repl_ack] or [Repl_fetch]; a fetch re-sends
+      from the requested sequence (or from the image snapshot when the
+      request predates the compaction floor) to that backup only. *)
+
+  val term : t -> int
+
+  val acked : t -> Types.agent -> int
+  (** Highest cumulative ack received from a backup this term. *)
+
+  val lag : t -> (Types.agent * int) list
+  (** Per-backup lag in records: frontier minus acked. *)
+
+  val stats : t -> Netsim.Stats.replication
+end
+
+module Replica : sig
+  type t
+
+  val default_file : string
+  (** ["journal_replica"]. *)
+
+  val create :
+    self:Types.agent ->
+    primary:Types.agent ->
+    key:Sym_crypto.Key.t ->
+    rng:Prng.Splitmix.t ->
+    ?disk:Store.Backend.t ->
+    ?file:string ->
+    ?counters:counters ->
+    unit ->
+    t
+  (** An empty replica expecting [primary]'s stream. With [disk],
+      every applied op is persisted through the backend before the ack
+      leaves: appends as incremental [pwrite]+[fsync], images as the
+      stage/fsync/rename pattern. The replica follows term adoptions
+      automatically, so [primary] is only the initial expectation. *)
+
+  val handle_frame : t -> Wire.Frame.t -> Wire.Frame.t list
+  (** Apply one [Repl_record] frame; returns the ack/fetch frames to
+      send back. Forged, replayed and stale-term frames return []
+      (or a re-ack) and leave the replica bytes untouched. *)
+
+  val contents : t -> string
+  (** The replica bytes — what promotion hands to {!Journal.recover}. *)
+
+  val primary : t -> Types.agent
+  (** Whose stream the replica currently follows (updates on term
+      adoption). *)
+
+  val term : t -> int
+  val expected : t -> int
+
+  val take_activity : t -> bool
+  (** True iff a liveness-proving frame arrived since the last call
+      (reads destructively) — the promotion watchdog's input. *)
+
+  val file : t -> string
+  val eio_retries : t -> int
+  val stats : t -> Netsim.Stats.replication
+end

@@ -137,6 +137,47 @@ let storage_named s =
     ("crash_images_replayed", s.crash_images_replayed);
   ]
 
+type replication = {
+  records_shipped : int;
+  records_acked : int;
+  snapshots_shipped : int;
+  heartbeats_shipped : int;
+  gap_fetches : int;
+  rejected_forged : int;
+  rejected_replayed : int;
+  rejected_stale : int;
+  warm_promotions : int;
+  cold_promotions : int;
+}
+
+let empty_replication =
+  {
+    records_shipped = 0;
+    records_acked = 0;
+    snapshots_shipped = 0;
+    heartbeats_shipped = 0;
+    gap_fetches = 0;
+    rejected_forged = 0;
+    rejected_replayed = 0;
+    rejected_stale = 0;
+    warm_promotions = 0;
+    cold_promotions = 0;
+  }
+
+let replication_named r =
+  [
+    ("records_shipped", r.records_shipped);
+    ("records_acked", r.records_acked);
+    ("snapshots_shipped", r.snapshots_shipped);
+    ("heartbeats_shipped", r.heartbeats_shipped);
+    ("gap_fetches", r.gap_fetches);
+    ("rejected_forged", r.rejected_forged);
+    ("rejected_replayed", r.rejected_replayed);
+    ("rejected_stale", r.rejected_stale);
+    ("warm_promotions", r.warm_promotions);
+    ("cold_promotions", r.cold_promotions);
+  ]
+
 let pp_named fmt counters =
   let pp_one fmt (name, v) = Format.fprintf fmt "%s=%d" name v in
   Format.pp_print_list

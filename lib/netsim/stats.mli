@@ -56,6 +56,27 @@ val empty_storage : storage
 val storage_named : storage -> (string * int) list
 (** Labelled counters for {!pp_named}, in declaration order. *)
 
+type replication = {
+  records_shipped : int;  (** Append frames the primary put on the wire. *)
+  records_acked : int;  (** Ack frames the primary accepted. *)
+  snapshots_shipped : int;  (** Full-image frames (creation, compaction, catch-up). *)
+  heartbeats_shipped : int;
+  gap_fetches : int;  (** Backup-detected gaps that triggered a re-send request. *)
+  rejected_forged : int;  (** Replication frames whose seal failed to open. *)
+  rejected_replayed : int;  (** Duplicate or out-of-window sequence numbers. *)
+  rejected_stale : int;  (** Frames from a superseded primary term. *)
+  warm_promotions : int;  (** Backups promoted from a usable replica. *)
+  cold_promotions : int;  (** Promotions that fell back to cold restart. *)
+}
+(** Journal-replication counters — what the warm-standby channel did
+    during a run. Computed by the failover harness, rendered with
+    {!pp_named} via {!replication_named}. *)
+
+val empty_replication : replication
+
+val replication_named : replication -> (string * int) list
+(** Labelled counters for {!pp_named}, in declaration order. *)
+
 val pp_named : Format.formatter -> (string * int) list -> unit
 (** Render labelled counters as ["name=value name=value ..."] — used
     by the chaos CLI for retry and recovery counter summaries. *)

@@ -28,6 +28,9 @@ type label =
   | Cold_restart
   | Cold_restart_challenge
   | Cold_restart_ack
+  | Repl_record
+  | Repl_ack
+  | Repl_fetch
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 
@@ -38,7 +41,7 @@ let all_labels =
     Mem_joined; Mem_removed; Auth_init_req; Auth_key_dist; Auth_ack_key;
     Admin_msg; Admin_ack; Req_close; App_data; Recovery_challenge;
     Recovery_response; View_resync_req; Cold_restart; Cold_restart_challenge;
-    Cold_restart_ack;
+    Cold_restart_ack; Repl_record; Repl_ack; Repl_fetch;
   ]
 
 let label_tag = function
@@ -67,6 +70,9 @@ let label_tag = function
   | Cold_restart -> 23
   | Cold_restart_challenge -> 24
   | Cold_restart_ack -> 25
+  | Repl_record -> 26
+  | Repl_ack -> 27
+  | Repl_fetch -> 28
 
 let label_of_tag = function
   | 1 -> Some Req_open
@@ -94,6 +100,9 @@ let label_of_tag = function
   | 23 -> Some Cold_restart
   | 24 -> Some Cold_restart_challenge
   | 25 -> Some Cold_restart_ack
+  | 26 -> Some Repl_record
+  | 27 -> Some Repl_ack
+  | 28 -> Some Repl_fetch
   | _ -> None
 
 let label_to_string = function
@@ -122,6 +131,9 @@ let label_to_string = function
   | Cold_restart -> "ColdRestart"
   | Cold_restart_challenge -> "ColdRestartChallenge"
   | Cold_restart_ack -> "ColdRestartAck"
+  | Repl_record -> "ReplRecord"
+  | Repl_ack -> "ReplAck"
+  | Repl_fetch -> "ReplFetch"
 
 let pp_label fmt l = Format.pp_print_string fmt (label_to_string l)
 

@@ -58,6 +58,17 @@ type label =
   | Cold_restart_ack
       (** Leader → member: echoes the member's challenge nonce; only
           now does the member reset its session and rejoin. *)
+  (* Warm-standby journal replication (manager ↔ manager only). *)
+  | Repl_record
+      (** Primary → backup: one sealed, term- and sequence-tagged
+          journal operation (an appended record chunk, a full-image
+          snapshot, or a liveness heartbeat). *)
+  | Repl_ack
+      (** Backup → primary: cumulative acknowledgement of the
+          contiguous replicated prefix. *)
+  | Repl_fetch
+      (** Backup → primary: a gap was detected; re-send from the given
+          sequence number (or a snapshot if it fell off the log). *)
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 

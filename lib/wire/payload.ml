@@ -330,3 +330,84 @@ let decode_cold_restart_ack s =
       let* a = Reader.bytes r in
       let* echo = read_nonce r in
       Ok ({ l; a; echo } : cold_restart_ack))
+
+(* --- warm-standby journal replication (manager to manager) --- *)
+
+type repl_op = Repl_append | Repl_snapshot | Repl_heartbeat
+
+let repl_op_tag = function
+  | Repl_append -> 1
+  | Repl_snapshot -> 2
+  | Repl_heartbeat -> 3
+
+let repl_op_of_tag = function
+  | 1 -> Ok Repl_append
+  | 2 -> Ok Repl_snapshot
+  | 3 -> Ok Repl_heartbeat
+  | n -> Error (`Malformed (Printf.sprintf "unknown repl op %d" n))
+
+type repl_record = {
+  l : agent;
+  b : agent;
+  term : int;
+  seq : int;
+  op : repl_op;
+  data : string;
+}
+
+let encode_repl_record ({ l; b; term; seq; op; data } : repl_record) =
+  with_tag 19 (fun w ->
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.bytes w b;
+      Cursor.Writer.u32 w term;
+      Cursor.Writer.u32 w seq;
+      Cursor.Writer.u8 w (repl_op_tag op);
+      Cursor.Writer.bytes w data)
+
+let decode_repl_record s =
+  decoded 19 s (fun r ->
+      let open Cursor in
+      let* l = Reader.bytes r in
+      let* b = Reader.bytes r in
+      let* term = Reader.u32 r in
+      let* seq = Reader.u32 r in
+      let* op_tag = Reader.u8 r in
+      let* op = repl_op_of_tag op_tag in
+      let* data = Reader.bytes r in
+      Ok ({ l; b; term; seq; op; data } : repl_record))
+
+type repl_ack = { b : agent; l : agent; term : int; upto : int }
+
+let encode_repl_ack ({ b; l; term; upto } : repl_ack) =
+  with_tag 20 (fun w ->
+      Cursor.Writer.bytes w b;
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.u32 w term;
+      Cursor.Writer.u32 w upto)
+
+let decode_repl_ack s =
+  decoded 20 s (fun r ->
+      let open Cursor in
+      let* b = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* term = Reader.u32 r in
+      let* upto = Reader.u32 r in
+      Ok ({ b; l; term; upto } : repl_ack))
+
+type repl_fetch = { b : agent; l : agent; term : int; from_ : int }
+
+let encode_repl_fetch ({ b; l; term; from_ } : repl_fetch) =
+  with_tag 21 (fun w ->
+      Cursor.Writer.bytes w b;
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.u32 w term;
+      Cursor.Writer.u32 w from_)
+
+let decode_repl_fetch s =
+  decoded 21 s (fun r ->
+      let open Cursor in
+      let* b = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* term = Reader.u32 r in
+      let* from_ = Reader.u32 r in
+      Ok ({ b; l; term; from_ } : repl_fetch))

@@ -136,3 +136,41 @@ val encode_cold_restart_challenge : cold_restart_challenge -> string
 val decode_cold_restart_challenge : string -> (cold_restart_challenge, string) result
 val encode_cold_restart_ack : cold_restart_ack -> string
 val decode_cold_restart_ack : string -> (cold_restart_ack, string) result
+
+type repl_op =
+  | Repl_append  (** [data] is a record chunk appended to the journal tail. *)
+  | Repl_snapshot
+      (** [data] is a full journal image replacing the replica
+          (creation, compaction, or gap catch-up). *)
+  | Repl_heartbeat
+      (** Empty [data]; proves the primary is alive and carries the
+          current sequence frontier for gap detection. *)
+
+type repl_record = {
+  l : agent;  (** The shipping primary. *)
+  b : agent;  (** The backup this frame is bound to. *)
+  term : int;  (** Primary incarnation; backups reject stale terms. *)
+  seq : int;  (** Position in the primary's replication stream. *)
+  op : repl_op;
+  data : string;
+}
+(** One replication frame, sealed under the shared manager key [K_r].
+    The AEAD associated data additionally binds (label, sender,
+    recipient), so a frame shipped to one backup cannot be spliced to
+    another; [term] and [seq] inside the sealed payload are what make
+    replays and stale-incarnation records detectable. *)
+
+type repl_ack = { b : agent; l : agent; term : int; upto : int }
+(** Cumulative ack: the backup holds every op with [seq < upto] of
+    [term]. *)
+
+type repl_fetch = { b : agent; l : agent; term : int; from_ : int }
+(** Gap repair: re-send ops from [from_] (the backup's next expected
+    sequence number) onward. *)
+
+val encode_repl_record : repl_record -> string
+val decode_repl_record : string -> (repl_record, string) result
+val encode_repl_ack : repl_ack -> string
+val decode_repl_ack : string -> (repl_ack, string) result
+val encode_repl_fetch : repl_fetch -> string
+val decode_repl_fetch : string -> (repl_fetch, string) result
