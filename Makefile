@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-failover crash-matrix journal-fuzz doc ci clean
+.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-failover chaos-heal crash-matrix journal-fuzz doc ci clean
 
 all: build
 
@@ -49,6 +49,19 @@ chaos-failover:
 	dune exec bin/enclaves_cli.exe -- failover --members 5 --seeds 5 \
 	  --loss 0.10 --kill-primary-at 1 --until 20 --cold
 
+# Partition-heal sweep (E21): cut the primary off instead of killing
+# it, let the successor warm-promote, then heal — the stale primary
+# must demote on the successor's higher term and rejoin as a
+# catching-up backup, with zero member re-handshakes forced by the
+# heal itself. Every seed must end converged with demotions=1.
+chaos-heal:
+	dune exec bin/enclaves_cli.exe -- failover --members 5 --seeds 10 \
+	  --kill-primary-at 0 --partition-primary-at 0.6 --heal-after 2.4 \
+	  --loss 0.05 --until 12
+	dune exec bin/enclaves_cli.exe -- failover --members 5 --seeds 5 \
+	  --kill-primary-at 0 --partition-primary-at 0.6 --heal-after 2.4 \
+	  --loss 0.05 --until 15 --cold
+
 # ALICE-style crash-point enumeration: every disk image a crash could
 # leave behind (boundaries + torn-write prefixes) must replay without
 # an exception, without resurrecting a closed session, and without
@@ -72,7 +85,7 @@ doc:
 	  echo "doc: odoc not installed, skipping"; \
 	fi
 
-ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-failover crash-matrix journal-fuzz doc
+ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-failover chaos-heal crash-matrix journal-fuzz doc
 
 clean:
 	dune clean

@@ -331,13 +331,19 @@ let run_group (group_name, tests) =
   let raw = Benchmark.all cfg instances test in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let measured =
+    List.map
+      (fun (name, ols_result) ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (v :: _) -> v
+          | Some [] | None -> nan
+        in
+        (name, ns))
+      (List.sort compare rows)
+  in
   List.iter
-    (fun (name, ols_result) ->
-      let ns =
-        match Analyze.OLS.estimates ols_result with
-        | Some (v :: _) -> v
-        | Some [] | None -> nan
-      in
+    (fun (name, ns) ->
       let pretty =
         if Float.is_nan ns then "n/a"
         else if ns > 1_000_000.0 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
@@ -345,9 +351,52 @@ let run_group (group_name, tests) =
         else Printf.sprintf "%8.1f ns" ns
       in
       Printf.printf "  %-45s %s/op\n%!" name pretty)
-    (List.sort compare rows)
+    measured;
+  (group_name, measured)
+
+(* Machine-readable trajectory: every run rewrites BENCH_results.json
+   in the working directory so successive PRs can be diffed.  Bechamel
+   has no JSON backend and we add no deps, so the (flat) document is
+   emitted by hand. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json all =
+  let path = "BENCH_results.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"enclaves-bench/1\",\n";
+  Printf.fprintf oc "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
+  Printf.fprintf oc "  \"results\": [";
+  let first = ref true in
+  List.iter
+    (fun (group, rows) ->
+      List.iter
+        (fun (name, ns) ->
+          Printf.fprintf oc "%s\n    { \"group\": \"%s\", \"name\": \"%s\", \
+                             \"ns_per_op\": %s }"
+            (if !first then "" else ",")
+            (json_escape group) (json_escape name)
+            (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns);
+          first := false)
+        rows)
+    all;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
 
 let () =
   print_endline "Enclaves benchmark harness (one group per DESIGN.md experiment)";
-  List.iter run_group groups;
+  let all = List.map run_group groups in
+  emit_json all;
   print_endline "\ndone."

@@ -204,6 +204,20 @@ let run_verify joins admin nonces keys legacy jobs stream max_states =
   let improved_ok =
     List.for_all (fun rep -> rep.Symbolic.Invariants.holds) reports
   in
+  let recovery_ok =
+    print_endline "\n-- recovery plane (replication / demotion) --";
+    let t1 = Unix.gettimeofday () in
+    let rr = Symbolic.Recovery.explore () in
+    Printf.printf "explored %d states / %d transitions in %.2fs\n"
+      (Symbolic.Recovery.state_count rr)
+      (Symbolic.Recovery.edge_count rr)
+      (Unix.gettimeofday () -. t1);
+    let rreports = Symbolic.Recovery.reports rr in
+    List.iter
+      (fun rep -> Format.printf "%a@." Symbolic.Invariants.pp_report rep)
+      rreports;
+    List.for_all (fun rep -> rep.Symbolic.Invariants.holds) rreports
+  in
   let legacy_ok =
     if not legacy then true
     else begin
@@ -227,7 +241,7 @@ let run_verify joins admin nonces keys legacy jobs stream max_states =
         findings
     end
   in
-  if improved_ok && legacy_ok then begin
+  if improved_ok && recovery_ok && legacy_ok then begin
     print_endline "\nall §5 results verified";
     0
   end
@@ -505,8 +519,8 @@ let chaos_cmd =
 
 (* --- failover --- *)
 
-let run_failover members n_managers seeds loss kill_at repl_lag_ms until_s cold
-    verbose =
+let run_failover members n_managers seeds loss kill_at partition_at heal_after
+    repl_lag_ms until_s cold verbose =
   let module FO = Enclaves.Failover in
   let directory =
     List.init members (fun i ->
@@ -534,9 +548,29 @@ let run_failover members n_managers seeds loss kill_at repl_lag_ms until_s cold
             manager_names)
         manager_names
   in
+  (* --partition-primary-at cuts the initial primary (m0) off from every
+     other node; --heal-after reconnects it.  The successor promotes
+     during the cut, and at the heal the stale primary must demote and
+     rejoin as a catching-up backup — the post-heal split-brain arm. *)
+  let partitions =
+    if partition_at <= 0.0 then []
+    else
+      let east =
+        List.filter (fun m -> m <> "m0") manager_names
+        @ List.map fst directory
+      in
+      [
+        {
+          Netsim.Faultplan.west = [ "m0" ];
+          east;
+          from_ = Int64.of_float (partition_at *. 1e6);
+          heal = Int64.of_float ((partition_at +. heal_after) *. 1e6);
+        };
+      ]
+  in
   let plan =
     Netsim.Faultplan.make ~default_link:(Netsim.Faultplan.lossy_link loss)
-      ~links ()
+      ~links ~partitions ()
   in
   let one seed =
     let t = FO.create ~seed ~config ~managers:manager_names ~directory () in
@@ -548,12 +582,13 @@ let run_failover members n_managers seeds loss kill_at repl_lag_ms until_s cold
     let connected = FO.connected_members t in
     let ok = List.length connected = members in
     Printf.printf
-      "seed=%-3Ld %-9s connected=%d/%d primary=%s failovers=%d failbacks=%d\n"
+      "seed=%-3Ld %-9s connected=%d/%d primary=%s failovers=%d failbacks=%d \
+       demotions=%d\n"
       seed
       (if ok then "CONVERGED" else "WEDGED")
       (List.length connected) members
       (match FO.primary t with Some p -> p | None -> "(none)")
-      (FO.failovers t) (FO.failbacks t);
+      (FO.failovers t) (FO.failbacks t) (FO.demotions t);
     Format.printf "         replication: %a@." Netsim.Stats.pp_named
       (Netsim.Stats.replication_named (FO.replication_stats t));
     if verbose then begin
@@ -570,10 +605,14 @@ let run_failover members n_managers seeds loss kill_at repl_lag_ms until_s cold
     ok
   in
   Printf.printf
-    "failover: %d members, %d managers, loss=%.0f%%%s repl-lag=%dms bound=%ds \
-     (%s)\n"
+    "failover: %d members, %d managers, loss=%.0f%%%s%s repl-lag=%dms \
+     bound=%ds (%s)\n"
     members n_managers (100. *. loss)
     (if kill_at > 0.0 then Printf.sprintf " kill-primary@%.1fs" kill_at else "")
+    (if partition_at > 0.0 then
+       Printf.sprintf " partition-primary@%.1fs heal-after=%.1fs" partition_at
+         heal_after
+     else "")
     repl_lag_ms until_s
     (if cold then "cold baseline" else "warm");
   let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
@@ -593,6 +632,24 @@ let kill_primary_arg =
         ~doc:
           "Fail-stop the current primary at this virtual time (seconds); \
            0 disables the kill (liveness-only run)")
+
+let partition_primary_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "partition-primary-at" ]
+        ~doc:
+          "Cut the initial primary off from every other node at this \
+           virtual time (seconds); 0 disables the partition. Combine with \
+           $(b,--heal-after) to exercise the post-heal demotion path")
+
+let heal_after_arg =
+  Arg.(
+    value & opt float 2.5
+    & info [ "heal-after" ]
+        ~doc:
+          "Heal the $(b,--partition-primary-at) cut after this many \
+           (virtual) seconds, forcing the stale primary to meet its \
+           successor's higher term and demote")
 
 let repl_lag_arg =
   Arg.(
@@ -624,8 +681,9 @@ let failover_cmd =
   Cmd.v (Cmd.info "failover" ~doc)
     Term.(
       const run_failover $ chaos_members_arg $ fo_managers_arg
-      $ chaos_seeds_arg $ loss_arg $ kill_primary_arg $ repl_lag_arg
-      $ fo_until_arg $ fo_cold_arg $ verbose_arg)
+      $ chaos_seeds_arg $ loss_arg $ kill_primary_arg $ partition_primary_arg
+      $ heal_after_arg $ repl_lag_arg $ fo_until_arg $ fo_cold_arg
+      $ verbose_arg)
 
 (* --- crash-matrix --- *)
 

@@ -40,6 +40,9 @@ type manager = {
   mutable repl_last : Netsim.Vtime.t;
       (* last liveness-proving replication frame from the primary *)
   mutable crashed : bool;
+  mutable catching_up : bool;
+      (* freshly demoted: not promotable until the new source's
+         term-opening snapshot has landed in the replica *)
   watches : (Types.agent, mwatch) Hashtbl.t;
 }
 
@@ -73,18 +76,51 @@ type t = {
 let sim t = t.sim
 let net t = t.net
 
-(* The preferred primary: the first non-crashed manager in the fixed
-   succession. [None] when every manager is down — callers must treat
-   that as "no service", not silently target a corpse (the bug this
-   replaces returned [managers.(0)] in that case). *)
+(* Replication terms are generation-encoded so that no two promotions
+   can ever mint the same term: [term = g*n + (n-1-idx)] where [n] is
+   the manager count, [g] a promotion generation, and [idx] the
+   manager's succession position. A promoting manager observes term
+   [T] (its replica's last adopted term) and claims the next
+   generation at its own rank — so two successors promoting
+   concurrently across a partition get distinct terms, and within one
+   generation the {e earlier} manager in the succession mints the
+   {e higher} term and wins the tie. The naive [T + 1] this replaces
+   collided exactly there. *)
+let term_of ~n ~generation ~idx = (generation * n) + (n - 1 - idx)
+
+let promotion_term ~n ~idx ~seen = term_of ~n ~generation:((seen / n) + 1) ~idx
+
+(* The manager currently sourcing the replication stream at the
+   highest term — during the window between a crash and the successor's
+   promotion (when no source is live), the first non-crashed manager
+   in the succession, and [None] when every manager is down: callers
+   must treat that as "no service", not silently target a corpse. A
+   partitioned old primary still sourcing its dead term loses this
+   comparison the moment the successor promotes, so members fail back
+   to the real group, never to a zombie. *)
 let primary t =
-  let n = Array.length t.managers in
-  let rec first i =
-    if i >= n then None
-    else if not t.managers.(i).crashed then Some t.managers.(i).name
-    else first (i + 1)
-  in
-  first 0
+  let best = ref None in
+  Array.iter
+    (fun mgr ->
+      if not mgr.crashed then
+        match mgr.source with
+        | Some s -> (
+            let term = Replication.Source.term s in
+            match !best with
+            | Some (bt, _) when bt >= term -> ()
+            | _ -> best := Some (term, mgr.name))
+        | None -> ())
+    t.managers;
+  match !best with
+  | Some (_, name) -> Some name
+  | None ->
+      let n = Array.length t.managers in
+      let rec first i =
+        if i >= n then None
+        else if not t.managers.(i).crashed then Some t.managers.(i).name
+        else first (i + 1)
+      in
+      first 0
 
 (* Next non-crashed manager strictly after [after] in the fixed
    succession, wrapping all the way around — back to [after] itself
@@ -150,14 +186,31 @@ let attach_manager t mgr =
                 | Some r ->
                     send_frames t ~src:mgr.name
                       (Replication.Replica.handle_frame r frame)
-                | None ->
-                    (* A primary does not consume its own stream's
-                       labels; stray records are just dropped. *)
-                    ())
-            | F.Repl_ack | F.Repl_fetch -> (
+                | None -> (
+                    match mgr.source with
+                    | Some s ->
+                        (* A record reaching a sourcing manager is the
+                           reconciliation plane at work: either a
+                           zombie peer's dead stream (answered with a
+                           demotion signal) or a successor's
+                           higher-term stream reaching us after a
+                           heal — in which case [on_superseded] just
+                           demoted us, and the frame that proved it
+                           seeds the fresh replica below. *)
+                        Replication.Source.handle_peer_record s frame;
+                        (match mgr.replica with
+                        | Some r ->
+                            send_frames t ~src:mgr.name
+                              (Replication.Replica.handle_frame r frame)
+                        | None -> ())
+                    | None -> ()))
+            | F.Repl_ack | F.Repl_fetch | F.Repl_stale -> (
                 match mgr.source with
                 | Some s -> Replication.Source.handle_frame s frame
-                | None -> ())
+                | None ->
+                    (* A backup has nothing to demote; stray signals
+                       are just dropped. *)
+                    ())
             | _ -> to_leader ())
       end)
 
@@ -339,23 +392,63 @@ let live_backups t mgr =
   |> List.filter_map (fun m ->
          if m.name <> mgr.name && not m.crashed then Some m.name else None)
 
+let make_replica ?(term = 0) t mgr ~primary_name =
+  mgr.replica <-
+    Some
+      (Replication.Replica.create ~self:mgr.name ~primary:primary_name
+         ~key:t.repl_key ~rng:(Netsim.Sim.rng t.sim)
+         ~disk:(Store.Mem.handle mgr.disk) ~term ~counters:t.counters ());
+  mgr.repl_last <- Netsim.Sim.now t.sim
+
+(* Demotion: authentic evidence of a strictly higher term arrived at a
+   sourcing manager (the [on_superseded] callback). Stop sourcing,
+   discard the journal's divergent suffix — everything past the last
+   byte some backup acknowledged under our common term; those
+   unwitnessed records (typically partition-side expulsions and epoch
+   bumps) never reached the group that moved on — and rejoin the live
+   source as an empty catching-up backup. The replica is seeded at the
+   superseding term so replays of our own dead stream cannot re-adopt,
+   and [catching_up] keeps the promotion watchdog quiet until the new
+   term's snapshot has landed. Members need not be told: anyone we
+   still believed in was challenged over to the successor long ago,
+   and our sessions die with the demoted leader automaton. *)
+let demote t mgr ~term ~primary_name =
+  match mgr.source with
+  | None -> ()
+  | Some s ->
+      t.counters.demotions <- t.counters.demotions + 1;
+      Replication.Source.detach s;
+      (match mgr.journal with
+      | Some j ->
+          let keep =
+            min (Replication.Source.acked_prefix s)
+              (String.length (Journal.contents j))
+          in
+          ignore
+            (Journal.recover ~disk:(Store.Mem.handle mgr.disk) ~file:"journal"
+               (String.sub (Journal.contents j) 0 keep))
+      | None -> ());
+      mgr.source <- None;
+      mgr.journal <- None;
+      mgr.leader <-
+        Leader.create ~self:mgr.name ~rng:(Netsim.Sim.rng t.sim)
+          ~directory:t.directory ~vault:mgr.vault ();
+      make_replica t mgr ~primary_name ~term;
+      mgr.catching_up <- true
+
 let make_source t mgr ~term ~journal =
   mgr.replica <- None;
+  mgr.catching_up <- false;
   mgr.journal <- Some journal;
   mgr.source <-
     Some
       (Replication.Source.create ~self:mgr.name ~backups:(live_backups t mgr)
          ~term ~key:t.repl_key ~rng:(Netsim.Sim.rng t.sim)
          ~send:(fun f -> send_frames t ~src:mgr.name [ f ])
-         ~journal ~counters:t.counters ())
-
-let make_replica t mgr ~primary_name =
-  mgr.replica <-
-    Some
-      (Replication.Replica.create ~self:mgr.name ~primary:primary_name
-         ~key:t.repl_key ~rng:(Netsim.Sim.rng t.sim)
-         ~disk:(Store.Mem.handle mgr.disk) ~counters:t.counters ());
-  mgr.repl_last <- Netsim.Sim.now t.sim
+         ~journal
+         ~on_superseded:(fun ~term ~primary ->
+           demote t mgr ~term ~primary_name:primary)
+         ~counters:t.counters ())
 
 let start_repl_heartbeat t mgr =
   let h =
@@ -373,14 +466,19 @@ let start_repl_heartbeat t mgr =
    crash: a usable prefix yields a warm leader that challenges every
    replicated session under its [K_a] (members keep their keys and
    redirect to us), an unusable one yields a cold leader that beacons.
-   Either way this manager becomes the stream's source at term + 1, so
-   the remaining backups adopt the succession from one frame. *)
+   Either way this manager becomes the stream's source at the next
+   generation's term at its own rank (see {!term_of} — unique even
+   under concurrent promotions), so the remaining backups adopt the
+   succession from one frame. *)
 let promote t mgr =
   match mgr.replica with
   | None -> ()
   | Some r ->
       let bytes = Replication.Replica.contents r in
-      let term = Replication.Replica.term r + 1 in
+      let term =
+        promotion_term ~n:(Array.length t.managers) ~idx:mgr.idx
+          ~seen:(Replication.Replica.term r)
+      in
       let backend = Store.Mem.handle mgr.disk in
       let rng = Netsim.Sim.rng t.sim in
       let journal, state, _status =
@@ -430,10 +528,18 @@ let start_promotion_watchdog t mgr =
           | None -> ()
           | Some r ->
               let now = Netsim.Sim.now t.sim in
-              if Replication.Replica.take_activity r then
-                mgr.repl_last <- now
+              if Replication.Replica.take_activity r then begin
+                mgr.repl_last <- now;
+                (* A freshly demoted manager becomes promotable again
+                   only once the live term's opening snapshot has
+                   landed — promoting an empty replica would
+                   cold-restart the very group it just rejoined. *)
+                if mgr.catching_up && Replication.Replica.expected r > 0 then
+                  mgr.catching_up <- false
+              end
               else if
-                Netsim.Vtime.(threshold <= Int64.sub now mgr.repl_last)
+                (not mgr.catching_up)
+                && Netsim.Vtime.(threshold <= Int64.sub now mgr.repl_last)
               then promote t mgr)
   in
   t.handles <- h :: t.handles
@@ -459,6 +565,7 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
       replica = None;
       repl_last = Netsim.Vtime.zero;
       crashed = false;
+      catching_up = false;
       watches = Hashtbl.create 8;
     }
   in
@@ -492,9 +599,14 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
   in
   m0.leader <-
     Leader.create ~self:m0.name ~rng ~directory ~journal ~vault:m0.vault ();
-  make_source t m0 ~term:1 ~journal;
+  let n = Array.length t.managers in
+  let term0 = term_of ~n ~generation:1 ~idx:0 in
+  make_source t m0 ~term:term0 ~journal;
+  (* Backups start with the initial term as their stale floor, so
+     every term any manager ever mints is generation-consistent. *)
   Array.iter
-    (fun mgr -> if mgr.idx > 0 then make_replica t mgr ~primary_name:m0.name)
+    (fun mgr ->
+      if mgr.idx > 0 then make_replica t mgr ~primary_name:m0.name ~term:term0)
     t.managers;
   List.iter
     (fun (m_name, password) ->
@@ -584,6 +696,41 @@ let connected_members t =
 
 let failovers t = t.failovers
 let failbacks t = t.failbacks
+let demotions t = t.counters.Replication.demotions
+
+type role =
+  | Primary of { term : int }
+  | Backup of { term : int; catching_up : bool }
+  | Down
+
+let find_manager t name =
+  let found = ref None in
+  Array.iter (fun mgr -> if mgr.name = name then found := Some mgr) t.managers;
+  match !found with Some mgr -> mgr | None -> raise Not_found
+
+let role t name =
+  let mgr = find_manager t name in
+  if mgr.crashed then Down
+  else
+    match (mgr.source, mgr.replica) with
+    | Some s, _ -> Primary { term = Replication.Source.term s }
+    | None, Some r ->
+        Backup
+          {
+            term = Replication.Replica.term r;
+            catching_up = mgr.catching_up;
+          }
+    | None, None -> Down
+
+let replica_bytes t name =
+  match (find_manager t name).replica with
+  | Some r -> Some (Replication.Replica.contents r)
+  | None -> None
+
+let journal_bytes t name =
+  match (find_manager t name).journal with
+  | Some j -> Some (Journal.contents j)
+  | None -> None
 
 let replication_stats t = Replication.snapshot_counters t.counters
 

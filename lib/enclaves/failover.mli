@@ -67,6 +67,36 @@
     epoch at least as new as any member's even if the journal tail
     lost the last bump.
 
+    {2 Demotion and reconciliation}
+
+    A partition can leave {e two} sources alive: the promoted
+    successor at the new term and the old primary still shipping its
+    dead term on the far side. The stale stream always loses (backups
+    reject stale terms), but without demotion the zombie would source
+    forever. Reconciliation is term-based: every replication frame a
+    zombie's traffic draws back — a sealed [Repl_stale] notice bound
+    to its current term, or the successor's own higher-term stream
+    arriving once the partition heals — is {e authentic} evidence that
+    a strictly higher term was legitimately minted (only [K_r] holders
+    mint frames, and honest managers mint unique terms by
+    generation-and-rank encoding, see below). On that evidence the old
+    primary stops sourcing, truncates its journal back to the longest
+    prefix some backup acknowledged under the common term (discarding
+    the divergent suffix of partition-side expulsions and epoch
+    bumps), and re-attaches to the live source as an empty
+    {e catching-up} backup whose promotion watchdog stays quiet until
+    the new term's opening snapshot lands. Members never notice: the
+    group follows the highest live term throughout, so the heal costs
+    zero member re-handshakes. A forged "you are stale" cannot demote
+    a live primary (no [K_r], no seal), and a replayed one is bound to
+    a dead [stale_term] and dropped.
+
+    Promotion terms are {e generation-encoded} — [g*n + (n-1-idx)] for
+    generation [g] of [n] managers — so two successors promoting
+    concurrently across a partition mint distinct terms and the
+    earlier-ranked manager wins the generation tie; the naive
+    [term + 1] this replaces could collide exactly there.
+
     Security is inherited rather than re-proven: every (member,
     manager) pair runs exactly the verified two-party protocol; the
     replication channel adds no new member-facing authority because
@@ -155,9 +185,38 @@ val crash_primary_at : t -> Netsim.Vtime.t -> unit
     CLI's [--kill-primary-at] hook. *)
 
 val primary : t -> Types.agent option
-(** The preferred primary: the first non-crashed manager in the fixed
-    succession, or [None] when every manager is down (previously this
-    silently reported the first manager's corpse). *)
+(** The manager currently sourcing the replication stream at the
+    highest term; during the window between a crash and the
+    successor's promotion, the first non-crashed manager in the
+    succession; [None] when every manager is down (previously this
+    silently reported the first manager's corpse). A partitioned old
+    primary still sourcing a dead term loses the term comparison, so
+    members fail back to the live group, never to a zombie. *)
+
+type role =
+  | Primary of { term : int }  (** Sourcing the stream at [term]. *)
+  | Backup of { term : int; catching_up : bool }
+      (** Following the stream; [catching_up] while a freshly demoted
+          manager awaits the live term's opening snapshot (it is not
+          promotable until then). *)
+  | Down
+
+val role : t -> Types.agent -> role
+(** The replication-plane role of a manager.
+    @raise Not_found for an unknown manager name. *)
+
+val demotions : t -> int
+(** Sources that received authentic higher-term evidence, stood down,
+    truncated their journal to the acked prefix and rejoined as a
+    catching-up backup. *)
+
+val replica_bytes : t -> Types.agent -> string option
+(** A backup's current replica bytes ([None] for a source/crashed
+    manager) — what the heal tests compare against the live source's
+    journal. *)
+
+val journal_bytes : t -> Types.agent -> string option
+(** A source's current journal bytes ([None] for a backup). *)
 
 val manager_of : t -> Types.agent -> Types.agent option
 (** Which manager a member is currently connected to (after its last

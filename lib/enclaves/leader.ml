@@ -743,5 +743,5 @@ let receive t bytes =
       | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
       | F.Auth_key_dist | F.Admin_msg | F.Recovery_challenge | F.Cold_restart
-      | F.Cold_restart_ack | F.Repl_record | F.Repl_ack | F.Repl_fetch ->
+      | F.Cold_restart_ack | F.Repl_record | F.Repl_ack | F.Repl_fetch | F.Repl_stale ->
           reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))

@@ -508,7 +508,7 @@ let receive t bytes =
       | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
       | F.Auth_init_req | F.Auth_ack_key | F.Admin_ack | F.Req_close
       | F.Recovery_response | F.View_resync_req | F.Cold_restart_challenge
-      | F.Repl_record | F.Repl_ack | F.Repl_fetch ->
+      | F.Repl_record | F.Repl_ack | F.Repl_fetch | F.Repl_stale ->
           (* The improved member consumes only the three labels above;
              everything else — legacy traffic, leader-bound messages,
              forged denials — is ignored. The absence of any reaction

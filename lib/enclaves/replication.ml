@@ -33,6 +33,9 @@ type counters = {
   mutable rejected_forged : int;
   mutable rejected_replayed : int;
   mutable rejected_stale : int;
+  mutable stale_notices : int;
+  mutable stale_sourcing_stopped : int;
+  mutable demotions : int;
   mutable warm_promotions : int;
   mutable cold_promotions : int;
 }
@@ -47,6 +50,9 @@ let fresh_counters () =
     rejected_forged = 0;
     rejected_replayed = 0;
     rejected_stale = 0;
+    stale_notices = 0;
+    stale_sourcing_stopped = 0;
+    demotions = 0;
     warm_promotions = 0;
     cold_promotions = 0;
   }
@@ -61,6 +67,9 @@ let snapshot_counters c : Netsim.Stats.replication =
     rejected_forged = c.rejected_forged;
     rejected_replayed = c.rejected_replayed;
     rejected_stale = c.rejected_stale;
+    stale_notices = c.stale_notices;
+    stale_sourcing_stopped = c.stale_sourcing_stopped;
+    demotions = c.demotions;
     warm_promotions = c.warm_promotions;
     cold_promotions = c.cold_promotions;
   }
@@ -84,6 +93,12 @@ module Source = struct
     mutable last_image : string;
     ops : (int, string) Hashtbl.t;
     acked : (Types.agent, int) Hashtbl.t;
+    (* Journal byte length right after each shipped op — what lets a
+       demoting source cut its journal back to the acked prefix. *)
+    lens : (int, int) Hashtbl.t;
+    mutable cur_len : int;
+    mutable superseded : bool;
+    on_superseded : term:int -> primary:Types.agent -> unit;
   }
 
   let seal t ~recipient ~label payload =
@@ -114,6 +129,8 @@ module Source = struct
         let seq = t.next_seq in
         t.next_seq <- seq + 1;
         Hashtbl.replace t.ops seq chunk;
+        t.cur_len <- t.cur_len + String.length chunk;
+        Hashtbl.replace t.lens seq t.cur_len;
         ship_append t ~seq chunk
     | Journal.Published image ->
         let seq = t.next_seq in
@@ -121,9 +138,12 @@ module Source = struct
         t.image_seq <- seq;
         t.last_image <- image;
         Hashtbl.reset t.ops;
+        t.cur_len <- String.length image;
+        Hashtbl.replace t.lens seq t.cur_len;
         ship_image t ~seq image
 
-  let create ~self ~backups ~term ~key ~rng ~send ~journal ?counters () =
+  let create ~self ~backups ~term ~key ~rng ~send ~journal
+      ?(on_superseded = fun ~term:_ ~primary:_ -> ()) ?counters () =
     let counters = match counters with Some c -> c | None -> fresh_counters () in
     let t =
       {
@@ -140,6 +160,10 @@ module Source = struct
         last_image = "";
         ops = Hashtbl.create 64;
         acked = Hashtbl.create 8;
+        lens = Hashtbl.create 64;
+        cur_len = 0;
+        superseded = false;
+        on_superseded;
       }
     in
     Journal.set_observer journal (Some (on_journal_event t));
@@ -164,6 +188,34 @@ module Source = struct
 
   let lag t =
     List.map (fun b -> (b, max 0 (t.next_seq - acked t b))) t.backups
+
+  (* The longest journal byte-prefix some backup acknowledged under
+     this term — what a demoting source keeps when it discards its
+     divergent suffix. When the best ack predates the last compaction,
+     the acked records survive only inside the folded image, so the
+     cut lands at the image boundary (never below an acked record). *)
+  let acked_prefix t =
+    let best = Hashtbl.fold (fun _ upto acc -> max upto acc) t.acked 0 in
+    if best = 0 then 0
+    else
+      let seq = max (best - 1) t.image_seq in
+      Option.value ~default:0 (Hashtbl.find_opt t.lens seq)
+
+  let superseded t = t.superseded
+
+  let supersede t ~term ~primary =
+    if not t.superseded then begin
+      t.superseded <- true;
+      t.counters.stale_sourcing_stopped <-
+        t.counters.stale_sourcing_stopped + 1;
+      t.on_superseded ~term ~primary
+    end
+
+  let stale_notice t ~to_ ~stale_term =
+    t.counters.stale_notices <- t.counters.stale_notices + 1;
+    seal t ~recipient:to_ ~label:F.Repl_stale
+      (P.encode_repl_stale
+         { P.b = t.self; l = to_; stale_term; term = t.term; primary = t.self })
 
   (* Re-send everything from [from_] on, to the requesting backup only.
      Below the image floor the ops are gone — compaction subsumed them
@@ -190,11 +242,31 @@ module Source = struct
       | None -> ()
     done
 
+  let forged t = t.counters.rejected_forged <- t.counters.rejected_forged + 1
+
   let handle_frame t (frame : F.t) =
     match Sealed_channel.open_ ~key:t.key frame with
     | Error _ -> t.counters.rejected_forged <- t.counters.rejected_forged + 1
     | Ok plain -> (
         match frame.F.label with
+        | F.Repl_stale -> (
+            (* A demotion signal. Only a holder of [K_r] can have
+               minted it, and acting on it requires that it answers
+               {e this} incarnation: [stale_term] must equal our
+               current term, and the superseding term must be strictly
+               newer. A forged notice fails the seal; a replayed one
+               (from an earlier demotion, or bounced off another
+               manager) fails the term binding. Either way a live
+               primary never stands down on fabricated evidence. *)
+            match P.decode_repl_stale plain with
+            | Error _ -> forged t
+            | Ok n ->
+                if n.P.l <> t.self || n.P.b <> frame.F.sender then forged t
+                else if n.P.stale_term <> t.term || n.P.term <= n.P.stale_term
+                then
+                  t.counters.rejected_replayed <-
+                    t.counters.rejected_replayed + 1
+                else supersede t ~term:n.P.term ~primary:n.P.primary)
         | F.Repl_ack -> (
             match P.decode_repl_ack plain with
             | Error _ ->
@@ -220,6 +292,29 @@ module Source = struct
                   t.counters.rejected_stale <- t.counters.rejected_stale + 1
                 else resend t ~backup:f.P.b ~from_:f.P.from_)
         | _ -> t.counters.rejected_forged <- t.counters.rejected_forged + 1)
+
+  (* A [Repl_record] arriving at a manager that is itself sourcing:
+     either a zombie peer still shipping a dead term (tell it to stand
+     down), or a successor's higher-term stream reaching us after a
+     partition healed (the authentic evidence that {e we} are the
+     zombie). An equal term from a different source is impossible for
+     honest managers — promotion terms are unique — so it is treated
+     as a forgery attempt. *)
+  let handle_peer_record t (frame : F.t) =
+    match Sealed_channel.open_ ~key:t.key frame with
+    | Error _ -> forged t
+    | Ok plain -> (
+        match P.decode_repl_record plain with
+        | Error _ -> forged t
+        | Ok r ->
+            if r.P.b <> t.self || r.P.l <> frame.F.sender then forged t
+            else if r.P.term > t.term then
+              supersede t ~term:r.P.term ~primary:r.P.l
+            else if r.P.term < t.term then begin
+              t.counters.rejected_stale <- t.counters.rejected_stale + 1;
+              t.send (stale_notice t ~to_:r.P.l ~stale_term:r.P.term)
+            end
+            else forged t)
 
   let stats t = snapshot_counters t.counters
 end
@@ -271,8 +366,8 @@ module Replica = struct
 
   let default_file = "journal_replica"
 
-  let create ~self ~primary ~key ~rng ?disk ?(file = default_file) ?counters ()
-      =
+  let create ~self ~primary ~key ~rng ?disk ?(file = default_file) ?(term = 0)
+      ?counters () =
     let counters = match counters with Some c -> c | None -> fresh_counters () in
     {
       self;
@@ -283,7 +378,7 @@ module Replica = struct
       counters;
       buf = Buffer.create 256;
       primary;
-      term = 0;
+      term;
       expected = 0;
       fresh_activity = false;
       eio_retries = 0;
@@ -301,9 +396,23 @@ module Replica = struct
     t.fresh_activity <- false;
     a
 
-  let seal t ~label payload =
-    Sealed_channel.seal ~rng:t.rng ~key:t.key ~label ~sender:t.self
-      ~recipient:t.primary payload
+  let seal_to t ~recipient ~label payload =
+    Sealed_channel.seal ~rng:t.rng ~key:t.key ~label ~sender:t.self ~recipient
+      payload
+
+  let seal t ~label payload = seal_to t ~recipient:t.primary ~label payload
+
+  let stale_notice t ~to_ ~stale_term =
+    t.counters.stale_notices <- t.counters.stale_notices + 1;
+    seal_to t ~recipient:to_ ~label:F.Repl_stale
+      (P.encode_repl_stale
+         {
+           P.b = t.self;
+           l = to_;
+           stale_term;
+           term = t.term;
+           primary = t.primary;
+         })
 
   let ack t =
     seal t ~label:F.Repl_ack
@@ -344,8 +453,12 @@ module Replica = struct
               []
             end
             else if r.P.term < t.term then begin
+              (* A superseded source is still shipping. Beyond dropping
+                 the record, answer with the demotion signal: the
+                 zombie holds [K_r], so it will verify the notice and
+                 stand down (post-heal reconciliation). *)
               t.counters.rejected_stale <- t.counters.rejected_stale + 1;
-              []
+              [ stale_notice t ~to_:r.P.l ~stale_term:r.P.term ]
             end
             else if r.P.term = t.term && t.expected > 0 && r.P.l <> t.primary
             then begin

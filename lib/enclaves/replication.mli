@@ -26,14 +26,34 @@
     - {b replayed} frames are inert — an in-order duplicate merely
       re-acknowledges, an old sequence or old heartbeat frontier is
       counted and dropped, and nothing moves the replica backwards;
-    - {b stale-term} frames from a superseded primary are counted and
-      dropped, so a dead incarnation's traffic cannot corrupt a
-      replica that has already adopted the successor.
+    - {b stale-term} frames from a superseded primary are counted,
+      dropped, and answered with a sealed [Repl_stale] demotion
+      signal, so a dead incarnation's traffic cannot corrupt a
+      replica that has already adopted the successor — and the zombie
+      learns it is one.
 
     Only frames that advance the replica (or prove a future frontier)
     register as primary liveness ({!Replica.take_activity}), so
     replayed heartbeats cannot indefinitely suppress the backup's
-    promotion watchdog. *)
+    promotion watchdog.
+
+    {2 Demotion}
+
+    A source that receives {e authentic} evidence of a strictly higher
+    term — a higher-term [Repl_record] reaching it directly
+    ({!Source.handle_peer_record}), or a [Repl_stale] notice bound to
+    its current term ({!Source.handle_frame}) — reports itself
+    superseded exactly once through the [on_superseded] callback; the
+    failover harness then demotes it (detach, truncate the journal to
+    {!Source.acked_prefix}, re-attach as a {!Replica} at the new
+    term). The evidence cannot be fabricated: both signal kinds are
+    sealed under [K_r], and an authentic frame carrying term [T]
+    proves [T] was genuinely minted by an honest promotion. It cannot
+    be replayed either: a [Repl_stale] is acted on only when its
+    [stale_term] equals the receiving source's {e current} term, so a
+    notice recorded against an earlier incarnation is counted as
+    replayed and dropped. A forged "you are stale" therefore never
+    demotes a live primary. *)
 
 type counters = {
   mutable records_shipped : int;
@@ -44,6 +64,9 @@ type counters = {
   mutable rejected_forged : int;
   mutable rejected_replayed : int;
   mutable rejected_stale : int;
+  mutable stale_notices : int;
+  mutable stale_sourcing_stopped : int;
+  mutable demotions : int;
   mutable warm_promotions : int;
   mutable cold_promotions : int;
 }
@@ -68,6 +91,7 @@ module Source : sig
     rng:Prng.Splitmix.t ->
     send:(Wire.Frame.t -> unit) ->
     journal:Journal.t ->
+    ?on_superseded:(term:int -> primary:Types.agent -> unit) ->
     ?counters:counters ->
     unit ->
     t
@@ -75,8 +99,10 @@ module Source : sig
       mutation hook and immediately ships the journal's current image
       to every backup as the term's sequence-0 snapshot. [send] puts a
       frame on the wire (the harness posts it into the simulated
-      network). A promoted backup creates its source with
-      [term = predecessor's term + 1]. *)
+      network). A promoted backup mints a strictly higher term, unique
+      per promotion (see {!Failover}). [on_superseded] fires at most
+      once, when authentic evidence of a strictly higher term arrives
+      — the harness's cue to demote this source. *)
 
   val detach : t -> unit
   (** Unsubscribe from the journal (crash or demotion). *)
@@ -87,14 +113,37 @@ module Source : sig
       death (silence) and lost appends (frontier gap). *)
 
   val handle_frame : t -> Wire.Frame.t -> unit
-  (** Process a backup's [Repl_ack] or [Repl_fetch]; a fetch re-sends
-      from the requested sequence (or from the image snapshot when the
-      request predates the compaction floor) to that backup only. *)
+  (** Process a backup's [Repl_ack] or [Repl_fetch] (a fetch re-sends
+      from the requested sequence, or from the image snapshot when the
+      request predates the compaction floor, to that backup only) — or
+      a [Repl_stale] demotion signal, which triggers [on_superseded]
+      iff it opens under [K_r], names this source, binds this source's
+      {e current} term as [stale_term], and carries a strictly newer
+      superseding term. Anything else is counted as forged or
+      replayed and dropped. *)
+
+  val handle_peer_record : t -> Wire.Frame.t -> unit
+  (** A [Repl_record] delivered to a manager that is itself sourcing:
+      a lower term draws a [Repl_stale] notice back at the zombie
+      sender (and counts [rejected_stale]); an authentic strictly
+      higher term triggers [on_superseded] — we are the zombie. *)
 
   val term : t -> int
 
+  val superseded : t -> bool
+  (** True once authentic higher-term evidence has arrived (the
+      [on_superseded] callback has fired). *)
+
   val acked : t -> Types.agent -> int
   (** Highest cumulative ack received from a backup this term. *)
+
+  val acked_prefix : t -> int
+  (** Byte length of the longest journal prefix some backup
+      acknowledged under this term — what a demoting source keeps when
+      discarding its divergent suffix. When the best ack predates the
+      last compaction the cut lands at the image boundary (acked
+      records live inside the folded image; never below one). 0 when
+      nothing was ever acked this term. *)
 
   val lag : t -> (Types.agent * int) list
   (** Per-backup lag in records: frontier minus acked. *)
@@ -115,6 +164,7 @@ module Replica : sig
     rng:Prng.Splitmix.t ->
     ?disk:Store.Backend.t ->
     ?file:string ->
+    ?term:int ->
     ?counters:counters ->
     unit ->
     t
@@ -122,12 +172,17 @@ module Replica : sig
       every applied op is persisted through the backend before the ack
       leaves: appends as incremental [pwrite]+[fsync], images as the
       stage/fsync/rename pattern. The replica follows term adoptions
-      automatically, so [primary] is only the initial expectation. *)
+      automatically, so [primary] is only the initial expectation.
+      [term] (default 0) is the floor below which streams are rejected
+      as stale — a freshly demoted manager seeds it with the term that
+      demoted it, so replays of its own dead stream cannot re-adopt. *)
 
   val handle_frame : t -> Wire.Frame.t -> Wire.Frame.t list
   (** Apply one [Repl_record] frame; returns the ack/fetch frames to
-      send back. Forged, replayed and stale-term frames return []
-      (or a re-ack) and leave the replica bytes untouched. *)
+      send back. Forged and replayed frames return [] (or a re-ack)
+      and leave the replica bytes untouched; a stale-term record
+      additionally draws a [Repl_stale] demotion signal back at its
+      superseded sender. *)
 
   val contents : t -> string
   (** The replica bytes — what promotion hands to {!Journal.recover}. *)

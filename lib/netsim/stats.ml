@@ -146,6 +146,9 @@ type replication = {
   rejected_forged : int;
   rejected_replayed : int;
   rejected_stale : int;
+  stale_notices : int;
+  stale_sourcing_stopped : int;
+  demotions : int;
   warm_promotions : int;
   cold_promotions : int;
 }
@@ -160,6 +163,9 @@ let empty_replication =
     rejected_forged = 0;
     rejected_replayed = 0;
     rejected_stale = 0;
+    stale_notices = 0;
+    stale_sourcing_stopped = 0;
+    demotions = 0;
     warm_promotions = 0;
     cold_promotions = 0;
   }
@@ -174,6 +180,9 @@ let replication_named r =
     ("rejected_forged", r.rejected_forged);
     ("rejected_replayed", r.rejected_replayed);
     ("rejected_stale", r.rejected_stale);
+    ("stale_notices", r.stale_notices);
+    ("stale_sourcing_stopped", r.stale_sourcing_stopped);
+    ("demotions", r.demotions);
     ("warm_promotions", r.warm_promotions);
     ("cold_promotions", r.cold_promotions);
   ]

@@ -65,6 +65,15 @@ type replication = {
   rejected_forged : int;  (** Replication frames whose seal failed to open. *)
   rejected_replayed : int;  (** Duplicate or out-of-window sequence numbers. *)
   rejected_stale : int;  (** Frames from a superseded primary term. *)
+  stale_notices : int;
+      (** [Repl_stale] demotion signals sent back at a superseded
+          source's traffic. *)
+  stale_sourcing_stopped : int;
+      (** Times a source stopped shipping because an authentic frame
+          proved a strictly higher term exists. *)
+  demotions : int;
+      (** Sources that stood down and re-attached to the live source
+          as a catching-up replica. *)
   warm_promotions : int;  (** Backups promoted from a usable replica. *)
   cold_promotions : int;  (** Promotions that fell back to cold restart. *)
 }

@@ -31,6 +31,7 @@ type label =
   | Repl_record
   | Repl_ack
   | Repl_fetch
+  | Repl_stale
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 
@@ -41,7 +42,7 @@ let all_labels =
     Mem_joined; Mem_removed; Auth_init_req; Auth_key_dist; Auth_ack_key;
     Admin_msg; Admin_ack; Req_close; App_data; Recovery_challenge;
     Recovery_response; View_resync_req; Cold_restart; Cold_restart_challenge;
-    Cold_restart_ack; Repl_record; Repl_ack; Repl_fetch;
+    Cold_restart_ack; Repl_record; Repl_ack; Repl_fetch; Repl_stale;
   ]
 
 let label_tag = function
@@ -73,6 +74,7 @@ let label_tag = function
   | Repl_record -> 26
   | Repl_ack -> 27
   | Repl_fetch -> 28
+  | Repl_stale -> 29
 
 let label_of_tag = function
   | 1 -> Some Req_open
@@ -103,6 +105,7 @@ let label_of_tag = function
   | 26 -> Some Repl_record
   | 27 -> Some Repl_ack
   | 28 -> Some Repl_fetch
+  | 29 -> Some Repl_stale
   | _ -> None
 
 let label_to_string = function
@@ -134,6 +137,7 @@ let label_to_string = function
   | Repl_record -> "ReplRecord"
   | Repl_ack -> "ReplAck"
   | Repl_fetch -> "ReplFetch"
+  | Repl_stale -> "ReplStale"
 
 let pp_label fmt l = Format.pp_print_string fmt (label_to_string l)
 

@@ -69,6 +69,11 @@ type label =
   | Repl_fetch
       (** Backup → primary: a gap was detected; re-send from the given
           sequence number (or a snapshot if it fell off the log). *)
+  | Repl_stale
+      (** Replica or source → a superseded source: "your term is dead;
+          term [t'] > yours is live under [primary]". Sealed under
+          [K_r] and bound to the receiver's current term, so a forged
+          or replayed notice can never demote a live primary. *)
 
 type t = { label : label; sender : agent; recipient : agent; body : string }
 

@@ -411,3 +411,29 @@ let decode_repl_fetch s =
       let* term = Reader.u32 r in
       let* from_ = Reader.u32 r in
       Ok ({ b; l; term; from_ } : repl_fetch))
+
+type repl_stale = {
+  b : agent;
+  l : agent;
+  stale_term : int;
+  term : int;
+  primary : agent;
+}
+
+let encode_repl_stale ({ b; l; stale_term; term; primary } : repl_stale) =
+  with_tag 22 (fun w ->
+      Cursor.Writer.bytes w b;
+      Cursor.Writer.bytes w l;
+      Cursor.Writer.u32 w stale_term;
+      Cursor.Writer.u32 w term;
+      Cursor.Writer.bytes w primary)
+
+let decode_repl_stale s =
+  decoded 22 s (fun r ->
+      let open Cursor in
+      let* b = Reader.bytes r in
+      let* l = Reader.bytes r in
+      let* stale_term = Reader.u32 r in
+      let* term = Reader.u32 r in
+      let* primary = Reader.bytes r in
+      Ok ({ b; l; stale_term; term; primary } : repl_stale))

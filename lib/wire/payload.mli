@@ -168,9 +168,27 @@ type repl_fetch = { b : agent; l : agent; term : int; from_ : int }
 (** Gap repair: re-send ops from [from_] (the backup's next expected
     sequence number) onward. *)
 
+type repl_stale = {
+  b : agent;  (** The notifier (a replica, or the live source itself). *)
+  l : agent;  (** The superseded source being told to stand down. *)
+  stale_term : int;
+      (** The dead term this notice answers. A source acts on a notice
+          only when [stale_term] equals its {e current} term, so a
+          replayed notice from an earlier demotion is inert. *)
+  term : int;  (** The live term that supersedes [stale_term]. *)
+  primary : agent;  (** Who sources [term] — the demotee's new primary. *)
+}
+(** Demotion signal, sealed under [K_r] like every replication frame.
+    Only a holder of [K_r] can mint one, and an authentic notice
+    carrying [term] proves term [term] was genuinely claimed by an
+    honest promotion — which is exactly the evidence that makes
+    standing down safe. *)
+
 val encode_repl_record : repl_record -> string
 val decode_repl_record : string -> (repl_record, string) result
 val encode_repl_ack : repl_ack -> string
 val decode_repl_ack : string -> (repl_ack, string) result
 val encode_repl_fetch : repl_fetch -> string
 val decode_repl_fetch : string -> (repl_fetch, string) result
+val encode_repl_stale : repl_stale -> string
+val decode_repl_stale : string -> (repl_stale, string) result

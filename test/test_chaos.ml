@@ -9,6 +9,7 @@
 
 open Enclaves
 module D = Driver.Improved
+module Key = Sym_crypto.Key
 
 let directory =
   [
@@ -224,18 +225,17 @@ let fo_config =
     retry_budget = 2;
     failback_after = Netsim.Vtime.of_ms 800;
     repl_heartbeat_period = Netsim.Vtime.of_ms 100;
-    (* These partition scenarios exercise the member-driven (cold)
-       detector and fail-back reconvergence; warm promotion would
-       short-circuit the very failovers they assert. *)
-    warm_failover = false;
+    warm_failover = true;
   }
 
 let test_failover_partitioned_primary_no_split () =
   (* The primary is partitioned from everyone for a while, then healed.
-     Members must fail over to the successor (one coherent group on
-     m1), and once the partition heals they must fail BACK to m0 — the
-     group must reconverge to the fixed succession order, not stay
-     split between managers. *)
+     The successor warm-promotes and the group follows it keeping its
+     session keys. When the partition heals, the old primary meets the
+     higher-term stream, DEMOTES — stands down, discards its divergent
+     journal suffix and rejoins as a catching-up backup — and the group
+     stays on the successor: the heal costs zero member
+     re-handshakes. *)
   List.iter
     (fun seed ->
       let t =
@@ -257,41 +257,80 @@ let test_failover_partitioned_primary_no_split () =
       in
       Netsim.Network.set_faultplan (Failover.net t) (Some plan);
       Failover.start t;
-      (* Mid-partition: everyone should be together on the successor —
-         the group moved, it did not split. *)
-      ignore (Failover.run ~until:(Netsim.Vtime.of_ms 2800) t);
-      let mid_targets =
-        List.filter_map (fun (n, _) -> Failover.manager_of t n) fo_directory
+      (* Everyone in session with m0 before the partition hits. *)
+      ignore (Failover.run ~until:(Netsim.Vtime.of_ms 550) t);
+      let keys_before =
+        List.filter_map
+          (fun (n, _) ->
+            Option.map (fun k -> (n, k))
+              (Member.session_key (Failover.member t n)))
+          fo_directory
       in
-      List.iter
-        (fun m ->
-          Alcotest.(check string)
-            (Printf.sprintf "mid-partition manager (seed %Ld)" seed)
-            "m1" m)
-        mid_targets;
-      Alcotest.(check bool)
-        (Printf.sprintf "failovers happened (seed %Ld)" seed)
-        true
-        (Failover.failovers t >= 3);
-      (* After the heal: back to the preferred primary, one group. *)
-      ignore (Failover.run ~until:(Netsim.Vtime.of_s 10) t);
-      Alcotest.(check (option string))
-        (Printf.sprintf "primary is m0 again (seed %Ld)" seed)
-        (Some "m0") (Failover.primary t);
-      Alcotest.(check (list string))
-        (Printf.sprintf "all reconnected (seed %Ld)" seed)
-        [ "alice"; "bob"; "carol" ]
-        (Failover.connected_members t);
+      Alcotest.(check int)
+        (Printf.sprintf "all in session pre-partition (seed %Ld)" seed)
+        3 (List.length keys_before);
+      (* Mid-partition: everyone together on the warm-promoted
+         successor — the group moved, it did not split, and nobody
+         paid a cold re-handshake. *)
+      ignore (Failover.run ~until:(Netsim.Vtime.of_ms 2800) t);
       List.iter
         (fun (n, _) ->
           Alcotest.(check (option string))
-            (Printf.sprintf "%s back on m0 (seed %Ld)" n seed)
-            (Some "m0") (Failover.manager_of t n))
+            (Printf.sprintf "%s mid-partition manager (seed %Ld)" n seed)
+            (Some "m1") (Failover.manager_of t n))
         fo_directory;
-      Alcotest.(check bool)
-        (Printf.sprintf "failbacks happened (seed %Ld)" seed)
-        true
-        (Failover.failbacks t >= 3))
+      Alcotest.(check (option string))
+        (Printf.sprintf "primary is the live term (seed %Ld)" seed)
+        (Some "m1") (Failover.primary t);
+      (* After the heal: m0 met the higher term and stood down; the
+         group did NOT churn back. *)
+      ignore (Failover.run ~until:(Netsim.Vtime.of_s 10) t);
+      Alcotest.(check (option string))
+        (Printf.sprintf "primary is still m1 (seed %Ld)" seed)
+        (Some "m1") (Failover.primary t);
+      Alcotest.(check (list string))
+        (Printf.sprintf "all connected (seed %Ld)" seed)
+        [ "alice"; "bob"; "carol" ]
+        (Failover.connected_members t);
+      let stats = Failover.replication_stats t in
+      Alcotest.(check int)
+        (Printf.sprintf "one warm promotion (seed %Ld)" seed)
+        1 stats.Netsim.Stats.warm_promotions;
+      Alcotest.(check int)
+        (Printf.sprintf "one demotion (seed %Ld)" seed)
+        1 (Failover.demotions t);
+      Alcotest.(check int)
+        (Printf.sprintf "no cold member failover (seed %Ld)" seed)
+        0 (Failover.failovers t);
+      (* The demoted zombie is a backup again, reconverged onto the new
+         term's stream: its replica is a prefix of m1's live journal. *)
+      (match Failover.role t "m0" with
+      | Failover.Backup { catching_up; _ } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "m0 caught up (seed %Ld)" seed)
+            false catching_up
+      | _ -> Alcotest.fail (Printf.sprintf "m0 is not a backup (seed %Ld)" seed));
+      (match (Failover.replica_bytes t "m0", Failover.journal_bytes t "m1") with
+      | Some replica, Some journal ->
+          Alcotest.(check bool)
+            (Printf.sprintf "m0 replica is a prefix of m1 (seed %Ld)" seed)
+            true
+            (String.length replica <= String.length journal
+            && String.sub journal 0 (String.length replica) = replica)
+      | _ -> Alcotest.fail "missing replica/journal bytes");
+      (* Zero re-handshakes across the whole partition + heal: every
+         member still holds its original session key. *)
+      List.iter
+        (fun (n, before) ->
+          match Member.session_key (Failover.member t n) with
+          | Some after ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s kept its session key (seed %Ld)" n seed)
+                true (Key.equal before after)
+          | None ->
+              Alcotest.fail
+                (Printf.sprintf "%s lost its session (seed %Ld)" n seed))
+        keys_before)
     (List.filteri (fun i _ -> i < 5) seeds)
 
 let test_failover_lossy_crash () =

@@ -239,15 +239,235 @@ let test_stale_term_rejected () =
     (Replication.Replica.contents p.replica);
   let before = Replication.Replica.contents p.replica in
   ignore (Replication.Replica.take_activity p.replica);
-  Alcotest.(check int) "dead term silently dropped" 0
-    (List.length (Replication.Replica.handle_frame p.replica term1_frame));
+  (* A dead-term record is dropped, and the sender is told so: the
+     reply is the sealed demotion signal that drives reconciliation. *)
+  (match Replication.Replica.handle_frame p.replica term1_frame with
+  | [ notice ] ->
+      Alcotest.(check bool) "reply is a demotion signal" true
+        (notice.F.label = F.Repl_stale);
+      Alcotest.(check string) "aimed at the zombie" "m0" notice.F.recipient
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected one Repl_stale, got %d frames"
+           (List.length other)));
   Alcotest.(check string) "replica untouched by the dead term" before
     (Replication.Replica.contents p.replica);
   let stats = Replication.Replica.stats p.replica in
   Alcotest.(check bool) "counted as stale" true
     (stats.Netsim.Stats.rejected_stale >= 1);
+  Alcotest.(check bool) "a notice was sent" true
+    (stats.Netsim.Stats.stale_notices >= 1);
   Alcotest.(check bool) "stale term is not liveness" false
     (Replication.Replica.take_activity p.replica)
+
+let test_stale_notice_demotes_source () =
+  (* Route the replica's demotion signal back to the superseded term-1
+     source: it must report itself superseded exactly once. *)
+  let p = make_pair () in
+  List.iter (J.append p.journal) (sample_records 3);
+  let term1_frame = Queue.peek p.outq in
+  pump p;
+  let j2 = J.create ~compact_every:10_000 () in
+  let q2 = Queue.create () in
+  let _source2 =
+    Replication.Source.create ~self:"m1" ~backups:[ "b1" ] ~term:2 ~key:p.key
+      ~rng:p.rng
+      ~send:(fun f -> Queue.push f q2)
+      ~journal:j2 ()
+  in
+  while not (Queue.is_empty q2) do
+    ignore (Replication.Replica.handle_frame p.replica (Queue.pop q2))
+  done;
+  let notice =
+    match Replication.Replica.handle_frame p.replica term1_frame with
+    | [ n ] -> n
+    | _ -> Alcotest.fail "expected one Repl_stale"
+  in
+  Alcotest.(check bool) "not yet superseded" false
+    (Replication.Source.superseded p.source);
+  Replication.Source.handle_frame p.source notice;
+  Alcotest.(check bool) "authentic notice supersedes" true
+    (Replication.Source.superseded p.source);
+  let stats = Replication.Source.stats p.source in
+  Alcotest.(check int) "sourcing stopped once" 1
+    stats.Netsim.Stats.stale_sourcing_stopped;
+  (* Idempotent: a second delivery is a replay against a source that
+     already stood down — counted, no second callback. *)
+  Replication.Source.handle_frame p.source notice;
+  let stats = Replication.Source.stats p.source in
+  Alcotest.(check int) "no double demotion" 1
+    stats.Netsim.Stats.stale_sourcing_stopped
+
+let test_forged_stale_notice_rejected () =
+  (* A fabricated "you are stale" without K_r must never demote a live
+     primary — the tentpole's central security claim. *)
+  let p = make_pair () in
+  List.iter (J.append p.journal) (sample_records 3);
+  pump p;
+  let wrong = Key.fresh Key.Long_term p.rng in
+  let payload =
+    P.encode_repl_stale
+      { P.b = "b1"; l = "m0"; stale_term = 1; term = 99; primary = "evil" }
+  in
+  let forged =
+    Sealed_channel.seal ~rng:p.rng ~key:wrong ~label:F.Repl_stale ~sender:"b1"
+      ~recipient:"m0" payload
+  in
+  Replication.Source.handle_frame p.source forged;
+  Alcotest.(check bool) "forged notice does not demote" false
+    (Replication.Source.superseded p.source);
+  let stats = Replication.Source.stats p.source in
+  Alcotest.(check bool) "counted as forged" true
+    (stats.Netsim.Stats.rejected_forged >= 1);
+  (* A genuinely sealed notice whose payload names another source is
+     spliced, not ours to act on. *)
+  let spliced =
+    Sealed_channel.seal ~rng:p.rng ~key:p.key ~label:F.Repl_stale ~sender:"b1"
+      ~recipient:"m0"
+      (P.encode_repl_stale
+         { P.b = "b1"; l = "m9"; stale_term = 1; term = 99; primary = "m9" })
+  in
+  Replication.Source.handle_frame p.source spliced;
+  Alcotest.(check bool) "spliced notice does not demote" false
+    (Replication.Source.superseded p.source);
+  (* Source still ships: appends keep flowing after the attack. *)
+  List.iter (J.append p.journal) (sample_records 1);
+  pump p;
+  check_converged ~msg:"source still live after forgeries" p
+
+let test_replayed_stale_notice_inert () =
+  (* A notice bound to an already-dead stale_term (e.g. recorded
+     against an earlier incarnation) must be counted as replayed and
+     change nothing. *)
+  let p = make_pair ~term:5 () in
+  List.iter (J.append p.journal) (sample_records 2);
+  pump p;
+  (* stale_term = 4 <> current term 5: replay of an old signal. *)
+  let old_notice =
+    Sealed_channel.seal ~rng:p.rng ~key:p.key ~label:F.Repl_stale ~sender:"b1"
+      ~recipient:"m0"
+      (P.encode_repl_stale
+         { P.b = "b1"; l = "m0"; stale_term = 4; term = 9; primary = "m1" })
+  in
+  Replication.Source.handle_frame p.source old_notice;
+  Alcotest.(check bool) "replayed notice does not demote" false
+    (Replication.Source.superseded p.source);
+  let stats = Replication.Source.stats p.source in
+  Alcotest.(check bool) "counted as replayed" true
+    (stats.Netsim.Stats.rejected_replayed >= 1);
+  (* And a degenerate one claiming a NON-higher superseding term is
+     equally inert even with the right stale_term. *)
+  let non_higher =
+    Sealed_channel.seal ~rng:p.rng ~key:p.key ~label:F.Repl_stale ~sender:"b1"
+      ~recipient:"m0"
+      (P.encode_repl_stale
+         { P.b = "b1"; l = "m0"; stale_term = 5; term = 5; primary = "m1" })
+  in
+  Replication.Source.handle_frame p.source non_higher;
+  Alcotest.(check bool) "non-higher term does not demote" false
+    (Replication.Source.superseded p.source)
+
+let test_peer_record_demotes_lower_term () =
+  (* Two sources meet after a heal: the lower term stands down on the
+     higher term's stream; the higher term answers the lower term's
+     stream with a demotion signal. *)
+  let rng = Prng.Splitmix.create 11L in
+  let key = Key.fresh Key.Long_term rng in
+  let mk self term peer =
+    let j = J.create ~compact_every:10_000 () in
+    let q = Queue.create () in
+    let s =
+      Replication.Source.create ~self ~backups:[ peer ] ~term ~key ~rng
+        ~send:(fun f -> Queue.push f q)
+        ~journal:j ()
+    in
+    (s, j, q)
+  in
+  let old_s, old_j, old_q = mk "m0" 5 "m1" in
+  let new_s, _new_j, new_q = mk "m1" 7 "m0" in
+  List.iter (J.append old_j) (sample_records 2);
+  (* Old primary's dead-term records reach the live source... *)
+  Queue.iter
+    (fun f ->
+      if f.F.recipient = "m1" then Replication.Source.handle_peer_record new_s f)
+    old_q;
+  Alcotest.(check bool) "higher term unmoved" false
+    (Replication.Source.superseded new_s);
+  let stats = Replication.Source.stats new_s in
+  Alcotest.(check bool) "zombie traffic counted stale" true
+    (stats.Netsim.Stats.rejected_stale >= 1);
+  Alcotest.(check bool) "demotion signals queued" true
+    (stats.Netsim.Stats.stale_notices >= 1);
+  (* ...and the notices (plus the live stream itself) demote it. *)
+  Queue.iter
+    (fun f ->
+      if f.F.recipient = "m0" then
+        if f.F.label = F.Repl_stale then
+          Replication.Source.handle_frame old_s f
+        else Replication.Source.handle_peer_record old_s f)
+    new_q;
+  Alcotest.(check bool) "lower term stands down" true
+    (Replication.Source.superseded old_s)
+
+(* --- the demotion cut: no acked record is ever lost --- *)
+
+let prop_acked_prefix_never_loses =
+  QCheck.Test.make ~count:80
+    ~name:"demotion keeps every record acked under the common term"
+    QCheck.(pair (int_range 1 30) (int_range 0 100))
+    (fun (n_records, deliver_pct) ->
+      (* Deliver a random prefix of the stream, pump acks for it, then
+         ask what a demotion would keep: it must be exactly the bytes
+         the replica already holds — a clean, replayable prefix of the
+         source journal containing every acknowledged record. *)
+      let p = make_pair () in
+      List.iter (J.append p.journal) (sample_records n_records);
+      let frames = List.of_seq (Queue.to_seq p.outq) in
+      Queue.clear p.outq;
+      let cut = List.length frames * deliver_pct / 100 in
+      List.iteri
+        (fun i f ->
+          if i < cut then
+            List.iter
+              (fun reply -> Replication.Source.handle_frame p.source reply)
+              (Replication.Replica.handle_frame p.replica f))
+        frames;
+      let keep = Replication.Source.acked_prefix p.source in
+      let journal = J.contents p.journal in
+      keep <= String.length journal
+      && String.sub journal 0 keep = Replication.Replica.contents p.replica
+      (* keep = 0 (nothing acked, keep nothing) has no header to replay *)
+      && (keep = 0 || snd (J.replay (String.sub journal 0 keep)) = J.Clean))
+
+let test_acked_prefix_compaction_floor () =
+  (* When the best ack predates the last compaction, the cut must land
+     at the image boundary — the folded image contains the acked
+     records, so cutting below it would lose them. *)
+  let p = make_pair () in
+  List.iter (J.append p.journal) (sample_records 6);
+  pump p;  (* replica acks everything so far *)
+  let acked_all = Replication.Source.acked_prefix p.source in
+  Alcotest.(check int) "fully acked means keep everything"
+    (String.length (J.contents p.journal))
+    acked_all;
+  (* Compact, then append un-acked records (replies dropped). *)
+  J.compact p.journal;
+  List.iter (J.append p.journal) (sample_records 4);
+  Queue.clear p.outq;
+  let keep = Replication.Source.acked_prefix p.source in
+  let kept = String.sub (J.contents p.journal) 0 keep in
+  Alcotest.(check bool) "cut lands at (or above) the image" true (keep > 0);
+  let recs, status = J.replay kept in
+  Alcotest.(check bool) "kept prefix replays clean" true (status = J.Clean);
+  (* Every session the replica acked before compaction survives in the
+     folded state of the kept prefix. *)
+  let module SS = Set.Make (String) in
+  let sessions recs =
+    SS.of_list (List.map fst (J.state_of_records recs).J.sessions)
+  in
+  let acked_recs, _ = J.replay (Replication.Replica.contents p.replica) in
+  Alcotest.(check bool) "no acked session lost by the cut" true
+    (SS.subset (sessions acked_recs) (sessions recs))
 
 (* --- the qcheck property: convergence under arbitrary mangling --- *)
 
@@ -503,7 +723,18 @@ let suite =
         Alcotest.test_case "replayed heartbeat not liveness" `Quick
           test_replayed_heartbeat_not_liveness;
         Alcotest.test_case "stale term rejected" `Quick test_stale_term_rejected;
+        Alcotest.test_case "stale notice demotes the zombie source" `Quick
+          test_stale_notice_demotes_source;
+        Alcotest.test_case "forged stale notice rejected" `Quick
+          test_forged_stale_notice_rejected;
+        Alcotest.test_case "replayed stale notice inert" `Quick
+          test_replayed_stale_notice_inert;
+        Alcotest.test_case "peer record demotes the lower term" `Quick
+          test_peer_record_demotes_lower_term;
+        Alcotest.test_case "acked prefix: compaction floor" `Quick
+          test_acked_prefix_compaction_floor;
         QCheck_alcotest.to_alcotest prop_converges_after_mangling;
+        QCheck_alcotest.to_alcotest prop_acked_prefix_never_loses;
         Alcotest.test_case "vault: monotonic, torn-write safe" `Quick
           test_vault_monotonic_torn_write;
         Alcotest.test_case "vault: total on junk" `Quick test_vault_total_on_junk;
