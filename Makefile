@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-failover chaos-heal crash-matrix journal-fuzz doc ci clean
+.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal crash-matrix journal-fuzz doc ci clean
 
 all: build
 
@@ -35,6 +35,17 @@ chaos-disk:
 	dune exec bin/enclaves_cli.exe -- chaos --members 5 --seeds 10 --loss 0.05 \
 	  --crash-at 2 --restart-after 1 --until 30 \
 	  --torn 0.05 --drop-fsync 0.10 --eio 0.05
+
+# Churn soak (E22): members cycle through evicted-as-silent and back
+# while the leader rekeys periodically — every queued record must be
+# delivered exactly once (in-window), rejected (beyond-window), or
+# delivered flagged stale with no state effect; queues must drain to
+# zero after the churn stops, and depth stays bounded throughout.
+# Both policy arms, five seeds each.
+chaos-churn:
+	dune exec bin/enclaves_cli.exe -- churn --members 5 --seeds 5 --rounds 6
+	dune exec bin/enclaves_cli.exe -- churn --members 5 --seeds 5 --rounds 6 \
+	  --deliver-stale --epoch-window 0
 
 # Warm-standby failover sweep: kill the primary of a 3-manager group
 # under loss, with the replication links additionally lagged — the
@@ -85,7 +96,7 @@ doc:
 	  echo "doc: odoc not installed, skipping"; \
 	fi
 
-ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-failover chaos-heal crash-matrix journal-fuzz doc
+ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal crash-matrix journal-fuzz doc
 
 clean:
 	dune clean

@@ -268,6 +268,38 @@ let failover_tests =
         ignore (Enclaves.Failover.run ~until:(Netsim.Vtime.of_s 4) t)));
   ]
 
+(* --- E22: store-and-forward delivery queues --- *)
+
+let delivery_tests =
+  let policy = { Enclaves.Delivery.width = 1; on_stale = Enclaves.Delivery.Deliver_stale } in
+  let notice i = Wire.Admin.Notice (Printf.sprintf "bench-%d" i) in
+  let mem = Store.Mem.create () in
+  [
+    (* One durable push: append + checksum + write-through. *)
+    Test.make ~name:"enqueue-durable" (Staged.stage (fun () ->
+        let d =
+          Enclaves.Delivery.create ~policy ~disk:(Store.Mem.handle mem) ()
+        in
+        Enclaves.Delivery.enqueue d ~member:"user0" ~epoch:1 (notice 0)));
+    (* Reconnect path: wrap 100 pending records per the window policy. *)
+    Test.make ~name:"drain-100" (Staged.stage (fun () ->
+        let d = Enclaves.Delivery.create ~policy () in
+        for i = 0 to 99 do
+          Enclaves.Delivery.enqueue d ~member:"user0" ~epoch:1 (notice i)
+        done;
+        ignore (Enclaves.Delivery.drain d ~member:"user0" ~current_epoch:1)));
+    (* The same drain with every record aged across rekeys: half inside
+       the window (re-seal), half beyond it (stale arm). *)
+    Test.make ~name:"drain-100-across-rekey" (Staged.stage (fun () ->
+        let d = Enclaves.Delivery.create ~policy () in
+        for i = 0 to 99 do
+          Enclaves.Delivery.enqueue d ~member:"user0"
+            ~epoch:(if i mod 2 = 0 then 2 else 1)
+            (notice i)
+        done;
+        ignore (Enclaves.Delivery.drain d ~member:"user0" ~current_epoch:3)));
+  ]
+
 (* --- E14: legacy symbolic model (attack finding) --- *)
 
 let legacy_model_tests =
@@ -307,6 +339,7 @@ let groups =
     ("model-checker (E4,E8,E9)", model_tests);
     ("model-checker-jobs (E4)", model_jobs_tests);
     ("failover (E13)", failover_tests);
+    ("delivery (E22)", delivery_tests);
     ("legacy-model (E14)", legacy_model_tests);
     ("netsim", netsim_tests);
   ]
@@ -398,5 +431,9 @@ let emit_json all =
 let () =
   print_endline "Enclaves benchmark harness (one group per DESIGN.md experiment)";
   let all = List.map run_group groups in
-  emit_json all;
+  (* Smoke runs sanity-check the scenarios but their single-iteration
+     timings are noise — never clobber the full reference run. *)
+  if smoke then
+    print_endline "\nsmoke mode: BENCH_results.json left untouched"
+  else emit_json all;
   print_endline "\ndone."

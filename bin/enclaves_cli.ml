@@ -5,6 +5,7 @@
    - [attack]   run the §2.3 attack matrix (optionally one attack)
    - [verify]   run the model checker (§4-§5)
    - [chaos]    sweep seeded fault plans against the recovery layer
+   - [churn]    soak the store-and-forward delivery queues under member churn
    - [failover] kill the primary of a multi-manager group and report
                 warm/cold promotion, replication counters and lag
    - [crash-matrix] enumerate every journal crash point and check recovery
@@ -218,6 +219,20 @@ let run_verify joins admin nonces keys legacy jobs stream max_states =
       rreports;
     List.for_all (fun rep -> rep.Symbolic.Invariants.holds) rreports
   in
+  let delivery_ok =
+    print_endline "\n-- delivery plane (store-and-forward / epoch window) --";
+    let t2 = Unix.gettimeofday () in
+    let dr = Symbolic.Delivery_model.explore () in
+    Printf.printf "explored %d states / %d transitions in %.2fs\n"
+      (Symbolic.Delivery_model.state_count dr)
+      (Symbolic.Delivery_model.edge_count dr)
+      (Unix.gettimeofday () -. t2);
+    let dreports = Symbolic.Delivery_model.reports dr in
+    List.iter
+      (fun rep -> Format.printf "%a@." Symbolic.Invariants.pp_report rep)
+      dreports;
+    List.for_all (fun rep -> rep.Symbolic.Invariants.holds) dreports
+  in
   let legacy_ok =
     if not legacy then true
     else begin
@@ -241,7 +256,7 @@ let run_verify joins admin nonces keys legacy jobs stream max_states =
         findings
     end
   in
-  if improved_ok && recovery_ok && legacy_ok then begin
+  if improved_ok && recovery_ok && delivery_ok && legacy_ok then begin
     print_endline "\nall §5 results verified";
     0
   end
@@ -688,19 +703,29 @@ let failover_cmd =
 (* --- crash-matrix --- *)
 
 let run_crash_matrix members appends compact_every seed no_torn verbose =
-  let report =
-    Enclaves.Crash_matrix.run ~members ~appends ~compact_every ~seed
-      ~torn:(not no_torn) ()
+  let show label report =
+    Printf.printf "%s:\n" label;
+    Format.printf "%a@." Enclaves.Crash_matrix.pp_report report;
+    if verbose || report.Enclaves.Crash_matrix.violations <> [] then
+      List.iter
+        (fun v -> Format.printf "  %a@." Enclaves.Crash_matrix.pp_violation v)
+        report.Enclaves.Crash_matrix.violations;
+    report.Enclaves.Crash_matrix.violations = []
   in
-  Format.printf "%a@." Enclaves.Crash_matrix.pp_report report;
-  if verbose || report.Enclaves.Crash_matrix.violations <> [] then
-    List.iter
-      (fun v -> Format.printf "  %a@." Enclaves.Crash_matrix.pp_violation v)
-      report.Enclaves.Crash_matrix.violations;
-  if report.Enclaves.Crash_matrix.violations = [] then begin
+  let journal_ok =
+    show "journal"
+      (Enclaves.Crash_matrix.run ~members ~appends ~compact_every ~seed
+         ~torn:(not no_torn) ())
+  in
+  let queue_ok =
+    show "delivery queue"
+      (Enclaves.Crash_matrix.run_queue ~seed ~torn:(not no_torn) ())
+  in
+  if journal_ok && queue_ok then begin
     print_endline
       "every crash image recovers: no exception, no resurrected session, no \
-       epoch regression, no acknowledged write lost";
+       epoch regression, no acknowledged write lost, no delivery duplicated \
+       after replay";
     0
   end
   else 1
@@ -739,6 +764,216 @@ let crash_matrix_cmd =
       const run_crash_matrix $ cm_members_arg $ cm_appends_arg $ cm_compact_arg
       $ cm_seed_arg $ cm_no_torn_arg $ verbose_arg)
 
+(* --- churn --- *)
+
+let run_churn members churn_rate epoch_window rounds seeds seed loss duplicate
+    stale verbose =
+  let module D = Enclaves.Driver.Improved in
+  (* Flag validation: reject configurations whose failure mode would be
+     trivial (nothing churns, or everything wedges) loudly instead. *)
+  if members < 2 then begin
+    prerr_endline
+      "churn: --members must be at least 2 (one member to churn and one to \
+       stay)";
+    exit 2
+  end;
+  if churn_rate <= 0.0 || churn_rate > 1.0 then begin
+    prerr_endline
+      "churn: --churn-rate must be in (0,1] — the per-round probability an \
+       in-session member is evicted as silent";
+    exit 2
+  end;
+  if epoch_window < 0 then begin
+    prerr_endline
+      "churn: --epoch-window must be non-negative (0 delivers only \
+       same-epoch records fresh)";
+    exit 2
+  end;
+  if rounds < 1 || seeds < 1 then begin
+    prerr_endline "churn: --rounds and --seeds must be positive";
+    exit 2
+  end;
+  let directory =
+    List.init members (fun i ->
+        let name = Printf.sprintf "user%d" i in
+        (name, name ^ "-pw"))
+  in
+  let policy =
+    {
+      Enclaves.Delivery.width = epoch_window;
+      on_stale =
+        (if stale then Enclaves.Delivery.Deliver_stale
+         else Enclaves.Delivery.Reject);
+    }
+  in
+  (* Tight anti-entropy watchdogs so an evicted member gives up on its
+     dead session and re-joins within a churn round or two. *)
+  let recovery =
+    {
+      D.default_recovery with
+      D.digest_period = Netsim.Vtime.of_ms 500;
+      probe_after = Netsim.Vtime.of_ms 1500;
+      reset_after = Netsim.Vtime.of_s 3;
+    }
+  in
+  let round_s = 4 in
+  let rekeys_total = ref 0 in
+  let one seed =
+    let rng = Prng.Splitmix.create seed in
+    let d =
+      D.create ~seed ~retry:D.default_retry ~recovery ~delivery:policy
+        ~leader:"leader" ~directory ()
+    in
+    let plan =
+      Netsim.Faultplan.make
+        ~default_link:(Netsim.Faultplan.lossy_link ~duplicate loss)
+        ()
+    in
+    Netsim.Network.set_faultplan (D.net d) (Some plan);
+    List.iter (fun (n, _) -> D.join d n) directory;
+    ignore (D.run ~until:(Netsim.Vtime.of_s 5) d);
+    let churn_end = 5 + (rounds * round_s) in
+    (* Rekeys every 2s age the queued entries against the window. *)
+    ignore
+      (D.start_periodic_rekey d
+         ~period:(Netsim.Vtime.of_s 2)
+         ~until:(Netsim.Vtime.of_s churn_end) ());
+    rekeys_total := (churn_end - 5) / 2;
+    let hwm = ref 0 and evictions = ref 0 in
+    for r = 1 to rounds do
+      List.iter
+        (fun (n, _) ->
+          let offline = List.mem n (D.offline_members d) in
+          if (not offline) && Prng.Splitmix.next_float rng < churn_rate then begin
+            incr evictions;
+            D.expel d n
+          end)
+        directory;
+      let t0 = 5 + ((r - 1) * round_s) in
+      for s = 1 to round_s do
+        ignore (D.run ~until:(Netsim.Vtime.of_s (t0 + s)) d);
+        hwm := max !hwm (D.total_queue_depth d)
+      done
+    done;
+    (* Heal: stop churning, let the watchdogs re-admit everyone and the
+       queues drain. *)
+    ignore (D.run ~until:(Netsim.Vtime.of_s (churn_end + 25)) d);
+    let stats = D.delivery_stats d in
+    let member_rows =
+      List.map (fun (n, _) -> (n, D.member d n)) directory
+    in
+    let no_dup =
+      (* Zero duplicate deliveries: every member applied a strictly
+         increasing run of delivery seqs, no seq twice. *)
+      List.for_all
+        (fun (_, m) ->
+          let rec mono last = function
+            | [] -> true
+            | s :: rest -> s > last && mono s rest
+          in
+          mono (-1) (Enclaves.Member.queued_applied m))
+        member_rows
+    in
+    let no_leak =
+      (* Zero cross-epoch leaks: with the reject policy no stale record
+         reaches any member at all; with --deliver-stale they arrive
+         flagged but [converged] below separately proves no member's
+         installed epoch moved off the leader's. *)
+      stale
+      || List.for_all
+           (fun (_, m) -> Enclaves.Member.stale_deliveries m = 0)
+           member_rows
+    in
+    (* Bounded depth: each eviction parks at most the notices plus one
+       record per rekey fired while it was away. *)
+    let depth_bound = members * (!rekeys_total + 4) in
+    let bounded = !hwm <= depth_bound in
+    let drained =
+      D.total_queue_depth d = 0 && D.offline_members d = []
+    in
+    let converged = D.view_converged d in
+    let ok = no_dup && no_leak && bounded && drained && converged in
+    Printf.printf
+      "seed=%-3Ld %-9s evictions=%-3d hwm=%-3d dup=%b leak=%b drained=%b \
+       bounded=%b\n"
+      seed
+      (if ok then "CONVERGED" else "WEDGED")
+      !evictions !hwm (not no_dup) (not no_leak) drained bounded;
+    Format.printf "         delivery: %a@." Netsim.Stats.pp_named
+      (D.delivery_counters d);
+    if verbose then begin
+      Format.printf "         recovery: %a@." Netsim.Stats.pp_named
+        (D.recovery_counters d);
+      ignore stats
+    end;
+    ok
+  in
+  Printf.printf
+    "churn: %d members, rate=%.0f%%/round, window=%d, %d rounds, loss=%.0f%% \
+     dup=%.0f%% stale=%s\n"
+    members (100. *. churn_rate) epoch_window rounds (100. *. loss)
+    (100. *. duplicate)
+    (if stale then "deliver" else "reject");
+  let seed_list = List.init seeds (fun i -> Int64.add seed (Int64.of_int i)) in
+  let ok = List.filter one seed_list in
+  Printf.printf "\n%d/%d seeds converged with clean delivery\n"
+    (List.length ok) seeds;
+  if List.length ok = seeds then 0 else 1
+
+let churn_rate_arg =
+  Arg.(
+    value & opt float 0.4
+    & info [ "churn-rate" ]
+        ~doc:
+          "Per-round probability that each in-session member is evicted as \
+           silent (its traffic then queues durably until it re-joins)")
+
+let epoch_window_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "epoch-window" ]
+        ~doc:
+          "Inclusive epoch-window width of the re-seal policy: queued \
+           records at most this many rekeys old still drain fresh")
+
+let churn_rounds_arg =
+  Arg.(value & opt int 6 & info [ "rounds" ] ~doc:"Churn rounds per seed")
+
+let churn_seeds_arg =
+  Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"Seeds swept from --seed up")
+
+let churn_duplicate_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "duplicate" ]
+        ~doc:
+          "Per-frame duplication probability (exercises the member-side \
+           delivery floor)")
+
+let churn_loss_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "loss" ] ~doc:"Per-frame loss probability during the soak")
+
+let churn_stale_arg =
+  Arg.(
+    value & flag
+    & info [ "deliver-stale" ]
+        ~doc:
+          "Use the deliver-stale policy arm instead of reject for \
+           beyond-window records")
+
+let churn_cmd =
+  let doc =
+    "soak the store-and-forward delivery queues under seeded member churn \
+     and verify exactly-once, in-window delivery"
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      const run_churn $ chaos_members_arg $ churn_rate_arg $ epoch_window_arg
+      $ churn_rounds_arg $ churn_seeds_arg $ seed_arg $ churn_loss_arg
+      $ churn_duplicate_arg $ churn_stale_arg $ verbose_arg)
+
 (* --- keys --- *)
 
 let run_keys user password =
@@ -766,6 +1001,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            session_cmd; attack_cmd; verify_cmd; chaos_cmd; failover_cmd;
-            crash_matrix_cmd; keys_cmd;
+            session_cmd; attack_cmd; verify_cmd; chaos_cmd; churn_cmd;
+            failover_cmd; crash_matrix_cmd; keys_cmd;
           ]))

@@ -6,6 +6,7 @@ type anomaly =
   | Replayed_admin of { recipient : Types.agent; occurrences : int }
   | Forged_frame of { recipient : Types.agent; label : F.label }
   | Stale_rekey of { recipient : Types.agent; epoch : int; current : int }
+  | Stale_delivery of { recipient : Types.agent; seq : int }
 
 let pp_anomaly fmt = function
   | Replayed_admin { recipient; occurrences } ->
@@ -18,6 +19,11 @@ let pp_anomaly fmt = function
       Format.fprintf fmt
         "stale rekey to %s: delivered epoch %d does not exceed current %d"
         recipient epoch current
+  | Stale_delivery { recipient; seq } ->
+      Format.fprintf fmt
+        "store-and-forward record seq %d delivered to %s beyond the epoch \
+         window (flagged stale)"
+        seq recipient
 
 type report = {
   handshakes_completed : int;
@@ -110,6 +116,33 @@ let run ~directory ~leader trace =
                                    current = s.epoch;
                                  })
                           else s.epoch <- epoch
+                      | Ok { P.x = Wire.Admin.Queued { seq; stale; x }; _ } ->
+                          (* Drained store-and-forward traffic. A
+                             stale-flagged record is the epoch-window
+                             policy's deliver-as-stale arm — exactly
+                             what the auditor must surface. A fresh
+                             drained rekey may legitimately repeat the
+                             member's current epoch (the live rekey
+                             raced the drain and the leader freshened
+                             the wrapper), so only a strict regression
+                             is anomalous. *)
+                          if stale then
+                            flag
+                              (Stale_delivery
+                                 { recipient = frame.F.recipient; seq })
+                          else (
+                            match x with
+                            | Wire.Admin.New_group_key { epoch; _ } ->
+                                if epoch < s.epoch then
+                                  flag
+                                    (Stale_rekey
+                                       {
+                                         recipient = frame.F.recipient;
+                                         epoch;
+                                         current = s.epoch;
+                                       })
+                                else s.epoch <- max s.epoch epoch
+                            | _ -> ())
                       | Ok _ | Error _ -> ())
                 | Error _ ->
                     flag

@@ -28,6 +28,12 @@ type anomaly =
           that member — a replayed or misordered rekey that a correct
           member must not install. Byte-identical duplicates are
           reported as [Replayed_admin] only. *)
+  | Stale_delivery of { recipient : Types.agent; seq : int }
+      (** A store-and-forward record drained beyond the epoch-window
+          policy's width and delivered flagged stale — legitimate
+          protocol behaviour (the member applies no state effect), but
+          always surfaced by the auditor so an operator can see which
+          queued traffic outlived its epoch. *)
 
 val pp_anomaly : Format.formatter -> anomaly -> unit
 

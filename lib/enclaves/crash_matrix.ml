@@ -244,3 +244,160 @@ let run ?(members = 4) ?(appends = 24) ?(compact_every = 8) ?(seed = 11L)
     checkpoints = List.length cps;
     violations = List.rev !violations;
   }
+
+(* The same matrix over a store-and-forward delivery queue: a workload
+   of pushes (across several epochs), cumulative acks, policy drops and
+   forced compactions runs against a crash-point recorder, and every
+   enumerable crash image is replayed. Beyond totality, the two
+   delivery-specific invariants:
+
+   - no duplicate-after-replay: the recovered pending set never holds
+     one delivery seq twice, out of order, or below the ack floor —
+     replaying any crash image of the queue file cannot make a drain
+     deliver an entry twice (the at-least-once story is the in-memory
+     redelivery path, not file corruption);
+   - no acknowledged-then-lost: at every checkpoint where a queue
+     mutation has returned, the durable image replays Clean to exactly
+     the acknowledged state — an acked floor or a pushed entry, once
+     confirmed, survives any subsequent crash;
+
+   plus floor monotonicity across boundaries in time order. *)
+let run_queue ?(pushes = 18) ?(compact_every = 6) ?(seed = 12L) ?(torn = true)
+    () =
+  let rng = Prng.Splitmix.create seed in
+  let mem = Store.Mem.create () in
+  let rec_ = CP.recorder mem in
+  let disk = CP.handle rec_ in
+  let q = Store.Queue.create ~compact_every ~disk ~file:"queue-m1" () in
+  let checkpoints = ref [] in
+  let mark () =
+    checkpoints :=
+      (List.length (CP.ops rec_), Store.Queue.state q, Store.Queue.contents q)
+      :: !checkpoints
+  in
+  mark ();
+  (* The workload: pushes spread over epochs, a mid-stream cumulative
+     ack, one policy drop, more pushes (forcing compactions past the
+     ack floor), a final ack. *)
+  let payload i = Printf.sprintf "payload-%d-%d" i (Prng.Splitmix.next_int rng 1000) in
+  let pushed = ref [] in
+  for i = 1 to pushes do
+    let e = Store.Queue.push q ~epoch:(i / 4) (payload i) in
+    pushed := e :: !pushed;
+    mark ();
+    if i = pushes / 3 then begin
+      Store.Queue.ack q ~upto:(e.Store.Queue.seq - 1);
+      mark ()
+    end;
+    if i = pushes / 2 then begin
+      Store.Queue.drop q ~seq:e.Store.Queue.seq;
+      mark ()
+    end
+  done;
+  Store.Queue.ack q ~upto:(Store.Queue.next_seq q - 2);
+  mark ();
+  let ops = CP.ops rec_ in
+  let images = CP.enumerate ~torn ops in
+  let violations = ref [] in
+  let flag image invariant detail =
+    violations := { image; invariant; detail } :: !violations
+  in
+  let clean = ref 0 and damaged = ref 0 in
+  let check_image (img : CP.image) =
+    let bytes =
+      Option.value ~default:""
+        (List.assoc_opt (Store.Queue.file q) img.CP.files)
+    in
+    match Store.Queue.replay bytes with
+    | exception e ->
+        flag img.CP.label "replay-total"
+          (Printf.sprintf "queue replay raised %s" (Printexc.to_string e))
+    | records, status -> (
+        (match status with
+        | Store.Queue.Clean -> incr clean
+        | Store.Queue.Damaged _ -> incr damaged);
+        let state = Store.Queue.state_of_records records in
+        (* No duplicate-after-replay: pending seqs strictly increasing,
+           none below the floor, none at or past next_seq. *)
+        let rec walk last = function
+          | [] -> ()
+          | (e : Store.Queue.entry) :: rest ->
+              if e.Store.Queue.seq <= last then
+                flag img.CP.label "no-duplicate"
+                  (Printf.sprintf "pending seq %d repeats or regresses after %d"
+                     e.Store.Queue.seq last);
+              if e.Store.Queue.seq < state.Store.Queue.floor then
+                flag img.CP.label "no-duplicate"
+                  (Printf.sprintf "pending seq %d below ack floor %d"
+                     e.Store.Queue.seq state.Store.Queue.floor);
+              if e.Store.Queue.seq >= state.Store.Queue.next_seq then
+                flag img.CP.label "no-duplicate"
+                  (Printf.sprintf "pending seq %d at or past next_seq %d"
+                     e.Store.Queue.seq state.Store.Queue.next_seq);
+              walk e.Store.Queue.seq rest
+        in
+        walk (-1) state.Store.Queue.pending;
+        (* Recovery must accept the image too. *)
+        match Store.Queue.recover bytes with
+        | exception e ->
+            flag img.CP.label "recover-total"
+              (Printf.sprintf "queue recover raised %s" (Printexc.to_string e))
+        | q', state', _ ->
+            if Store.Queue.state q' <> state' then
+              flag img.CP.label "recover-total"
+                "recovered queue state differs from replayed fold")
+  in
+  List.iter check_image images;
+  (* No acknowledged-then-lost: at every acknowledged checkpoint the
+     durable image replays Clean to the acknowledged state. *)
+  let cps = List.rev !checkpoints in
+  List.iter
+    (fun (boundary, state, bytes) ->
+      let label = Printf.sprintf "queue checkpoint at boundary %d" boundary in
+      let durable =
+        Option.value ~default:""
+          (List.assoc_opt (Store.Queue.file q) (CP.durable_at ops boundary))
+      in
+      if durable <> bytes then
+        flag label "durability"
+          (Printf.sprintf
+             "durable image (%d bytes) != acknowledged queue (%d bytes)"
+             (String.length durable) (String.length bytes))
+      else
+        match Store.Queue.replay durable with
+        | _, Store.Queue.Damaged _ ->
+            flag label "durability" "acknowledged queue replays damaged"
+        | records, Store.Queue.Clean ->
+            let got = Store.Queue.state_of_records records in
+            if got <> state then
+              flag label "durability"
+                "replayed queue state differs from acknowledged state")
+    cps;
+  (* Ack-floor monotonicity across boundaries in time order. *)
+  let n_ops = List.length ops in
+  let last_floor = ref 0 in
+  for b = 0 to n_ops do
+    let durable =
+      Option.value ~default:""
+        (List.assoc_opt (Store.Queue.file q) (CP.durable_at ops b))
+    in
+    let records, _ = Store.Queue.replay durable in
+    let f = (Store.Queue.state_of_records records).Store.Queue.floor in
+    if f < !last_floor then
+      flag
+        (Printf.sprintf "boundary %d: durable" b)
+        "floor-monotone"
+        (Printf.sprintf "durable ack floor regressed %d -> %d" !last_floor f);
+    last_floor := max !last_floor f
+  done;
+  ignore !pushed;
+  {
+    ops = n_ops;
+    boundaries = n_ops + 1;
+    images = List.length images;
+    unique_images = CP.dedup_count images;
+    clean = !clean;
+    damaged = !damaged;
+    checkpoints = List.length cps;
+    violations = List.rev !violations;
+  }

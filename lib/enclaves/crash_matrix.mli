@@ -55,3 +55,22 @@ val run :
     Defaults: 4 members, 24 extra epoch bumps, compaction every 8
     records, seed 11, torn-write variants on. Deterministic for a
     given argument vector. *)
+
+val run_queue :
+  ?pushes:int ->
+  ?compact_every:int ->
+  ?seed:int64 ->
+  ?torn:bool ->
+  unit ->
+  report
+(** The same matrix over a store-and-forward delivery queue
+    ({!Store.Queue}): pushes across several epochs, a mid-stream
+    cumulative ack, a policy drop, and forced compactions past the ack
+    floor. Beyond replay/recover totality, asserts the two
+    delivery-specific invariants — {b no duplicate-after-replay} (no
+    crash image recovers a pending set with a repeated, misordered or
+    below-floor delivery seq) and {b no acknowledged-then-lost} (at
+    every returned mutation the durable image replays [Clean] to
+    exactly the acknowledged state) — plus ack-floor monotonicity
+    across boundaries in time order. Defaults: 18 pushes, compaction
+    every 6 records, seed 12, torn variants on. *)

@@ -1,0 +1,205 @@
+(* Store-and-forward delivery: one durable {!Store.Queue} per offline
+   member, plus the epoch-window policy that decides what happens to a
+   record queued under a group epoch that has since rotated.
+
+   The queues hold {e plaintext} admin payloads (the encoded
+   [Wire.Admin.t]); nothing here is a secret — the durable image is
+   protected the same way the leader journal is (integrity checksums,
+   crash-tolerant replay), and confidentiality is applied at fire
+   time, when the leader seals the drained record under the member's
+   {e live} session key. That is what makes the "re-seal" arm of the
+   policy sound: a record inside the window is not decrypted and
+   re-encrypted — it was never sealed for the wire while queued, so
+   delivering it under the current [K_a]/epoch is a fresh seal with no
+   old-key material exposed. *)
+
+type stale_action = Deliver_stale | Reject
+
+type policy = { width : int; on_stale : stale_action }
+
+let default_policy = { width = 1; on_stale = Reject }
+
+let pp_policy fmt { width; on_stale } =
+  Format.fprintf fmt "window=%d,%s" width
+    (match on_stale with
+    | Deliver_stale -> "deliver-stale"
+    | Reject -> "reject")
+
+type counters = {
+  mutable queued : int;
+  mutable drained : int;
+  mutable resealed : int;
+  mutable rejected_stale : int;
+  mutable delivered_stale : int;
+  mutable queue_bytes_hwm : int;
+}
+
+let fresh_counters () =
+  {
+    queued = 0;
+    drained = 0;
+    resealed = 0;
+    rejected_stale = 0;
+    delivered_stale = 0;
+    queue_bytes_hwm = 0;
+  }
+
+type t = {
+  policy : policy;
+  compact_every : int;
+  disk : Store.Backend.t option;
+  queues : (Types.agent, Store.Queue.t) Hashtbl.t;
+  counters : counters;
+  mutable ship : (file:string -> string -> unit) option;
+}
+
+let create ?(policy = default_policy) ?(compact_every = 64) ?disk () =
+  if policy.width < 0 then
+    invalid_arg "Delivery.create: window width must be >= 0";
+  {
+    policy;
+    compact_every;
+    disk;
+    queues = Hashtbl.create 16;
+    counters = fresh_counters ();
+    ship = None;
+  }
+
+let policy t = t.policy
+let counters t = t.counters
+let set_ship t f = t.ship <- f
+
+let file_prefix = "queue-"
+let file_of_member who = file_prefix ^ who
+
+let member_of_file file =
+  let n = String.length file_prefix in
+  if String.length file > n && String.sub file 0 n = file_prefix then
+    Some (String.sub file n (String.length file - n))
+  else None
+
+let total_bytes t =
+  Hashtbl.fold (fun _ q acc -> acc + Store.Queue.size q) t.queues 0
+
+let after_mutation t q =
+  let bytes = total_bytes t in
+  if bytes > t.counters.queue_bytes_hwm then
+    t.counters.queue_bytes_hwm <- bytes;
+  match t.ship with
+  | None -> ()
+  | Some ship -> ship ~file:(Store.Queue.file q) (Store.Queue.contents q)
+
+let attach t q =
+  Store.Queue.set_observer q (Some (fun _ev -> after_mutation t q));
+  q
+
+let queue_of t who =
+  match Hashtbl.find_opt t.queues who with
+  | Some q -> q
+  | None ->
+      let q =
+        Store.Queue.create ~compact_every:t.compact_every ?disk:t.disk
+          ~file:(file_of_member who) ()
+      in
+      Hashtbl.replace t.queues who (attach t q);
+      q
+
+let enqueue t ~member ~epoch x =
+  let q = queue_of t member in
+  let _e = Store.Queue.push q ~epoch (Wire.Admin.encode x) in
+  t.counters.queued <- t.counters.queued + 1
+
+(* The policy decision, per record. [age] is how many epochs the group
+   rotated past the one the record was queued under: [age <= 0] is
+   current traffic, [0 < age <= width] is inside the window (delivered
+   under the live session key), and beyond the window the record is
+   either delivered flagged stale (no state effect at the member, an
+   [Audit] anomaly on the trace) or durably dropped. The boundary
+   [age = width] is inclusive: it drains fresh. The [resealed] counter
+   is bumped where the seal physically happens — [Leader.fire_admin],
+   which freshens any wrapped key the group rotated past — so a record
+   aged at drain time and one overtaken between drain and fire count
+   once each, not twice. *)
+let drain t ~member ~current_epoch =
+  match Hashtbl.find_opt t.queues member with
+  | None -> []
+  | Some q ->
+      let decide (e : Store.Queue.entry) =
+        match Wire.Admin.decode e.Store.Queue.payload with
+        | Error _ ->
+            (* Undecodable payloads cannot be delivered; drop durably
+               so replay never re-presents them. *)
+            Store.Queue.drop q ~seq:e.Store.Queue.seq;
+            None
+        | Ok x ->
+            let age = current_epoch - e.Store.Queue.epoch in
+            if age <= t.policy.width then begin
+              t.counters.drained <- t.counters.drained + 1;
+              Some
+                (Wire.Admin.Queued
+                   { seq = e.Store.Queue.seq; stale = false; x })
+            end
+            else
+              match t.policy.on_stale with
+              | Deliver_stale ->
+                  t.counters.delivered_stale <-
+                    t.counters.delivered_stale + 1;
+                  t.counters.drained <- t.counters.drained + 1;
+                  Some
+                    (Wire.Admin.Queued
+                       { seq = e.Store.Queue.seq; stale = true; x })
+              | Reject ->
+                  Store.Queue.drop q ~seq:e.Store.Queue.seq;
+                  t.counters.rejected_stale <-
+                    t.counters.rejected_stale + 1;
+                  None
+      in
+      List.filter_map decide (Store.Queue.pending q)
+
+let ack t ~member ~upto =
+  match Hashtbl.find_opt t.queues member with
+  | None -> ()
+  | Some q -> Store.Queue.ack q ~upto
+
+let clear t ~member =
+  match Hashtbl.find_opt t.queues member with
+  | None -> ()
+  | Some q ->
+      List.iter
+        (fun (e : Store.Queue.entry) ->
+          Store.Queue.drop q ~seq:e.Store.Queue.seq)
+        (Store.Queue.pending q);
+      Store.Queue.compact q
+
+let depth t ~member =
+  match Hashtbl.find_opt t.queues member with
+  | None -> 0
+  | Some q -> Store.Queue.depth q
+
+let total_depth t =
+  Hashtbl.fold (fun _ q acc -> acc + Store.Queue.depth q) t.queues 0
+
+let members t =
+  Hashtbl.fold (fun who _ acc -> who :: acc) t.queues []
+  |> List.sort String.compare
+
+let files t =
+  Hashtbl.fold
+    (fun _ q acc -> (Store.Queue.file q, Store.Queue.contents q) :: acc)
+    t.queues []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let restore t ~file image =
+  match member_of_file file with
+  | None -> ()
+  | Some member ->
+      let q, _state, _status =
+        Store.Queue.recover ~compact_every:t.compact_every ?disk:t.disk ~file
+          image
+      in
+      Hashtbl.replace t.queues member (attach t q)
+
+let of_images ?policy ?compact_every ?disk images =
+  let t = create ?policy ?compact_every ?disk () in
+  List.iter (fun (file, image) -> restore t ~file image) images;
+  t

@@ -115,6 +115,14 @@ module Improved = struct
     mutable journal : Journal.t option;  (* write-through to [backend] *)
     mutable vault : Store.Vault.t option;
         (* durable epoch vault, on the same backend as the journal *)
+    delivery_policy : Delivery.policy option;
+    mutable delivery : Delivery.t option;  (* replaced on a leader restart *)
+    mutable queue_crash_images : (string * string) list option;
+        (* Durable queue-file images captured at the last crash — like
+           [crash_bytes], what a restarted process actually finds. *)
+    mutable acc_delivery : Netsim.Stats.delivery;
+        (* Counters banked from delivery layers of dead leader
+           incarnations. *)
     disk : Store.Mem.t option;  (* simulated disk under the journal *)
     fault : Store.Fault.t option;  (* seeded fault layer, if configured *)
     backend : Store.Backend.t option;  (* fault-wrapped handle to [disk] *)
@@ -378,8 +386,36 @@ module Improved = struct
           | None -> ()
         end)
 
+  (* Freeze one delivery layer's counters (the member-side dedup count
+     is filled in by [delivery_stats]). *)
+  let delivery_snapshot d =
+    let c = Delivery.counters d in
+    {
+      Netsim.Stats.queued = c.Delivery.queued;
+      drained = c.Delivery.drained;
+      deduped = 0;
+      resealed = c.Delivery.resealed;
+      rejected_stale = c.Delivery.rejected_stale;
+      delivered_stale = c.Delivery.delivered_stale;
+      queue_bytes_hwm = c.Delivery.queue_bytes_hwm;
+    }
+
+  let add_delivery (a : Netsim.Stats.delivery) (b : Netsim.Stats.delivery) =
+    {
+      Netsim.Stats.queued = a.Netsim.Stats.queued + b.Netsim.Stats.queued;
+      drained = a.Netsim.Stats.drained + b.Netsim.Stats.drained;
+      deduped = a.Netsim.Stats.deduped + b.Netsim.Stats.deduped;
+      resealed = a.Netsim.Stats.resealed + b.Netsim.Stats.resealed;
+      rejected_stale =
+        a.Netsim.Stats.rejected_stale + b.Netsim.Stats.rejected_stale;
+      delivered_stale =
+        a.Netsim.Stats.delivered_stale + b.Netsim.Stats.delivered_stale;
+      queue_bytes_hwm =
+        max a.Netsim.Stats.queue_bytes_hwm b.Netsim.Stats.queue_bytes_hwm;
+    }
+
   let create ?(seed = 42L) ?latency_us ?policy ?retry ?recovery ?storage_faults
-      ~leader ~directory () =
+      ?delivery:delivery_policy ~leader ~directory () =
     let sim = Netsim.Sim.create ~seed () in
     let net = Netsim.Network.create ~sim ?latency_us () in
     let rng = Netsim.Sim.rng sim in
@@ -414,8 +450,14 @@ module Improved = struct
       | Some _ -> Some (Store.Vault.create ?disk:backend ())
       | None -> None
     in
+    let delivery =
+      Option.map
+        (fun policy -> Delivery.create ~policy ?disk:backend ())
+        delivery_policy
+    in
     let l =
-      Leader.create ~self:leader ~rng ~directory ?policy ?journal ?vault ()
+      Leader.create ~self:leader ~rng ~directory ?policy ?journal ?vault
+        ?delivery ()
     in
     let members = Hashtbl.create 8 in
     let t =
@@ -432,6 +474,10 @@ module Improved = struct
         recstats = fresh_recovery_stats ();
         journal;
         vault;
+        delivery_policy;
+        delivery;
+        queue_crash_images = None;
+        acc_delivery = Netsim.Stats.empty_delivery;
         disk;
         fault;
         backend;
@@ -521,6 +567,35 @@ module Improved = struct
   let rekey t = dispatch_leader t (Leader.rekey t.leader)
   let expel t who = dispatch_leader t (Leader.expel t.leader who)
 
+  (* --- store-and-forward --- *)
+
+  let mark_offline t who = Leader.mark_offline t.leader who
+  let mark_online t who = dispatch_leader t (Leader.mark_online t.leader who)
+  let offline_members t = Leader.offline_members t.leader
+  let delivery t = t.delivery
+
+  let queue_depth t who =
+    match t.delivery with Some d -> Delivery.depth d ~member:who | None -> 0
+
+  let total_queue_depth t =
+    match t.delivery with Some d -> Delivery.total_depth d | None -> 0
+
+  let delivery_stats t =
+    let live =
+      match t.delivery with
+      | Some d -> delivery_snapshot d
+      | None -> Netsim.Stats.empty_delivery
+    in
+    let deduped =
+      Hashtbl.fold
+        (fun _ m acc -> acc + Member.deliveries_deduped m)
+        t.members 0
+    in
+    let s = add_delivery t.acc_delivery live in
+    { s with Netsim.Stats.deduped }
+
+  let delivery_counters t = Netsim.Stats.delivery_named (delivery_stats t)
+
   (* --- leader crash and restart --- *)
 
   let crash_leader t =
@@ -545,6 +620,18 @@ module Improved = struct
               (Option.value ~default:""
                  (Store.Mem.durable_of mem Store.Vault.default_file))
       | None -> ());
+      (* Same rule for the delivery queues: a restarted process finds
+         each queue file's durable image, not the live structure. *)
+      (match (t.disk, t.delivery) with
+      | Some mem, Some d ->
+          t.queue_crash_images <-
+            Some
+              (List.map
+                 (fun (file, _) ->
+                   ( file,
+                     Option.value ~default:"" (Store.Mem.durable_of mem file) ))
+                 (Delivery.files d))
+      | _ -> ());
       Netsim.Network.unregister t.net (Leader.self t.leader)
     end
 
@@ -647,13 +734,32 @@ module Improved = struct
     | None -> ());
     t.vault_crash_bytes <- None;
     let vault = t.vault in
+    (* The delivery queues follow the same discipline: bank the dead
+       incarnation's counters, then rebuild the layer from the captured
+       durable images (or the live images on a crash-free restart). *)
+    (match t.delivery_policy with
+    | Some policy ->
+        (match t.delivery with
+        | Some d ->
+            t.acc_delivery <- add_delivery t.acc_delivery (delivery_snapshot d)
+        | None -> ());
+        let images =
+          match t.queue_crash_images with
+          | Some imgs -> imgs
+          | None -> (
+              match t.delivery with Some d -> Delivery.files d | None -> [])
+        in
+        t.delivery <- Some (Delivery.of_images ~policy ?disk:t.backend images)
+    | None -> ());
+    t.queue_crash_images <- None;
+    let delivery = t.delivery in
     match (warm, bytes) with
     | true, Some b ->
         retire_journal t;
         let j, state, status = Journal.recover ?disk:t.backend b in
         let l, challenges =
           Leader.recover ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ~journal:j ?vault ~state ()
+            ?policy:t.policy ~journal:j ?vault ?delivery ~state ()
         in
         t.leader <- l;
         t.journal <- Some j;
@@ -681,7 +787,7 @@ module Improved = struct
         let j = Journal.create ?disk:t.backend () in
         let l, beacons =
           Leader.cold_recover ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ~journal:j ?vault ~state ()
+            ?policy:t.policy ~journal:j ?vault ?delivery ~state ()
         in
         t.leader <- l;
         t.journal <- Some j;
@@ -702,7 +808,7 @@ module Improved = struct
            fresh automaton that knows nothing. *)
         let l =
           Leader.create ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ()
+            ?policy:t.policy ?delivery ()
         in
         t.leader <- l;
         t.leader_down <- false;

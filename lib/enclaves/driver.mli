@@ -106,6 +106,7 @@ module Improved : sig
     ?retry:retry_config ->
     ?recovery:recovery_config ->
     ?storage_faults:Store.Fault.config ->
+    ?delivery:Delivery.policy ->
     leader:Types.agent ->
     directory:(Types.agent * string) list ->
     unit ->
@@ -137,7 +138,18 @@ module Improved : sig
       writes, short writes, dropped fsyncs and transient EIO into the
       journal's write path. A subsequent {!crash_leader} captures the
       {e durable} disk image, and {!restart_leader} recovers from that
-      image — so unsynced bytes really die in the crash. *)
+      image — so unsynced bytes really die in the crash.
+
+      With [delivery] set, the leader additionally runs a
+      store-and-forward {!Delivery} layer under the given epoch-window
+      policy, on the same (possibly fault-wrapped) backend as the
+      journal when recovery is on: traffic for members marked offline
+      ({!mark_offline}, or expelled-as-silent) is durably queued and
+      drained at reconnect. {!crash_leader} captures each queue file's
+      durable image and {!restart_leader} rebuilds the layer from
+      those images, so acknowledged deliveries survive the crash and
+      unacknowledged ones re-drain (the member's delivery floor
+      absorbs the duplicates). *)
 
   val sim : t -> Netsim.Sim.t
   val net : t -> Netsim.Network.t
@@ -246,6 +258,35 @@ module Improved : sig
 
   val rekey : t -> unit
   val expel : t -> Types.agent -> unit
+
+  (** {2 Store-and-forward} *)
+
+  val mark_offline : t -> Types.agent -> unit
+  (** {!Leader.mark_offline} on the current leader incarnation. *)
+
+  val mark_online : t -> Types.agent -> unit
+  (** {!Leader.mark_online}, putting the drain frames on the wire. *)
+
+  val offline_members : t -> Types.agent list
+
+  val delivery : t -> Delivery.t option
+  (** The current incarnation's delivery layer, when [delivery] was
+      given at {!create}. *)
+
+  val queue_depth : t -> Types.agent -> int
+  (** Pending (unacknowledged) deliveries queued for one member. *)
+
+  val total_queue_depth : t -> int
+
+  val delivery_stats : t -> Netsim.Stats.delivery
+  (** Store-and-forward counters summed across leader incarnations
+      (the high-water mark is a max), with the members' cumulative
+      dedup counts filled in. All zeros when [delivery] was not
+      given. *)
+
+  val delivery_counters : t -> (string * int) list
+  (** {!delivery_stats} as labelled counters for
+      {!Netsim.Stats.pp_named}. *)
 
   val start_periodic_rekey :
     t -> period:Netsim.Vtime.t -> ?until:Netsim.Vtime.t -> unit ->

@@ -64,6 +64,7 @@ type t = {
   net : Netsim.Network.t;
   config : config;
   directory : (Types.agent * string) list;
+  delivery_policy : Delivery.policy option;
   repl_key : Key.t;
   counters : Replication.counters;
   managers : manager array;
@@ -450,6 +451,22 @@ let make_source t mgr ~term ~journal =
            demote t mgr ~term ~primary_name:primary)
          ~counters:t.counters ())
 
+(* Hook the primary's delivery layer into its replication source, so
+   every durable queue mutation ships to the backups — and ship the
+   current images once so the new term's stream covers backlogs that
+   predate it. *)
+let wire_delivery _t mgr =
+  match (Leader.delivery mgr.leader, mgr.source) with
+  | Some d, Some s ->
+      Delivery.set_ship d
+        (Some
+           (fun ~file image ->
+             Replication.Source.ship_queue_image s ~file image));
+      List.iter
+        (fun (file, image) -> Replication.Source.ship_queue_image s ~file image)
+        (Delivery.files d)
+  | _ -> ()
+
 let start_repl_heartbeat t mgr =
   let h =
     Netsim.Sim.every_handle t.sim ~period:t.config.repl_heartbeat_period
@@ -484,6 +501,20 @@ let promote t mgr =
       let journal, state, _status =
         Journal.recover ~disk:backend ~file:"journal" bytes
       in
+      (* The replicated queue images carry the offline members' backlogs
+         across the promotion: the successor's delivery layer is rebuilt
+         from them (replay is total, torn images cost at most a damaged
+         suffix) and keeps draining without member re-handshakes. The
+         queues hold plaintext payloads re-sealed at fire time, so they
+         are safe to keep even on a cold promotion that distrusts the
+         replica's sessions. *)
+      let delivery =
+        Option.map
+          (fun policy ->
+            Delivery.of_images ~policy ~disk:backend
+              (Replication.Replica.queue_images r))
+          t.delivery_policy
+      in
       let warm =
         t.config.warm_failover && state.Journal.sessions <> []
       in
@@ -491,10 +522,11 @@ let promote t mgr =
         t.counters.warm_promotions <- t.counters.warm_promotions + 1;
         let leader', challenges =
           Leader.recover ~self:mgr.name ~rng ~directory:t.directory ~journal
-            ~vault:mgr.vault ~state ()
+            ~vault:mgr.vault ?delivery ~state ()
         in
         mgr.leader <- leader';
         make_source t mgr ~term ~journal;
+        wire_delivery t mgr;
         send_frames t ~src:mgr.name challenges
       end
       else begin
@@ -505,10 +537,11 @@ let promote t mgr =
         let journal = Journal.create ~disk:backend ~file:"journal" () in
         let leader', beacons =
           Leader.cold_recover ~self:mgr.name ~rng ~directory:t.directory
-            ~journal ~vault:mgr.vault ~state ()
+            ~journal ~vault:mgr.vault ?delivery ~state ()
         in
         mgr.leader <- leader';
         make_source t mgr ~term ~journal;
+        wire_delivery t mgr;
         send_frames t ~src:mgr.name beacons
       end
 
@@ -544,7 +577,8 @@ let start_promotion_watchdog t mgr =
   in
   t.handles <- h :: t.handles
 
-let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
+let create ?(seed = 77L) ?(config = default_config) ?delivery ~managers
+    ~directory () =
   if managers = [] then invalid_arg "Failover.create: no managers";
   let sim = Netsim.Sim.create ~seed () in
   let net = Netsim.Network.create ~sim () in
@@ -577,6 +611,7 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
       net;
       config;
       directory;
+      delivery_policy = delivery;
       repl_key;
       counters;
       managers;
@@ -597,11 +632,19 @@ let create ?(seed = 77L) ?(config = default_config) ~managers ~directory () =
   let journal =
     Journal.create ~disk:(Store.Mem.handle m0.disk) ~file:"journal" ()
   in
+  let delivery0 =
+    Option.map
+      (fun policy ->
+        Delivery.create ~policy ~disk:(Store.Mem.handle m0.disk) ())
+      t.delivery_policy
+  in
   m0.leader <-
-    Leader.create ~self:m0.name ~rng ~directory ~journal ~vault:m0.vault ();
+    Leader.create ~self:m0.name ~rng ~directory ~journal ~vault:m0.vault
+      ?delivery:delivery0 ();
   let n = Array.length t.managers in
   let term0 = term_of ~n ~generation:1 ~idx:0 in
   make_source t m0 ~term:term0 ~journal;
+  wire_delivery t m0;
   (* Backups start with the initial term as their stale floor, so
      every term any manager ever mints is generation-consistent. *)
   Array.iter
@@ -722,6 +765,20 @@ let role t name =
           }
     | None, None -> Down
 
+(* Drive the current primary's group-management plane from the
+   harness: used by the churn/failover scenarios to park traffic in a
+   member's store-and-forward queue (expel-as-silent) and to age it
+   (rekey) while the member is away. *)
+let with_primary t f =
+  match primary t with
+  | None -> ()
+  | Some name ->
+      let mgr = find_manager t name in
+      send_frames t ~src:mgr.name (f mgr.leader)
+
+let expel t who = with_primary t (fun l -> Leader.expel l who)
+let rekey t = with_primary t (fun l -> Leader.rekey l)
+
 let replica_bytes t name =
   match (find_manager t name).replica with
   | Some r -> Some (Replication.Replica.contents r)
@@ -733,6 +790,42 @@ let journal_bytes t name =
   | None -> None
 
 let replication_stats t = Replication.snapshot_counters t.counters
+
+(* The live primary's store-and-forward counters (fresh counters start
+   with each promotion's rebuilt layer), plus the members' cumulative
+   dedup counts — those survive promotions because the delivery floor
+   lives at the member. *)
+let delivery_stats t =
+  let base = ref None in
+  Array.iter
+    (fun mgr ->
+      if (not mgr.crashed) && mgr.source <> None then
+        match Leader.delivery mgr.leader with
+        | Some d -> base := Some (Delivery.counters d)
+        | None -> ())
+    t.managers;
+  let deduped =
+    Hashtbl.fold
+      (fun _ slot acc -> acc + Member.deliveries_deduped slot.automaton)
+      t.members 0
+  in
+  match !base with
+  | None -> { Netsim.Stats.empty_delivery with deduped }
+  | Some c ->
+      {
+        Netsim.Stats.queued = c.Delivery.queued;
+        drained = c.Delivery.drained;
+        deduped;
+        resealed = c.Delivery.resealed;
+        rejected_stale = c.Delivery.rejected_stale;
+        delivered_stale = c.Delivery.delivered_stale;
+        queue_bytes_hwm = c.Delivery.queue_bytes_hwm;
+      }
+
+let replica_queue_images t name =
+  match (find_manager t name).replica with
+  | Some r -> Replication.Replica.queue_images r
+  | None -> []
 
 let replication_lag t =
   let found = ref [] in

@@ -152,13 +152,19 @@ val default_config : config
 val create :
   ?seed:int64 ->
   ?config:config ->
+  ?delivery:Delivery.policy ->
   managers:Types.agent list ->
   directory:(Types.agent * string) list ->
   unit ->
   t
 (** [create ~managers ~directory ()] builds the simulation: every
     manager runs a {!Leader} over the shared [directory]; members are
-    created but not joined.
+    created but not joined. With [delivery], the primary runs a
+    store-and-forward {!Delivery} layer on its own disk whose durable
+    queue mutations are shipped to every backup as [Repl_queue] ops;
+    a promoted successor rebuilds the layer from its replicated images
+    and keeps draining offline members' backlogs without member
+    re-handshakes.
     @raise Invalid_argument if [managers] is empty. *)
 
 val sim : t -> Netsim.Sim.t
@@ -172,6 +178,18 @@ val join : t -> Types.agent -> unit
 (** Join one member to the current primary. *)
 
 val send_app : t -> Types.agent -> string -> unit
+
+val expel : t -> Types.agent -> unit
+(** Evict a member as silent on the current primary. With a delivery
+    policy installed, its unacknowledged traffic is salvaged into the
+    durable store-and-forward queue (and replicated to the backups);
+    the member's own failure detector later re-joins it, draining the
+    backlog. No-op when no manager is up. *)
+
+val rekey : t -> unit
+(** Rotate the group key on the current primary — ages any queued
+    store-and-forward records against the epoch-window policy. No-op
+    when no manager is up. *)
 
 val crash_primary : t -> unit
 (** Fail-stop the current primary: it is detached from the network and
@@ -242,6 +260,18 @@ val replication_stats : t -> Netsim.Stats.replication
 (** The run's aggregated replication counters: records and snapshots
     shipped, acks, gap fetches, rejected forged/replayed/stale frames,
     and warm vs cold promotions. *)
+
+val delivery_stats : t -> Netsim.Stats.delivery
+(** The live primary's store-and-forward counters (each promotion's
+    rebuilt layer starts fresh) plus the members' cumulative dedup
+    counts, which survive promotions because the delivery floor lives
+    at the member. All zeros when no delivery policy was given. *)
+
+val replica_queue_images : t -> Types.agent -> (string * string) list
+(** A backup's mirrored delivery-queue images (empty for a source or a
+    manager without a replica) — what a promotion would rebuild the
+    successor's delivery layer from.
+    @raise Not_found for an unknown manager name. *)
 
 val replication_lag : t -> (Types.agent * int) list
 (** Per-backup lag in records (current source's frontier minus that

@@ -88,10 +88,15 @@ type t = {
   mutable beacon_epoch : int option;
   cold_nb : (Types.agent, Wire.Nonce.t) Hashtbl.t;
   mutable cold_acks : int;
+  (* Store-and-forward: members currently marked offline (evicted as
+     silent or known-partitioned) have broadcast traffic journalled in
+     [delivery] instead of dropped. *)
+  delivery : Delivery.t option;
+  offline : (Types.agent, unit) Hashtbl.t;
 }
 
 let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
-    ?vault () =
+    ?vault ?delivery () =
   let dir = Hashtbl.create 16 in
   List.iter
     (fun (user, key) ->
@@ -115,15 +120,18 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
     beacon_epoch = None;
     cold_nb = Hashtbl.create 8;
     cold_acks = 0;
+    delivery;
+    offline = Hashtbl.create 8;
   }
 
-let create ~self ~rng ~directory ?policy ?journal ?vault () =
+let create ~self ~rng ~directory ?policy ?journal ?vault ?delivery () =
   let keyed =
     List.map
       (fun (user, password) -> (user, Key.long_term ~user ~password))
       directory
   in
-  create_with_keys ~self ~rng ~directory:keyed ?policy ?journal ?vault ()
+  create_with_keys ~self ~rng ~directory:keyed ?policy ?journal ?vault
+    ?delivery ()
 
 let jot t record =
   match t.journal with None -> () | Some j -> Journal.append j record
@@ -175,12 +183,68 @@ let reject t ?label ?claimed reason =
   emit t (Rejected { label; claimed; reason });
   []
 
+let current_epoch t =
+  match t.group_key with Some gk -> gk.Types.epoch | None -> 0
+
+(* --- store-and-forward hooks --- *)
+
+let mark_offline t who =
+  if Hashtbl.mem t.directory who then Hashtbl.replace t.offline who ()
+
+let offline_members t =
+  Hashtbl.fold (fun who () acc -> who :: acc) t.offline []
+  |> List.sort String.compare
+
+let is_offline t who = Hashtbl.mem t.offline who
+
+let queue_for_offline t who x =
+  match t.delivery with
+  | None -> ()
+  | Some d -> Delivery.enqueue d ~member:who ~epoch:(current_epoch t) x
+
+(* Wrappers for everything pending in [who]'s durable queue, per the
+   epoch-window policy, clearing the offline mark. The caller routes
+   them through the ordinary admin channel (sealed under the live
+   session key — this is where "re-seal under the current session
+   key" physically happens). *)
+let drain_offline t who =
+  Hashtbl.remove t.offline who;
+  match t.delivery with
+  | None -> []
+  | Some d -> Delivery.drain d ~member:who ~current_epoch:(current_epoch t)
+
 (* Put one admin payload on the wire for a member whose channel is
    idle: AdminMsg carrying (N_{2i+1} = na, fresh N_{2i+2}). The sealed
    frame is stored so a retransmission re-sends the identical bytes —
    [sent_rev] grows exactly once per payload regardless of how many
    times the frame hits the wire, preserving §5.4. *)
 let fire_admin t who s x ~na ~ka =
+  (* Rekey racing a drain in flight: a queued fresh-window group key
+     may be overtaken by another rotation while it waits its turn on
+     the nonce chain. Freshen it at seal time — the wrapper keeps its
+     delivery seq (the dedup identity), but the key material put on
+     the wire is always the current one, so a drained rekey can never
+     install an older key than the member would get live. *)
+  let x =
+    match (x, t.group_key) with
+    | ( Wire.Admin.Queued
+          { seq; stale = false; x = Wire.Admin.New_group_key { epoch; _ } },
+        Some gk )
+      when epoch < gk.Types.epoch ->
+        (match t.delivery with
+        | Some d -> (Delivery.counters d).Delivery.resealed <-
+            (Delivery.counters d).Delivery.resealed + 1
+        | None -> ());
+        Wire.Admin.Queued
+          {
+            seq;
+            stale = false;
+            x =
+              Wire.Admin.New_group_key
+                { key = Key.raw gk.Types.key; epoch = gk.Types.epoch };
+          }
+    | _ -> x
+  in
   let nl = Wire.Nonce.fresh t.rng in
   s.sent_rev <- x :: s.sent_rev;
   let plaintext =
@@ -207,11 +271,19 @@ let enqueue_admin t who x =
       []
   | S_not_connected | S_waiting_for_key_ack _ ->
       (* Not in session: group-management messages are only for
-         members. *)
+         members — unless the member is marked offline and a delivery
+         layer is present, in which case the message is journalled
+         instead of dropped and drained on reconnect. *)
+      if is_offline t who then queue_for_offline t who x;
       []
 
 let broadcast_admin t x =
-  List.concat_map (fun who -> enqueue_admin t who x) (members t)
+  let live = members t in
+  let offline_targets =
+    List.filter (fun who -> not (List.mem who live)) (offline_members t)
+  in
+  List.concat_map (fun who -> enqueue_admin t who x) live
+  @ List.concat_map (fun who -> enqueue_admin t who x) offline_targets
 
 let fresh_group_key t =
   let key = Key.fresh Key.Group t.rng in
@@ -241,6 +313,35 @@ let close_session t who s ~expelled =
   | S_waiting_for_ack { ka; _ }
   | S_recovering { ka; _ } ->
       let was_member = in_session s in
+      (* Store-and-forward: an expelled (evicted-as-silent) member goes
+         offline — salvage the channel's unfired backlog and the
+         unacknowledged in-flight payload into its durable queue.
+         Already-[Queued] wrappers are skipped: their backing entries
+         are still pending below the ack floor, so the next drain
+         re-presents them anyway (re-queueing would duplicate them).
+         A voluntary leave instead drops everything queued for the
+         member — it asked to go. *)
+      (if t.delivery <> None then
+         if expelled then begin
+           let inflight =
+             match (s.mstate, s.sent_rev) with
+             | S_waiting_for_ack _, x :: _ -> [ x ]
+             | _ -> []
+           in
+           mark_offline t who;
+           List.iter
+             (fun x ->
+               match x with
+               | Wire.Admin.Queued _ -> ()
+               | x -> queue_for_offline t who x)
+             (inflight @ s.queue)
+         end
+         else begin
+           Hashtbl.remove t.offline who;
+           match t.delivery with
+           | Some d -> Delivery.clear d ~member:who
+           | None -> ()
+         end);
       s.mstate <- S_not_connected;
       s.queue <- [];
       s.sent_rev <- [];
@@ -261,6 +362,28 @@ let close_session t who s ~expelled =
 let expel t who =
   let s = session_of t who in
   if in_session s then close_session t who s ~expelled:true else []
+
+(* The partition healed (or the harness says so): stop journalling and
+   start draining. If the member is in session the backlog rides its
+   admin channel immediately; out of session the offline mark is kept
+   — traffic keeps queueing until an actual reconnect (recovery
+   response or re-join) drains it. *)
+let mark_online t who =
+  let s = session_of t who in
+  match s.mstate with
+  | S_connected { na; ka } -> (
+      s.queue <- s.queue @ drain_offline t who;
+      match s.queue with
+      | [] -> []
+      | x :: rest ->
+          s.queue <- rest;
+          fire_admin t who s x ~na ~ka)
+  | S_waiting_for_ack _ ->
+      s.queue <- s.queue @ drain_offline t who;
+      []
+  | S_recovering _ | S_not_connected | S_waiting_for_key_ack _ -> []
+
+let delivery t = t.delivery
 
 (* --- retransmission support --- *)
 
@@ -396,12 +519,19 @@ let on_member_joined t who =
   let snapshot =
     enqueue_admin t who (Wire.Admin.Membership_snapshot (members t))
   in
+  (* Cold rejoin of a member with store-and-forward backlog: drain it
+     behind the welcome key and snapshot, each record wrapped per the
+     epoch-window policy and riding the ordinary nonce-chained
+     channel. *)
+  let backlog =
+    List.concat_map (fun x -> enqueue_admin t who x) (drain_offline t who)
+  in
   let joins =
     List.concat_map
       (fun m -> enqueue_admin t m (Wire.Admin.Member_joined who))
       others
   in
-  welcome_key @ snapshot @ joins
+  welcome_key @ snapshot @ backlog @ joins
 
 let handle_auth_ack_key t (frame : F.t) =
   let claimed = frame.F.sender in
@@ -443,6 +573,18 @@ let handle_admin_ack t (frame : F.t) =
               else if not (Wire.Nonce.equal echo nl) then
                 reject t ~label:frame.F.label ~claimed Types.Stale_nonce
               else begin
+                (* If the payload just acknowledged was a drained
+                   store-and-forward record, the member has durably
+                   applied (or deduplicated) it — advance the queue's
+                   ack floor so compaction can reclaim it. The order
+                   matters for the crash story: the member's ack came
+                   first, so a crash before this durable ack merely
+                   re-drains the record and the member's delivery
+                   floor absorbs the duplicate. *)
+                (match (t.delivery, s.sent_rev) with
+                | Some d, Wire.Admin.Queued { seq; _ } :: _ ->
+                    Delivery.ack d ~member:claimed ~upto:(seq + 1)
+                | _ -> ());
                 s.mstate <- S_connected { na = next; ka };
                 emit t (Ack_received claimed);
                 match s.queue with
@@ -500,9 +642,6 @@ let handle_app_data t (frame : F.t) =
               others)
 
 (* --- view anti-entropy --- *)
-
-let current_epoch t =
-  match t.group_key with Some gk -> gk.Types.epoch | None -> 0
 
 let view_digest t =
   Wire.Admin.view_digest ~members:(members t) ~epoch:(current_epoch t)
@@ -575,8 +714,21 @@ let challenge t who ka =
   s.mstate <- S_recovering { nc; ka; reply };
   reply
 
-let recover ~self ~rng ~directory ?policy ~journal ?vault ~state () =
-  let t = create ~self ~rng ~directory ?policy ~journal ?vault () in
+(* Re-mark members with surviving store-and-forward backlog as
+   offline, so broadcasts keep queueing for them until a reconnect
+   drains. The marks themselves are volatile; the queues are the
+   durable ground truth they are rebuilt from. *)
+let remark_offline t =
+  match t.delivery with
+  | None -> ()
+  | Some d ->
+      List.iter
+        (fun m -> if Delivery.depth d ~member:m > 0 then mark_offline t m)
+        (Delivery.members d)
+
+let recover ~self ~rng ~directory ?policy ~journal ?vault ?delivery ~state () =
+  let t = create ~self ~rng ~directory ?policy ~journal ?vault ?delivery () in
+  remark_offline t;
   (match state.Journal.group_key with
   | Some (raw, epoch) ->
       t.group_key <- Some { Types.key = Key.of_raw Key.Group raw; epoch }
@@ -604,8 +756,10 @@ let cold_acks t = t.cold_acks
    under each member's long-term [P_a]. The beacon itself grants
    nothing: members answer with a liveness challenge, and only the
    incarnation that generated these nonces can ack it. *)
-let cold_recover ~self ~rng ~directory ?policy ?journal ?vault ~state () =
-  let t = create ~self ~rng ~directory ?policy ?journal ?vault () in
+let cold_recover ~self ~rng ~directory ?policy ?journal ?vault ?delivery
+    ~state () =
+  let t = create ~self ~rng ~directory ?policy ?journal ?vault ?delivery () in
+  remark_offline t;
   t.next_epoch <- max t.next_epoch state.Journal.next_epoch;
   let journal_epoch =
     match state.Journal.group_key with Some (_, e) -> e | None -> 0
@@ -715,6 +869,12 @@ let handle_recovery_response t (frame : F.t) =
                 s.mstate <- S_connected { na = next; ka };
                 t.recoveries <- t.recoveries + 1;
                 emit t (Member_recovered claimed);
+                (* Warm reconnect over the existing session: drain the
+                   member's store-and-forward backlog into the channel
+                   it just revalidated — no re-handshake, no new keys,
+                   just the nonce chain picking up where the challenge
+                   re-seeded it. *)
+                s.queue <- s.queue @ drain_offline t claimed;
                 match s.queue with
                 | [] -> []
                 | x :: rest ->

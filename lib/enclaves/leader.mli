@@ -76,6 +76,7 @@ val create :
   ?policy:policy ->
   ?journal:Journal.t ->
   ?vault:Store.Vault.t ->
+  ?delivery:Delivery.t ->
   unit ->
   t
 (** [create ~self ~rng ~directory ()] builds a leader knowing the
@@ -93,6 +94,7 @@ val create_with_keys :
   ?policy:policy ->
   ?journal:Journal.t ->
   ?vault:Store.Vault.t ->
+  ?delivery:Delivery.t ->
   unit ->
   t
 (** Like {!create} but with explicit long-term keys per member — used
@@ -106,6 +108,7 @@ val recover :
   ?policy:policy ->
   journal:Journal.t ->
   ?vault:Store.Vault.t ->
+  ?delivery:Delivery.t ->
   state:Journal.state ->
   unit ->
   t * Wire.Frame.t list
@@ -125,6 +128,7 @@ val cold_recover :
   ?policy:policy ->
   ?journal:Journal.t ->
   ?vault:Store.Vault.t ->
+  ?delivery:Delivery.t ->
   state:Journal.state ->
   unit ->
   t * Wire.Frame.t list
@@ -173,7 +177,33 @@ val rekey : t -> Wire.Frame.t list
 val expel : t -> Types.agent -> Wire.Frame.t list
 (** Eject a member: discard its session key (reported via
     [Member_expelled] — an Oops), notify the remaining members, and
-    rekey if the policy says so. *)
+    rekey if the policy says so. With a delivery layer, the expelled
+    member is additionally marked offline: its unfired channel backlog
+    is salvaged into its durable queue, and subsequent broadcasts are
+    journalled for it instead of dropped, to be drained when it
+    reconnects warm (recovery challenge) or cold (re-join). *)
+
+(** {2 Store-and-forward} *)
+
+val mark_offline : t -> Types.agent -> unit
+(** Flag a directory member as offline/partitioned: broadcast traffic
+    addressed to it is journalled in the delivery layer (when present)
+    instead of dropped. No-op for users not in the directory. *)
+
+val mark_online : t -> Types.agent -> Wire.Frame.t list
+(** The partition healed: clear the offline mark and, if the member is
+    in session, drain its durable queue into the admin channel (the
+    returned frames start the drain). Out of session the mark is kept
+    until an actual reconnect drains the queue. *)
+
+val offline_members : t -> Types.agent list
+(** Members currently marked offline, sorted. *)
+
+val is_offline : t -> Types.agent -> bool
+
+val delivery : t -> Delivery.t option
+(** The store-and-forward layer this leader journals offline traffic
+    through, if any. *)
 
 val retransmit : t -> Types.agent -> Wire.Frame.t list
 (** The stored outstanding frame for this member, byte-identical to

@@ -73,6 +73,13 @@ type t = {
   (* Anti-entropy counters (cumulative across sessions). *)
   mutable digests_seen : int;
   mutable divergences : int;
+  (* Store-and-forward delivery state (cumulative across sessions —
+     the floor MUST survive a session reset, or a redelivery after a
+     reconnect would apply twice). *)
+  mutable delivery_floor : int;
+  mutable deliveries_deduped : int;
+  mutable stale_deliveries : int;
+  mutable queued_applied_rev : int list;
 }
 
 let create_with_key ~self ~leader ~long_term ~rng =
@@ -97,6 +104,10 @@ let create_with_key ~self ~leader ~long_term ~rng =
     beacon_reset_pending = false;
     digests_seen = 0;
     divergences = 0;
+    delivery_floor = 0;
+    deliveries_deduped = 0;
+    stale_deliveries = 0;
+    queued_applied_rev = [];
   }
 
 let create ~self ~leader ~password ~rng =
@@ -183,6 +194,10 @@ let own_epoch t =
 let own_digest t = Wire.Admin.view_digest ~members:t.view ~epoch:(own_epoch t)
 let digests_seen t = t.digests_seen
 let view_divergences t = t.divergences
+let delivery_floor t = t.delivery_floor
+let deliveries_deduped t = t.deliveries_deduped
+let stale_deliveries t = t.stale_deliveries
+let queued_applied t = List.rev t.queued_applied_rev
 
 (* Report our own (digest, epoch) to the leader under [K_a]; the
    leader answers with a repair (key + snapshot + digest) on mismatch,
@@ -208,10 +223,21 @@ let resync_request t =
 
 (* Membership view updates triggered by accepted admin messages.
    Returns follow-up frames (a resync request when a [View_digest]
-   beacon reveals divergence). *)
-let apply_admin t (x : Wire.Admin.t) =
-  let followups =
-    match x with
+   beacon reveals divergence).
+
+   A [Queued] wrapper is the store-and-forward drain path: the nonce
+   chain already deduplicates frame retransmissions, but at-least-once
+   delivery can legitimately re-present an already-applied record
+   (leader crash between the member's ack and the durable queue ack),
+   so the member additionally keeps a cumulative [delivery_floor] over
+   the wrapper's seq — below the floor the record's effect is skipped
+   while the AdminMsg is still acked, which is exactly what lets the
+   leader's ack floor catch up. Stale-marked records are recorded but
+   apply no state effect, and even a fresh drained [New_group_key] is
+   dropped if it would regress our epoch: queued key material can
+   never roll the group key back. *)
+let rec apply_effect t (x : Wire.Admin.t) =
+  match x with
     | Wire.Admin.New_group_key { key; epoch } ->
         if String.length key = Key.size then
           t.group_key <- Some { Types.key = Key.of_raw Key.Group key; epoch };
@@ -235,7 +261,27 @@ let apply_admin t (x : Wire.Admin.t) =
           emit t (View_diverged { leader_epoch = epoch });
           resync_request t
         end
-  in
+    | Wire.Admin.Queued { seq; stale; x = inner } ->
+        if seq < t.delivery_floor then begin
+          t.deliveries_deduped <- t.deliveries_deduped + 1;
+          []
+        end
+        else begin
+          t.delivery_floor <- seq + 1;
+          t.queued_applied_rev <- seq :: t.queued_applied_rev;
+          if stale then begin
+            t.stale_deliveries <- t.stale_deliveries + 1;
+            []
+          end
+          else
+            match inner with
+            | Wire.Admin.New_group_key { epoch; _ } when epoch < own_epoch t ->
+                []
+            | _ -> apply_effect t inner
+        end
+
+let apply_admin t (x : Wire.Admin.t) =
+  let followups = apply_effect t x in
   t.accepted_rev <- x :: t.accepted_rev;
   emit t (Admin_accepted x);
   followups

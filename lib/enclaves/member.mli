@@ -131,6 +131,23 @@ val digests_seen : t -> int
 val view_divergences : t -> int
 (** Beacons that mismatched this member's own view (cumulative). *)
 
+val delivery_floor : t -> int
+(** Store-and-forward dedup floor: every [Queued] wrapper with a seq
+    below this has been applied. Cumulative — survives session resets,
+    so at-least-once redelivery after a reconnect is absorbed rather
+    than applied twice. *)
+
+val deliveries_deduped : t -> int
+(** Drained [Queued] records skipped as duplicates (cumulative). *)
+
+val stale_deliveries : t -> int
+(** Drained records marked stale by the leader's epoch-window policy —
+    recorded but applied with no state effect (cumulative). *)
+
+val queued_applied : t -> int list
+(** Delivery seqs applied so far, in application order — the churn
+    harness asserts these are duplicate-free. *)
+
 val consume_beacon_reset : t -> bool
 (** [true] exactly once after a completed cold-restart beacon
     handshake reset this member's session — the driver's hook for

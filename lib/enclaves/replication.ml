@@ -24,6 +24,17 @@
 module F = Wire.Frame
 module P = Wire.Payload
 
+(* A [Repl_queue] op's data carries its own file binding: the queue
+   file name, a NUL byte, then the full durable image. *)
+let queue_data ~file image = file ^ "\000" ^ image
+
+let split_queue_data data =
+  match String.index_opt data '\000' with
+  | None -> None
+  | Some i ->
+      Some
+        (String.sub data 0 i, String.sub data (i + 1) (String.length data - i - 1))
+
 type counters = {
   mutable records_shipped : int;
   mutable records_acked : int;
@@ -85,13 +96,19 @@ module Source = struct
     journal : Journal.t;
     counters : counters;
     (* Per-term sequence space. [image_seq] is the sequence number of
-       the most recent full-image publish; [ops] holds the append
-       chunks after it. Journal auto-compaction periodically replaces
-       the image, which empties [ops] — that is the op log's bound. *)
+       the most recent full-image publish; [ops] holds the typed ops
+       after it (journal append chunks and delivery-queue images).
+       Journal auto-compaction periodically replaces the image, which
+       empties [ops]; the latest queue image per file is then re-shipped
+       as a fresh op so the resend window stays complete — that is the
+       op log's bound. *)
     mutable next_seq : int;
     mutable image_seq : int;
     mutable last_image : string;
-    ops : (int, string) Hashtbl.t;
+    ops : (int, P.repl_op * string) Hashtbl.t;
+    (* Latest durable image per delivery-queue file, so compaction of
+       the op log never forgets an offline member's backlog. *)
+    queue_images : (string, string) Hashtbl.t;
     acked : (Types.agent, int) Hashtbl.t;
     (* Journal byte length right after each shipped op — what lets a
        demoting source cut its journal back to the acked prefix. *)
@@ -110,28 +127,48 @@ module Source = struct
       (P.encode_repl_record
          { P.l = t.self; b = recipient; term = t.term; seq; op; data })
 
-  let ship_append t ~seq chunk =
+  let bump_ship_counter t = function
+    | P.Repl_snapshot ->
+        t.counters.snapshots_shipped <- t.counters.snapshots_shipped + 1
+    | P.Repl_heartbeat ->
+        t.counters.heartbeats_shipped <- t.counters.heartbeats_shipped + 1
+    | P.Repl_append | P.Repl_queue ->
+        t.counters.records_shipped <- t.counters.records_shipped + 1
+
+  let ship t ~seq ~op ~data =
     List.iter
       (fun b ->
-        t.counters.records_shipped <- t.counters.records_shipped + 1;
-        t.send (record_frame t ~recipient:b ~seq ~op:P.Repl_append ~data:chunk))
+        bump_ship_counter t op;
+        t.send (record_frame t ~recipient:b ~seq ~op ~data))
       t.backups
 
-  let ship_image t ~seq image =
-    List.iter
-      (fun b ->
-        t.counters.snapshots_shipped <- t.counters.snapshots_shipped + 1;
-        t.send (record_frame t ~recipient:b ~seq ~op:P.Repl_snapshot ~data:image))
-      t.backups
+  let ship_queue_image t ~file image =
+    Hashtbl.replace t.queue_images file image;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let data = queue_data ~file image in
+    Hashtbl.replace t.ops seq (P.Repl_queue, data);
+    (* Queue images live outside the journal byte stream, so the
+       acked-prefix walk sees an unchanged journal length here. *)
+    Hashtbl.replace t.lens seq t.cur_len;
+    ship t ~seq ~op:P.Repl_queue ~data
+
+  (* Journal compaction just emptied [ops]; put the latest image of
+     every delivery queue back on the stream so a later [resend] can
+     still serve them. *)
+  let reship_queue_images t =
+    Hashtbl.fold (fun file image acc -> (file, image) :: acc) t.queue_images []
+    |> List.sort compare
+    |> List.iter (fun (file, image) -> ship_queue_image t ~file image)
 
   let on_journal_event t = function
     | Journal.Appended chunk ->
         let seq = t.next_seq in
         t.next_seq <- seq + 1;
-        Hashtbl.replace t.ops seq chunk;
+        Hashtbl.replace t.ops seq (P.Repl_append, chunk);
         t.cur_len <- t.cur_len + String.length chunk;
         Hashtbl.replace t.lens seq t.cur_len;
-        ship_append t ~seq chunk
+        ship t ~seq ~op:P.Repl_append ~data:chunk
     | Journal.Published image ->
         let seq = t.next_seq in
         t.next_seq <- seq + 1;
@@ -140,7 +177,8 @@ module Source = struct
         Hashtbl.reset t.ops;
         t.cur_len <- String.length image;
         Hashtbl.replace t.lens seq t.cur_len;
-        ship_image t ~seq image
+        ship t ~seq ~op:P.Repl_snapshot ~data:image;
+        reship_queue_images t
 
   let create ~self ~backups ~term ~key ~rng ~send ~journal
       ?(on_superseded = fun ~term:_ ~primary:_ -> ()) ?counters () =
@@ -159,6 +197,7 @@ module Source = struct
         image_seq = 0;
         last_image = "";
         ops = Hashtbl.create 64;
+        queue_images = Hashtbl.create 8;
         acked = Hashtbl.create 8;
         lens = Hashtbl.create 64;
         cur_len = 0;
@@ -234,11 +273,9 @@ module Source = struct
     in
     for seq = start to t.next_seq - 1 do
       match Hashtbl.find_opt t.ops seq with
-      | Some chunk ->
-          t.counters.records_shipped <- t.counters.records_shipped + 1;
-          t.send
-            (record_frame t ~recipient:backup ~seq ~op:P.Repl_append
-               ~data:chunk)
+      | Some (op, data) ->
+          bump_ship_counter t op;
+          t.send (record_frame t ~recipient:backup ~seq ~op ~data)
       | None -> ()
     done
 
@@ -328,6 +365,9 @@ module Replica = struct
     file : string;
     counters : counters;
     buf : Buffer.t;
+    (* Latest delivery-queue image per file, mirrored from the primary
+       so a promotion can rebuild the store-and-forward layer. *)
+    queues : (string, string) Hashtbl.t;
     mutable primary : Types.agent;
     mutable term : int;
     mutable expected : int;
@@ -377,6 +417,7 @@ module Replica = struct
       file;
       counters;
       buf = Buffer.create 256;
+      queues = Hashtbl.create 8;
       primary;
       term;
       expected = 0;
@@ -434,6 +475,21 @@ module Replica = struct
     Buffer.clear t.buf;
     Buffer.add_string t.buf data;
     disk_publish t
+
+  let apply_queue t ~file image =
+    Hashtbl.replace t.queues file image;
+    match t.disk with
+    | None -> ()
+    | Some d ->
+        let tmp = file ^ ".tmp" in
+        with_retry t (fun () -> Store.Backend.remove d ~file:tmp);
+        with_retry t (fun () -> Store.Backend.pwrite d ~file:tmp ~off:0 image);
+        with_retry t (fun () -> Store.Backend.fsync d ~file:tmp);
+        with_retry t (fun () -> Store.Backend.rename d ~src:tmp ~dst:file)
+
+  let queue_images t =
+    Hashtbl.fold (fun file image acc -> (file, image) :: acc) t.queues []
+    |> List.sort compare
 
   let forged t = t.counters.rejected_forged <- t.counters.rejected_forged + 1
 
@@ -500,6 +556,28 @@ module Replica = struct
               | P.Repl_append ->
                   if r.P.seq = t.expected then begin
                     apply_append t r.P.data;
+                    t.expected <- t.expected + 1;
+                    t.fresh_activity <- true;
+                    [ ack t ]
+                  end
+                  else if r.P.seq < t.expected then begin
+                    t.counters.rejected_replayed <-
+                      t.counters.rejected_replayed + 1;
+                    [ ack t ]
+                  end
+                  else begin
+                    t.fresh_activity <- true;
+                    [ fetch t ]
+                  end
+              | P.Repl_queue ->
+                  if r.P.seq = t.expected then begin
+                    (match split_queue_data r.P.data with
+                    | Some (file, image) -> apply_queue t ~file image
+                    | None ->
+                        (* Malformed queue binding from a key holder:
+                           apply nothing, but stay in sequence so the
+                           stream is not wedged. *)
+                        forged t);
                     t.expected <- t.expected + 1;
                     t.fresh_activity <- true;
                     [ ack t ]

@@ -107,6 +107,13 @@ module Source : sig
   val detach : t -> unit
   (** Unsubscribe from the journal (crash or demotion). *)
 
+  val ship_queue_image : t -> file:string -> string -> unit
+  (** Ship a delivery-queue durable image (see {!Delivery.set_ship}) to
+      every backup as a [Repl_queue] op at the next stream sequence.
+      The source remembers the latest image per file and re-ships it
+      whenever journal compaction empties the op log, so the resend
+      window always covers every offline member's backlog. *)
+
   val heartbeat : t -> unit
   (** Ship a liveness heartbeat carrying the current sequence frontier
       to every backup — lets an idle-period backup detect both primary
@@ -186,6 +193,12 @@ module Replica : sig
 
   val contents : t -> string
   (** The replica bytes — what promotion hands to {!Journal.recover}. *)
+
+  val queue_images : t -> (string * string) list
+  (** Latest delivery-queue image per file (sorted by file name),
+      mirrored from the primary's [Repl_queue] ops — what promotion
+      hands to {!Delivery.of_images} so the successor keeps draining
+      offline members' backlogs. *)
 
   val primary : t -> Types.agent
   (** Whose stream the replica currently follows (updates on term

@@ -187,6 +187,38 @@ let replication_named r =
     ("cold_promotions", r.cold_promotions);
   ]
 
+type delivery = {
+  queued : int;
+  drained : int;
+  deduped : int;
+  resealed : int;
+  rejected_stale : int;
+  delivered_stale : int;
+  queue_bytes_hwm : int;
+}
+
+let empty_delivery =
+  {
+    queued = 0;
+    drained = 0;
+    deduped = 0;
+    resealed = 0;
+    rejected_stale = 0;
+    delivered_stale = 0;
+    queue_bytes_hwm = 0;
+  }
+
+let delivery_named d =
+  [
+    ("queued", d.queued);
+    ("drained", d.drained);
+    ("deduped", d.deduped);
+    ("resealed", d.resealed);
+    ("rejected_stale", d.rejected_stale);
+    ("delivered_stale", d.delivered_stale);
+    ("queue_bytes_hwm", d.queue_bytes_hwm);
+  ]
+
 let pp_named fmt counters =
   let pp_one fmt (name, v) = Format.fprintf fmt "%s=%d" name v in
   Format.pp_print_list

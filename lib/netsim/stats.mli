@@ -86,6 +86,29 @@ val empty_replication : replication
 val replication_named : replication -> (string * int) list
 (** Labelled counters for {!pp_named}, in declaration order. *)
 
+type delivery = {
+  queued : int;  (** Records pushed into offline members' durable queues. *)
+  drained : int;  (** Records handed to a reconnected member's channel. *)
+  deduped : int;
+      (** Redeliveries absorbed by members' delivery floors (summed
+          over members). *)
+  resealed : int;
+      (** Drained records whose queued epoch was behind the current
+          one but inside the policy window — delivered under the live
+          session key. *)
+  rejected_stale : int;  (** Records durably dropped beyond the window. *)
+  delivered_stale : int;  (** Records delivered flagged stale. *)
+  queue_bytes_hwm : int;  (** High-water mark of summed queue bytes. *)
+}
+(** Store-and-forward delivery counters — what the offline-member
+    queues did during a run. Computed by the driver / churn harness,
+    rendered with {!pp_named} via {!delivery_named}. *)
+
+val empty_delivery : delivery
+
+val delivery_named : delivery -> (string * int) list
+(** Labelled counters for {!pp_named}, in declaration order. *)
+
 val pp_named : Format.formatter -> (string * int) list -> unit
 (** Render labelled counters as ["name=value name=value ..."] — used
     by the chaos CLI for retry and recovery counter summaries. *)

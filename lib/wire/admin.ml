@@ -8,6 +8,7 @@ type t =
   | Membership_snapshot of string list
   | Notice of string
   | View_digest of { digest : string; epoch : int }
+  | Queued of { seq : int; stale : bool; x : t }
 
 let tag_of = function
   | New_group_key _ -> 1
@@ -17,8 +18,9 @@ let tag_of = function
   | Membership_snapshot _ -> 5
   | Notice _ -> 6
   | View_digest _ -> 7
+  | Queued _ -> 8
 
-let encode t =
+let rec encode t =
   let w = Cursor.Writer.create () in
   Cursor.Writer.u8 w (tag_of t);
   (match t with
@@ -33,10 +35,18 @@ let encode t =
   | Notice text -> Cursor.Writer.bytes w text
   | View_digest { digest; epoch } ->
       Cursor.Writer.bytes w digest;
-      Cursor.Writer.u32 w epoch);
+      Cursor.Writer.u32 w epoch
+  | Queued { seq; stale; x } ->
+      Cursor.Writer.u32 w seq;
+      Cursor.Writer.u8 w (if stale then 1 else 0);
+      Cursor.Writer.bytes w (encode x));
   Cursor.Writer.contents w
 
-let decode s =
+(* [Queued] may wrap any plain payload but never another [Queued]:
+   one level of nesting is all the drain path produces, and rejecting
+   deeper towers keeps decode depth (and redelivery ambiguity)
+   bounded on adversarial input. *)
+let rec decode_at ~depth s =
   let open Cursor in
   let r = Reader.of_string s in
   let result =
@@ -75,6 +85,24 @@ let decode s =
           let* digest = Reader.bytes r in
           let* epoch = Reader.u32 r in
           Ok (View_digest { digest; epoch })
+      | 8 ->
+          if depth > 0 then Error (`Malformed "nested queued payload")
+          else
+            let* seq = Reader.u32 r in
+            let* stale_flag = Reader.u8 r in
+            let* stale =
+              match stale_flag with
+              | 0 -> Ok false
+              | 1 -> Ok true
+              | _ -> Error (`Malformed "bad stale flag")
+            in
+            let* inner = Reader.bytes r in
+            let* x =
+              Result.map_error
+                (fun e -> `Malformed e)
+                (decode_at ~depth:(depth + 1) inner)
+            in
+            Ok (Queued { seq; stale; x })
       | n -> Error (`Malformed (Printf.sprintf "unknown admin tag %d" n))
     in
     let* () = Reader.expect_end r in
@@ -82,9 +110,11 @@ let decode s =
   in
   Result.map_error (Format.asprintf "%a" Reader.pp_error) result
 
+let decode s = decode_at ~depth:0 s
+
 let equal a b = encode a = encode b
 
-let pp fmt = function
+let rec pp fmt = function
   | New_group_key { epoch; _ } -> Format.fprintf fmt "NewGroupKey(epoch=%d)" epoch
   | Member_joined who -> Format.fprintf fmt "MemberJoined(%s)" who
   | Member_left who -> Format.fprintf fmt "MemberLeft(%s)" who
@@ -95,6 +125,10 @@ let pp fmt = function
   | View_digest { digest; epoch } ->
       Format.fprintf fmt "ViewDigest(epoch=%d,%s)" epoch
         (Byteskit.Hex.encode (String.sub digest 0 (min 4 (String.length digest))))
+  | Queued { seq; stale; x } ->
+      Format.fprintf fmt "Queued(seq=%d%s,%a)" seq
+        (if stale then ",stale" else "")
+        pp x
 
 (* The digest key is public and fixed: a view digest is not a secret —
    its authenticity comes from the [K_a] seal of the AdminMsg or

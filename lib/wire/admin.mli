@@ -20,6 +20,16 @@ type t =
       (** Anti-entropy beacon: {!view_digest} of the leader's current
           member list and key epoch. A member whose own digest differs
           answers with a [View_resync_req] repair request. *)
+  | Queued of { seq : int; stale : bool; x : t }
+      (** Store-and-forward delivery: payload [x] was queued while the
+          member was offline and is being drained with delivery
+          sequence number [seq] (the member deduplicates by [seq] — a
+          cumulative floor that survives session resets, giving
+          exactly-once application over at-least-once delivery).
+          [stale] marks a message sealed under an epoch outside the
+          delivery policy's window, delivered for the record but not
+          trusted for key material. [decode] rejects nested [Queued]
+          payloads. *)
 
 val encode : t -> string
 val decode : string -> (t, string) result

@@ -145,6 +145,11 @@ type repl_op =
   | Repl_heartbeat
       (** Empty [data]; proves the primary is alive and carries the
           current sequence frontier for gap detection. *)
+  | Repl_queue
+      (** [data] is a store-and-forward delivery-queue image:
+          the queue file name, a NUL byte, then the full durable
+          image. Replicated so a promoted successor keeps draining
+          offline members' backlogs without member re-handshakes. *)
 
 type repl_record = {
   l : agent;  (** The shipping primary. *)

@@ -193,7 +193,8 @@ let test_corrupted_traces_audit_as_forgeries () =
       List.iter
         (function
           | Audit.Forged_frame _ -> incr forged
-          | Audit.Replayed_admin _ | Audit.Stale_rekey _ -> ())
+          | Audit.Replayed_admin _ | Audit.Stale_rekey _
+          | Audit.Stale_delivery _ -> ())
         report.Audit.anomalies)
     seeds;
   Alcotest.(check bool)
@@ -220,7 +221,9 @@ let test_duplicated_traces_audit_as_replays () =
               incr replays
           | Audit.Forged_frame _ ->
               Alcotest.fail "duplication misread as forgery"
-          | Audit.Stale_rekey _ -> Alcotest.fail "duplication misread as stale")
+          | Audit.Stale_rekey _ -> Alcotest.fail "duplication misread as stale"
+          | Audit.Stale_delivery _ ->
+              Alcotest.fail "duplication misread as stale delivery")
         report.Audit.anomalies)
     seeds;
   Alcotest.(check bool)
