@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal crash-matrix journal-fuzz doc ci clean
+.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude crash-matrix journal-fuzz doc ci clean
 
 all: build
 
@@ -73,6 +73,17 @@ chaos-heal:
 	  --kill-primary-at 0 --partition-primary-at 0.6 --heal-after 2.4 \
 	  --loss 0.05 --until 15 --cold
 
+# Insider-campaign sweep (E23): a compromised member runs each attack
+# arm — pre-auth flood (A1), expired-key forgery (A2), own-traffic
+# replay (A3) — against the online sentinel. Every seed must end with
+# the insider quarantined or expelled, an emergency rekey sealing the
+# group against every key it ever held, and legitimate joins riding
+# through the flood at >=95%.
+chaos-intrude:
+	dune exec bin/enclaves_cli.exe -- intrude a1-flood --seeds 5
+	dune exec bin/enclaves_cli.exe -- intrude a2-forge --seeds 5
+	dune exec bin/enclaves_cli.exe -- intrude a3-replay --seeds 5
+
 # ALICE-style crash-point enumeration: every disk image a crash could
 # leave behind (boundaries + torn-write prefixes) must replay without
 # an exception, without resurrecting a closed session, and without
@@ -96,7 +107,7 @@ doc:
 	  echo "doc: odoc not installed, skipping"; \
 	fi
 
-ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal crash-matrix journal-fuzz doc
+ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude crash-matrix journal-fuzz doc
 
 clean:
 	dune clean

@@ -300,6 +300,34 @@ let delivery_tests =
         ignore (Enclaves.Delivery.drain d ~member:"user0" ~current_epoch:3)));
   ]
 
+(* --- E23: online intrusion sentinel --- *)
+
+let sentinel_tests =
+  let module S = Enclaves.Sentinel in
+  [
+    (* Hot path 1: one evidence observation against a warm table —
+       decay, weight add, threshold compare. This sits on the leader's
+       every frame rejection. *)
+    Test.make ~name:"score-update" (Staged.stage (fun () ->
+        let sn = S.create ~config:S.default_config () in
+        for i = 0 to 31 do
+          ignore
+            (S.observe sn ~peer:(Printf.sprintf "peer%d" (i land 7))
+               S.Preauth_pressure)
+        done));
+    (* Hot path 2: the admission verdict on the unauthenticated
+       handshake surface — token refill + bucket charge + cap check.
+       This sits in front of every AuthInitReq the driver queues. *)
+    Test.make ~name:"preauth-admission" (Staged.stage (fun () ->
+        let sn = S.create ~config:S.default_config () in
+        for i = 0 to 31 do
+          ignore
+            (S.admit_preauth sn
+               ~peer:(Printf.sprintf "peer%d" (i land 7))
+               ~known:(i land 1 = 0) ~resuming:false ~half_open:2)
+        done));
+  ]
+
 (* --- E14: legacy symbolic model (attack finding) --- *)
 
 let legacy_model_tests =
@@ -340,6 +368,7 @@ let groups =
     ("model-checker-jobs (E4)", model_jobs_tests);
     ("failover (E13)", failover_tests);
     ("delivery (E22)", delivery_tests);
+    ("sentinel (E23)", sentinel_tests);
     ("legacy-model (E14)", legacy_model_tests);
     ("netsim", netsim_tests);
   ]

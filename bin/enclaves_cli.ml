@@ -15,6 +15,59 @@
 
 open Cmdliner
 
+(* --- minimal JSON emission (no dependency; the sweeps' numbers are
+   ints, floats, bools and flat counter tables) --- *)
+
+module Json = struct
+  type t =
+    | Str of string
+    | Int of int
+    | Float of float
+    | Bool of bool
+    | Obj of (string * t) list
+    | Arr of t list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec render = function
+    | Str s -> "\"" ^ escape s ^ "\""
+    | Int n -> string_of_int n
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Printf.sprintf "%.1f" f
+        else Printf.sprintf "%g" f
+    | Bool b -> string_of_bool b
+    | Obj fields ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ render v) fields)
+        ^ "}"
+    | Arr items -> "[" ^ String.concat "," (List.map render items) ^ "]"
+
+  let counters named = Obj (List.map (fun (k, v) -> (k, Int v)) named)
+  let print j = print_endline (render j)
+end
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit one machine-readable JSON document on stdout instead of the \
+           human-readable per-seed report")
+
 (* --- session --- *)
 
 let run_session members seed verbose audit protocol =
@@ -307,7 +360,7 @@ let verify_cmd =
 (* --- chaos --- *)
 
 let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
-    crash_at restart_after cold torn short_write drop_fsync eio verbose =
+    crash_at restart_after cold torn short_write drop_fsync eio json verbose =
   let module D = Enclaves.Driver.Improved in
   let crashing = crash_at > 0.0 in
   (* Flag validation: a crash with no restart would leave the leader
@@ -388,45 +441,82 @@ let run_chaos members seeds loss corrupt duplicate spike_prob until_s no_retry
     let r = D.retry_stats d in
     let c = Netsim.Network.fault_counters (D.net d) in
     let stats = Netsim.Stats.compute (Netsim.Network.trace (D.net d)) in
-    Printf.printf
-      "seed=%-3Ld %-9s t=%8.3fs  rtx: hs=%-3d keydist=%-3d admin=%-3d gc=%d \
-       resets=%d\n"
-      seed
-      (if converged then "CONVERGED" else "WEDGED")
-      (Int64.to_float join_time /. 1e6)
-      r.D.handshake_retransmits r.D.keydist_retransmits r.D.admin_retransmits
-      r.D.half_open_gcs r.D.session_resets;
-    if crashing then begin
-      Format.printf "         recovery: %a@." Netsim.Stats.pp_named
-        (D.recovery_counters d);
-      Format.printf "         storage:  %a@." Netsim.Stats.pp_named
-        (D.storage_counters d)
+    if not json then begin
+      Printf.printf
+        "seed=%-3Ld %-9s t=%8.3fs  rtx: hs=%-3d keydist=%-3d admin=%-3d gc=%d \
+         resets=%d\n"
+        seed
+        (if converged then "CONVERGED" else "WEDGED")
+        (Int64.to_float join_time /. 1e6)
+        r.D.handshake_retransmits r.D.keydist_retransmits
+        r.D.admin_retransmits r.D.half_open_gcs r.D.session_resets;
+      if crashing then begin
+        Format.printf "         recovery: %a@." Netsim.Stats.pp_named
+          (D.recovery_counters d);
+        Format.printf "         storage:  %a@." Netsim.Stats.pp_named
+          (D.storage_counters d)
+      end;
+      if verbose then begin
+        Format.printf "         retry: %a@." Netsim.Stats.pp_named
+          (D.retry_counters d);
+        Format.printf "         faults: %a@." Netsim.Faultplan.pp_counters c;
+        Printf.printf "         drops: total=%d adv=%d unreg=%d fault=%d\n"
+          stats.Netsim.Stats.dropped stats.Netsim.Stats.dropped_by_adversary
+          stats.Netsim.Stats.dropped_unregistered
+          stats.Netsim.Stats.dropped_by_fault;
+        Format.printf "         wire: %a@." Netsim.Stats.pp stats
+      end
     end;
-    if verbose then begin
-      Format.printf "         retry: %a@." Netsim.Stats.pp_named
-        (D.retry_counters d);
-      Format.printf "         faults: %a@." Netsim.Faultplan.pp_counters c;
-      Printf.printf "         drops: total=%d adv=%d unreg=%d fault=%d\n"
-        stats.Netsim.Stats.dropped stats.Netsim.Stats.dropped_by_adversary
-        stats.Netsim.Stats.dropped_unregistered
-        stats.Netsim.Stats.dropped_by_fault;
-      Format.printf "         wire: %a@." Netsim.Stats.pp stats
-    end;
-    converged
+    let row =
+      Json.Obj
+        ([
+           ("seed", Json.Int (Int64.to_int seed));
+           ("converged", Json.Bool converged);
+           ("t_s", Json.Float (Int64.to_float join_time /. 1e6));
+           ("retry", Json.counters (D.retry_counters d));
+         ]
+        @
+        if crashing then
+          [
+            ("recovery", Json.counters (D.recovery_counters d));
+            ("storage", Json.counters (D.storage_counters d));
+          ]
+        else [])
+    in
+    (converged, row)
   in
   let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
-  Printf.printf
-    "chaos: %d members, loss=%.0f%% corrupt=%.0f%% dup=%.0f%% spikes=%.0f%% \
-     retry=%b bound=%ds%s\n"
-    members (100. *. loss) (100. *. corrupt) (100. *. duplicate)
-    (100. *. spike_prob) (not no_retry) until_s
-    (if crashing then
-       Printf.sprintf " crash@%.1fs restart+%.1fs (%s)" crash_at restart_after
-         (if cold then "cold" else "warm")
-     else "");
-  let ok = List.filter one seed_list in
-  Printf.printf "\n%d/%d seeds converged\n" (List.length ok) seeds;
-  if List.length ok = seeds then 0 else 1
+  if not json then
+    Printf.printf
+      "chaos: %d members, loss=%.0f%% corrupt=%.0f%% dup=%.0f%% spikes=%.0f%% \
+       retry=%b bound=%ds%s\n"
+      members (100. *. loss) (100. *. corrupt) (100. *. duplicate)
+      (100. *. spike_prob) (not no_retry) until_s
+      (if crashing then
+         Printf.sprintf " crash@%.1fs restart+%.1fs (%s)" crash_at
+           restart_after
+           (if cold then "cold" else "warm")
+       else "");
+  let results = List.map one seed_list in
+  let ok = List.length (List.filter fst results) in
+  if json then
+    Json.print
+      (Json.Obj
+         [
+           ("command", Json.Str "chaos");
+           ("members", Json.Int members);
+           ("loss", Json.Float loss);
+           ("corrupt", Json.Float corrupt);
+           ("duplicate", Json.Float duplicate);
+           ("spikes", Json.Float spike_prob);
+           ("retry", Json.Bool (not no_retry));
+           ("runs", Json.Arr (List.map snd results));
+           ( "summary",
+             Json.Obj
+               [ ("converged", Json.Int ok); ("seeds", Json.Int seeds) ] );
+         ])
+  else Printf.printf "\n%d/%d seeds converged\n" ok seeds;
+  if ok = seeds then 0 else 1
 
 let chaos_members_arg =
   Arg.(value & opt int 5 & info [ "members"; "n" ] ~doc:"Number of members")
@@ -530,12 +620,13 @@ let chaos_cmd =
       const run_chaos $ chaos_members_arg $ chaos_seeds_arg $ loss_arg
       $ corrupt_arg $ duplicate_arg $ spike_arg $ until_arg $ no_retry_arg
       $ crash_at_arg $ restart_after_arg $ cold_arg $ torn_fault_arg
-      $ short_write_arg $ drop_fsync_arg $ eio_fault_arg $ verbose_arg)
+      $ short_write_arg $ drop_fsync_arg $ eio_fault_arg $ json_arg
+      $ verbose_arg)
 
 (* --- failover --- *)
 
 let run_failover members n_managers seeds loss kill_at partition_at heal_after
-    repl_lag_ms until_s cold verbose =
+    repl_lag_ms until_s cold json verbose =
   let module FO = Enclaves.Failover in
   let directory =
     List.init members (fun i ->
@@ -596,44 +687,80 @@ let run_failover members n_managers seeds loss kill_at partition_at heal_after
     ignore (FO.run ~until:(Netsim.Vtime.of_s until_s) t);
     let connected = FO.connected_members t in
     let ok = List.length connected = members in
-    Printf.printf
-      "seed=%-3Ld %-9s connected=%d/%d primary=%s failovers=%d failbacks=%d \
-       demotions=%d\n"
-      seed
-      (if ok then "CONVERGED" else "WEDGED")
-      (List.length connected) members
-      (match FO.primary t with Some p -> p | None -> "(none)")
-      (FO.failovers t) (FO.failbacks t) (FO.demotions t);
-    Format.printf "         replication: %a@." Netsim.Stats.pp_named
-      (Netsim.Stats.replication_named (FO.replication_stats t));
-    if verbose then begin
-      let pp_pairs fmt l =
-        List.iter (fun (b, v) -> Format.fprintf fmt " %s=%Ld" b v) l
-      in
-      Format.printf "         lag (records):%a@." pp_pairs
-        (List.map
-           (fun (b, l) -> (b, Int64.of_int l))
-           (FO.replication_lag t));
-      Format.printf "         silence (µs): %a@." pp_pairs
-        (FO.replication_silence t)
+    if not json then begin
+      Printf.printf
+        "seed=%-3Ld %-9s connected=%d/%d primary=%s failovers=%d failbacks=%d \
+         demotions=%d\n"
+        seed
+        (if ok then "CONVERGED" else "WEDGED")
+        (List.length connected) members
+        (match FO.primary t with Some p -> p | None -> "(none)")
+        (FO.failovers t) (FO.failbacks t) (FO.demotions t);
+      Format.printf "         replication: %a@." Netsim.Stats.pp_named
+        (Netsim.Stats.replication_named (FO.replication_stats t));
+      if verbose then begin
+        let pp_pairs fmt l =
+          List.iter (fun (b, v) -> Format.fprintf fmt " %s=%Ld" b v) l
+        in
+        Format.printf "         lag (records):%a@." pp_pairs
+          (List.map
+             (fun (b, l) -> (b, Int64.of_int l))
+             (FO.replication_lag t));
+        Format.printf "         silence (µs): %a@." pp_pairs
+          (FO.replication_silence t)
+      end
     end;
-    ok
+    let row =
+      Json.Obj
+        [
+          ("seed", Json.Int (Int64.to_int seed));
+          ("converged", Json.Bool ok);
+          ("connected", Json.Int (List.length connected));
+          ( "primary",
+            Json.Str (match FO.primary t with Some p -> p | None -> "") );
+          ("failovers", Json.Int (FO.failovers t));
+          ("failbacks", Json.Int (FO.failbacks t));
+          ("demotions", Json.Int (FO.demotions t));
+          ( "replication",
+            Json.counters
+              (Netsim.Stats.replication_named (FO.replication_stats t)) );
+        ]
+    in
+    (ok, row)
   in
-  Printf.printf
-    "failover: %d members, %d managers, loss=%.0f%%%s%s repl-lag=%dms \
-     bound=%ds (%s)\n"
-    members n_managers (100. *. loss)
-    (if kill_at > 0.0 then Printf.sprintf " kill-primary@%.1fs" kill_at else "")
-    (if partition_at > 0.0 then
-       Printf.sprintf " partition-primary@%.1fs heal-after=%.1fs" partition_at
-         heal_after
-     else "")
-    repl_lag_ms until_s
-    (if cold then "cold baseline" else "warm");
+  if not json then
+    Printf.printf
+      "failover: %d members, %d managers, loss=%.0f%%%s%s repl-lag=%dms \
+       bound=%ds (%s)\n"
+      members n_managers (100. *. loss)
+      (if kill_at > 0.0 then Printf.sprintf " kill-primary@%.1fs" kill_at
+       else "")
+      (if partition_at > 0.0 then
+         Printf.sprintf " partition-primary@%.1fs heal-after=%.1fs"
+           partition_at heal_after
+       else "")
+      repl_lag_ms until_s
+      (if cold then "cold baseline" else "warm");
   let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
-  let ok = List.filter one seed_list in
-  Printf.printf "\n%d/%d seeds converged\n" (List.length ok) seeds;
-  if List.length ok = seeds then 0 else 1
+  let results = List.map one seed_list in
+  let ok = List.length (List.filter fst results) in
+  if json then
+    Json.print
+      (Json.Obj
+         [
+           ("command", Json.Str "failover");
+           ("members", Json.Int members);
+           ("managers", Json.Int n_managers);
+           ("loss", Json.Float loss);
+           ("kill_primary_at_s", Json.Float kill_at);
+           ("warm", Json.Bool (not cold));
+           ("runs", Json.Arr (List.map snd results));
+           ( "summary",
+             Json.Obj
+               [ ("converged", Json.Int ok); ("seeds", Json.Int seeds) ] );
+         ])
+  else Printf.printf "\n%d/%d seeds converged\n" ok seeds;
+  if ok = seeds then 0 else 1
 
 let fo_managers_arg =
   Arg.(
@@ -697,7 +824,7 @@ let failover_cmd =
     Term.(
       const run_failover $ chaos_members_arg $ fo_managers_arg
       $ chaos_seeds_arg $ loss_arg $ kill_primary_arg $ partition_primary_arg
-      $ heal_after_arg $ repl_lag_arg $ fo_until_arg $ fo_cold_arg
+      $ heal_after_arg $ repl_lag_arg $ fo_until_arg $ fo_cold_arg $ json_arg
       $ verbose_arg)
 
 (* --- crash-matrix --- *)
@@ -767,7 +894,7 @@ let crash_matrix_cmd =
 (* --- churn --- *)
 
 let run_churn members churn_rate epoch_window rounds seeds seed loss duplicate
-    stale verbose =
+    stale json verbose =
   let module D = Enclaves.Driver.Improved in
   (* Flag validation: reject configurations whose failure mode would be
      trivial (nothing churns, or everything wedges) loudly instead. *)
@@ -893,32 +1020,67 @@ let run_churn members churn_rate epoch_window rounds seeds seed loss duplicate
     in
     let converged = D.view_converged d in
     let ok = no_dup && no_leak && bounded && drained && converged in
-    Printf.printf
-      "seed=%-3Ld %-9s evictions=%-3d hwm=%-3d dup=%b leak=%b drained=%b \
-       bounded=%b\n"
-      seed
-      (if ok then "CONVERGED" else "WEDGED")
-      !evictions !hwm (not no_dup) (not no_leak) drained bounded;
-    Format.printf "         delivery: %a@." Netsim.Stats.pp_named
-      (D.delivery_counters d);
-    if verbose then begin
-      Format.printf "         recovery: %a@." Netsim.Stats.pp_named
-        (D.recovery_counters d);
-      ignore stats
+    if not json then begin
+      Printf.printf
+        "seed=%-3Ld %-9s evictions=%-3d hwm=%-3d dup=%b leak=%b drained=%b \
+         bounded=%b\n"
+        seed
+        (if ok then "CONVERGED" else "WEDGED")
+        !evictions !hwm (not no_dup) (not no_leak) drained bounded;
+      Format.printf "         delivery: %a@." Netsim.Stats.pp_named
+        (D.delivery_counters d);
+      if verbose then begin
+        Format.printf "         recovery: %a@." Netsim.Stats.pp_named
+          (D.recovery_counters d);
+        ignore stats
+      end
     end;
-    ok
+    let row =
+      Json.Obj
+        [
+          ("seed", Json.Int (Int64.to_int seed));
+          ("converged", Json.Bool ok);
+          ("evictions", Json.Int !evictions);
+          ("queue_hwm", Json.Int !hwm);
+          ("duplicates", Json.Bool (not no_dup));
+          ("leaks", Json.Bool (not no_leak));
+          ("drained", Json.Bool drained);
+          ("bounded", Json.Bool bounded);
+          ("delivery", Json.counters (D.delivery_counters d));
+        ]
+    in
+    (ok, row)
   in
-  Printf.printf
-    "churn: %d members, rate=%.0f%%/round, window=%d, %d rounds, loss=%.0f%% \
-     dup=%.0f%% stale=%s\n"
-    members (100. *. churn_rate) epoch_window rounds (100. *. loss)
-    (100. *. duplicate)
-    (if stale then "deliver" else "reject");
+  if not json then
+    Printf.printf
+      "churn: %d members, rate=%.0f%%/round, window=%d, %d rounds, \
+       loss=%.0f%% dup=%.0f%% stale=%s\n"
+      members (100. *. churn_rate) epoch_window rounds (100. *. loss)
+      (100. *. duplicate)
+      (if stale then "deliver" else "reject");
   let seed_list = List.init seeds (fun i -> Int64.add seed (Int64.of_int i)) in
-  let ok = List.filter one seed_list in
-  Printf.printf "\n%d/%d seeds converged with clean delivery\n"
-    (List.length ok) seeds;
-  if List.length ok = seeds then 0 else 1
+  let results = List.map one seed_list in
+  let ok = List.length (List.filter fst results) in
+  if json then
+    Json.print
+      (Json.Obj
+         [
+           ("command", Json.Str "churn");
+           ("members", Json.Int members);
+           ("churn_rate", Json.Float churn_rate);
+           ("epoch_window", Json.Int epoch_window);
+           ("rounds", Json.Int rounds);
+           ("loss", Json.Float loss);
+           ("duplicate", Json.Float duplicate);
+           ("stale_policy", Json.Str (if stale then "deliver" else "reject"));
+           ("runs", Json.Arr (List.map snd results));
+           ( "summary",
+             Json.Obj
+               [ ("converged", Json.Int ok); ("seeds", Json.Int seeds) ] );
+         ])
+  else
+    Printf.printf "\n%d/%d seeds converged with clean delivery\n" ok seeds;
+  if ok = seeds then 0 else 1
 
 let churn_rate_arg =
   Arg.(
@@ -972,7 +1134,246 @@ let churn_cmd =
     Term.(
       const run_churn $ chaos_members_arg $ churn_rate_arg $ epoch_window_arg
       $ churn_rounds_arg $ churn_seeds_arg $ seed_arg $ churn_loss_arg
-      $ churn_duplicate_arg $ churn_stale_arg $ verbose_arg)
+      $ churn_duplicate_arg $ churn_stale_arg $ json_arg $ verbose_arg)
+
+(* --- intrude --- *)
+
+let run_intrude arm_str members seeds until_s no_admission json verbose =
+  let module D = Enclaves.Driver.Improved in
+  let module S = Enclaves.Sentinel in
+  let arm =
+    match arm_str with
+    | "a1-flood" -> Netsim.Intruder.Preauth_flood
+    | "storm" -> Netsim.Intruder.Handshake_storm
+    | "a2-forge" -> Netsim.Intruder.Forge_burst
+    | "a3-replay" -> Netsim.Intruder.Replay_burst
+    | other -> (
+        match Netsim.Intruder.arm_of_name other with
+        | Some a -> a
+        | None ->
+            prerr_endline
+              ("intrude: unknown arm '" ^ other
+             ^ "' (a1-flood|storm|a2-forge|a3-replay)");
+            exit 2)
+  in
+  if members < 2 then begin
+    prerr_endline
+      "intrude: --members must be at least 2 (one early member and one \
+       joining during the attack)";
+    exit 2
+  end;
+  if until_s < 10 then begin
+    prerr_endline
+      "intrude: --until must be at least 10 (the campaign runs 3s-6s and \
+       the post-containment probe needs the tail)";
+    exit 2
+  end;
+  let honest =
+    List.init members (fun i ->
+        let name = Printf.sprintf "user%d" i in
+        (name, name ^ "-pw"))
+  in
+  let directory = honest @ [ ("mallory", "mallory-pw") ] in
+  (* The last half of the honest users (at least one) join in the
+     middle of the attack window — the join-success probes the
+     admission-control comparison is measured on. *)
+  let n_late = max 1 (members / 2) in
+  let early = List.filteri (fun i _ -> i < members - n_late) honest in
+  let late = List.filteri (fun i _ -> i >= members - n_late) honest in
+  let one seed =
+    let intrusion = if no_admission then None else Some S.default_config in
+    let d =
+      D.create ~seed ~retry:D.default_retry ~preauth:D.default_preauth
+        ?intrusion ~leader:"leader" ~directory ()
+    in
+    List.iter (fun (n, _) -> D.join d n) (early @ [ ("mallory", "") ]);
+    ignore (D.run ~until:(Netsim.Vtime.of_s 2) d);
+    (* Give the insider replayable traffic of its own and a session
+       key to pocket, then rotate the group so the pocketed key is
+       genuinely retired when the forge arm reuses it. *)
+    D.send_app d "mallory" "insider chatter";
+    ignore (D.run ~until:(Netsim.Vtime.of_ms 2200) d);
+    let insider =
+      Adversary.Insider.create ~driver:d ~insider:"mallory"
+        ~password:"mallory-pw" ()
+    in
+    let harvested = Adversary.Insider.harvest insider in
+    D.rekey d;
+    (* 8 frames every 20 ms: five times the pre-auth queue's service
+       rate (4 per 50 ms) with refills faster than the pump drains, so
+       without admission control the queue stays pinned at capacity
+       and tail-drops legitimate joins for the whole window. *)
+    let campaign =
+      Netsim.Intruder.campaign ~arm ~start:(Netsim.Vtime.of_s 3)
+        ~stop:(Netsim.Vtime.of_s 6)
+        ~period:(Netsim.Vtime.of_ms 20)
+        ~burst:8 ()
+    in
+    ignore (Adversary.Insider.launch insider campaign);
+    ignore (D.run ~until:(Netsim.Vtime.of_s 4) d);
+    List.iter (fun (n, _) -> D.join d n) late;
+    (* Joins are scored one second after the campaign window closes —
+       the deadline that separates "rode through the flood" from
+       "eventually recovered once it stopped". *)
+    ignore (D.run ~until:(Netsim.Vtime.of_s 7) d);
+    let joins_ok =
+      List.length
+        (List.filter
+           (fun (n, _) -> Enclaves.Member.is_connected (D.member d n))
+           late)
+    in
+    ignore (D.run ~until:(Netsim.Vtime.of_s 8) d);
+    let level = Option.map (fun sn -> S.level sn "mallory") (D.sentinel d) in
+    let contained =
+      match level with
+      | Some l -> S.level_rank l >= S.level_rank S.Quarantined
+      | None -> false
+    in
+    (* Post-containment secrecy probe: a secret sent from here on must
+       be unreadable to an eavesdropper who holds every key the
+       insider ever pocketed AND the whole wire trace — including the
+       early group-key distributions wrapped under the insider's
+       session key. Only the emergency rekey (which excluded the
+       suspect) makes this hold; in the baseline the insider is still
+       a member, its session key unwraps every rotation, and the
+       secret reads straight off the wire. *)
+    let secret = Printf.sprintf "post-containment secret %Ld" seed in
+    D.send_app d "user0" secret;
+    ignore (D.run ~until:(Netsim.Vtime.of_s until_s) d);
+    let unreadable =
+      let know = Adversary.Knowledge.create () in
+      List.iter (Adversary.Knowledge.add_key know)
+        (Adversary.Insider.retired_keys insider);
+      let trace = Netsim.Network.trace (D.net d) in
+      Adversary.Knowledge.observe_trace know trace;
+      Adversary.Knowledge.saturate know;
+      not
+        (List.exists
+           (fun payload ->
+             match Adversary.Knowledge.decrypt_app know payload with
+             | Some (_, body) -> body = secret
+             | None -> false)
+           (Netsim.Trace.payloads trace))
+    in
+    let stats = D.sentinel_stats d in
+    if not json then begin
+      Printf.printf
+        "seed=%-3Ld %-11s joins=%d/%d rekeys=%d sealed=%b harvested=%b\n" seed
+        (match level with
+        | Some l -> S.level_name l
+        | None -> "(no sentinel)")
+        joins_ok n_late stats.Netsim.Stats.emergency_rekeys unreadable
+        harvested;
+      Format.printf "         injected: %a@." Netsim.Stats.pp_named
+        (Adversary.Insider.counters insider);
+      if verbose then
+        Format.printf "         sentinel: %a@." Netsim.Stats.pp_named
+          (D.sentinel_counters d)
+    end;
+    let row =
+      Json.Obj
+        [
+          ("seed", Json.Int (Int64.to_int seed));
+          ("contained", Json.Bool contained);
+          ( "level",
+            Json.Str
+              (match level with Some l -> S.level_name l | None -> "") );
+          ("joins_ok", Json.Int joins_ok);
+          ("joins_total", Json.Int n_late);
+          ("post_rekey_unreadable", Json.Bool unreadable);
+          ("injected", Json.counters (Adversary.Insider.counters insider));
+          ("sentinel", Json.counters (D.sentinel_counters d));
+        ]
+    in
+    ((contained, joins_ok, unreadable), row)
+  in
+  if not json then
+    Printf.printf
+      "intrude: arm=%s %d members (+insider), %d late joiners, admission=%s \
+       bound=%ds\n"
+      (Netsim.Intruder.arm_name arm)
+      members n_late
+      (if no_admission then "OFF (baseline)" else "on")
+      until_s;
+  let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
+  let results = List.map one seed_list in
+  let contained_n =
+    List.length (List.filter (fun ((c, _, _), _) -> c) results)
+  in
+  let joins_ok = List.fold_left (fun a ((_, j, _), _) -> a + j) 0 results in
+  let joins_total = seeds * n_late in
+  let sealed_n =
+    List.length (List.filter (fun ((_, _, u), _) -> u) results)
+  in
+  let join_ratio = float_of_int joins_ok /. float_of_int joins_total in
+  let ok =
+    if no_admission then true
+      (* the baseline arm is informational: it documents the damage
+         admission control is measured against *)
+    else contained_n = seeds && sealed_n = seeds && join_ratio >= 0.95
+  in
+  if json then
+    Json.print
+      (Json.Obj
+         [
+           ("command", Json.Str "intrude");
+           ("arm", Json.Str (Netsim.Intruder.arm_name arm));
+           ("members", Json.Int members);
+           ("admission", Json.Bool (not no_admission));
+           ("runs", Json.Arr (List.map snd results));
+           ( "summary",
+             Json.Obj
+               [
+                 ("seeds", Json.Int seeds);
+                 ("contained", Json.Int contained_n);
+                 ("join_success", Json.Float join_ratio);
+                 ("post_rekey_sealed", Json.Int sealed_n);
+                 ("ok", Json.Bool ok);
+               ] );
+         ])
+  else
+    Printf.printf
+      "\n%d/%d seeds contained the insider; join success %d/%d (%.0f%%); \
+       post-rekey sealed %d/%d%s\n"
+      contained_n seeds joins_ok joins_total (100.0 *. join_ratio) sealed_n
+      seeds
+      (if no_admission then "  [baseline: admission off]" else "");
+  if ok then 0 else 1
+
+let intrude_arm_arg =
+  Arg.(
+    value
+    & pos 0 string "a1-flood"
+    & info [] ~docv:"ARM" ~doc:"a1-flood|storm|a2-forge|a3-replay")
+
+let intrude_seeds_arg =
+  Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"Sweep seeds 1..N")
+
+let intrude_until_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "until" ] ~doc:"Virtual-time bound in seconds per run")
+
+let no_admission_arg =
+  Arg.(
+    value & flag
+    & info [ "no-admission" ]
+        ~doc:
+          "Disable the sentinel (baseline arm): the pre-auth queue still \
+           runs, but nothing scores evidence or denies admission, so the \
+           flood's damage to legitimate joins is measured raw")
+
+let intrude_cmd =
+  let doc =
+    "run a seeded compromised-insider campaign (pre-auth flood, handshake \
+     storm, expired-key forgery, replay) against the online sentinel and \
+     report containment, join success and post-rekey secrecy"
+  in
+  Cmd.v (Cmd.info "intrude" ~doc)
+    Term.(
+      const run_intrude $ intrude_arm_arg $ chaos_members_arg
+      $ intrude_seeds_arg $ intrude_until_arg $ no_admission_arg $ json_arg
+      $ verbose_arg)
 
 (* --- keys --- *)
 
@@ -1002,5 +1403,5 @@ let () =
        (Cmd.group info
           [
             session_cmd; attack_cmd; verify_cmd; chaos_cmd; churn_cmd;
-            failover_cmd; crash_matrix_cmd; keys_cmd;
+            failover_cmd; intrude_cmd; crash_matrix_cmd; keys_cmd;
           ]))

@@ -7,6 +7,8 @@ type anomaly =
   | Forged_frame of { recipient : Types.agent; label : F.label }
   | Stale_rekey of { recipient : Types.agent; epoch : int; current : int }
   | Stale_delivery of { recipient : Types.agent; seq : int }
+  | Handshake_flood of { claimed : Types.agent; attempts : int }
+  | Quarantine of { suspect : Types.agent }
 
 let pp_anomaly fmt = function
   | Replayed_admin { recipient; occurrences } ->
@@ -24,6 +26,14 @@ let pp_anomaly fmt = function
         "store-and-forward record seq %d delivered to %s beyond the epoch \
          window (flagged stale)"
         seq recipient
+  | Handshake_flood { claimed; attempts } ->
+      Format.fprintf fmt
+        "%d AuthInitReq frames delivered to the leader claiming to be %s \
+         (pre-auth flood)"
+        attempts claimed
+  | Quarantine { suspect } ->
+      Format.fprintf fmt "the leader quarantined %s (containment notice)"
+        suspect
 
 type report = {
   handshakes_completed : int;
@@ -39,7 +49,15 @@ let clean r = r.anomalies = []
    highest group-key epoch genuinely delivered to this member. *)
 type session = { pa : Key.t; mutable ka : Key.t option; mutable epoch : int }
 
-let run ~directory ~leader trace =
+let quarantine_prefix = "quarantined:"
+
+let quarantined_of note =
+  let n = String.length quarantine_prefix in
+  if String.length note > n && String.sub note 0 n = quarantine_prefix then
+    Some (String.sub note n (String.length note - n))
+  else None
+
+let run ?(flood_threshold = 10) ~directory ~leader trace =
   let sessions = Hashtbl.create 8 in
   List.iter
     (fun (user, password) ->
@@ -50,6 +68,11 @@ let run ~directory ~leader trace =
   let anomalies = ref [] in
   (* Count deliveries of identical admin frames per recipient. *)
   let admin_seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Pre-auth handshake pressure per claimed sender, and quarantine
+     notices already surfaced (one anomaly per suspect, not one per
+     notified member). *)
+  let preauth_seen : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let quarantined : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let member_of (frame : F.t) ~field =
     Hashtbl.find_opt sessions (field frame)
   in
@@ -143,6 +166,16 @@ let run ~directory ~leader trace =
                                        })
                                 else s.epoch <- max s.epoch epoch
                             | _ -> ())
+                      | Ok { P.x = Wire.Admin.Notice note; _ } -> (
+                          (* A containment broadcast: the leader
+                             quarantined a suspect. One anomaly per
+                             suspect, however many members heard it. *)
+                          match quarantined_of note with
+                          | Some suspect
+                            when not (Hashtbl.mem quarantined suspect) ->
+                              Hashtbl.replace quarantined suspect ();
+                              flag (Quarantine { suspect })
+                          | Some _ | None -> ())
                       | Ok _ | Error _ -> ())
                 | Error _ ->
                     flag
@@ -170,6 +203,15 @@ let run ~directory ~leader trace =
                       (Forged_frame
                          { recipient = frame.F.recipient; label = frame.F.label }))
             | _ -> ())
+        | F.Auth_init_req ->
+            (* Pre-auth pressure per claimed sender. The frames need
+               not be valid — the flood signal is volume on the
+               unauthenticated surface, which no key check filters. *)
+            if frame.F.recipient = leader then
+              Hashtbl.replace preauth_seen frame.F.sender
+                (1
+                + Option.value ~default:0
+                    (Hashtbl.find_opt preauth_seen frame.F.sender))
         | _ -> ())
   in
   List.iter
@@ -187,6 +229,11 @@ let run ~directory ~leader trace =
             flag (Replayed_admin { recipient = frame.F.recipient; occurrences = count })
         | Error _ -> ())
     admin_seen;
+  Hashtbl.iter
+    (fun claimed attempts ->
+      if attempts > flood_threshold then
+        flag (Handshake_flood { claimed; attempts }))
+    preauth_seen;
   {
     handshakes_completed = !handshakes;
     admin_delivered = !admin;

@@ -34,6 +34,15 @@ type anomaly =
           protocol behaviour (the member applies no state effect), but
           always surfaced by the auditor so an operator can see which
           queued traffic outlived its epoch. *)
+  | Handshake_flood of { claimed : Types.agent; attempts : int }
+      (** More than [flood_threshold] [AuthInitReq] frames delivered
+          to the leader under one claimed sender — pre-auth flood
+          pressure on the unauthenticated surface. The frames need not
+          be valid; the signal is volume. *)
+  | Quarantine of { suspect : Types.agent }
+      (** The leader broadcast a ["quarantined:<suspect>"] containment
+          notice — the online sentinel expelled a suspected insider.
+          Reported once per suspect, however many members heard it. *)
 
 val pp_anomaly : Format.formatter -> anomaly -> unit
 
@@ -48,6 +57,7 @@ val clean : report -> bool
 (** No anomalies. *)
 
 val run :
+  ?flood_threshold:int ->
   directory:(Types.agent * string) list ->
   leader:Types.agent ->
   Netsim.Trace.t ->
@@ -56,4 +66,6 @@ val run :
     the trace in order. Sessions are tracked per member: an
     [AuthKeyDist] opened under the member's [P_a] installs the session
     key the subsequent frames are checked against; an authentic
-    [ReqClose] retires it. *)
+    [ReqClose] retires it. [flood_threshold] (default 10) is the
+    per-claimed-sender [AuthInitReq] delivery count above which a
+    {!anomaly.Handshake_flood} is flagged. *)

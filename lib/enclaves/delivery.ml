@@ -171,6 +171,24 @@ let clear t ~member =
         (Store.Queue.pending q);
       Store.Queue.compact q
 
+(* Quarantine policy: durably drop the member's entire backlog. Unlike
+   [clear] (housekeeping after a clean close) this is a containment
+   action with a caller-visible count — a quarantined insider's queue
+   must not survive to be drained by anyone, including a promoted
+   successor (the emptied image ships to backups like any mutation). *)
+let purge t ~member =
+  match Hashtbl.find_opt t.queues member with
+  | None -> 0
+  | Some q ->
+      let pending = Store.Queue.pending q in
+      let n = List.length pending in
+      List.iter
+        (fun (e : Store.Queue.entry) ->
+          Store.Queue.drop q ~seq:e.Store.Queue.seq)
+        pending;
+      Store.Queue.compact q;
+      n
+
 let depth t ~member =
   match Hashtbl.find_opt t.queues member with
   | None -> 0

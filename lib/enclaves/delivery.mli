@@ -73,6 +73,12 @@ val ack : t -> member:Types.agent -> upto:int -> unit
 val clear : t -> member:Types.agent -> unit
 (** Durably drop everything pending for a member (voluntary leave). *)
 
+val purge : t -> member:Types.agent -> int
+(** Quarantine policy: durably drop the member's entire backlog and
+    return how many pending records were destroyed. Containment — a
+    quarantined insider's queue is not salvaged for later drain, and
+    the emptied image replicates to backups like any mutation. *)
+
 val depth : t -> member:Types.agent -> int
 val total_depth : t -> int
 val members : t -> Types.agent list

@@ -43,6 +43,26 @@ module Improved = struct
       session_resets = 0;
     }
 
+  (* Pre-auth flood control: the unauthenticated handshake path is the
+     one surface a peer can hit without any key material, so it gets
+     its own bounded service queue. [AuthInitReq] frames are not
+     handed to the leader on arrival: they wait in a FIFO of at most
+     [capacity] frames (tail drop beyond that) and are served in
+     batches of [burst] every jittered [period], so a flood pays in
+     queueing delay and overflow instead of leader work — and cannot
+     phase-lock onto the service clock. With an intrusion sentinel
+     configured, {!Sentinel.admit_preauth} runs at the queue door:
+     throttled, capped and quarantined claimants never occupy a
+     slot. *)
+  type preauth_config = {
+    capacity : int;  (** Queue bound; arrivals beyond it tail-drop. *)
+    period : Netsim.Vtime.t;  (** Service tick (±25% jitter). *)
+    burst : int;  (** Handshakes served per tick. *)
+  }
+
+  let default_preauth =
+    { capacity = 32; period = Netsim.Vtime.of_ms 50; burst = 4 }
+
   (* Leader-side watch entry for one outstanding frame (identified by
      its nonce): when the nonce survives a whole scan interval the
      frame is re-sent, with per-entry exponential backoff. *)
@@ -139,6 +159,18 @@ module Improved = struct
     mutable acc_recoveries : int;
     mutable acc_resyncs : int;
     jrng : Prng.Splitmix.t;  (* jitter; split off the root stream *)
+    preauth : preauth_config option;
+    sentinel : Sentinel.t option;
+        (* One sentinel across leader incarnations: suspicion must
+           survive a restart, so the driver owns it and threads it
+           into every rebuilt leader. *)
+    preauth_q : string Queue.t;
+        (* Encoded [AuthInitReq] frames awaiting pre-auth service. *)
+    mutable preauth_dropped : int;  (* tail drops at the full queue *)
+    mutable pump_scheduled : bool;
+    prng_pump : Prng.Splitmix.t;
+        (* Service jitter. Seeded independently of the root stream so
+           enabling the pump perturbs no other consumer's draws. *)
     mutable retry_stopped : bool;
     mutable scan_handle : Netsim.Sim.handle option;
     mutable recovery_handles : Netsim.Sim.handle list;
@@ -151,14 +183,94 @@ module Improved = struct
            wedge otherwise. *)
   }
 
+  let deliver_to_leader t bytes =
+    let replies = Leader.receive t.leader bytes in
+    send_frames t.net ~src:(Leader.self t.leader) replies
+
+  (* Serve the pre-auth queue: at most [burst] queued handshakes per
+     jittered [period] tick. Demand-driven — a tick is scheduled only
+     while frames wait — so the pump never blocks quiescence. Each
+     tick ends with a containment sweep: a flood that just pushed its
+     author over the quarantine threshold is acted on before the next
+     batch is served. *)
+  let rec schedule_pump t cfg =
+    if not t.pump_scheduled then begin
+      t.pump_scheduled <- true;
+      let period_f = Int64.to_float cfg.period in
+      let displace =
+        Int64.of_float
+          (period_f *. 0.25
+          *. ((Prng.Splitmix.next_float t.prng_pump *. 2.0) -. 1.0))
+      in
+      let delay = Int64.max 1L (Int64.add cfg.period displace) in
+      ignore
+        (Netsim.Sim.schedule_handle t.sim ~delay (fun () ->
+             t.pump_scheduled <- false;
+             if not t.leader_down then begin
+               let served = ref 0 in
+               while !served < cfg.burst && not (Queue.is_empty t.preauth_q) do
+                 incr served;
+                 deliver_to_leader t (Queue.pop t.preauth_q)
+               done;
+               send_frames t.net ~src:(Leader.self t.leader)
+                 (Leader.containment_sweep t.leader);
+               if not (Queue.is_empty t.preauth_q) then schedule_pump t cfg
+             end))
+    end
+
+  (* Admission check for one decoded [AuthInitReq]. Without a sentinel
+     everything is admitted (the bounded queue alone is the baseline
+     flood behaviour — it fills, and joins starve in FIFO order). *)
+  let admit_preauth t (frame : F.t) =
+    match t.sentinel with
+    | None -> true
+    | Some sn -> (
+        let who = frame.F.sender in
+        let known = List.mem_assoc who t.directory in
+        let resuming =
+          match Leader.session t.leader who with
+          | Leader.Waiting_for_key_ack _ -> true
+          | Leader.Not_connected | Leader.Connected _ | Leader.Waiting_for_ack _
+          | Leader.Recovering _ ->
+              false
+        in
+        let half_open = List.length (Leader.half_open t.leader) in
+        match Sentinel.admit_preauth sn ~peer:who ~known ~resuming ~half_open with
+        | Sentinel.Admit -> true
+        | Sentinel.Throttled | Sentinel.Capped | Sentinel.Denied_quarantined ->
+            false)
+
+  let gate_preauth t bytes frame =
+    if admit_preauth t frame then
+      match t.preauth with
+      | None -> deliver_to_leader t bytes
+      | Some cfg ->
+          if Queue.length t.preauth_q >= cfg.capacity then
+            t.preauth_dropped <- t.preauth_dropped + 1
+          else begin
+            Queue.push bytes t.preauth_q;
+            schedule_pump t cfg
+          end
+    else
+      (* The denial itself scored evidence; contain synchronously so a
+         flood is cut on the frame that crossed the threshold. *)
+      send_frames t.net ~src:(Leader.self t.leader)
+        (Leader.containment_sweep t.leader)
+
   (* The handler reads [t.leader] at delivery time, so re-registering
-     after a restart picks up the replacement automaton. *)
+     after a restart picks up the replacement automaton. The
+     unauthenticated handshake path additionally passes the pre-auth
+     gate when flood control or a sentinel is configured. *)
   let attach_leader t =
     Netsim.Network.register t.net (Leader.self t.leader) (fun bytes ->
-        if not t.leader_down then begin
-          let replies = Leader.receive t.leader bytes in
-          send_frames t.net ~src:(Leader.self t.leader) replies
-        end)
+        if not t.leader_down then
+          match (t.preauth, t.sentinel) with
+          | None, None -> deliver_to_leader t bytes
+          | _ -> (
+              match F.decode bytes with
+              | Ok ({ F.label = F.Auth_init_req; _ } as frame) ->
+                  gate_preauth t bytes frame
+              | Ok _ | Error _ -> deliver_to_leader t bytes))
 
   let scale time f = Int64.of_float (Int64.to_float time *. f)
 
@@ -238,7 +350,11 @@ module Improved = struct
                 })
     in
     List.iter (visit ~is_half_open:true) half_open;
-    List.iter (visit ~is_half_open:false) awaiting
+    List.iter (visit ~is_half_open:false) awaiting;
+    (* Half-open GC just scored [Half_open] evidence; act on any
+       escalation now rather than waiting for the suspect's next
+       frame. *)
+    send_frames t.net ~src:lname (Leader.containment_sweep t.leader)
     end
 
   let member t who =
@@ -415,10 +531,16 @@ module Improved = struct
     }
 
   let create ?(seed = 42L) ?latency_us ?policy ?retry ?recovery ?storage_faults
-      ?delivery:delivery_policy ~leader ~directory () =
+      ?delivery:delivery_policy ?preauth ?intrusion ~leader ~directory () =
     let sim = Netsim.Sim.create ~seed () in
     let net = Netsim.Network.create ~sim ?latency_us () in
     let rng = Netsim.Sim.rng sim in
+    let sentinel =
+      Option.map
+        (fun config ->
+          Sentinel.create ~config ~clock:(fun () -> Netsim.Sim.now sim) ())
+        intrusion
+    in
     (* With recovery on, the journal writes through a simulated disk —
        optionally wrapped in the seeded fault layer — so a crash can
        capture the durable image instead of trusting the live buffer. *)
@@ -457,7 +579,7 @@ module Improved = struct
     in
     let l =
       Leader.create ~self:leader ~rng ~directory ?policy ?journal ?vault
-        ?delivery ()
+        ?delivery ?sentinel ()
     in
     let members = Hashtbl.create 8 in
     let t =
@@ -488,6 +610,12 @@ module Improved = struct
         acc_recoveries = 0;
         acc_resyncs = 0;
         jrng = Prng.Splitmix.split rng;
+        preauth;
+        sentinel;
+        preauth_q = Queue.create ();
+        preauth_dropped = 0;
+        pump_scheduled = false;
+        prng_pump = Prng.Splitmix.create (Int64.logxor seed 0x70726561757468L);
         retry_stopped = false;
         scan_handle = None;
         recovery_handles = [];
@@ -632,6 +760,8 @@ module Improved = struct
                      Option.value ~default:"" (Store.Mem.durable_of mem file) ))
                  (Delivery.files d))
       | _ -> ());
+      (* The pre-auth queue is process memory; a crash loses it. *)
+      Queue.clear t.preauth_q;
       Netsim.Network.unregister t.net (Leader.self t.leader)
     end
 
@@ -759,7 +889,8 @@ module Improved = struct
         let j, state, status = Journal.recover ?disk:t.backend b in
         let l, challenges =
           Leader.recover ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ~journal:j ?vault ?delivery ~state ()
+            ?policy:t.policy ~journal:j ?vault ?delivery ?sentinel:t.sentinel
+            ~state ()
         in
         t.leader <- l;
         t.journal <- Some j;
@@ -787,7 +918,8 @@ module Improved = struct
         let j = Journal.create ?disk:t.backend () in
         let l, beacons =
           Leader.cold_recover ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ~journal:j ?vault ?delivery ~state ()
+            ?policy:t.policy ~journal:j ?vault ?delivery ?sentinel:t.sentinel
+            ~state ()
         in
         t.leader <- l;
         t.journal <- Some j;
@@ -808,7 +940,7 @@ module Improved = struct
            fresh automaton that knows nothing. *)
         let l =
           Leader.create ~self:lname ~rng ~directory:t.directory
-            ?policy:t.policy ?delivery ()
+            ?policy:t.policy ?delivery ?sentinel:t.sentinel ()
         in
         t.leader <- l;
         t.leader_down <- false;
@@ -947,6 +1079,21 @@ module Improved = struct
     }
 
   let storage_counters t = Netsim.Stats.storage_named (storage_stats t)
+
+  (* --- intrusion containment --- *)
+
+  let sentinel t = t.sentinel
+  let preauth_backlog t = Queue.length t.preauth_q
+
+  let sentinel_stats t =
+    let base =
+      match t.sentinel with
+      | Some sn -> Sentinel.to_stats (Sentinel.counters sn)
+      | None -> Netsim.Stats.empty_sentinel
+    in
+    { base with Netsim.Stats.preauth_queue_dropped = t.preauth_dropped }
+
+  let sentinel_counters t = Netsim.Stats.sentinel_named (sentinel_stats t)
 end
 
 module Legacy = struct

@@ -99,6 +99,18 @@ module Improved : sig
         (** Restarts recovered from a captured durable crash image. *)
   }
 
+  (** Tuning for pre-auth flood control: a bounded FIFO in front of
+      the leader's unauthenticated handshake path, served in jittered
+      batches. *)
+  type preauth_config = {
+    capacity : int;  (** Queue bound; arrivals beyond it tail-drop. *)
+    period : Netsim.Vtime.t;  (** Service tick (±25% jitter). *)
+    burst : int;  (** Handshakes served per tick. *)
+  }
+
+  val default_preauth : preauth_config
+  (** 32-slot queue, 4 handshakes per 50 ms tick. *)
+
   val create :
     ?seed:int64 ->
     ?latency_us:int * int ->
@@ -107,6 +119,8 @@ module Improved : sig
     ?recovery:recovery_config ->
     ?storage_faults:Store.Fault.config ->
     ?delivery:Delivery.policy ->
+    ?preauth:preauth_config ->
+    ?intrusion:Sentinel.config ->
     leader:Types.agent ->
     directory:(Types.agent * string) list ->
     unit ->
@@ -149,7 +163,17 @@ module Improved : sig
       durable image and {!restart_leader} rebuilds the layer from
       those images, so acknowledged deliveries survive the crash and
       unacknowledged ones re-drain (the member's delivery floor
-      absorbs the duplicates). *)
+      absorbs the duplicates).
+
+      With [preauth] set, [AuthInitReq] frames wait in a bounded FIFO
+      and are served in jittered batches instead of reaching the
+      leader on arrival — a pre-auth flood pays in queueing delay and
+      tail drops, not leader work. With [intrusion] set, the driver
+      runs one {!Sentinel} on the simulator clock, threads it into
+      every leader incarnation (suspicion and quarantines survive
+      restarts), applies {!Sentinel.admit_preauth} at the queue door,
+      and dispatches {!Leader.containment_sweep} from its periodic
+      scan and after every service tick. *)
 
   val sim : t -> Netsim.Sim.t
   val net : t -> Netsim.Network.t
@@ -286,6 +310,24 @@ module Improved : sig
 
   val delivery_counters : t -> (string * int) list
   (** {!delivery_stats} as labelled counters for
+      {!Netsim.Stats.pp_named}. *)
+
+  (** {2 Intrusion containment} *)
+
+  val sentinel : t -> Sentinel.t option
+  (** The cluster's intrusion sentinel, when [intrusion] was given at
+      {!create}. One instance outlives every leader incarnation. *)
+
+  val preauth_backlog : t -> int
+  (** Pre-auth handshake frames currently queued for service. *)
+
+  val sentinel_stats : t -> Netsim.Stats.sentinel
+  (** Sentinel counters with the driver's pre-auth queue tail-drop
+      count filled in. All zeros (except possibly queue drops) when
+      [intrusion] was not given. *)
+
+  val sentinel_counters : t -> (string * int) list
+  (** {!sentinel_stats} as labelled counters for
       {!Netsim.Stats.pp_named}. *)
 
   val start_periodic_rekey :

@@ -44,6 +44,12 @@ type manager = {
       (* freshly demoted: not promotable until the new source's
          term-opening snapshot has landed in the replica *)
   watches : (Types.agent, mwatch) Hashtbl.t;
+  sentinel : Sentinel.t option;
+      (* This manager's intrusion sentinel. Owned by the manager, not
+         the leader automaton, so suspicion survives promotion and
+         demotion; the primary's instance ships snapshots down the
+         replication stream, a promoting backup merges the replicated
+         snapshot into its own. *)
 }
 
 type member_slot = {
@@ -431,9 +437,13 @@ let demote t mgr ~term ~primary_name =
       | None -> ());
       mgr.source <- None;
       mgr.journal <- None;
+      (* Stop shipping suspicion: a demoted manager has no stream. *)
+      (match mgr.sentinel with
+      | Some sn -> Sentinel.set_ship sn (fun _ -> ())
+      | None -> ());
       mgr.leader <-
         Leader.create ~self:mgr.name ~rng:(Netsim.Sim.rng t.sim)
-          ~directory:t.directory ~vault:mgr.vault ();
+          ~directory:t.directory ~vault:mgr.vault ?sentinel:mgr.sentinel ();
       make_replica t mgr ~primary_name ~term;
       mgr.catching_up <- true
 
@@ -465,6 +475,18 @@ let wire_delivery _t mgr =
       List.iter
         (fun (file, image) -> Replication.Source.ship_queue_image s ~file image)
         (Delivery.files d)
+  | _ -> ()
+
+(* Hook the primary's sentinel into its replication source, so every
+   suspicion escalation ships to the backups — and ship the current
+   snapshot once so the new term's stream covers suspicion accrued
+   before this manager started sourcing. *)
+let wire_sentinel _t mgr =
+  match (mgr.sentinel, mgr.source) with
+  | Some sn, Some s ->
+      Sentinel.set_ship sn (fun blob ->
+          Replication.Source.ship_suspicion s blob);
+      Replication.Source.ship_suspicion s (Sentinel.export sn)
   | _ -> ()
 
 let start_repl_heartbeat t mgr =
@@ -515,6 +537,15 @@ let promote t mgr =
               (Replication.Replica.queue_images r))
           t.delivery_policy
       in
+      (* Merge the replicated suspicion snapshot before the successor
+         serves anyone: levels ratchet, so a suspect the dead primary
+         quarantined stays quarantined — it cannot launder its record
+         by crashing the leader. The successor's first containment
+         sweep re-announces and re-rekeys, which is what a group under
+         new management should do anyway. *)
+      (match (mgr.sentinel, Replication.Replica.suspicion r) with
+      | Some sn, Some blob -> ignore (Sentinel.import sn blob)
+      | _ -> ());
       let warm =
         t.config.warm_failover && state.Journal.sessions <> []
       in
@@ -522,11 +553,12 @@ let promote t mgr =
         t.counters.warm_promotions <- t.counters.warm_promotions + 1;
         let leader', challenges =
           Leader.recover ~self:mgr.name ~rng ~directory:t.directory ~journal
-            ~vault:mgr.vault ?delivery ~state ()
+            ~vault:mgr.vault ?delivery ?sentinel:mgr.sentinel ~state ()
         in
         mgr.leader <- leader';
         make_source t mgr ~term ~journal;
         wire_delivery t mgr;
+        wire_sentinel t mgr;
         send_frames t ~src:mgr.name challenges
       end
       else begin
@@ -537,11 +569,12 @@ let promote t mgr =
         let journal = Journal.create ~disk:backend ~file:"journal" () in
         let leader', beacons =
           Leader.cold_recover ~self:mgr.name ~rng ~directory:t.directory
-            ~journal ~vault:mgr.vault ?delivery ~state ()
+            ~journal ~vault:mgr.vault ?delivery ?sentinel:mgr.sentinel ~state ()
         in
         mgr.leader <- leader';
         make_source t mgr ~term ~journal;
         wire_delivery t mgr;
+        wire_sentinel t mgr;
         send_frames t ~src:mgr.name beacons
       end
 
@@ -577,8 +610,8 @@ let start_promotion_watchdog t mgr =
   in
   t.handles <- h :: t.handles
 
-let create ?(seed = 77L) ?(config = default_config) ?delivery ~managers
-    ~directory () =
+let create ?(seed = 77L) ?(config = default_config) ?delivery ?intrusion
+    ~managers ~directory () =
   if managers = [] then invalid_arg "Failover.create: no managers";
   let sim = Netsim.Sim.create ~seed () in
   let net = Netsim.Network.create ~sim () in
@@ -588,12 +621,18 @@ let create ?(seed = 77L) ?(config = default_config) ?delivery ~managers
   let mk_manager idx name =
     let disk = Store.Mem.create () in
     let vault = Store.Vault.create ~disk:(Store.Mem.handle disk) () in
+    let sentinel =
+      Option.map
+        (fun config ->
+          Sentinel.create ~config ~clock:(fun () -> Netsim.Sim.now sim) ())
+        intrusion
+    in
     {
       name;
       idx;
       disk;
       vault;
-      leader = Leader.create ~self:name ~rng ~directory ~vault ();
+      leader = Leader.create ~self:name ~rng ~directory ~vault ?sentinel ();
       journal = None;
       source = None;
       replica = None;
@@ -601,6 +640,7 @@ let create ?(seed = 77L) ?(config = default_config) ?delivery ~managers
       crashed = false;
       catching_up = false;
       watches = Hashtbl.create 8;
+      sentinel;
     }
   in
   let managers = Array.of_list (List.mapi mk_manager managers) in
@@ -640,11 +680,12 @@ let create ?(seed = 77L) ?(config = default_config) ?delivery ~managers
   in
   m0.leader <-
     Leader.create ~self:m0.name ~rng ~directory ~journal ~vault:m0.vault
-      ?delivery:delivery0 ();
+      ?delivery:delivery0 ?sentinel:m0.sentinel ();
   let n = Array.length t.managers in
   let term0 = term_of ~n ~generation:1 ~idx:0 in
   make_source t m0 ~term:term0 ~journal;
   wire_delivery t m0;
+  wire_sentinel t m0;
   (* Backups start with the initial term as their stale floor, so
      every term any manager ever mints is generation-consistent. *)
   Array.iter
@@ -787,6 +828,13 @@ let replica_bytes t name =
 let journal_bytes t name =
   match (find_manager t name).journal with
   | Some j -> Some (Journal.contents j)
+  | None -> None
+
+let sentinel t name = (find_manager t name).sentinel
+
+let replica_suspicion t name =
+  match (find_manager t name).replica with
+  | Some r -> Replication.Replica.suspicion r
   | None -> None
 
 let replication_stats t = Replication.snapshot_counters t.counters

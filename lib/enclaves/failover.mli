@@ -153,6 +153,7 @@ val create :
   ?seed:int64 ->
   ?config:config ->
   ?delivery:Delivery.policy ->
+  ?intrusion:Sentinel.config ->
   managers:Types.agent list ->
   directory:(Types.agent * string) list ->
   unit ->
@@ -164,7 +165,12 @@ val create :
     queue mutations are shipped to every backup as [Repl_queue] ops;
     a promoted successor rebuilds the layer from its replicated images
     and keeps draining offline members' backlogs without member
-    re-handshakes.
+    re-handshakes. With [intrusion], every manager runs its own
+    {!Sentinel} on the shared simulation clock: the primary's instance
+    feeds on its leader's rejection stream and ships suspicion
+    snapshots to the backups as [Repl_suspicion] ops; a promoting
+    backup merges the replicated snapshot into its own sentinel before
+    serving anyone, so quarantines survive the failover.
     @raise Invalid_argument if [managers] is empty. *)
 
 val sim : t -> Netsim.Sim.t
@@ -235,6 +241,18 @@ val replica_bytes : t -> Types.agent -> string option
 
 val journal_bytes : t -> Types.agent -> string option
 (** A source's current journal bytes ([None] for a backup). *)
+
+val sentinel : t -> Types.agent -> Sentinel.t option
+(** A manager's intrusion sentinel, when [intrusion] was given at
+    {!create}. One instance per manager, surviving its promotions and
+    demotions.
+    @raise Not_found for an unknown manager name. *)
+
+val replica_suspicion : t -> Types.agent -> string option
+(** The latest suspicion snapshot a backup mirrored from the primary's
+    stream ([None] for a source, a crashed manager, or before the
+    first escalation) — what a promotion merges via {!Sentinel.import}.
+    @raise Not_found for an unknown manager name. *)
 
 val manager_of : t -> Types.agent -> Types.agent option
 (** Which manager a member is currently connected to (after its last

@@ -93,10 +93,15 @@ type t = {
      [delivery] instead of dropped. *)
   delivery : Delivery.t option;
   offline : (Types.agent, unit) Hashtbl.t;
+  (* Online intrusion containment: the sentinel scores misbehaviour
+     evidence; [contained_done] records suspects already acted on so
+     the sweep is idempotent. *)
+  sentinel : Sentinel.t option;
+  contained_done : (Types.agent, unit) Hashtbl.t;
 }
 
 let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
-    ?vault ?delivery () =
+    ?vault ?delivery ?sentinel () =
   let dir = Hashtbl.create 16 in
   List.iter
     (fun (user, key) ->
@@ -122,16 +127,19 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
     cold_acks = 0;
     delivery;
     offline = Hashtbl.create 8;
+    sentinel;
+    contained_done = Hashtbl.create 8;
   }
 
-let create ~self ~rng ~directory ?policy ?journal ?vault ?delivery () =
+let create ~self ~rng ~directory ?policy ?journal ?vault ?delivery ?sentinel ()
+    =
   let keyed =
     List.map
       (fun (user, password) -> (user, Key.long_term ~user ~password))
       directory
   in
   create_with_keys ~self ~rng ~directory:keyed ?policy ?journal ?vault
-    ?delivery ()
+    ?delivery ?sentinel ()
 
 let jot t record =
   match t.journal with None -> () | Some j -> Journal.append j record
@@ -179,8 +187,27 @@ let drain_events t =
 
 let emit t e = t.events_rev <- e :: t.events_rev
 
+(* The sentinel's evidence feed: every rejection the protocol machine
+   produces maps to an evidence kind. MAC failures are the strongest
+   signal (only wrong or expired key material produces them); stale
+   nonces and wrong-state frames are what replays and duplicated
+   frames look like, so they carry a weight the decay keeps harmless
+   at fault-plan rates. *)
+let evidence_of_reason : Types.reject_reason -> Sentinel.evidence = function
+  | Types.Auth_failure -> Sentinel.Mac_failure
+  | Types.Stale_nonce -> Sentinel.Replay
+  | Types.Wrong_state _ -> Sentinel.Replay
+  | Types.Stale_epoch _ -> Sentinel.Stale_rekey
+  | Types.Malformed _ | Types.Identity_mismatch | Types.Unknown_sender _
+  | Types.Unexpected_label _ ->
+      Sentinel.Malformed
+
 let reject t ?label ?claimed reason =
   emit t (Rejected { label; claimed; reason });
+  (match (t.sentinel, claimed) with
+  | Some sn, Some who ->
+      ignore (Sentinel.observe sn ~peer:who (evidence_of_reason reason))
+  | _ -> ());
   []
 
 let current_epoch t =
@@ -363,6 +390,80 @@ let expel t who =
   let s = session_of t who in
   if in_session s then close_session t who s ~expelled:true else []
 
+let sentinel t = t.sentinel
+
+let contained_members t =
+  Hashtbl.fold (fun who () acc -> who :: acc) t.contained_done []
+  |> List.sort String.compare
+
+let is_contained t who = Hashtbl.mem t.contained_done who
+
+(* Containment for one suspect the sentinel escalated to quarantine:
+   tear its session down (a half-open or recovering handshake is
+   discarded quietly — it never was a member), purge its delivery
+   queue instead of salvaging (the store-and-forward plane must not
+   keep feeding an insider), broadcast a quarantine notice, and force
+   an emergency rekey so every key the suspect ever held is retired
+   group-wide. The suspect stays in [contained_done], and the receive
+   gate drops its traffic from here on. *)
+let quarantine_now t who =
+  Hashtbl.replace t.contained_done who ();
+  let s = session_of t who in
+  let was_member = in_session s in
+  let closing =
+    if was_member then close_session t who s ~expelled:true
+    else begin
+      (match s.mstate with
+      | S_not_connected -> ()
+      | S_waiting_for_key_ack _ | S_recovering _ | S_connected _
+      | S_waiting_for_ack _ ->
+          s.mstate <- S_not_connected;
+          s.queue <- [];
+          s.sent_rev <- [];
+          jot t (Journal.Session_closed { member = who }));
+      []
+    end
+  in
+  (* Undo close_session's expulsion salvage: quarantine policy is
+     purge, not store-and-forward. *)
+  Hashtbl.remove t.offline who;
+  (match t.delivery with
+  | Some d ->
+      let purged = Delivery.purge d ~member:who in
+      if purged > 0 then
+        Option.iter (fun sn -> Sentinel.note_queue_purged sn) t.sentinel
+  | None -> ());
+  let notices = broadcast_admin t (Wire.Admin.Notice ("quarantined:" ^ who)) in
+  (* close_session already rotated the group key when the suspect was
+     a member under rekey_on_leave; otherwise force the rotation here.
+     Either way the containment counts as an emergency rekey. *)
+  let rekeys =
+    if t.group_key = None then []
+    else if was_member && t.policy.rekey_on_leave then []
+    else rekey t
+  in
+  if t.group_key <> None then
+    Option.iter (fun sn -> Sentinel.note_emergency_rekey sn) t.sentinel;
+  closing @ notices @ rekeys
+
+(* Act on every directory name the sentinel holds at [Quarantined] or
+   above and not yet contained. Unknown claimed names never get past
+   authentication anyway — containing them would only churn epochs, so
+   admission control alone handles them. Idempotent; called at the end
+   of [receive] (synchronous detection) and from the driver's periodic
+   scan (catches escalations fed by half-open GC). *)
+let containment_sweep t =
+  match t.sentinel with
+  | None -> []
+  | Some sn ->
+      List.concat_map
+        (fun who ->
+          if Hashtbl.mem t.contained_done who
+             || not (Hashtbl.mem t.directory who)
+          then []
+          else quarantine_now t who)
+        (Sentinel.contained sn)
+
 (* The partition healed (or the harness says so): stop journalling and
    start draining. If the member is in session the backlog rides its
    admin channel immediately; out of session the offline mark is kept
@@ -419,6 +520,9 @@ let abort_half_open t who =
       s.mstate <- S_not_connected;
       s.queue <- [];
       s.sent_rev <- [];
+      (match t.sentinel with
+      | Some sn -> ignore (Sentinel.observe sn ~peer:who Sentinel.Half_open)
+      | None -> ());
       true
   | S_not_connected | S_connected _ | S_waiting_for_ack _ | S_recovering _ ->
       false
@@ -726,8 +830,11 @@ let remark_offline t =
         (fun m -> if Delivery.depth d ~member:m > 0 then mark_offline t m)
         (Delivery.members d)
 
-let recover ~self ~rng ~directory ?policy ~journal ?vault ?delivery ~state () =
-  let t = create ~self ~rng ~directory ?policy ~journal ?vault ?delivery () in
+let recover ~self ~rng ~directory ?policy ~journal ?vault ?delivery ?sentinel
+    ~state () =
+  let t =
+    create ~self ~rng ~directory ?policy ~journal ?vault ?delivery ?sentinel ()
+  in
   remark_offline t;
   (match state.Journal.group_key with
   | Some (raw, epoch) ->
@@ -757,8 +864,10 @@ let cold_acks t = t.cold_acks
    nothing: members answer with a liveness challenge, and only the
    incarnation that generated these nonces can ack it. *)
 let cold_recover ~self ~rng ~directory ?policy ?journal ?vault ?delivery
-    ~state () =
-  let t = create ~self ~rng ~directory ?policy ?journal ?vault ?delivery () in
+    ?sentinel ~state () =
+  let t =
+    create ~self ~rng ~directory ?policy ?journal ?vault ?delivery ?sentinel ()
+  in
   remark_offline t;
   t.next_epoch <- max t.next_epoch state.Journal.next_epoch;
   let journal_epoch =
@@ -887,21 +996,47 @@ let handle_recovery_response t (frame : F.t) =
         (Types.Wrong_state "no outstanding recovery challenge")
 
 let receive t bytes =
-  match F.decode bytes with
-  | Error e -> reject t (Types.Malformed e)
-  | Ok frame -> (
-      match frame.F.label with
-      | F.Auth_init_req -> handle_auth_init_req t frame
-      | F.Auth_ack_key -> handle_auth_ack_key t frame
-      | F.Admin_ack -> handle_admin_ack t frame
-      | F.Req_close -> handle_req_close t frame
-      | F.App_data -> handle_app_data t frame
-      | F.Recovery_response -> handle_recovery_response t frame
-      | F.View_resync_req -> handle_view_resync_req t frame
-      | F.Cold_restart_challenge -> handle_cold_restart_challenge t frame
-      | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
-      | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
-      | F.Legacy_req_close | F.Close_connection | F.Mem_joined | F.Mem_removed
-      | F.Auth_key_dist | F.Admin_msg | F.Recovery_challenge | F.Cold_restart
-      | F.Cold_restart_ack | F.Repl_record | F.Repl_ack | F.Repl_fetch | F.Repl_stale ->
-          reject t ~label:frame.F.label (Types.Unexpected_label frame.F.label))
+  let replies =
+    match F.decode bytes with
+    | Error e -> reject t (Types.Malformed e)
+    | Ok frame -> (
+        let quarantined =
+          match t.sentinel with
+          | Some sn -> (
+              match Sentinel.level sn frame.F.sender with
+              | Sentinel.Quarantined | Sentinel.Expelled ->
+                  (* Containment gate: a quarantined peer's traffic is
+                     dropped before any protocol processing — it cannot
+                     even produce rejections to probe with. The drop
+                     itself is (weak) evidence, so a persistent
+                     attacker escalates to Expelled. *)
+                  Sentinel.note_quarantined_drop sn ~peer:frame.F.sender;
+                  true
+              | Sentinel.Clear | Sentinel.Rate_limited -> false)
+          | None -> false
+        in
+        if quarantined then []
+        else
+          match frame.F.label with
+          | F.Auth_init_req -> handle_auth_init_req t frame
+          | F.Auth_ack_key -> handle_auth_ack_key t frame
+          | F.Admin_ack -> handle_admin_ack t frame
+          | F.Req_close -> handle_req_close t frame
+          | F.App_data -> handle_app_data t frame
+          | F.Recovery_response -> handle_recovery_response t frame
+          | F.View_resync_req -> handle_view_resync_req t frame
+          | F.Cold_restart_challenge -> handle_cold_restart_challenge t frame
+          | F.Req_open | F.Ack_open | F.Connection_denied | F.Legacy_auth1
+          | F.Legacy_auth2 | F.Legacy_auth3 | F.New_key | F.New_key_ack
+          | F.Legacy_req_close | F.Close_connection | F.Mem_joined
+          | F.Mem_removed | F.Auth_key_dist | F.Admin_msg
+          | F.Recovery_challenge | F.Cold_restart | F.Cold_restart_ack
+          | F.Repl_record | F.Repl_ack | F.Repl_fetch | F.Repl_stale ->
+              reject t ~label:frame.F.label
+                (Types.Unexpected_label frame.F.label))
+  in
+  (* Evidence scored during this dispatch may have crossed a
+     threshold: contain synchronously, so the reply to the frame that
+     unmasked an insider already carries the quarantine notice and
+     emergency rekey. *)
+  replies @ containment_sweep t

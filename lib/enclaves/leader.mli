@@ -77,6 +77,7 @@ val create :
   ?journal:Journal.t ->
   ?vault:Store.Vault.t ->
   ?delivery:Delivery.t ->
+  ?sentinel:Sentinel.t ->
   unit ->
   t
 (** [create ~self ~rng ~directory ()] builds a leader knowing the
@@ -95,6 +96,7 @@ val create_with_keys :
   ?journal:Journal.t ->
   ?vault:Store.Vault.t ->
   ?delivery:Delivery.t ->
+  ?sentinel:Sentinel.t ->
   unit ->
   t
 (** Like {!create} but with explicit long-term keys per member — used
@@ -109,6 +111,7 @@ val recover :
   journal:Journal.t ->
   ?vault:Store.Vault.t ->
   ?delivery:Delivery.t ->
+  ?sentinel:Sentinel.t ->
   state:Journal.state ->
   unit ->
   t * Wire.Frame.t list
@@ -129,6 +132,7 @@ val cold_recover :
   ?journal:Journal.t ->
   ?vault:Store.Vault.t ->
   ?delivery:Delivery.t ->
+  ?sentinel:Sentinel.t ->
   state:Journal.state ->
   unit ->
   t * Wire.Frame.t list
@@ -204,6 +208,30 @@ val is_offline : t -> Types.agent -> bool
 val delivery : t -> Delivery.t option
 (** The store-and-forward layer this leader journals offline traffic
     through, if any. *)
+
+(** {2 Intrusion containment} *)
+
+val sentinel : t -> Sentinel.t option
+(** The online intrusion sentinel feeding on this leader's rejection
+    stream, if any. Every {!event.Rejected} scores evidence against
+    the claimed sender; half-open GCs ({!abort_half_open}) score
+    [Half_open]. *)
+
+val containment_sweep : t -> Wire.Frame.t list
+(** Contain every directory member the sentinel holds at [Quarantined]
+    or above and not yet acted on: tear down its session {e without}
+    store-and-forward salvage, durably purge its delivery queue,
+    broadcast a ["quarantined:<who>"] notice, and force an emergency
+    rekey retiring every key the suspect held. Idempotent — already
+    contained suspects are skipped; claimed names outside the
+    directory are left to admission control. Runs automatically at the
+    end of every {!receive}; the driver's periodic scan calls it too,
+    to catch escalations fed by half-open GC between frames. *)
+
+val contained_members : t -> Types.agent list
+(** Suspects this leader has contained (sorted). *)
+
+val is_contained : t -> Types.agent -> bool
 
 val retransmit : t -> Types.agent -> Wire.Frame.t list
 (** The stored outstanding frame for this member, byte-identical to

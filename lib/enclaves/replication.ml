@@ -109,6 +109,10 @@ module Source = struct
     (* Latest durable image per delivery-queue file, so compaction of
        the op log never forgets an offline member's backlog. *)
     queue_images : (string, string) Hashtbl.t;
+    (* Latest sentinel suspicion snapshot; like queue images it lives
+       outside the journal byte stream and is re-shipped after
+       compaction so the resend window stays complete. *)
+    mutable suspicion : string option;
     acked : (Types.agent, int) Hashtbl.t;
     (* Journal byte length right after each shipped op — what lets a
        demoting source cut its journal back to the acked prefix. *)
@@ -132,7 +136,7 @@ module Source = struct
         t.counters.snapshots_shipped <- t.counters.snapshots_shipped + 1
     | P.Repl_heartbeat ->
         t.counters.heartbeats_shipped <- t.counters.heartbeats_shipped + 1
-    | P.Repl_append | P.Repl_queue ->
+    | P.Repl_append | P.Repl_queue | P.Repl_suspicion ->
         t.counters.records_shipped <- t.counters.records_shipped + 1
 
   let ship t ~seq ~op ~data =
@@ -153,13 +157,24 @@ module Source = struct
     Hashtbl.replace t.lens seq t.cur_len;
     ship t ~seq ~op:P.Repl_queue ~data
 
+  let ship_suspicion t blob =
+    t.suspicion <- Some blob;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.ops seq (P.Repl_suspicion, blob);
+    (* Like queue images, suspicion lives outside the journal byte
+       stream: the acked-prefix walk sees an unchanged length. *)
+    Hashtbl.replace t.lens seq t.cur_len;
+    ship t ~seq ~op:P.Repl_suspicion ~data:blob
+
   (* Journal compaction just emptied [ops]; put the latest image of
-     every delivery queue back on the stream so a later [resend] can
-     still serve them. *)
+     every delivery queue (and the suspicion snapshot) back on the
+     stream so a later [resend] can still serve them. *)
   let reship_queue_images t =
     Hashtbl.fold (fun file image acc -> (file, image) :: acc) t.queue_images []
     |> List.sort compare
-    |> List.iter (fun (file, image) -> ship_queue_image t ~file image)
+    |> List.iter (fun (file, image) -> ship_queue_image t ~file image);
+    match t.suspicion with None -> () | Some blob -> ship_suspicion t blob
 
   let on_journal_event t = function
     | Journal.Appended chunk ->
@@ -198,6 +213,7 @@ module Source = struct
         last_image = "";
         ops = Hashtbl.create 64;
         queue_images = Hashtbl.create 8;
+        suspicion = None;
         acked = Hashtbl.create 8;
         lens = Hashtbl.create 64;
         cur_len = 0;
@@ -368,6 +384,11 @@ module Replica = struct
     (* Latest delivery-queue image per file, mirrored from the primary
        so a promotion can rebuild the store-and-forward layer. *)
     queues : (string, string) Hashtbl.t;
+    (* Latest suspicion snapshot from the primary, adopted by the
+       sentinel at promotion so quarantines survive failover. Not
+       persisted: the source re-ships it on every escalation and after
+       every compaction, so a restarted replica reconverges. *)
+    mutable suspicion : string option;
     mutable primary : Types.agent;
     mutable term : int;
     mutable expected : int;
@@ -418,6 +439,7 @@ module Replica = struct
       counters;
       buf = Buffer.create 256;
       queues = Hashtbl.create 8;
+      suspicion = None;
       primary;
       term;
       expected = 0;
@@ -490,6 +512,8 @@ module Replica = struct
   let queue_images t =
     Hashtbl.fold (fun file image acc -> (file, image) :: acc) t.queues []
     |> List.sort compare
+
+  let suspicion t = t.suspicion
 
   let forged t = t.counters.rejected_forged <- t.counters.rejected_forged + 1
 
@@ -578,6 +602,22 @@ module Replica = struct
                            apply nothing, but stay in sequence so the
                            stream is not wedged. *)
                         forged t);
+                    t.expected <- t.expected + 1;
+                    t.fresh_activity <- true;
+                    [ ack t ]
+                  end
+                  else if r.P.seq < t.expected then begin
+                    t.counters.rejected_replayed <-
+                      t.counters.rejected_replayed + 1;
+                    [ ack t ]
+                  end
+                  else begin
+                    t.fresh_activity <- true;
+                    [ fetch t ]
+                  end
+              | P.Repl_suspicion ->
+                  if r.P.seq = t.expected then begin
+                    t.suspicion <- Some r.P.data;
                     t.expected <- t.expected + 1;
                     t.fresh_activity <- true;
                     [ ack t ]

@@ -114,6 +114,14 @@ module Source : sig
       whenever journal compaction empties the op log, so the resend
       window always covers every offline member's backlog. *)
 
+  val ship_suspicion : t -> string -> unit
+(** Ship a sentinel suspicion snapshot (see {!Sentinel.set_ship}) to
+      every backup as a [Repl_suspicion] op at the next stream
+      sequence. The source remembers the latest snapshot and re-ships
+      it after journal compaction, so a promoted successor always sees
+      the most recent containment state — a suspect cannot launder its
+      record by crashing the leader. *)
+
   val heartbeat : t -> unit
   (** Ship a liveness heartbeat carrying the current sequence frontier
       to every backup — lets an idle-period backup detect both primary
@@ -199,6 +207,11 @@ module Replica : sig
       mirrored from the primary's [Repl_queue] ops — what promotion
       hands to {!Delivery.of_images} so the successor keeps draining
       offline members' backlogs. *)
+
+  val suspicion : t -> string option
+  (** Latest sentinel suspicion snapshot mirrored from the primary's
+      [Repl_suspicion] ops — what promotion hands to
+      {!Sentinel.import} so the successor keeps quarantines. *)
 
   val primary : t -> Types.agent
   (** Whose stream the replica currently follows (updates on term

@@ -1,0 +1,376 @@
+module Vtime = Netsim.Vtime
+
+type level = Clear | Rate_limited | Quarantined | Expelled
+
+let level_rank = function
+  | Clear -> 0
+  | Rate_limited -> 1
+  | Quarantined -> 2
+  | Expelled -> 3
+
+let level_of_rank = function
+  | 0 -> Clear
+  | 1 -> Rate_limited
+  | 2 -> Quarantined
+  | _ -> Expelled
+
+let level_name = function
+  | Clear -> "clear"
+  | Rate_limited -> "rate-limited"
+  | Quarantined -> "quarantined"
+  | Expelled -> "expelled"
+
+type evidence =
+  | Mac_failure
+  | Replay
+  | Stale_rekey
+  | Half_open
+  | Preauth_pressure
+  | Malformed
+  | Contained
+
+let evidence_name = function
+  | Mac_failure -> "mac-failure"
+  | Replay -> "replay"
+  | Stale_rekey -> "stale-rekey"
+  | Half_open -> "half-open"
+  | Preauth_pressure -> "preauth-pressure"
+  | Malformed -> "malformed"
+  | Contained -> "contained"
+
+type config = {
+  half_life : Vtime.t;
+  rate_limit_at : float;
+  quarantine_at : float;
+  expel_at : float;
+  w_mac_failure : float;
+  w_replay : float;
+  w_stale_rekey : float;
+  w_half_open : float;
+  w_preauth : float;
+  w_malformed : float;
+  w_contained : float;
+  preauth_rate : float;
+  preauth_burst : float;
+  half_open_cap : int;
+}
+
+let default_config =
+  {
+    half_life = Vtime.of_s 2;
+    rate_limit_at = 8.0;
+    quarantine_at = 25.0;
+    expel_at = 60.0;
+    w_mac_failure = 3.0;
+    w_replay = 1.5;
+    w_stale_rekey = 1.0;
+    w_half_open = 2.0;
+    w_preauth = 0.4;
+    w_malformed = 2.0;
+    w_contained = 0.6;
+    preauth_rate = 2.0;
+    preauth_burst = 6.0;
+    half_open_cap = 8;
+  }
+
+let weight cfg = function
+  | Mac_failure -> cfg.w_mac_failure
+  | Replay -> cfg.w_replay
+  | Stale_rekey -> cfg.w_stale_rekey
+  | Half_open -> cfg.w_half_open
+  | Preauth_pressure -> cfg.w_preauth
+  | Malformed -> cfg.w_malformed
+  | Contained -> cfg.w_contained
+
+type counters = {
+  mutable observations : int;
+  mutable rate_limits : int;
+  mutable quarantines : int;
+  mutable expulsions : int;
+  mutable emergency_rekeys : int;
+  mutable quarantined_dropped : int;
+  mutable preauth_admitted : int;
+  mutable preauth_throttled : int;
+  mutable preauth_capped : int;
+  mutable preauth_queue_dropped : int;
+  mutable queues_purged : int;
+  mutable suspicion_shipped : int;
+  mutable suspicion_imported : int;
+}
+
+let fresh_counters () =
+  {
+    observations = 0;
+    rate_limits = 0;
+    quarantines = 0;
+    expulsions = 0;
+    emergency_rekeys = 0;
+    quarantined_dropped = 0;
+    preauth_admitted = 0;
+    preauth_throttled = 0;
+    preauth_capped = 0;
+    preauth_queue_dropped = 0;
+    queues_purged = 0;
+    suspicion_shipped = 0;
+    suspicion_imported = 0;
+  }
+
+let to_stats (c : counters) : Netsim.Stats.sentinel =
+  {
+    observations = c.observations;
+    rate_limits = c.rate_limits;
+    quarantines = c.quarantines;
+    expulsions = c.expulsions;
+    emergency_rekeys = c.emergency_rekeys;
+    quarantined_dropped = c.quarantined_dropped;
+    preauth_admitted = c.preauth_admitted;
+    preauth_throttled = c.preauth_throttled;
+    preauth_capped = c.preauth_capped;
+    preauth_queue_dropped = c.preauth_queue_dropped;
+    queues_purged = c.queues_purged;
+    suspicion_shipped = c.suspicion_shipped;
+    suspicion_imported = c.suspicion_imported;
+  }
+
+type peer = {
+  mutable score : float;
+  mutable last : Vtime.t;
+  mutable level : level;
+  mutable tokens : float;
+  mutable tokens_at : Vtime.t;
+}
+
+type t = {
+  config : config;
+  clock : unit -> Vtime.t;
+  peers : (string, peer) Hashtbl.t;
+  anon : peer;  (* shared bucket for names outside the directory *)
+  counters : counters;
+  mutable ship : (string -> unit) option;
+}
+
+let create ?(config = default_config) ?(clock = fun () -> Vtime.zero) () =
+  let now = clock () in
+  {
+    config;
+    clock;
+    peers = Hashtbl.create 16;
+    anon =
+      {
+        score = 0.0;
+        last = now;
+        level = Clear;
+        tokens = config.preauth_burst;
+        tokens_at = now;
+      };
+    counters = fresh_counters ();
+    ship = None;
+  }
+
+let config t = t.config
+let counters t = t.counters
+let set_ship t f = t.ship <- Some f
+
+let peer t name =
+  match Hashtbl.find_opt t.peers name with
+  | Some p -> p
+  | None ->
+      let now = t.clock () in
+      let p =
+        {
+          score = 0.0;
+          last = now;
+          level = Clear;
+          tokens = t.config.preauth_burst;
+          tokens_at = now;
+        }
+      in
+      Hashtbl.replace t.peers name p;
+      p
+
+(* Exponential decay: halve the score every [half_life] of quiet. *)
+let decayed t p now =
+  let dt = Vtime.to_float_ms (Int64.sub now p.last) in
+  if dt <= 0.0 then p.score
+  else
+    let hl = Vtime.to_float_ms t.config.half_life in
+    p.score *. Float.pow 0.5 (dt /. hl)
+
+let score t name =
+  match Hashtbl.find_opt t.peers name with
+  | None -> 0.0
+  | Some p -> decayed t p (t.clock ())
+
+let level t name =
+  match Hashtbl.find_opt t.peers name with None -> Clear | Some p -> p.level
+
+let level_for_rank_update t p target =
+  (* The ladder only ratchets upward: decay lowers the score, never
+     the containment level — a quarantined insider does not talk its
+     way back in by going quiet. *)
+  if level_rank target > level_rank p.level then begin
+    p.level <- target;
+    (match target with
+    | Clear -> ()
+    | Rate_limited -> t.counters.rate_limits <- t.counters.rate_limits + 1
+    | Quarantined -> t.counters.quarantines <- t.counters.quarantines + 1
+    | Expelled -> t.counters.expulsions <- t.counters.expulsions + 1);
+    true
+  end
+  else false
+
+let target_of_score cfg s =
+  if s >= cfg.expel_at then Expelled
+  else if s >= cfg.quarantine_at then Quarantined
+  else if s >= cfg.rate_limit_at then Rate_limited
+  else Clear
+
+let export t =
+  let rows =
+    Hashtbl.fold
+      (fun name p acc ->
+        (name, p.level, p.score, p.last) :: acc)
+      t.peers []
+    |> List.sort compare
+  in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "suspicion/1\n";
+  List.iter
+    (fun (name, lvl, score, last) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d\t%Lx\t%Ld\t%s\n" (level_rank lvl)
+           (Int64.bits_of_float score) last name))
+    rows;
+  Buffer.contents buf
+
+let maybe_ship t =
+  match t.ship with
+  | None -> ()
+  | Some f ->
+      t.counters.suspicion_shipped <- t.counters.suspicion_shipped + 1;
+      f (export t)
+
+let observe t ~peer:name kind =
+  let now = t.clock () in
+  let p = peer t name in
+  t.counters.observations <- t.counters.observations + 1;
+  p.score <- decayed t p now +. weight t.config kind;
+  p.last <- now;
+  let escalated = level_for_rank_update t p (target_of_score t.config p.score) in
+  if escalated then maybe_ship t;
+  p.level
+
+let note_quarantined_drop t ~peer:name =
+  t.counters.quarantined_dropped <- t.counters.quarantined_dropped + 1;
+  ignore (observe t ~peer:name Contained)
+
+let note_emergency_rekey t =
+  t.counters.emergency_rekeys <- t.counters.emergency_rekeys + 1
+
+let note_queue_purged t =
+  t.counters.queues_purged <- t.counters.queues_purged + 1
+
+let note_queue_dropped t =
+  t.counters.preauth_queue_dropped <- t.counters.preauth_queue_dropped + 1
+
+let suspects t =
+  Hashtbl.fold
+    (fun name p acc ->
+      if p.level = Clear then acc else (name, p.level) :: acc)
+    t.peers []
+  |> List.sort compare
+
+let contained t =
+  List.filter_map
+    (fun (name, lvl) ->
+      if level_rank lvl >= level_rank Quarantined then Some name else None)
+    (suspects t)
+
+type verdict = Admit | Throttled | Capped | Denied_quarantined
+
+let verdict_name = function
+  | Admit -> "admit"
+  | Throttled -> "throttled"
+  | Capped -> "capped"
+  | Denied_quarantined -> "denied-quarantined"
+
+let refill t p now =
+  let dt_s = Vtime.to_float_ms (Int64.sub now p.tokens_at) /. 1000.0 in
+  if dt_s > 0.0 then begin
+    let rate =
+      if p.level = Rate_limited then t.config.preauth_rate *. 0.25
+      else t.config.preauth_rate
+    in
+    p.tokens <- Float.min t.config.preauth_burst (p.tokens +. (dt_s *. rate));
+    p.tokens_at <- now
+  end
+
+let admit_preauth t ~peer:name ~known ~resuming ~half_open =
+  let now = t.clock () in
+  let p = if known then peer t name else t.anon in
+  (* Every attempt is itself weak evidence: a flood of perfectly valid
+     handshake frames still climbs the ladder. *)
+  ignore (observe t ~peer:name Preauth_pressure);
+  let lvl = level t name in
+  if level_rank lvl >= level_rank Quarantined then begin
+    t.counters.quarantined_dropped <- t.counters.quarantined_dropped + 1;
+    Denied_quarantined
+  end
+  else if resuming then begin
+    (* An in-progress handshake retransmission; blocking it would wedge
+       legitimate joins under their own backoff. *)
+    t.counters.preauth_admitted <- t.counters.preauth_admitted + 1;
+    Admit
+  end
+  else if half_open >= t.config.half_open_cap then begin
+    t.counters.preauth_capped <- t.counters.preauth_capped + 1;
+    Capped
+  end
+  else begin
+    refill t p now;
+    if p.tokens >= 1.0 then begin
+      p.tokens <- p.tokens -. 1.0;
+      t.counters.preauth_admitted <- t.counters.preauth_admitted + 1;
+      Admit
+    end
+    else begin
+      t.counters.preauth_throttled <- t.counters.preauth_throttled + 1;
+      Throttled
+    end
+  end
+
+let import t blob =
+  let lines = String.split_on_char '\n' blob in
+  let merged = ref 0 in
+  List.iter
+    (fun line ->
+      match String.split_on_char '\t' line with
+      | [ rank; score_hex; last; name ] when name <> "" -> (
+          match
+            ( int_of_string_opt rank,
+              Int64.of_string_opt ("0x" ^ score_hex),
+              Int64.of_string_opt last )
+          with
+          | Some rank, Some bits, Some last ->
+              let lvl = level_of_rank (max 0 (min 3 rank)) in
+              let score = Int64.float_of_bits bits in
+              let score = if Float.is_nan score then 0.0 else score in
+              let p = peer t name in
+              if score > decayed t p last then begin
+                p.score <- score;
+                p.last <- last
+              end;
+              if level_for_rank_update t p lvl then incr merged
+          | _ -> ())
+      | _ -> ())
+    lines;
+  t.counters.suspicion_imported <- t.counters.suspicion_imported + 1;
+  !merged
+
+let pp_suspects fmt t =
+  let pp_one fmt (name, lvl) =
+    Format.fprintf fmt "%s=%s(%.1f)" name (level_name lvl) (score t name)
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    pp_one fmt (suspects t)

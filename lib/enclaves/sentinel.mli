@@ -1,0 +1,154 @@
+(** Online intrusion sentinel: streaming per-peer evidence scores with
+    time decay and a containment ladder.
+
+    The paper's audit trail (§7) is offline; the sentinel moves the
+    same signals — MAC failures, replays, stale rekeys, half-open
+    handshake churn, pre-auth pressure — into the live leader. Each
+    evidence event adds a weighted increment to the peer's score, and
+    quiet time halves it every [half_life]; crossing a threshold
+    ratchets the peer's containment level up (never down — a
+    quarantined insider cannot talk its way back in by going quiet,
+    only explicit operator re-admission via a fresh directory entry
+    would).
+
+    The ladder and what each rung means to the leader:
+    - [Rate_limited] — pre-auth token refill cut to a quarter; the
+      peer still operates normally once authenticated.
+    - [Quarantined] — inbound frames dropped before protocol
+      processing, session expelled with an emergency rekey (the
+      suspect's key material retired group-wide), delivery queue
+      purged instead of salvaged, pre-auth denied.
+    - [Expelled] — permanent: survives leader failover via suspicion
+      replication ({!export}/{!import} ride a [Repl_suspicion] op).
+
+    Thresholds are calibrated against the chaos suite: a clean member
+    under 10% link loss and latency spikes (duplicate handshake legs,
+    the occasional stale nonce) must never reach [Quarantined]. *)
+
+type level = Clear | Rate_limited | Quarantined | Expelled
+
+val level_rank : level -> int
+(** [Clear]=0 … [Expelled]=3; the ladder ratchets toward higher ranks. *)
+
+val level_name : level -> string
+
+type evidence =
+  | Mac_failure  (** A seal failed to open under the expected key. *)
+  | Replay  (** Stale nonce / already-seen admin sequence. *)
+  | Stale_rekey  (** Rekey ack or traffic under a retired epoch. *)
+  | Half_open  (** A handshake the leader GC'd without completion. *)
+  | Preauth_pressure  (** One unauthenticated handshake attempt. *)
+  | Malformed  (** Undecodable or wrong-state frame. *)
+  | Contained  (** Traffic from an already-quarantined peer. *)
+
+val evidence_name : evidence -> string
+
+type config = {
+  half_life : Netsim.Vtime.t;  (** Quiet time that halves a score. *)
+  rate_limit_at : float;
+  quarantine_at : float;
+  expel_at : float;
+  w_mac_failure : float;
+  w_replay : float;
+  w_stale_rekey : float;
+  w_half_open : float;
+  w_preauth : float;
+  w_malformed : float;
+  w_contained : float;
+  preauth_rate : float;  (** Token-bucket refill, tokens per second. *)
+  preauth_burst : float;  (** Token-bucket capacity. *)
+  half_open_cap : int;  (** Max concurrent half-open handshakes. *)
+}
+
+val default_config : config
+
+type counters = {
+  mutable observations : int;
+  mutable rate_limits : int;
+  mutable quarantines : int;
+  mutable expulsions : int;
+  mutable emergency_rekeys : int;
+  mutable quarantined_dropped : int;
+  mutable preauth_admitted : int;
+  mutable preauth_throttled : int;
+  mutable preauth_capped : int;
+  mutable preauth_queue_dropped : int;
+  mutable queues_purged : int;
+  mutable suspicion_shipped : int;
+  mutable suspicion_imported : int;
+}
+
+val fresh_counters : unit -> counters
+val to_stats : counters -> Netsim.Stats.sentinel
+
+type t
+
+val create : ?config:config -> ?clock:(unit -> Netsim.Vtime.t) -> unit -> t
+(** [clock] feeds decay and token refill; the driver passes the
+    simulator clock. The default constant-zero clock makes the
+    sentinel a pure accumulator (no decay, no refill) — convenient for
+    direct unit tests. *)
+
+val config : t -> config
+val counters : t -> counters
+
+val observe : t -> peer:string -> evidence -> level
+(** Score one evidence event against [peer] and return the peer's
+    (possibly escalated) level. Escalations ship a suspicion snapshot
+    through the {!set_ship} hook. *)
+
+val score : t -> string -> float
+(** The peer's score decayed to now; 0 for unknown peers. *)
+
+val level : t -> string -> level
+
+val suspects : t -> (string * level) list
+(** Every peer above [Clear], sorted by name. *)
+
+val contained : t -> string list
+(** Peers at [Quarantined] or above — the set the leader must not
+    serve, sorted by name. *)
+
+type verdict = Admit | Throttled | Capped | Denied_quarantined
+
+val verdict_name : verdict -> string
+
+val admit_preauth :
+  t -> peer:string -> known:bool -> resuming:bool -> half_open:int -> verdict
+(** Admission check for one unauthenticated handshake frame claiming
+    identity [peer]. [known] is whether the name is in the directory —
+    known names each get their own token bucket, unknown names share
+    one (so a fake-name flood starves itself, not real users).
+    [resuming] (the peer already has a half-open handshake in
+    progress) bypasses the bucket and cap: retransmissions of a
+    legitimate join must not be throttled into that join's own
+    failure. [half_open] is the leader's current half-open count for
+    the cap. Every call scores [Preauth_pressure] evidence, so a flood
+    of individually valid frames still escalates. *)
+
+val note_quarantined_drop : t -> peer:string -> unit
+(** Record an inbound frame dropped because [peer] is quarantined;
+    also scores [Contained] evidence so a persistent attacker
+    escalates to [Expelled]. *)
+
+val note_emergency_rekey : t -> unit
+val note_queue_purged : t -> unit
+
+val note_queue_dropped : t -> unit
+(** A pre-auth frame lost to the bounded service queue's tail. *)
+
+val set_ship : t -> (string -> unit) -> unit
+(** Hook fired with {!export}'s blob on every level escalation; the
+    failover plane wires it to [Replication.Source.ship_suspicion]. *)
+
+val export : t -> string
+(** Deterministic snapshot (peers sorted, scores bit-exact) of every
+    peer's score, level and last-update time. *)
+
+val import : t -> string -> int
+(** Merge a snapshot: levels ratchet to the higher of local and
+    imported, scores take the larger decayed value, malformed lines
+    are ignored. Returns the number of peers whose level escalated.
+    Used at failover promotion so the successor keeps quarantines. *)
+
+val pp_suspects : Format.formatter -> t -> unit

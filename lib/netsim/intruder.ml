@@ -1,0 +1,90 @@
+type arm = Preauth_flood | Handshake_storm | Forge_burst | Replay_burst
+
+let arm_name = function
+  | Preauth_flood -> "preauth-flood"
+  | Handshake_storm -> "handshake-storm"
+  | Forge_burst -> "forge-burst"
+  | Replay_burst -> "replay-burst"
+
+let arm_of_name = function
+  | "preauth-flood" -> Some Preauth_flood
+  | "handshake-storm" -> Some Handshake_storm
+  | "forge-burst" -> Some Forge_burst
+  | "replay-burst" -> Some Replay_burst
+  | _ -> None
+
+type campaign = {
+  arm : arm;
+  start : Vtime.t;
+  stop : Vtime.t;
+  period : Vtime.t;
+  burst : int;
+  jitter : float;
+}
+
+let campaign ?(jitter = 0.25) ~arm ~start ~stop ~period ~burst () =
+  if Vtime.(stop < start) then invalid_arg "Intruder.campaign: stop < start";
+  if Vtime.(period <= Vtime.zero) then
+    invalid_arg "Intruder.campaign: period must be positive";
+  if burst <= 0 then invalid_arg "Intruder.campaign: burst must be positive";
+  if jitter < 0.0 || jitter >= 1.0 then
+    invalid_arg "Intruder.campaign: jitter must be in [0,1)";
+  { arm; start; stop; period; burst; jitter }
+
+let pp_campaign fmt c =
+  Format.fprintf fmt "%s[%a..%a period=%a burst=%d]" (arm_name c.arm) Vtime.pp
+    c.start Vtime.pp c.stop Vtime.pp c.period c.burst
+
+type counters = {
+  mutable flood_frames : int;
+  mutable storm_frames : int;
+  mutable forged_frames : int;
+  mutable replayed_frames : int;
+}
+
+let fresh_counters () =
+  { flood_frames = 0; storm_frames = 0; forged_frames = 0; replayed_frames = 0 }
+
+let counters_named c =
+  [
+    ("flood_frames", c.flood_frames);
+    ("storm_frames", c.storm_frames);
+    ("forged_frames", c.forged_frames);
+    ("replayed_frames", c.replayed_frames);
+  ]
+
+let record c arm n =
+  match arm with
+  | Preauth_flood -> c.flood_frames <- c.flood_frames + n
+  | Handshake_storm -> c.storm_frames <- c.storm_frames + n
+  | Forge_burst -> c.forged_frames <- c.forged_frames + n
+  | Replay_burst -> c.replayed_frames <- c.replayed_frames + n
+
+type t = { rng : Prng.Splitmix.t; counters : counters }
+
+let create ~rng () =
+  { rng = Prng.Splitmix.split rng; counters = fresh_counters () }
+
+let counters t = t.counters
+
+(* The campaign's firing plan, materialised up front: one (time, burst)
+   pair per period tick between [start] and [stop], each tick displaced
+   by a seeded jitter fraction of the period. Consuming the plan
+   mutates only this intruder's private split stream, so two intruders
+   built from the same root seed produce identical plans — the property
+   the replay tests pin. *)
+let plan t c =
+  let period_f = Int64.to_float c.period in
+  let rec ticks acc at =
+    if Vtime.(c.stop < at) then List.rev acc
+    else
+      let displaced =
+        if c.jitter = 0.0 then at
+        else
+          let f = (Prng.Splitmix.next_float t.rng *. 2.0) -. 1.0 in
+          Int64.add at (Int64.of_float (period_f *. c.jitter *. f))
+      in
+      let displaced = if Vtime.(displaced < c.start) then c.start else displaced in
+      ticks ((displaced, c.burst) :: acc) (Vtime.add at c.period)
+  in
+  ticks [] c.start

@@ -219,6 +219,56 @@ let delivery_named d =
     ("queue_bytes_hwm", d.queue_bytes_hwm);
   ]
 
+type sentinel = {
+  observations : int;
+  rate_limits : int;
+  quarantines : int;
+  expulsions : int;
+  emergency_rekeys : int;
+  quarantined_dropped : int;
+  preauth_admitted : int;
+  preauth_throttled : int;
+  preauth_capped : int;
+  preauth_queue_dropped : int;
+  queues_purged : int;
+  suspicion_shipped : int;
+  suspicion_imported : int;
+}
+
+let empty_sentinel =
+  {
+    observations = 0;
+    rate_limits = 0;
+    quarantines = 0;
+    expulsions = 0;
+    emergency_rekeys = 0;
+    quarantined_dropped = 0;
+    preauth_admitted = 0;
+    preauth_throttled = 0;
+    preauth_capped = 0;
+    preauth_queue_dropped = 0;
+    queues_purged = 0;
+    suspicion_shipped = 0;
+    suspicion_imported = 0;
+  }
+
+let sentinel_named s =
+  [
+    ("observations", s.observations);
+    ("rate_limits", s.rate_limits);
+    ("quarantines", s.quarantines);
+    ("expulsions", s.expulsions);
+    ("emergency_rekeys", s.emergency_rekeys);
+    ("quarantined_dropped", s.quarantined_dropped);
+    ("preauth_admitted", s.preauth_admitted);
+    ("preauth_throttled", s.preauth_throttled);
+    ("preauth_capped", s.preauth_capped);
+    ("preauth_queue_dropped", s.preauth_queue_dropped);
+    ("queues_purged", s.queues_purged);
+    ("suspicion_shipped", s.suspicion_shipped);
+    ("suspicion_imported", s.suspicion_imported);
+  ]
+
 let pp_named fmt counters =
   let pp_one fmt (name, v) = Format.fprintf fmt "%s=%d" name v in
   Format.pp_print_list

@@ -109,6 +109,39 @@ val empty_delivery : delivery
 val delivery_named : delivery -> (string * int) list
 (** Labelled counters for {!pp_named}, in declaration order. *)
 
+type sentinel = {
+  observations : int;  (** Evidence events scored, all peers summed. *)
+  rate_limits : int;  (** Escalations into [Rate_limited]. *)
+  quarantines : int;  (** Escalations into [Quarantined]. *)
+  expulsions : int;  (** Escalations into [Expelled]. *)
+  emergency_rekeys : int;
+      (** Group rekeys forced by containment, retiring the suspect's
+          key material group-wide. *)
+  quarantined_dropped : int;
+      (** Inbound frames from quarantined peers dropped before
+          protocol processing. *)
+  preauth_admitted : int;  (** Pre-auth frames passed to the handshake. *)
+  preauth_throttled : int;  (** Pre-auth frames denied by token bucket. *)
+  preauth_capped : int;  (** Pre-auth frames denied by the half-open cap. *)
+  preauth_queue_dropped : int;
+      (** Pre-auth frames lost to the bounded service queue's tail —
+          the overload signal when admission control is off. *)
+  queues_purged : int;
+      (** Quarantined members' delivery queues durably purged instead
+          of salvaged. *)
+  suspicion_shipped : int;  (** Suspicion snapshots shipped to backups. *)
+  suspicion_imported : int;
+      (** Suspicion snapshots adopted by a promoted successor. *)
+}
+(** Intrusion-containment counters — what the leader's sentinel did
+    during a run. Computed by the driver / intrude harness, rendered
+    with {!pp_named} via {!sentinel_named}. *)
+
+val empty_sentinel : sentinel
+
+val sentinel_named : sentinel -> (string * int) list
+(** Labelled counters for {!pp_named}, in declaration order. *)
+
 val pp_named : Format.formatter -> (string * int) list -> unit
 (** Render labelled counters as ["name=value name=value ..."] — used
     by the chaos CLI for retry and recovery counter summaries. *)

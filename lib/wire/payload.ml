@@ -333,19 +333,26 @@ let decode_cold_restart_ack s =
 
 (* --- warm-standby journal replication (manager to manager) --- *)
 
-type repl_op = Repl_append | Repl_snapshot | Repl_heartbeat | Repl_queue
+type repl_op =
+  | Repl_append
+  | Repl_snapshot
+  | Repl_heartbeat
+  | Repl_queue
+  | Repl_suspicion
 
 let repl_op_tag = function
   | Repl_append -> 1
   | Repl_snapshot -> 2
   | Repl_heartbeat -> 3
   | Repl_queue -> 4
+  | Repl_suspicion -> 5
 
 let repl_op_of_tag = function
   | 1 -> Ok Repl_append
   | 2 -> Ok Repl_snapshot
   | 3 -> Ok Repl_heartbeat
   | 4 -> Ok Repl_queue
+  | 5 -> Ok Repl_suspicion
   | n -> Error (`Malformed (Printf.sprintf "unknown repl op %d" n))
 
 type repl_record = {

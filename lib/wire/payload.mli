@@ -150,6 +150,11 @@ type repl_op =
           the queue file name, a NUL byte, then the full durable
           image. Replicated so a promoted successor keeps draining
           offline members' backlogs without member re-handshakes. *)
+  | Repl_suspicion
+      (** [data] is a sentinel suspicion snapshot ([Sentinel.export]):
+          per-peer evidence scores and containment levels. Replicated
+          so a promoted successor keeps quarantines — a suspect cannot
+          launder its record by crashing the leader. *)
 
 type repl_record = {
   l : agent;  (** The shipping primary. *)

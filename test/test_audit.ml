@@ -194,7 +194,8 @@ let test_corrupted_traces_audit_as_forgeries () =
         (function
           | Audit.Forged_frame _ -> incr forged
           | Audit.Replayed_admin _ | Audit.Stale_rekey _
-          | Audit.Stale_delivery _ -> ())
+          | Audit.Stale_delivery _ | Audit.Handshake_flood _
+          | Audit.Quarantine _ -> ())
         report.Audit.anomalies)
     seeds;
   Alcotest.(check bool)
@@ -223,7 +224,11 @@ let test_duplicated_traces_audit_as_replays () =
               Alcotest.fail "duplication misread as forgery"
           | Audit.Stale_rekey _ -> Alcotest.fail "duplication misread as stale"
           | Audit.Stale_delivery _ ->
-              Alcotest.fail "duplication misread as stale delivery")
+              Alcotest.fail "duplication misread as stale delivery"
+          | Audit.Handshake_flood _ ->
+              Alcotest.fail "duplication misread as handshake flood"
+          | Audit.Quarantine _ ->
+              Alcotest.fail "duplication misread as quarantine")
         report.Audit.anomalies)
     seeds;
   Alcotest.(check bool)
@@ -250,6 +255,50 @@ let test_full_chaos_never_crashes_auditor () =
     seeds;
   Alcotest.(check pass) "auditor total over chaos traces" () ()
 
+(* --- the auditor over an insider-campaign trace --- *)
+
+let test_campaign_trace_audits_flood_and_quarantine () =
+  (* Run a real A1 pre-auth flood against a sentinel-protected cluster
+     and audit the recorded trace offline: the auditor must surface
+     BOTH the flood pressure (volume of AuthInitReq under the
+     insider's claimed name) and the containment outcome (the leader's
+     quarantine notice), from the trace alone. *)
+  let directory =
+    [ ("alice", "pw-a"); ("bob", "pw-b"); ("mallory", "pw-m") ]
+  in
+  let d =
+    D.create ~seed:23L ~retry:D.default_retry ~preauth:D.default_preauth
+      ~intrusion:Sentinel.default_config ~leader:"leader" ~directory ()
+  in
+  List.iter (fun (n, _) -> D.join d n) directory;
+  ignore (D.run ~until:(Netsim.Vtime.of_s 2) d);
+  let insider =
+    Adversary.Insider.create ~driver:d ~insider:"mallory" ~password:"pw-m" ()
+  in
+  let campaign =
+    Netsim.Intruder.campaign ~arm:Netsim.Intruder.Preauth_flood
+      ~start:(Netsim.Vtime.of_s 3) ~stop:(Netsim.Vtime.of_s 6)
+      ~period:(Netsim.Vtime.of_ms 100) ~burst:8 ()
+  in
+  ignore (Adversary.Insider.launch insider campaign);
+  ignore (D.run ~until:(Netsim.Vtime.of_s 12) d);
+  let report =
+    Audit.run ~directory ~leader:"leader"
+      (Netsim.Network.trace (D.net d))
+  in
+  Alcotest.(check bool) "insider's flood pressure surfaced" true
+    (List.exists
+       (function
+         | Audit.Handshake_flood { claimed; _ } -> claimed = "mallory"
+         | _ -> false)
+       report.Audit.anomalies);
+  Alcotest.(check bool) "containment notice surfaced" true
+    (List.exists
+       (function
+         | Audit.Quarantine { suspect } -> suspect = "mallory"
+         | _ -> false)
+       report.Audit.anomalies)
+
 let test_report_printing () =
   let report = audit (scenario ()) in
   List.iter
@@ -273,6 +322,8 @@ let suite =
           test_duplicated_traces_audit_as_replays;
         Alcotest.test_case "full chaos never crashes the auditor" `Quick
           test_full_chaos_never_crashes_auditor;
+        Alcotest.test_case "insider campaign trace audits flood + quarantine"
+          `Quick test_campaign_trace_audits_flood_and_quarantine;
         Alcotest.test_case "report printing" `Quick test_report_printing;
       ] );
   ]

@@ -251,6 +251,46 @@ let qcheck_tests =
         (* Duplication is not loss: with the recovery layer on, the run
            must fully converge, not merely stay coherent. *)
         coherent r && D.converged (fst r));
+    QCheck.Test.make ~name:"sentinel verdicts deterministic per seed" ~count:15
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        (* An insider campaign is a pure function of the seed: the same
+           seed twice yields bit-identical suspicion — same suspects at
+           the same levels, same sentinel counters, same injected
+           frame counts. *)
+        let campaign_run () =
+          let dir =
+            [ ("alice", "pw-a"); ("bob", "pw-b"); ("mallory", "pw-m") ]
+          in
+          let d =
+            D.create ~seed:(Int64.of_int seed) ~retry:D.default_retry
+              ~preauth:D.default_preauth
+              ~intrusion:Enclaves.Sentinel.default_config ~leader:"leader"
+              ~directory:dir ()
+          in
+          List.iter (fun (n, _) -> D.join d n) dir;
+          ignore (D.run ~until:(Netsim.Vtime.of_s 2) d);
+          let insider =
+            Adversary.Insider.create ~driver:d ~insider:"mallory"
+              ~password:"pw-m" ()
+          in
+          ignore (Adversary.Insider.harvest insider);
+          let campaign =
+            Netsim.Intruder.campaign ~arm:Netsim.Intruder.Forge_burst
+              ~start:(Netsim.Vtime.of_s 3) ~stop:(Netsim.Vtime.of_s 5)
+              ~period:(Netsim.Vtime.of_ms 200) ~burst:4 ()
+          in
+          ignore (Adversary.Insider.launch insider campaign);
+          ignore (D.run ~until:(Netsim.Vtime.of_s 8) d);
+          let sn = Option.get (D.sentinel d) in
+          let suspects =
+            List.map
+              (fun (p, l) -> (p, Enclaves.Sentinel.level_name l))
+              (Enclaves.Sentinel.suspects sn)
+          in
+          (suspects, D.sentinel_counters d, Adversary.Insider.counters insider)
+        in
+        campaign_run () = campaign_run ());
   ]
 
 let suite =
