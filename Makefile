@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude crash-matrix journal-fuzz doc ci clean
+.PHONY: all build test bench bench-smoke bench-diff chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude chaos-frame calibrate crash-matrix journal-fuzz doc ci clean
 
 all: build
 
@@ -84,6 +84,41 @@ chaos-intrude:
 	dune exec bin/enclaves_cli.exe -- intrude a2-forge --seeds 5
 	dune exec bin/enclaves_cli.exe -- intrude a3-replay --seeds 5
 
+# Framing sweep (E24): a wire-level outsider replays the victim's own
+# captured frames and floods junk under the victim's name. Every seed
+# must end with the honest victim BELOW quarantine, the wire contained
+# (scored to quarantine or door-dropped), 100% legitimate joins, and
+# the trace sealed.
+chaos-frame:
+	dune exec bin/enclaves_cli.exe -- intrude frame-replay --seeds 5
+	dune exec bin/enclaves_cli.exe -- intrude frame-flood --seeds 5
+
+# Adversarial calibration sweep (E24): every intruder arm plus a
+# clean-chaos control at each sentinel tuning point; fails unless the
+# shipped defaults dominate the no-attribution baseline on the
+# detection-vs-false-positive frontier. Merges the frontier into
+# BENCH_results.json.
+calibrate:
+	dune exec bin/enclaves_cli.exe -- calibrate
+
+# Timing regression gate: three reduced-quota bench runs scored as the
+# per-group minimum, diffed against the committed *fast* reference
+# (same quotas — the full-run reference in BENCH_results.json measures
+# tiny micro-benches with a different bias, so the gate compares
+# like-for-like). Min-of-3 absorbs per-run scheduler/GC noise, and the
+# 2x threshold absorbs machine-wide load spikes on the shared
+# single-core CI container (whole runs occasionally slow down 50%+
+# uniformly) — the gate is a tripwire for real regressions (an
+# accidental O(n^2), a lost fast path) in any group's geometric-mean
+# ns/op, not a precision instrument.
+bench-diff:
+	dune exec bench/main.exe -- --fast --out /tmp/BENCH_fast.1.json
+	dune exec bench/main.exe -- --fast --out /tmp/BENCH_fast.2.json
+	dune exec bench/main.exe -- --fast --out /tmp/BENCH_fast.3.json
+	dune exec bench/diff.exe -- BENCH_results.fast.json \
+	  /tmp/BENCH_fast.1.json,/tmp/BENCH_fast.2.json,/tmp/BENCH_fast.3.json \
+	  --max-regression 1.0
+
 # ALICE-style crash-point enumeration: every disk image a crash could
 # leave behind (boundaries + torn-write prefixes) must replay without
 # an exception, without resurrecting a closed session, and without
@@ -107,7 +142,7 @@ doc:
 	  echo "doc: odoc not installed, skipping"; \
 	fi
 
-ci: build test bench-smoke chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude crash-matrix journal-fuzz doc
+ci: build test bench-smoke bench-diff chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude chaos-frame crash-matrix journal-fuzz doc
 
 clean:
 	dune clean

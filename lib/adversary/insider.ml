@@ -35,8 +35,13 @@ let counters t = I.counters_named (I.counters t.intr)
 
 let leader_name t = Enclaves.Leader.self (D.Improved.leader t.driver)
 
+(* The insider's traffic legitimately arrives over its own connection
+   — it is a real member — so injections carry its socket provenance.
+   Wire-level (pathless) injection is the Outsider's business. *)
 let inject t payload =
-  Net.inject (D.Improved.net t.driver) ~dst:(leader_name t) payload
+  Net.inject
+    (D.Improved.net t.driver)
+    ~origin:t.insider ~dst:(leader_name t) payload
 
 (* Pocket the insider's current session key before it is retired — the
    forge arm later seals frames under it, modelling a compromised
@@ -156,6 +161,8 @@ let fire t arm burst =
   | I.Handshake_storm -> storm t burst
   | I.Forge_burst -> forge t burst
   | I.Replay_burst -> replay t burst
+  | I.Frame_replay | I.Frame_flood ->
+      invalid_arg "Insider.fire: framing arms belong to Adversary.Outsider"
 
 (* Materialise the campaign's seeded plan into simulator events. *)
 let launch t (c : I.campaign) =

@@ -7,7 +7,20 @@ type anomaly =
   | Forged_frame of { recipient : Types.agent; label : F.label }
   | Stale_rekey of { recipient : Types.agent; epoch : int; current : int }
   | Stale_delivery of { recipient : Types.agent; seq : int }
-  | Handshake_flood of { claimed : Types.agent; attempts : int }
+  | Handshake_flood of {
+      claimed : Types.agent;
+      attempts : int;
+      via_socket : int;
+          (** Attempts that arrived over the claimed sender's own
+              connection. *)
+      via_foreign : int;  (** Attempts over some other member's socket. *)
+      via_wire : int;  (** Raw wire injections with no socket behind them. *)
+    }
+  | Framing_suspected of {
+      victim : Types.agent;
+      off_path : int;
+      on_path : int;
+    }
   | Quarantine of { suspect : Types.agent }
 
 let pp_anomaly fmt = function
@@ -26,11 +39,16 @@ let pp_anomaly fmt = function
         "store-and-forward record seq %d delivered to %s beyond the epoch \
          window (flagged stale)"
         seq recipient
-  | Handshake_flood { claimed; attempts } ->
+  | Handshake_flood { claimed; attempts; via_socket; via_foreign; via_wire } ->
       Format.fprintf fmt
         "%d AuthInitReq frames delivered to the leader claiming to be %s \
-         (pre-auth flood)"
-        attempts claimed
+         (pre-auth flood; path: %d own socket, %d foreign socket, %d wire)"
+        attempts claimed via_socket via_foreign via_wire
+  | Framing_suspected { victim; off_path; on_path } ->
+      Format.fprintf fmt
+        "leader-bound traffic claiming %s is dominated by frames %s provably \
+         never originated (%d off-path vs %d on-path) — framing suspected"
+        victim victim off_path on_path
   | Quarantine { suspect } ->
       Format.fprintf fmt "the leader quarantined %s (containment notice)"
         suspect
@@ -68,20 +86,43 @@ let run ?(flood_threshold = 10) ~directory ~leader trace =
   let anomalies = ref [] in
   (* Count deliveries of identical admin frames per recipient. *)
   let admin_seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  (* Pre-auth handshake pressure per claimed sender, and quarantine
-     notices already surfaced (one anomaly per suspect, not one per
-     notified member). *)
-  let preauth_seen : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Pre-auth handshake pressure per claimed sender — split by the
+     injection path the trace vouches for — and quarantine notices
+     already surfaced (one anomaly per suspect, not one per notified
+     member). *)
+  let preauth_seen : (string, int * int * int) Hashtbl.t = Hashtbl.create 16 in
+  (* Injection-path split of ALL leader-bound frames per claimed
+     sender, pre-auth or not: the replay flavor of framing rides
+     sealed session traffic, not handshakes. *)
+  let paths_seen : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
   let quarantined : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let member_of (frame : F.t) ~field =
     Hashtbl.find_opt sessions (field frame)
   in
   let flag a = anomalies := a :: !anomalies in
-  let audit_delivery payload =
+  (* Is this frame on-path for its claimed sender? The trace's [via]
+     is transport truth: [Via_socket claimed] means the claimed sender
+     (or a full compromise of its endpoint) really originated it;
+     anything else means it provably did not. *)
+  let on_path (frame : F.t) via =
+    match via with
+    | Netsim.Trace.Via_socket owner -> owner = frame.F.sender
+    | Netsim.Trace.Via_wire -> false
+  in
+  let audit_delivery ~via payload =
     match F.decode payload with
     | Error _ -> ()
-    | Ok frame -> (
-        match frame.F.label with
+    | Ok frame ->
+        if frame.F.recipient = leader && Hashtbl.mem sessions frame.F.sender
+        then begin
+          let onp, offp =
+            Option.value ~default:(0, 0)
+              (Hashtbl.find_opt paths_seen frame.F.sender)
+          in
+          Hashtbl.replace paths_seen frame.F.sender
+            (if on_path frame via then (onp + 1, offp) else (onp, offp + 1))
+        end;
+        (match frame.F.label with
         | F.Auth_key_dist -> (
             (* Leader -> member: opens under the member's P_a. *)
             match member_of frame ~field:(fun f -> f.F.recipient) with
@@ -204,19 +245,30 @@ let run ?(flood_threshold = 10) ~directory ~leader trace =
                          { recipient = frame.F.recipient; label = frame.F.label }))
             | _ -> ())
         | F.Auth_init_req ->
-            (* Pre-auth pressure per claimed sender. The frames need
-               not be valid — the flood signal is volume on the
-               unauthenticated surface, which no key check filters. *)
-            if frame.F.recipient = leader then
-              Hashtbl.replace preauth_seen frame.F.sender
-                (1
-                + Option.value ~default:0
-                    (Hashtbl.find_opt preauth_seen frame.F.sender))
+            (* Pre-auth pressure per claimed sender, split by injection
+               path. The frames need not be valid — the flood signal is
+               volume on the unauthenticated surface, which no key
+               check filters — but the path tells an operator whether
+               the claimed name or the wire is the problem. *)
+            if frame.F.recipient = leader then begin
+              let socket, foreign, wire =
+                Option.value ~default:(0, 0, 0)
+                  (Hashtbl.find_opt preauth_seen frame.F.sender)
+              in
+              let counts =
+                match via with
+                | Netsim.Trace.Via_wire -> (socket, foreign, wire + 1)
+                | Netsim.Trace.Via_socket owner when owner = frame.F.sender ->
+                    (socket + 1, foreign, wire)
+                | Netsim.Trace.Via_socket _ -> (socket, foreign + 1, wire)
+              in
+              Hashtbl.replace preauth_seen frame.F.sender counts
+            end
         | _ -> ())
   in
   List.iter
     (function
-      | Netsim.Trace.Delivered { payload; _ } -> audit_delivery payload
+      | Netsim.Trace.Delivered { payload; via; _ } -> audit_delivery ~via payload
       | Netsim.Trace.Sent _ | Netsim.Trace.Dropped _ | Netsim.Trace.Injected _
         ->
           ())
@@ -230,10 +282,23 @@ let run ?(flood_threshold = 10) ~directory ~leader trace =
         | Error _ -> ())
     admin_seen;
   Hashtbl.iter
-    (fun claimed attempts ->
+    (fun claimed (via_socket, via_foreign, via_wire) ->
+      let attempts = via_socket + via_foreign + via_wire in
       if attempts > flood_threshold then
-        flag (Handshake_flood { claimed; attempts }))
+        flag
+          (Handshake_flood
+             { claimed; attempts; via_socket; via_foreign; via_wire }))
     preauth_seen;
+  (* Framing detector: a directory member whose leader-bound traffic
+     volume is flood-grade AND dominated by frames it provably never
+     originated (off-path per the transport's [via]) is being framed —
+     whatever evidence that traffic generated belongs to the injector,
+     not the member. *)
+  Hashtbl.iter
+    (fun victim (on_path, off_path) ->
+      if off_path > flood_threshold && off_path > on_path then
+        flag (Framing_suspected { victim; off_path; on_path }))
+    paths_seen;
   {
     handshakes_completed = !handshakes;
     admin_delivered = !admin;

@@ -34,11 +34,32 @@ type anomaly =
           protocol behaviour (the member applies no state effect), but
           always surfaced by the auditor so an operator can see which
           queued traffic outlived its epoch. *)
-  | Handshake_flood of { claimed : Types.agent; attempts : int }
+  | Handshake_flood of {
+      claimed : Types.agent;
+      attempts : int;
+      via_socket : int;
+      via_foreign : int;
+      via_wire : int;
+    }
       (** More than [flood_threshold] [AuthInitReq] frames delivered
           to the leader under one claimed sender — pre-auth flood
           pressure on the unauthenticated surface. The frames need not
-          be valid; the signal is volume. *)
+          be valid; the signal is volume. [attempts] is split by the
+          injection path the trace vouches for: the claimed sender's
+          own socket, some other member's socket, or the raw wire —
+          telling an operator whether the named member or the wire is
+          the problem. *)
+  | Framing_suspected of {
+      victim : Types.agent;
+      off_path : int;
+      on_path : int;
+    }
+      (** Flood-grade leader-bound traffic claiming a directory member
+          is dominated by frames that member {e provably never
+          originated} (delivered over someone else's socket or the raw
+          wire). Whatever evidence that traffic generated belongs to
+          the injector, not the member — the offline signature of a
+          framing campaign. *)
   | Quarantine of { suspect : Types.agent }
       (** The leader broadcast a ["quarantined:<suspect>"] containment
           notice — the online sentinel expelled a suspected insider.

@@ -164,9 +164,15 @@ module Improved = struct
         (* One sentinel across leader incarnations: suspicion must
            survive a restart, so the driver owns it and threads it
            into every rebuilt leader. *)
-    preauth_q : string Queue.t;
-        (* Encoded [AuthInitReq] frames awaiting pre-auth service. *)
+    preauth_q : (string * Netsim.Trace.via option) Queue.t;
+        (* Encoded [AuthInitReq] frames awaiting pre-auth service,
+           with the injection path each arrived over — the path is
+           only observable during the synchronous delivery, so it is
+           captured at enqueue time. *)
     mutable preauth_dropped : int;  (* tail drops at the full queue *)
+    mutable injections_blocked : int;
+        (* Wire-injected frames dropped at the door after the wire
+           pseudo-peer reached quarantine. *)
     mutable pump_scheduled : bool;
     prng_pump : Prng.Splitmix.t;
         (* Service jitter. Seeded independently of the root stream so
@@ -183,8 +189,8 @@ module Improved = struct
            wedge otherwise. *)
   }
 
-  let deliver_to_leader t bytes =
-    let replies = Leader.receive t.leader bytes in
+  let deliver_to_leader t ?via bytes =
+    let replies = Leader.receive t.leader ?via bytes in
     send_frames t.net ~src:(Leader.self t.leader) replies
 
   (* Serve the pre-auth queue: at most [burst] queued handshakes per
@@ -210,7 +216,8 @@ module Improved = struct
                let served = ref 0 in
                while !served < cfg.burst && not (Queue.is_empty t.preauth_q) do
                  incr served;
-                 deliver_to_leader t (Queue.pop t.preauth_q)
+                 let bytes, via = Queue.pop t.preauth_q in
+                 deliver_to_leader t ?via bytes
                done;
                send_frames t.net ~src:(Leader.self t.leader)
                  (Leader.containment_sweep t.leader);
@@ -221,7 +228,7 @@ module Improved = struct
   (* Admission check for one decoded [AuthInitReq]. Without a sentinel
      everything is admitted (the bounded queue alone is the baseline
      flood behaviour — it fills, and joins starve in FIFO order). *)
-  let admit_preauth t (frame : F.t) =
+  let admit_preauth t ?via (frame : F.t) =
     match t.sentinel with
     | None -> true
     | Some sn -> (
@@ -235,20 +242,22 @@ module Improved = struct
               false
         in
         let half_open = List.length (Leader.half_open t.leader) in
-        match Sentinel.admit_preauth sn ~peer:who ~known ~resuming ~half_open with
+        match
+          Sentinel.admit_preauth sn ?via ~peer:who ~known ~resuming ~half_open ()
+        with
         | Sentinel.Admit -> true
         | Sentinel.Throttled | Sentinel.Capped | Sentinel.Denied_quarantined ->
             false)
 
-  let gate_preauth t bytes frame =
-    if admit_preauth t frame then
+  let gate_preauth t ?via bytes frame =
+    if admit_preauth t ?via frame then
       match t.preauth with
-      | None -> deliver_to_leader t bytes
+      | None -> deliver_to_leader t ?via bytes
       | Some cfg ->
           if Queue.length t.preauth_q >= cfg.capacity then
             t.preauth_dropped <- t.preauth_dropped + 1
           else begin
-            Queue.push bytes t.preauth_q;
+            Queue.push (bytes, via) t.preauth_q;
             schedule_pump t cfg
           end
     else
@@ -263,14 +272,31 @@ module Improved = struct
      gate when flood control or a sentinel is configured. *)
   let attach_leader t =
     Netsim.Network.register t.net (Leader.self t.leader) (fun bytes ->
-        if not t.leader_down then
-          match (t.preauth, t.sentinel) with
-          | None, None -> deliver_to_leader t bytes
-          | _ -> (
-              match F.decode bytes with
-              | Ok ({ F.label = F.Auth_init_req; _ } as frame) ->
-                  gate_preauth t bytes frame
-              | Ok _ | Error _ -> deliver_to_leader t bytes))
+        if not t.leader_down then begin
+          let via = Netsim.Network.delivering_via t.net in
+          (* Door check for raw wire injections: once the wire
+             pseudo-peer itself is quarantined (a sustained pathless
+             campaign), further [Via_wire] frames are dropped before
+             any protocol or admission processing — the injector is
+             contained without any member being blamed. *)
+          let wire_blocked =
+            match (via, t.sentinel) with
+            | Some Netsim.Trace.Via_wire, Some sn ->
+                Sentinel.level_rank (Sentinel.level sn Sentinel.wire_peer)
+                >= Sentinel.level_rank Sentinel.Quarantined
+            | _ -> false
+          in
+          if wire_blocked then
+            t.injections_blocked <- t.injections_blocked + 1
+          else
+            match (t.preauth, t.sentinel) with
+            | None, None -> deliver_to_leader t ?via bytes
+            | _ -> (
+                match F.decode bytes with
+                | Ok ({ F.label = F.Auth_init_req; _ } as frame) ->
+                    gate_preauth t ?via bytes frame
+                | Ok _ | Error _ -> deliver_to_leader t ?via bytes)
+        end)
 
   let scale time f = Int64.of_float (Int64.to_float time *. f)
 
@@ -614,6 +640,7 @@ module Improved = struct
         sentinel;
         preauth_q = Queue.create ();
         preauth_dropped = 0;
+        injections_blocked = 0;
         pump_scheduled = false;
         prng_pump = Prng.Splitmix.create (Int64.logxor seed 0x70726561757468L);
         retry_stopped = false;
@@ -1091,7 +1118,11 @@ module Improved = struct
       | Some sn -> Sentinel.to_stats (Sentinel.counters sn)
       | None -> Netsim.Stats.empty_sentinel
     in
-    { base with Netsim.Stats.preauth_queue_dropped = t.preauth_dropped }
+    {
+      base with
+      Netsim.Stats.preauth_queue_dropped = t.preauth_dropped;
+      injections_blocked = t.injections_blocked;
+    }
 
   let sentinel_counters t = Netsim.Stats.sentinel_named (sentinel_stats t)
 end

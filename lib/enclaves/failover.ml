@@ -181,7 +181,8 @@ let attach_manager t mgr =
   Netsim.Network.register t.net mgr.name (fun bytes ->
       if not mgr.crashed then begin
         let to_leader () =
-          let replies = Leader.receive mgr.leader bytes in
+          let via = Netsim.Network.delivering_via t.net in
+          let replies = Leader.receive mgr.leader ?via bytes in
           send_frames t ~src:mgr.name replies
         in
         match F.decode bytes with

@@ -98,6 +98,12 @@ type t = {
      the sweep is idempotent. *)
   sentinel : Sentinel.t option;
   contained_done : (Types.agent, unit) Hashtbl.t;
+  (* Injection path of the frame currently being dispatched, as vouched
+     for by the transport ([None] outside [receive], or when the caller
+     has no path information — which degrades to claimed-sender
+     attribution). Every rejection scored during the dispatch
+     attributes its evidence to this path. *)
+  mutable rx_via : Netsim.Trace.via option;
 }
 
 let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
@@ -129,6 +135,7 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
     offline = Hashtbl.create 8;
     sentinel;
     contained_done = Hashtbl.create 8;
+    rx_via = None;
   }
 
 let create ~self ~rng ~directory ?policy ?journal ?vault ?delivery ?sentinel ()
@@ -206,7 +213,10 @@ let reject t ?label ?claimed reason =
   emit t (Rejected { label; claimed; reason });
   (match (t.sentinel, claimed) with
   | Some sn, Some who ->
-      ignore (Sentinel.observe sn ~peer:who (evidence_of_reason reason))
+      let via =
+        Option.value t.rx_via ~default:(Netsim.Trace.Via_socket who)
+      in
+      ignore (Sentinel.observe_via sn ~claimed:who ~via (evidence_of_reason reason))
   | _ -> ());
   []
 
@@ -456,13 +466,36 @@ let containment_sweep t =
   match t.sentinel with
   | None -> []
   | Some sn ->
-      List.concat_map
-        (fun who ->
-          if Hashtbl.mem t.contained_done who
-             || not (Hashtbl.mem t.directory who)
-          then []
-          else quarantine_now t who)
-        (Sentinel.contained sn)
+      let contained =
+        List.concat_map
+          (fun who ->
+            if Hashtbl.mem t.contained_done who
+               || not (Hashtbl.mem t.directory who)
+            then []
+            else quarantine_now t who)
+          (Sentinel.contained sn)
+      in
+      (* Liveness challenges: a directory member whose raw score sits
+         in quarantine territory but is corroboration-blocked gets a
+         sealed notice only the genuine session-key holder can ack.
+         The routine admin ack that comes back is the attestation —
+         the member needs no new code path — and it wipes the member's
+         off-path score, arresting a framer's escalation. An insider's
+         evidence is on-path and unaffected by answering. *)
+      let challenges =
+        List.concat_map
+          (fun who ->
+            if Hashtbl.mem t.directory who && Sentinel.challenge_due sn who
+            then
+              match Hashtbl.find_opt t.sessions who with
+              | Some { mstate = S_connected _ | S_waiting_for_ack _; _ } ->
+                  Sentinel.note_challenged sn who;
+                  enqueue_admin t who (Wire.Admin.Notice "liveness-challenge")
+              | Some _ | None -> []
+            else [])
+          (Sentinel.peers sn)
+      in
+      contained @ challenges
 
 (* The partition healed (or the harness says so): stop journalling and
    start draining. If the member is in session the backlog rides its
@@ -691,6 +724,12 @@ let handle_admin_ack t (frame : F.t) =
                 | _ -> ());
                 s.mstate <- S_connected { na = next; ka };
                 emit t (Ack_received claimed);
+                (* A sealed ack under the live session key is exactly
+                   the liveness proof a challenge asked for; relief is
+                   applied only when a challenge was outstanding. *)
+                (match t.sentinel with
+                | Some sn -> ignore (Sentinel.note_attested sn claimed)
+                | None -> ());
                 match s.queue with
                 | [] -> []
                 | x :: rest ->
@@ -995,7 +1034,9 @@ let handle_recovery_response t (frame : F.t) =
       reject t ~label:frame.F.label ~claimed
         (Types.Wrong_state "no outstanding recovery challenge")
 
-let receive t bytes =
+let receive t ?via bytes =
+  t.rx_via <- via;
+  Fun.protect ~finally:(fun () -> t.rx_via <- None) @@ fun () ->
   let replies =
     match F.decode bytes with
     | Error e -> reject t (Types.Malformed e)
@@ -1010,7 +1051,7 @@ let receive t bytes =
                      even produce rejections to probe with. The drop
                      itself is (weak) evidence, so a persistent
                      attacker escalates to Expelled. *)
-                  Sentinel.note_quarantined_drop sn ~peer:frame.F.sender;
+                  Sentinel.note_quarantined_drop sn ?via frame.F.sender;
                   true
               | Sentinel.Clear | Sentinel.Rate_limited -> false)
           | None -> false

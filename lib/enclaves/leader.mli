@@ -159,7 +159,14 @@ val cold_acks : t -> int
 (** Beacon challenges answered (members told to rejoin). *)
 
 val self : t -> Types.agent
-val receive : t -> string -> Wire.Frame.t list
+val receive : t -> ?via:Netsim.Trace.via -> string -> Wire.Frame.t list
+(** Dispatch one raw inbound frame. [via] is the transport-vouched
+    injection path of the frame, when the caller (the driver) has it:
+    every rejection scored during the dispatch attributes its sentinel
+    evidence to that path rather than to the frame's claimed sender.
+    Omitting it degrades to claimed-sender attribution — the right
+    default for direct unit-test calls. *)
+
 val session : t -> Types.agent -> session_view
 val members : t -> Types.agent list
 (** Users currently in session (sorted). *)
@@ -226,7 +233,14 @@ val containment_sweep : t -> Wire.Frame.t list
     contained suspects are skipped; claimed names outside the
     directory are left to admission control. Runs automatically at the
     end of every {!receive}; the driver's periodic scan calls it too,
-    to catch escalations fed by half-open GC between frames. *)
+    to catch escalations fed by half-open GC between frames.
+
+    The same pass issues {e liveness challenges}: an in-session
+    directory member whose raw score is quarantine-level but
+    corroboration-blocked (see {!Sentinel.challenge_due}) is sent a
+    sealed ["liveness-challenge"] admin notice; the routine sealed ack
+    that comes back attests the member is the genuine key holder and
+    wipes its off-path (framed) score. *)
 
 val contained_members : t -> Types.agent list
 (** Suspects this leader has contained (sorted). *)

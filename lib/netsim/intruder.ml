@@ -1,16 +1,26 @@
-type arm = Preauth_flood | Handshake_storm | Forge_burst | Replay_burst
+type arm =
+  | Preauth_flood
+  | Handshake_storm
+  | Forge_burst
+  | Replay_burst
+  | Frame_replay
+  | Frame_flood
 
 let arm_name = function
   | Preauth_flood -> "preauth-flood"
   | Handshake_storm -> "handshake-storm"
   | Forge_burst -> "forge-burst"
   | Replay_burst -> "replay-burst"
+  | Frame_replay -> "frame-replay"
+  | Frame_flood -> "frame-flood"
 
 let arm_of_name = function
   | "preauth-flood" -> Some Preauth_flood
   | "handshake-storm" -> Some Handshake_storm
   | "forge-burst" -> Some Forge_burst
   | "replay-burst" -> Some Replay_burst
+  | "frame-replay" -> Some Frame_replay
+  | "frame-flood" -> Some Frame_flood
   | _ -> None
 
 type campaign = {
@@ -40,10 +50,19 @@ type counters = {
   mutable storm_frames : int;
   mutable forged_frames : int;
   mutable replayed_frames : int;
+  mutable framed_replays : int;
+  mutable framed_floods : int;
 }
 
 let fresh_counters () =
-  { flood_frames = 0; storm_frames = 0; forged_frames = 0; replayed_frames = 0 }
+  {
+    flood_frames = 0;
+    storm_frames = 0;
+    forged_frames = 0;
+    replayed_frames = 0;
+    framed_replays = 0;
+    framed_floods = 0;
+  }
 
 let counters_named c =
   [
@@ -51,6 +70,8 @@ let counters_named c =
     ("storm_frames", c.storm_frames);
     ("forged_frames", c.forged_frames);
     ("replayed_frames", c.replayed_frames);
+    ("framed_replays", c.framed_replays);
+    ("framed_floods", c.framed_floods);
   ]
 
 let record c arm n =
@@ -59,6 +80,8 @@ let record c arm n =
   | Handshake_storm -> c.storm_frames <- c.storm_frames + n
   | Forge_burst -> c.forged_frames <- c.forged_frames + n
   | Replay_burst -> c.replayed_frames <- c.replayed_frames + n
+  | Frame_replay -> c.framed_replays <- c.framed_replays + n
+  | Frame_flood -> c.framed_floods <- c.framed_floods + n
 
 type t = { rng : Prng.Splitmix.t; counters : counters }
 

@@ -32,6 +32,16 @@ type arm =
   | Replay_burst
       (** A3: verbatim re-injection of frames captured off the wire —
           stale-nonce admin traffic, old handshake legs. *)
+  | Frame_replay
+      (** Framing, replay flavor: a {e wire-level outsider} (no keys,
+          no endpoint) re-injects a chosen victim's own captured
+          frames verbatim, trying to pin the resulting replay evidence
+          on the victim and get an honest member quarantined. *)
+  | Frame_flood
+      (** Framing, flood flavor: the outsider floods the
+          unauthenticated handshake surface with junk frames that
+          {e claim} the victim as sender, trying to spend the victim's
+          admission budget and pin pre-auth pressure on it. *)
 
 val arm_name : arm -> string
 val arm_of_name : string -> arm option
@@ -64,6 +74,8 @@ type counters = {
   mutable storm_frames : int;
   mutable forged_frames : int;
   mutable replayed_frames : int;
+  mutable framed_replays : int;
+  mutable framed_floods : int;
 }
 (** Frames the actor actually injected, per arm — bumped by the actor
     through {!record}, so the run report attributes hostile traffic

@@ -16,6 +16,9 @@ type t = {
   fault_counters : Faultplan.counters;
   (* Last scheduled delivery time per (src,dst), to keep per-pair FIFO. *)
   last_delivery : (string * string, Vtime.t) Hashtbl.t;
+  (* Injection path of the frame whose handler is running right now —
+     valid only for the duration of the synchronous handler call. *)
+  mutable delivering : Trace.via option;
 }
 
 let create ~sim ?(latency_us = (500, 1500)) ?(trace = Trace.create ()) () =
@@ -33,6 +36,7 @@ let create ~sim ?(latency_us = (500, 1500)) ?(trace = Trace.create ()) () =
     fault_rng = None;
     fault_counters = Faultplan.fresh_counters ();
     last_delivery = Hashtbl.create 16;
+    delivering = None;
   }
 
 let trace t = t.trace
@@ -74,7 +78,9 @@ let record_drop t ~src ~dst ~payload ~cause =
   Trace.record t.trace
     (Trace.Dropped { time = Sim.now t.sim; src; dst; payload; cause })
 
-let deliver t ~src ~dst ~payload ~extra =
+let delivering_via t = t.delivering
+
+let deliver t ~src ~dst ~payload ~via ~extra =
   let time = fifo_time t ~src ~dst ~extra in
   Sim.schedule_at t.sim ~time (fun () ->
       (* An outage is re-checked at delivery time: frames in flight
@@ -92,15 +98,20 @@ let deliver t ~src ~dst ~payload ~extra =
         match Hashtbl.find_opt t.nodes dst with
         | Some handler ->
             Trace.record t.trace
-              (Trace.Delivered { time = Sim.now t.sim; src; dst; payload });
-            handler payload
+              (Trace.Delivered
+                 { time = Sim.now t.sim; src; dst; payload; via });
+            let saved = t.delivering in
+            t.delivering <- Some via;
+            Fun.protect
+              ~finally:(fun () -> t.delivering <- saved)
+              (fun () -> handler payload)
         | None -> record_drop t ~src ~dst ~payload ~cause:Trace.Unregistered)
 
 (* The fault layer sits after the adversary tap: whatever the
    adversary lets through (possibly rewritten or delayed) is then
    subject to loss, corruption, duplication, spikes, partitions and
    outages from the installed plan. *)
-let faulted_deliver t ~src ~dst ~payload ~extra =
+let faulted_deliver t ~src ~dst ~payload ~via ~extra =
   match (t.faultplan, t.fault_rng) with
   | Some plan, Some rng -> (
       match
@@ -112,24 +123,36 @@ let faulted_deliver t ~src ~dst ~payload ~extra =
       | Faultplan.Fault_pass { payload; extra = fault_extra; copies } ->
           let extra = Vtime.add extra fault_extra in
           for _ = 1 to copies do
-            deliver t ~src ~dst ~payload ~extra
+            deliver t ~src ~dst ~payload ~via ~extra
           done)
-  | _ -> deliver t ~src ~dst ~payload ~extra
+  | _ -> deliver t ~src ~dst ~payload ~via ~extra
 
 let send t ~src ~dst payload =
   Trace.record t.trace (Trace.Sent { time = Sim.now t.sim; src; dst; payload });
+  (* An honest send arrives over the sender's own registered endpoint:
+     the network itself vouches for the [via] tag, frame contents
+     cannot override it. *)
+  let via = Trace.Via_socket src in
   match t.adversary with
-  | None -> faulted_deliver t ~src ~dst ~payload ~extra:Vtime.zero
+  | None -> faulted_deliver t ~src ~dst ~payload ~via ~extra:Vtime.zero
   | Some adv -> (
       match adv ~src ~dst ~payload with
-      | Deliver -> faulted_deliver t ~src ~dst ~payload ~extra:Vtime.zero
+      | Deliver -> faulted_deliver t ~src ~dst ~payload ~via ~extra:Vtime.zero
       | Drop -> record_drop t ~src ~dst ~payload ~cause:Trace.By_adversary
       | Replace payload' ->
-          faulted_deliver t ~src ~dst ~payload:payload' ~extra:Vtime.zero
-      | Delay extra -> faulted_deliver t ~src ~dst ~payload ~extra)
+          faulted_deliver t ~src ~dst ~payload:payload' ~via ~extra:Vtime.zero
+      | Delay extra -> faulted_deliver t ~src ~dst ~payload ~via ~extra)
 
-let inject t ~dst payload =
-  Trace.record t.trace (Trace.Injected { time = Sim.now t.sim; dst; payload });
+let inject t ?origin ~dst payload =
+  Trace.record t.trace
+    (Trace.Injected { time = Sim.now t.sim; dst; payload; origin });
   (* Injection bypasses the fault plan: the adversary's own frames are
-     placed on the last hop directly. *)
-  deliver t ~src:"<adversary>" ~dst ~payload ~extra:Vtime.zero
+     placed on the last hop directly. A compromised insider pushing
+     frames through its own connection arrives [Via_socket insider];
+     a raw wire write (no endpoint) arrives [Via_wire]. *)
+  let src, via =
+    match origin with
+    | Some o -> (o, Trace.Via_socket o)
+    | None -> ("<adversary>", Trace.Via_wire)
+  in
+  deliver t ~src ~dst ~payload ~via ~extra:Vtime.zero

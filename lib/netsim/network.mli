@@ -56,6 +56,16 @@ val faultplan : t -> Faultplan.t option
 val fault_counters : t -> Faultplan.counters
 (** Running tally of faults injected so far on this network. *)
 
-val inject : t -> dst:string -> string -> unit
+val inject : t -> ?origin:string -> dst:string -> string -> unit
 (** Adversary primitive: deliver arbitrary bytes to [dst] after normal
-    latency, recorded as an injection. *)
+    latency, recorded as an injection. [origin] is the endpoint the
+    bytes were pushed through: a compromised insider using its own
+    connection passes [~origin:insider] and the frame arrives tagged
+    [Via_socket insider]; omitting it models a raw wire write and the
+    frame arrives [Via_wire]. *)
+
+val delivering_via : t -> Trace.via option
+(** The injection path of the frame whose handler is executing right
+    now — [Some _] only for the duration of the synchronous handler
+    call, [None] outside one. Receivers use it to attribute evidence
+    to the transport path instead of the claimed sender. *)

@@ -44,7 +44,7 @@ let compute trace =
                 q
           in
           Queue.add time q
-      | Trace.Delivered { time; src; dst; payload } -> (
+      | Trace.Delivered { time; src; dst; payload; _ } -> (
           incr delivered;
           match Hashtbl.find_opt pending (src, dst, payload) with
           | Some q when not (Queue.is_empty q) ->
@@ -233,6 +233,12 @@ type sentinel = {
   queues_purged : int;
   suspicion_shipped : int;
   suspicion_imported : int;
+  wire_observations : int;
+  off_path_observations : int;
+  framing_holds : int;
+  challenges_issued : int;
+  attestations : int;
+  injections_blocked : int;
 }
 
 let empty_sentinel =
@@ -250,6 +256,12 @@ let empty_sentinel =
     queues_purged = 0;
     suspicion_shipped = 0;
     suspicion_imported = 0;
+    wire_observations = 0;
+    off_path_observations = 0;
+    framing_holds = 0;
+    challenges_issued = 0;
+    attestations = 0;
+    injections_blocked = 0;
   }
 
 let sentinel_named s =
@@ -267,6 +279,12 @@ let sentinel_named s =
     ("queues_purged", s.queues_purged);
     ("suspicion_shipped", s.suspicion_shipped);
     ("suspicion_imported", s.suspicion_imported);
+    ("wire_observations", s.wire_observations);
+    ("off_path_observations", s.off_path_observations);
+    ("framing_holds", s.framing_holds);
+    ("challenges_issued", s.challenges_issued);
+    ("attestations", s.attestations);
+    ("injections_blocked", s.injections_blocked);
   ]
 
 let pp_named fmt counters =

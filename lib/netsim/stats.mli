@@ -132,6 +132,25 @@ type sentinel = {
   suspicion_shipped : int;  (** Suspicion snapshots shipped to backups. *)
   suspicion_imported : int;
       (** Suspicion snapshots adopted by a promoted successor. *)
+  wire_observations : int;
+      (** Evidence events whose frame arrived [Via_wire] — charged at
+          full weight to the wire pseudo-peer, not the claimed name. *)
+  off_path_observations : int;
+      (** Evidence events charged to a claimed sender at the discounted
+          weight because the frame did not arrive over its socket. *)
+  framing_holds : int;
+      (** Times the corroboration gate clamped a raw quarantine-level
+          score back to [Rate_limited] because the evidence lacked an
+          on-path or two-class basis. *)
+  challenges_issued : int;
+      (** Liveness challenges the leader sent to corroboration-blocked
+          peers ("prove liveness under your session key"). *)
+  attestations : int;
+      (** Challenges answered by a live session-key ack, relieving the
+          answering peer's off-path score. *)
+  injections_blocked : int;
+      (** Wire-injected frames dropped at the leader's door after the
+          wire pseudo-peer itself reached quarantine. *)
 }
 (** Intrusion-containment counters — what the leader's sentinel did
     during a run. Computed by the driver / intrude harness, rendered

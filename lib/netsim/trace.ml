@@ -5,9 +5,21 @@ let drop_cause_to_string = function
   | Unregistered -> "unregistered"
   | By_fault -> "fault"
 
+type via = Via_socket of string | Via_wire
+
+let via_to_string = function
+  | Via_socket owner -> "socket:" ^ owner
+  | Via_wire -> "wire"
+
 type entry =
   | Sent of { time : Vtime.t; src : string; dst : string; payload : string }
-  | Delivered of { time : Vtime.t; src : string; dst : string; payload : string }
+  | Delivered of {
+      time : Vtime.t;
+      src : string;
+      dst : string;
+      payload : string;
+      via : via;
+    }
   | Dropped of {
       time : Vtime.t;
       src : string;
@@ -15,7 +27,12 @@ type entry =
       payload : string;
       cause : drop_cause;
     }
-  | Injected of { time : Vtime.t; dst : string; payload : string }
+  | Injected of {
+      time : Vtime.t;
+      dst : string;
+      payload : string;
+      origin : string option;
+    }
 
 type t = { mutable rev_entries : entry list; mutable length : int }
 
@@ -39,13 +56,14 @@ let pp_entry fmt = function
   | Sent { time; src; dst; payload } ->
       Format.fprintf fmt "[%a] SENT %s->%s (%d bytes)" Vtime.pp time src dst
         (String.length payload)
-  | Delivered { time; src; dst; payload } ->
-      Format.fprintf fmt "[%a] DLVR %s->%s (%d bytes)" Vtime.pp time src dst
-        (String.length payload)
+  | Delivered { time; src; dst; payload; via } ->
+      Format.fprintf fmt "[%a] DLVR %s->%s (%d bytes, via %s)" Vtime.pp time
+        src dst (String.length payload) (via_to_string via)
   | Dropped { time; src; dst; payload; cause } ->
       Format.fprintf fmt "[%a] DROP %s->%s (%d bytes, %s)" Vtime.pp time src
         dst (String.length payload)
         (drop_cause_to_string cause)
-  | Injected { time; dst; payload } ->
-      Format.fprintf fmt "[%a] INJT ->%s (%d bytes)" Vtime.pp time dst
-        (String.length payload)
+  | Injected { time; dst; payload; origin } ->
+      Format.fprintf fmt "[%a] INJT %s->%s (%d bytes)" Vtime.pp time
+        (match origin with Some o -> o ^ "!" | None -> "<wire>")
+        dst (String.length payload)

@@ -13,11 +13,30 @@ type drop_cause =
 
 val drop_cause_to_string : drop_cause -> string
 
+(** The injection path a delivered frame arrived over — the transport
+    provenance the simulated network can vouch for, as opposed to the
+    sender name the frame {e claims}. A frame a registered node handed
+    to its own network endpoint arrives [Via_socket node]; a frame the
+    adversary injected straight onto the wire (no endpoint) arrives
+    [Via_wire]. A compromised member's own injections still arrive
+    [Via_socket member] — it owns that endpoint — which is exactly the
+    distinction the sentinel's evidence attribution keys on. *)
+type via = Via_socket of string | Via_wire
+
+val via_to_string : via -> string
+
 type entry =
   | Sent of { time : Vtime.t; src : string; dst : string; payload : string }
       (** An honest node handed a frame to the network. *)
-  | Delivered of { time : Vtime.t; src : string; dst : string; payload : string }
-      (** The network invoked [dst]'s handler. *)
+  | Delivered of {
+      time : Vtime.t;
+      src : string;
+      dst : string;
+      payload : string;
+      via : via;
+    }
+      (** The network invoked [dst]'s handler; [via] is the transport
+          path the frame genuinely arrived over. *)
   | Dropped of {
       time : Vtime.t;
       src : string;
@@ -26,8 +45,16 @@ type entry =
       cause : drop_cause;
     }
       (** The frame was suppressed; [cause] attributes the loss. *)
-  | Injected of { time : Vtime.t; dst : string; payload : string }
-      (** The adversary placed a frame of its own making. *)
+  | Injected of {
+      time : Vtime.t;
+      dst : string;
+      payload : string;
+      origin : string option;
+    }
+      (** The adversary placed a frame of its own making. [origin] is
+          the endpoint it was pushed through ([Some member] for a
+          compromised insider using its own connection, [None] for a
+          raw wire write). *)
 
 type t
 

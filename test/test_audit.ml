@@ -195,7 +195,7 @@ let test_corrupted_traces_audit_as_forgeries () =
           | Audit.Forged_frame _ -> incr forged
           | Audit.Replayed_admin _ | Audit.Stale_rekey _
           | Audit.Stale_delivery _ | Audit.Handshake_flood _
-          | Audit.Quarantine _ -> ())
+          | Audit.Framing_suspected _ | Audit.Quarantine _ -> ())
         report.Audit.anomalies)
     seeds;
   Alcotest.(check bool)
@@ -227,6 +227,8 @@ let test_duplicated_traces_audit_as_replays () =
               Alcotest.fail "duplication misread as stale delivery"
           | Audit.Handshake_flood _ ->
               Alcotest.fail "duplication misread as handshake flood"
+          | Audit.Framing_suspected _ ->
+              Alcotest.fail "duplication misread as framing"
           | Audit.Quarantine _ ->
               Alcotest.fail "duplication misread as quarantine")
         report.Audit.anomalies)

@@ -74,7 +74,7 @@ let test_ladder_ratchets_up_never_down () =
 let test_admission_token_bucket () =
   let sn, _now = on_clock () in
   let admit peer known =
-    S.admit_preauth sn ~peer ~known ~resuming:false ~half_open:0
+    S.admit_preauth sn ~peer ~known ~resuming:false ~half_open:0 ()
   in
   (* A known name owns its bucket: the burst admits, then throttles
      (the hand-cranked clock never refills). *)
@@ -103,13 +103,13 @@ let test_admission_cap_and_resume () =
   Alcotest.(check string) "half-open table full: capped" "capped"
     (S.verdict_name
        (S.admit_preauth sn ~peer:"carol" ~known:true ~resuming:false
-          ~half_open:cfg.S.half_open_cap));
+          ~half_open:cfg.S.half_open_cap ()));
   (* A retransmission of an in-progress handshake bypasses bucket and
      cap — throttling it would fail the very join it belongs to. *)
   Alcotest.(check string) "resuming bypasses the cap" "admit"
     (S.verdict_name
        (S.admit_preauth sn ~peer:"carol" ~known:true ~resuming:true
-          ~half_open:cfg.S.half_open_cap))
+          ~half_open:cfg.S.half_open_cap ()))
 
 let test_admission_denies_quarantined () =
   let sn, _now = on_clock () in
@@ -124,7 +124,7 @@ let test_admission_denies_quarantined () =
     "denied-quarantined"
     (S.verdict_name
        (S.admit_preauth sn ~peer:"eve" ~known:true ~resuming:true
-          ~half_open:0))
+          ~half_open:0 ()))
 
 (* --- suspicion snapshots --- *)
 
