@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-diff chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude chaos-frame calibrate crash-matrix journal-fuzz doc ci clean
+.PHONY: all build test bench bench-smoke bench-diff chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude chaos-frame chaos-nemesis calibrate crash-matrix journal-fuzz doc ci clean
 
 all: build
 
@@ -93,6 +93,16 @@ chaos-frame:
 	dune exec bin/enclaves_cli.exe -- intrude frame-replay --seeds 5
 	dune exec bin/enclaves_cli.exe -- intrude frame-flood --seeds 5
 
+# Omni-fault nemesis soak (E25): packet loss + torn writes + ENOSPC +
+# a persistent fsync stall + an insider pre-auth flood + a leader
+# crash, all in one 20s schedule. The degraded-mode ladder must carry
+# every seed through (no wedge, 100% legitimate joins, reconverged
+# view, Healthy at the end, every shed record durably marked); the
+# --no-degrade baseline must demonstrably wedge on the same schedule.
+chaos-nemesis:
+	dune exec bin/enclaves_cli.exe -- nemesis --seeds 5
+	dune exec bin/enclaves_cli.exe -- nemesis --seeds 5 --no-degrade --expect-wedge
+
 # Adversarial calibration sweep (E24): every intruder arm plus a
 # clean-chaos control at each sentinel tuning point; fails unless the
 # shipped defaults dominate the no-attribution baseline on the
@@ -142,7 +152,7 @@ doc:
 	  echo "doc: odoc not installed, skipping"; \
 	fi
 
-ci: build test bench-smoke bench-diff chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude chaos-frame crash-matrix journal-fuzz doc
+ci: build test bench-smoke bench-diff chaos chaos-crash chaos-disk chaos-churn chaos-failover chaos-heal chaos-intrude chaos-frame chaos-nemesis crash-matrix journal-fuzz doc
 
 clean:
 	dune clean

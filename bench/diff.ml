@@ -11,8 +11,8 @@
    comma-separated list of result files, scored as the per-group
    MINIMUM across the runs — timing noise on a loaded single-core
    container only ever adds time, so min-of-N is the stable
-   statistic. The "sentinel-frontier" group is calibration output,
-   not timing, and is skipped. Groups present in only one file are
+   statistic. The "sentinel-frontier" (calibration) and "nemesis"
+   (soak verdict) groups are not timing output and are skipped. Groups present in only one file are
    reported but never fail the gate — new benches appear and old ones
    retire as the suite grows. *)
 
@@ -74,7 +74,8 @@ let load path =
        if String.length line > 1 && line.[0] = '{' && contains line "\"group\""
        then
          match (str_field line "group", num_field line "ns_per_op") with
-         | Some g, Some ns when g <> "sentinel-frontier" && ns > 0.0 ->
+         | Some g, Some ns
+           when g <> "sentinel-frontier" && g <> "nemesis" && ns > 0.0 ->
              rows := (g, ns) :: !rows
          | _ -> ()
      done

@@ -165,9 +165,9 @@ let policy_ablation_tests =
   in
   [
     Test.make ~name:"join8-rekey-on-join" (Staged.stage (fun () ->
-        join_all { Enclaves.Leader.rekey_on_join = true; rekey_on_leave = true }));
+        join_all { Enclaves.Leader.rekey_on_join = true; rekey_on_leave = true; degrade = true }));
     Test.make ~name:"join8-static-key" (Staged.stage (fun () ->
-        join_all { Enclaves.Leader.rekey_on_join = false; rekey_on_leave = false }));
+        join_all { Enclaves.Leader.rekey_on_join = false; rekey_on_leave = false; degrade = true }));
   ]
 
 (* --- E5-E7: the attack scenarios --- *)
@@ -300,6 +300,61 @@ let delivery_tests =
         ignore (Enclaves.Delivery.drain d ~member:"user0" ~current_epoch:3)));
   ]
 
+(* --- E25: degraded-path costs under resource pressure --- *)
+
+let degraded_tests =
+  let directory =
+    List.init 4 (fun i ->
+        let n = Printf.sprintf "u%d" i in
+        (n, n ^ "-pw"))
+  in
+  (* A leader over a fault-wrapped disk: [clamp] forbids all growth, so
+     the first rekey walks the ladder down to memory-only and every
+     later rekey pays the degraded path (memory apply, refused mirror
+     skipped) instead of seal-and-journal. *)
+  let mk ~clamp () =
+    let rng = Prng.Splitmix.create 42L in
+    let mem = Store.Mem.create () in
+    let fault = Store.Fault.create ~rng (Store.Mem.handle mem) in
+    let backend = Store.Fault.handle fault in
+    let journal = Enclaves.Journal.create ~disk:backend () in
+    let vault = Store.Vault.create ~disk:backend () in
+    let delivery = Enclaves.Delivery.create ~disk:backend () in
+    let t =
+      Enclaves.Leader.create ~self:"leader" ~rng ~directory ~journal ~vault
+        ~delivery ()
+    in
+    if clamp then
+      Store.Fault.set_space_budget fault (Some (Store.Fault.bytes_used fault));
+    t
+  in
+  let notice i = Wire.Admin.Notice (Printf.sprintf "bench-%d" i) in
+  [
+    Test.make ~name:"rekey-8-seal-and-journal" (Staged.stage (fun () ->
+        let t = mk ~clamp:false () in
+        for _ = 1 to 8 do
+          ignore (Enclaves.Leader.rekey t)
+        done));
+    Test.make ~name:"rekey-8-memory-only" (Staged.stage (fun () ->
+        let t = mk ~clamp:true () in
+        for _ = 1 to 8 do
+          ignore (Enclaves.Leader.rekey t)
+        done));
+    (* The byte budgets' hot path: pushes past a tight per-member bound,
+       each overflow paying drop-marker + compaction. *)
+    Test.make ~name:"enqueue-shed-oldest" (Staged.stage (fun () ->
+        let d =
+          Enclaves.Delivery.create
+            ~budgets:
+              { Enclaves.Delivery.per_member_bytes = Some 300;
+                global_bytes = None }
+            ()
+        in
+        for i = 0 to 49 do
+          Enclaves.Delivery.enqueue d ~member:"u0" ~epoch:i (notice i)
+        done));
+  ]
+
 (* --- E23: online intrusion sentinel --- *)
 
 let sentinel_tests =
@@ -368,6 +423,7 @@ let groups =
     ("model-checker-jobs (E4)", model_jobs_tests);
     ("failover (E13)", failover_tests);
     ("delivery (E22)", delivery_tests);
+    ("degraded-path (E25)", degraded_tests);
     ("sentinel (E23)", sentinel_tests);
     ("legacy-model (E14)", legacy_model_tests);
     ("netsim", netsim_tests);
@@ -455,7 +511,8 @@ let json_escape s =
   Buffer.contents b
 
 (* The calibration sweep ([enclaves calibrate]) merges a
-   "sentinel-frontier" group into the same file; carry those rows
+   "sentinel-frontier" group into the same file, and the omni-fault
+   soak ([enclaves nemesis]) a "nemesis" group; carry those rows
    across timing reruns so neither writer clobbers the other. *)
 let frontier_rows path =
   if not (Sys.file_exists path) then []
@@ -469,12 +526,15 @@ let frontier_rows path =
             String.length t > 1
             && t.[0] = '{'
             &&
-            let needle = "\"group\": \"sentinel-frontier\"" in
-            let nh = String.length t and nn = String.length needle in
-            let rec has i =
-              i + nn <= nh && (String.sub t i nn = needle || has (i + 1))
+            let has needle =
+              let nh = String.length t and nn = String.length needle in
+              let rec go i =
+                i + nn <= nh && (String.sub t i nn = needle || go (i + 1))
+              in
+              go 0
             in
-            has 0
+            has "\"group\": \"sentinel-frontier\""
+            || has "\"group\": \"nemesis\""
           in
           let t =
             if t <> "" && t.[String.length t - 1] = ',' then

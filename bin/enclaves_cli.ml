@@ -8,6 +8,8 @@
    - [churn]    soak the store-and-forward delivery queues under member churn
    - [failover] kill the primary of a multi-manager group and report
                 warm/cold promotion, replication counters and lag
+   - [nemesis]  run the omni-fault soak (network + disk + insider + crash)
+                against the degraded-mode ladder
    - [crash-matrix] enumerate every journal crash point and check recovery
    - [keys]     derive and fingerprint a long-term key (debug helper)
 
@@ -1007,11 +1009,15 @@ let run_crash_matrix members appends compact_every seed no_torn verbose =
     show "delivery queue"
       (Enclaves.Crash_matrix.run_queue ~seed ~torn:(not no_torn) ())
   in
-  if journal_ok && queue_ok then begin
+  let degraded_ok =
+    show "degraded-mode queue"
+      (Enclaves.Crash_matrix.run_degraded ~seed ~torn:(not no_torn) ())
+  in
+  if journal_ok && queue_ok && degraded_ok then begin
     print_endline
       "every crash image recovers: no exception, no resurrected session, no \
        epoch regression, no acknowledged write lost, no delivery duplicated \
-       after replay";
+       after replay, no shed record resurrected from a degraded-mode image";
     0
   end
   else 1
@@ -1619,6 +1625,67 @@ let contains_sub hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
+(* Merge freshly produced [rows] (pre-rendered JSON result objects)
+   into the bench trajectory file at [path] under [group], preserving
+   every row of every other group the benchmark harness (or another
+   sweep) wrote — and letting them preserve these rows in turn. *)
+let merge_bench_group ~path ~group rows =
+  let old_lines =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+    end
+    else []
+  in
+  let strip_comma l =
+    let t = String.trim l in
+    if t <> "" && t.[String.length t - 1] = ',' then
+      String.sub t 0 (String.length t - 1)
+    else t
+  in
+  let keep =
+    List.filter_map
+      (fun l ->
+        let t = String.trim l in
+        if
+          String.length t > 1
+          && t.[0] = '{'
+          && not (contains_sub t ("\"group\": \"" ^ group ^ "\""))
+        then Some (strip_comma l)
+        else None)
+      old_lines
+  in
+  let mode =
+    List.fold_left
+      (fun acc l ->
+        let t = String.trim l in
+        if String.length t >= 7 && String.sub t 0 7 = "\"mode\":" then
+          match String.split_on_char '"' t with
+          | _ :: _ :: _ :: v :: _ -> v
+          | _ -> acc
+        else acc)
+      "none" old_lines
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"enclaves-bench/1\",\n";
+  Printf.fprintf oc "  \"mode\": \"%s\",\n" mode;
+  Printf.fprintf oc "  \"results\": [";
+  let first = ref true in
+  List.iter
+    (fun row ->
+      Printf.fprintf oc "%s\n    %s" (if !first then "" else ",") row;
+      first := false)
+    (keep @ rows);
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
 let run_calibrate seeds clean_seeds quick out json base_cfg =
   let module D = Enclaves.Driver.Improved in
   let module S = Enclaves.Sentinel in
@@ -1789,74 +1856,15 @@ let run_calibrate seeds clean_seeds quick out json base_cfg =
   (* Merge the frontier into the bench trajectory file, preserving
      every timing row the benchmark harness wrote (and letting the
      harness preserve these rows in turn). *)
-  let merge_bench path =
-    let old_lines =
-      if Sys.file_exists path then begin
-        let ic = open_in path in
-        let rec go acc =
-          match input_line ic with
-          | l -> go (l :: acc)
-          | exception End_of_file ->
-              close_in ic;
-              List.rev acc
-        in
-        go []
-      end
-      else []
-    in
-    let strip_comma l =
-      let t = String.trim l in
-      if t <> "" && t.[String.length t - 1] = ',' then
-        String.sub t 0 (String.length t - 1)
-      else t
-    in
-    let keep =
-      List.filter_map
-        (fun l ->
-          let t = String.trim l in
-          if
-            String.length t > 1
-            && t.[0] = '{'
-            && not (contains_sub t "\"group\": \"sentinel-frontier\"")
-          then Some (strip_comma l)
-          else None)
-        old_lines
-    in
-    let mode =
-      List.fold_left
-        (fun acc l ->
-          let t = String.trim l in
-          if String.length t >= 7 && String.sub t 0 7 = "\"mode\":" then
-            match String.split_on_char '"' t with
-            | _ :: _ :: _ :: v :: _ -> v
-            | _ -> acc
-          else acc)
-        "none" old_lines
-    in
-    let fresh =
-      List.map
-        (fun (label, d, f, j) ->
-          Printf.sprintf
-            "{ \"group\": \"sentinel-frontier\", \"name\": \
-             \"sentinel-frontier/%s\", \"ns_per_op\": null, \"detection\": \
-             %.4f, \"false_positives\": %.4f, \"join_success\": %.4f }"
-            label d f j)
-        frontier
-    in
-    let oc = open_out path in
-    Printf.fprintf oc "{\n  \"schema\": \"enclaves-bench/1\",\n";
-    Printf.fprintf oc "  \"mode\": \"%s\",\n" mode;
-    Printf.fprintf oc "  \"results\": [";
-    let first = ref true in
-    List.iter
-      (fun row ->
-        Printf.fprintf oc "%s\n    %s" (if !first then "" else ",") row;
-        first := false)
-      (keep @ fresh);
-    Printf.fprintf oc "\n  ]\n}\n";
-    close_out oc
-  in
-  merge_bench out;
+  merge_bench_group ~path:out ~group:"sentinel-frontier"
+    (List.map
+       (fun (label, d, f, j) ->
+         Printf.sprintf
+           "{ \"group\": \"sentinel-frontier\", \"name\": \
+            \"sentinel-frontier/%s\", \"ns_per_op\": null, \"detection\": \
+            %.4f, \"false_positives\": %.4f, \"join_success\": %.4f }"
+           label d f j)
+       frontier);
   if json then
     Json.print
       (Json.Obj
@@ -1927,6 +1935,357 @@ let calibrate_cmd =
       $ calibrate_quick_arg $ calibrate_out_arg $ json_arg
       $ sentinel_config_term)
 
+(* --- nemesis --- *)
+
+(* The omni-fault soak: one seeded run composes every adversarial arm
+   the suite knows — lossy links, torn/short/EIO writes, fsync-latency
+   spikes, a persistent write stall, an ENOSPC window, an insider
+   pre-auth flood, a member outage with store-and-forward backlog, and
+   a leader crash+restart — then checks the generic end state: the
+   view reconverged, every legitimate join landed, no honest member
+   was quarantined, the leader re-armed durability, every shed record
+   left a durable Drop marker, and queue bytes stayed bounded. The
+   [--no-degrade] arm runs the same schedule with the degraded-mode
+   ladder disabled and is expected to wedge on the first refused
+   journal write — the damage the ladder is measured against. *)
+let run_nemesis members seeds until_s no_degrade expect_wedge out json verbose
+    sn_config =
+  let module D = Enclaves.Driver.Improved in
+  let module S = Enclaves.Sentinel in
+  let module L = Enclaves.Leader in
+  if members < 4 then begin
+    prerr_endline
+      "nemesis: --members must be at least 4 (early members, an offline \
+       victim and late joiners)";
+    exit 2
+  end;
+  if until_s < 12 then begin
+    prerr_endline
+      "nemesis: --until must be at least 12 (the fault schedule runs to 8s \
+       and recovery needs the tail)";
+    exit 2
+  end;
+  let honest =
+    List.init members (fun i ->
+        let name = Printf.sprintf "user%d" i in
+        (name, name ^ "-pw"))
+  in
+  let directory = honest @ [ ("mallory", "mallory-pw") ] in
+  let n_late = 2 in
+  let early = List.filteri (fun i _ -> i < members - n_late) honest in
+  let late = List.filteri (fun i _ -> i >= members - n_late) honest in
+  let offline_victim = "user1" in
+  let global_budget = 2500 in
+  let one seed =
+    let policy =
+      if no_degrade then Some { L.default_policy with L.degrade = false }
+      else None
+    in
+    let storage_faults =
+      {
+        Store.Fault.none with
+        Store.Fault.torn_write = 0.02;
+        short_write = 0.02;
+        eio = 0.02;
+        drop_fsync = 0.05;
+        fsync_spike = 0.3;
+        fsync_spike_ms = 40;
+      }
+    in
+    let budgets =
+      {
+        Enclaves.Delivery.per_member_bytes = Some 300;
+        global_bytes = Some global_budget;
+      }
+    in
+    let d =
+      D.create ~seed ?policy ~retry:D.default_retry
+        ~recovery:D.default_recovery ~storage_faults
+        ~delivery:Enclaves.Delivery.default_policy ~delivery_budgets:budgets
+        ~preauth:D.default_preauth ~intrusion:sn_config ~leader:"leader"
+        ~directory ()
+    in
+    let plan =
+      Netsim.Faultplan.make
+        ~default_link:(Netsim.Faultplan.lossy_link ~duplicate:0.02 0.05)
+        ()
+    in
+    Netsim.Network.set_faultplan (D.net d) (Some plan);
+    (* Leader crash at 2.5s, warm restart 400ms later — before the
+       storage-pressure window opens, so recovery itself runs against
+       a disk that still accepts writes (the degraded crash matrix
+       covers the crash-while-degraded composition offline). *)
+    D.schedule_leader_crash d
+      ~at:(Netsim.Vtime.of_ms 2500)
+      ~restart_after:(Netsim.Vtime.of_ms 400)
+      ~warm:true ();
+    let wedge = ref None in
+    let seg f = if !wedge = None then try f () with e -> wedge := Some e in
+    seg (fun () ->
+        List.iter (fun (n, _) -> D.join d n) (early @ [ ("mallory", "") ]);
+        ignore (D.run ~until:(Netsim.Vtime.of_s 2) d);
+        D.send_app d "mallory" "insider chatter";
+        ignore (D.run ~until:(Netsim.Vtime.of_ms 2200) d));
+    (* The insider harvests its key material, then floods the pre-auth
+       door from 3s to 6s — five times the service rate. *)
+    seg (fun () ->
+        let insider =
+          Adversary.Insider.create ~driver:d ~insider:"mallory"
+            ~password:"mallory-pw" ()
+        in
+        ignore (Adversary.Insider.harvest insider);
+        D.rekey d;
+        ignore
+          (Adversary.Insider.launch insider
+             (Netsim.Intruder.campaign ~arm:Netsim.Intruder.Preauth_flood
+                ~start:(Netsim.Vtime.of_s 3) ~stop:(Netsim.Vtime.of_s 6)
+                ~period:(Netsim.Vtime.of_ms 20)
+                ~burst:8 ()));
+        ignore (D.run ~until:(Netsim.Vtime.of_s 3) d);
+        (* Open the backlog phase — after the 2.5s crash, because the
+           offline set is leader-instance state, not journaled: one
+           member goes dark while periodic rekeys keep minting sealed
+           records for it, the byte budgets' pressure source. *)
+        D.mark_offline d offline_victim;
+        ignore
+          (D.start_periodic_rekey d
+             ~period:(Netsim.Vtime.of_ms 300)
+             ~until:(Netsim.Vtime.of_s 8) ());
+        ignore (D.run ~until:(Netsim.Vtime.of_ms 3500) d));
+    (* Dying disk: every mutation refused until the stall heals. The
+       offline mark is re-asserted first: a post-restart re-handshake
+       from the victim drains its queue and clears the mark (that is
+       the reconnect contract), but this victim is still dark — the
+       operator marks it again. *)
+    seg (fun () ->
+        D.mark_offline d offline_victim;
+        D.trigger_stall d;
+        ignore (D.run ~until:(Netsim.Vtime.of_ms 4300) d);
+        D.heal_stall d;
+        ignore (D.run ~until:(Netsim.Vtime.of_ms 4500) d));
+    (* Disk full: clamp the byte budget to a sliver above current
+       usage; the journal and queue mirrors exhaust it within a few
+       rekeys. Space returns at 6.5s. *)
+    seg (fun () ->
+        D.set_space_budget d (Some (D.disk_bytes_used d + 150));
+        ignore (D.run ~until:(Netsim.Vtime.of_ms 6500) d);
+        D.set_space_budget d None;
+        ignore (D.run ~until:(Netsim.Vtime.of_s 8) d));
+    (* Heal phase: the dark member returns, the late joiners arrive,
+       and the run settles to the end-state check. *)
+    seg (fun () ->
+        D.mark_online d offline_victim;
+        List.iter (fun (n, _) -> D.join d n) late;
+        ignore (D.run ~until:(Netsim.Vtime.of_s until_s) d));
+    let wedged = !wedge <> None in
+    let rs = D.resource_stats d in
+    let quarantined l = S.level_rank l >= S.level_rank S.Quarantined in
+    let honest_quarantined =
+      match D.sentinel d with
+      | None -> false
+      | Some sn -> List.exists (fun (n, _) -> quarantined (S.level sn n)) honest
+    in
+    let joins_ok =
+      List.length
+        (List.filter
+           (fun (n, _) -> Enclaves.Member.is_connected (D.member d n))
+           honest)
+    in
+    let reconverged =
+      (* Convergence over the honest members only: the insider is
+         expected to end quarantined and out of the view. *)
+      (not wedged)
+      &&
+      let lview = L.members (D.leader d) in
+      match L.group_key (D.leader d) with
+      | None -> false
+      | Some gk ->
+          List.for_all
+            (fun (n, _) ->
+              let m = D.member d n in
+              Enclaves.Member.is_connected m
+              && (match Enclaves.Member.group_key m with
+                 | Some gk' -> gk'.Enclaves.Types.epoch = gk.Enclaves.Types.epoch
+                 | None -> false)
+              && Enclaves.Member.group_view m = lview)
+            honest
+    in
+    let healthy_end =
+      (not wedged) && D.leader_mode d = L.Healthy && D.durability_armed d
+    in
+    let markers_durable, bytes_bounded =
+      match D.delivery d with
+      | None -> (true, true)
+      | Some dl ->
+          ( not (Enclaves.Delivery.dirty dl),
+            Enclaves.Delivery.total_bytes dl <= global_budget )
+    in
+    let survived =
+      (not wedged) && reconverged
+      && joins_ok = List.length honest
+      && (not honest_quarantined)
+      && healthy_end && markers_durable && bytes_bounded
+    in
+    (* The run only counts if the nemesis actually bit: the ladder was
+       entered and re-armed, records were shed, and the disk refused
+       writes. (Trivially true for the baseline arm, which wedges
+       before re-arming.) *)
+    let engaged =
+      no_degrade
+      || rs.Netsim.Stats.degraded_entries > 0
+         && D.rearms d > 0
+         && rs.Netsim.Stats.records_shed > 0
+         && rs.Netsim.Stats.enospc_hits > 0
+    in
+    let ok =
+      if no_degrade then (not expect_wedge) || wedged
+      else survived && engaged
+    in
+    if not json then begin
+      Printf.printf
+        "seed=%-3Ld %-8s joins=%d/%d reconverged=%b healthy=%b shed=%d \
+         enospc=%d degraded=%d rearms=%d%s\n"
+        seed
+        (if wedged then "WEDGED"
+         else if survived then "SURVIVED"
+         else "DAMAGED")
+        joins_ok (List.length honest) reconverged healthy_end
+        rs.Netsim.Stats.records_shed rs.Netsim.Stats.enospc_hits
+        rs.Netsim.Stats.degraded_entries (D.rearms d)
+        (match !wedge with
+        | Some e -> "  [" ^ Printexc.to_string e ^ "]"
+        | None -> "");
+      if verbose then begin
+        Format.printf "         resource: %a@." Netsim.Stats.pp_named
+          (D.resource_counters d);
+        Format.printf "         storage:  %a@." Netsim.Stats.pp_named
+          (D.storage_counters d);
+        Format.printf "         sentinel: %a@." Netsim.Stats.pp_named
+          (D.sentinel_counters d)
+      end
+    end;
+    let row =
+      Json.Obj
+        [
+          ("seed", Json.Int (Int64.to_int seed));
+          ("wedged", Json.Bool wedged);
+          ("survived", Json.Bool survived);
+          ("reconverged", Json.Bool reconverged);
+          ("joins_ok", Json.Int joins_ok);
+          ("joins_total", Json.Int (List.length honest));
+          ("honest_quarantined", Json.Bool honest_quarantined);
+          ("healthy_end", Json.Bool healthy_end);
+          ("shed_markers_durable", Json.Bool markers_durable);
+          ("bytes_bounded", Json.Bool bytes_bounded);
+          ("resource", Json.counters (D.resource_counters d));
+          ("storage", Json.counters (D.storage_counters d));
+        ]
+    in
+    ((ok, wedged, survived), row)
+  in
+  if not json then
+    Printf.printf
+      "nemesis: %d members + insider, %d seeds, ladder=%s, bound=%ds\n"
+      members seeds
+      (if no_degrade then "OFF (baseline)" else "on")
+      until_s;
+  let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
+  let results = List.map one seed_list in
+  let count p = List.length (List.filter p results) in
+  let ok_n = count (fun ((o, _, _), _) -> o) in
+  let wedged_n = count (fun ((_, w, _), _) -> w) in
+  let survived_n = count (fun ((_, _, s), _) -> s) in
+  let all_ok = ok_n = seeds in
+  (* The degrade arm's per-seed outcomes feed the bench trajectory so
+     a regression (a seed that stops surviving, or pressure that stops
+     engaging) shows up in bench-diff's history. *)
+  if not no_degrade then
+    merge_bench_group ~path:out ~group:"nemesis"
+      (List.map
+         (fun (((_, _, s), _), seed) ->
+           Printf.sprintf
+             "{ \"group\": \"nemesis\", \"name\": \"nemesis/seed-%Ld\", \
+              \"ns_per_op\": null, \"survived\": %b }"
+             seed s)
+         (List.combine results seed_list));
+  if json then
+    Json.print
+      (Json.Obj
+         [
+           ("command", Json.Str "nemesis");
+           ("members", Json.Int members);
+           ("degrade", Json.Bool (not no_degrade));
+           ("runs", Json.Arr (List.map snd results));
+           ( "summary",
+             Json.Obj
+               [
+                 ("seeds", Json.Int seeds);
+                 ("survived", Json.Int survived_n);
+                 ("wedged", Json.Int wedged_n);
+                 ("ok", Json.Bool all_ok);
+               ] );
+         ])
+  else if no_degrade then
+    Printf.printf
+      "\n%d/%d seeds wedged without the ladder%s\n" wedged_n seeds
+      (if expect_wedge then
+         if all_ok then "  [expected: baseline wedges]"
+         else "  [FAIL: expected every seed to wedge]"
+       else "  [baseline: informational]")
+  else
+    Printf.printf "\n%d/%d seeds survived the omni-fault schedule\n" survived_n
+      seeds;
+  if all_ok then 0 else 1
+
+let nemesis_seeds_arg =
+  Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"Sweep seeds 1..N")
+
+let nemesis_until_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "until" ] ~doc:"Virtual-time bound in seconds per run")
+
+let no_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:
+          "Disable the degraded-mode ladder (baseline arm): the first \
+           journal write the exhausted disk refuses propagates out of the \
+           leader instead of entering the ladder, wedging the run")
+
+let expect_wedge_arg =
+  Arg.(
+    value & flag
+    & info [ "expect-wedge" ]
+        ~doc:
+          "With --no-degrade: fail unless every seed wedges — keeps the \
+           baseline demonstrably load-bearing in CI")
+
+let nemesis_out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_results.json"
+    & info [ "out" ]
+        ~doc:
+          "Bench trajectory file to merge the nemesis group into (timing \
+           rows are preserved)")
+
+let nemesis_cmd =
+  let doc =
+    "run the omni-fault soak — lossy links, torn writes, fsync spikes, a \
+     write stall, an ENOSPC window, an insider pre-auth flood, a member \
+     outage and a leader crash in one seeded schedule — and check the \
+     generic end state (view reconverged, all legitimate joins landed, no \
+     honest quarantine, durability re-armed, shed records left durable Drop \
+     markers, queue bytes bounded)"
+  in
+  Cmd.v (Cmd.info "nemesis" ~doc)
+    Term.(
+      const run_nemesis $ chaos_members_arg $ nemesis_seeds_arg
+      $ nemesis_until_arg $ no_degrade_arg $ expect_wedge_arg
+      $ nemesis_out_arg $ json_arg $ verbose_arg $ sentinel_config_term)
+
 (* --- keys --- *)
 
 let run_keys user password =
@@ -1955,6 +2314,6 @@ let () =
        (Cmd.group info
           [
             session_cmd; attack_cmd; verify_cmd; chaos_cmd; churn_cmd;
-            failover_cmd; intrude_cmd; calibrate_cmd; crash_matrix_cmd;
-            keys_cmd;
+            failover_cmd; intrude_cmd; calibrate_cmd; nemesis_cmd;
+            crash_matrix_cmd; keys_cmd;
           ]))

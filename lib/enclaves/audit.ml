@@ -22,6 +22,7 @@ type anomaly =
       on_path : int;
     }
   | Quarantine of { suspect : Types.agent }
+  | Degraded_mode of { mode : string }
 
 let pp_anomaly fmt = function
   | Replayed_admin { recipient; occurrences } ->
@@ -52,6 +53,9 @@ let pp_anomaly fmt = function
   | Quarantine { suspect } ->
       Format.fprintf fmt "the leader quarantined %s (containment notice)"
         suspect
+  | Degraded_mode { mode } ->
+      Format.fprintf fmt
+        "the leader announced degraded mode %S (storage pressure)" mode
 
 type report = {
   handshakes_completed : int;
@@ -72,6 +76,14 @@ let quarantine_prefix = "quarantined:"
 let quarantined_of note =
   let n = String.length quarantine_prefix in
   if String.length note > n && String.sub note 0 n = quarantine_prefix then
+    Some (String.sub note n (String.length note - n))
+  else None
+
+let degraded_prefix = "degraded:"
+
+let degraded_of note =
+  let n = String.length degraded_prefix in
+  if String.length note > n && String.sub note 0 n = degraded_prefix then
     Some (String.sub note n (String.length note - n))
   else None
 
@@ -96,6 +108,10 @@ let run ?(flood_threshold = 10) ~directory ~leader trace =
      sealed session traffic, not handshakes. *)
   let paths_seen : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
   let quarantined : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* Degraded-mode announcements already surfaced (one anomaly per
+     announced rung, however many members heard the broadcast; the
+     "healthy" all-clear is operational news, not an anomaly). *)
+  let degraded_seen : (string, unit) Hashtbl.t = Hashtbl.create 4 in
   let member_of (frame : F.t) ~field =
     Hashtbl.find_opt sessions (field frame)
   in
@@ -216,7 +232,16 @@ let run ?(flood_threshold = 10) ~directory ~leader trace =
                             when not (Hashtbl.mem quarantined suspect) ->
                               Hashtbl.replace quarantined suspect ();
                               flag (Quarantine { suspect })
-                          | Some _ | None -> ())
+                          | Some _ -> ()
+                          | None -> (
+                              match degraded_of note with
+                              | Some mode
+                                when mode <> "healthy"
+                                     && not (Hashtbl.mem degraded_seen mode)
+                                ->
+                                  Hashtbl.replace degraded_seen mode ();
+                                  flag (Degraded_mode { mode })
+                              | Some _ | None -> ()))
                       | Ok _ | Error _ -> ())
                 | Error _ ->
                     flag

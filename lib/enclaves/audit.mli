@@ -64,6 +64,12 @@ type anomaly =
       (** The leader broadcast a ["quarantined:<suspect>"] containment
           notice — the online sentinel expelled a suspected insider.
           Reported once per suspect, however many members heard it. *)
+  | Degraded_mode of { mode : string }
+      (** The leader broadcast a ["degraded:<mode>"] notice — storage
+          pressure pushed it down the degraded-mode ladder
+          (durability-degraded, memory-only or shedding). Reported
+          once per announced rung; the ["healthy"] all-clear after a
+          re-arm is not an anomaly. *)
 
 val pp_anomaly : Format.formatter -> anomaly -> unit
 

@@ -401,3 +401,145 @@ let run_queue ?(pushes = 18) ?(compact_every = 6) ?(seed = 12L) ?(torn = true)
     checkpoints = List.length cps;
     violations = List.rev !violations;
   }
+
+(* The queue matrix composed with the resource-fault layer: the same
+   crash-point enumeration, but the workload crosses an ENOSPC window
+   mid-stream. The fault wrapper sits between the delivery layer and
+   the recorder, so refused writes never reach the op log — the
+   enumerated images are exactly the states the DISK could be left in,
+   including the stale-but-valid image the disarmed mirror preserves
+   through the degraded window and the re-arm snapshot that replaces
+   it. *)
+let run_degraded ?(pushes = 20) ?(compact_every = 64) ?(seed = 13L)
+    ?(torn = true) () =
+  let rng = Prng.Splitmix.create seed in
+  let mem = Store.Mem.create () in
+  let rec_ = CP.recorder mem in
+  let fault = Store.Fault.create ~rng:(Prng.Splitmix.split rng) (CP.handle rec_) in
+  let disk = Store.Fault.handle fault in
+  let member = "m1" in
+  let file = Delivery.file_of_member member in
+  let d =
+    Delivery.create
+      ~budgets:{ Delivery.per_member_bytes = Some 220; global_bytes = None }
+      ~compact_every ~disk ()
+  in
+  let gk i = Wire.Admin.New_group_key { key = key_of rng; epoch = i } in
+  (* Checkpoints only where the mirror is armed and clean: inside the
+     degraded window the durable image lags memory by design, so
+     durability is only promised at armed boundaries. *)
+  let checkpoints = ref [] in
+  let mark () =
+    if not (Delivery.dirty d) then
+      checkpoints :=
+        ( List.length (CP.ops rec_),
+          List.assoc_opt file (Delivery.files d) )
+        :: !checkpoints
+  in
+  mark ();
+  let squeeze_at = pushes / 3 and release_at = 2 * pushes / 3 in
+  for i = 1 to pushes do
+    if i = squeeze_at then
+      Store.Fault.set_space_budget fault
+        (Some (Store.Fault.bytes_used fault + 30));
+    if i = release_at then begin
+      Store.Fault.set_space_budget fault None;
+      ignore (Delivery.flush d)
+    end;
+    Delivery.enqueue d ~member ~epoch:(i / 4) (gk (i / 4));
+    mark ()
+  done;
+  Store.Fault.set_space_budget fault None;
+  let flushed = Delivery.flush d in
+  mark ();
+  let ops = CP.ops rec_ in
+  let images = CP.enumerate ~torn ops in
+  let violations = ref [] in
+  let flag image invariant detail =
+    violations := { image; invariant; detail } :: !violations
+  in
+  if not flushed then
+    flag "final" "rearm" "flush failed with the budget released";
+  if (Delivery.counters d).Delivery.records_shed = 0 then
+    flag "final" "workload" "the ENOSPC window shed nothing — matrix is vacuous";
+  let clean = ref 0 and damaged = ref 0 in
+  let check_image (img : CP.image) =
+    let bytes = Option.value ~default:"" (List.assoc_opt file img.CP.files) in
+    match Store.Queue.replay bytes with
+    | exception e ->
+        flag img.CP.label "replay-total"
+          (Printf.sprintf "queue replay raised %s" (Printexc.to_string e))
+    | records, status -> (
+        (match status with
+        | Store.Queue.Clean -> incr clean
+        | Store.Queue.Damaged _ -> incr damaged);
+        let state = Store.Queue.state_of_records records in
+        let rec walk last = function
+          | [] -> ()
+          | (e : Store.Queue.entry) :: rest ->
+              if e.Store.Queue.seq <= last then
+                flag img.CP.label "no-duplicate"
+                  (Printf.sprintf "pending seq %d repeats or regresses after %d"
+                     e.Store.Queue.seq last);
+              if e.Store.Queue.seq < state.Store.Queue.floor then
+                flag img.CP.label "no-duplicate"
+                  (Printf.sprintf "pending seq %d below ack floor %d"
+                     e.Store.Queue.seq state.Store.Queue.floor);
+              walk e.Store.Queue.seq rest
+        in
+        walk (-1) state.Store.Queue.pending;
+        match Store.Queue.recover bytes with
+        | exception e ->
+            flag img.CP.label "recover-total"
+              (Printf.sprintf "queue recover raised %s" (Printexc.to_string e))
+        | q', state', _ ->
+            if Store.Queue.state q' <> state' then
+              flag img.CP.label "recover-total"
+                "recovered queue state differs from replayed fold")
+  in
+  List.iter check_image images;
+  (* Durability at armed checkpoints: the durable image replays Clean
+     to exactly the acknowledged image. *)
+  let cps = List.rev !checkpoints in
+  List.iter
+    (fun (boundary, live) ->
+      let label =
+        Printf.sprintf "degraded checkpoint at boundary %d" boundary
+      in
+      let durable =
+        Option.value ~default:""
+          (List.assoc_opt file (CP.durable_at ops boundary))
+      in
+      let live = Option.value ~default:"" live in
+      if durable <> live then
+        flag label "durability"
+          (Printf.sprintf "durable image (%d bytes) != armed live image (%d bytes)"
+             (String.length durable) (String.length live))
+      else if String.length durable > 0 then
+        match Store.Queue.replay durable with
+        | _, Store.Queue.Damaged _ ->
+            flag label "durability" "armed image replays damaged"
+        | _, Store.Queue.Clean -> ())
+    cps;
+  (* No shed-seq resurrection: the final durable image replays to
+     exactly the live post-flush state, whose pending set excludes
+     every shed record. *)
+  let final_durable =
+    Option.value ~default:""
+      (List.assoc_opt file (CP.durable_at ops (List.length ops)))
+  in
+  let final_live = Option.value ~default:"" (List.assoc_opt file (Delivery.files d)) in
+  let st_of b = Store.Queue.state_of_records (fst (Store.Queue.replay b)) in
+  if st_of final_durable <> st_of final_live then
+    flag "final" "no-resurrection"
+      "final durable image does not replay to the post-flush live state";
+  {
+    ops = List.length ops;
+    boundaries = List.length ops + 1;
+    images = List.length images;
+    unique_images = CP.dedup_count images;
+    clean = !clean;
+    damaged = !damaged;
+    checkpoints = List.length cps;
+    violations = List.rev !violations;
+  }

@@ -74,3 +74,23 @@ val run_queue :
     exactly the acknowledged state) — plus ack-floor monotonicity
     across boundaries in time order. Defaults: 18 pushes, compaction
     every 6 records, seed 12, torn variants on. *)
+
+val run_degraded :
+  ?pushes:int ->
+  ?compact_every:int ->
+  ?seed:int64 ->
+  ?torn:bool ->
+  unit ->
+  report
+(** The queue matrix composed with the resource-fault layer: the
+    workload crosses an ENOSPC window mid-stream, so the byte budgets
+    shed records, the refused mirror is disarmed, and the re-arm
+    {!Delivery.flush} republishes the image once space returns — and
+    {e every} crash image of that episode is enumerated and replayed.
+    Beyond the {!run_queue} invariants (totality, no
+    duplicate-after-replay, floor monotonicity, durability at every
+    armed checkpoint), asserts {b no shed-seq resurrection}: once the
+    re-arm flush has returned, the durable image replays [Clean] to
+    exactly the live state, so no record shed during the episode can
+    reappear from any later crash. Defaults: 20 pushes, compaction
+    every 64 records, seed 13, torn variants on. *)

@@ -41,22 +41,56 @@ type counters = {
       (** records delivered flagged stale (policy [Deliver_stale]) *)
   mutable queue_bytes_hwm : int;
       (** high-water mark of the summed queue image sizes *)
+  mutable records_shed : int;
+      (** pending records dropped oldest-first by the byte budgets,
+          each covered by a durable [Drop] marker (deferred to the
+          re-arm {!flush} if the disk refused it) *)
 }
+
+type budgets = { per_member_bytes : int option; global_bytes : int option }
+(** Hard byte bounds on queue images: [per_member_bytes] caps each
+    member's image, [global_bytes] the sum over all members. [None]
+    disables a bound. When a bound is exceeded, pending records are
+    shed oldest-first (per queue by delivery seq; globally by queued
+    epoch, member name breaking ties) with durable [Drop] markers
+    until the images fit — replacing the old unbounded
+    high-water-mark-only tracking. *)
+
+val no_budgets : budgets
+(** Both bounds disabled. *)
 
 type t
 
 val create :
-  ?policy:policy -> ?compact_every:int -> ?disk:Store.Backend.t -> unit -> t
+  ?policy:policy ->
+  ?budgets:budgets ->
+  ?compact_every:int ->
+  ?disk:Store.Backend.t ->
+  unit ->
+  t
 (** With [disk], each member's queue writes through to the backend as
     file ["queue-<member>"].
-    @raise Invalid_argument if [policy.width < 0]. *)
+    @raise Invalid_argument if [policy.width < 0] or a budget is
+    negative. *)
 
 val policy : t -> policy
+val budgets : t -> budgets
 val counters : t -> counters
 
 val enqueue : t -> member:Types.agent -> epoch:int -> Wire.Admin.t -> unit
 (** Durably queue one payload for an offline member, tagged with the
-    group epoch it was addressed under. *)
+    group epoch it was addressed under, then enforce the byte budgets
+    (shedding oldest-first if the push overflowed them). A refused
+    disk mirror is absorbed — memory stays authoritative and the
+    member is marked {!dirty} for the re-arm {!flush}. *)
+
+val enforce_budgets : t -> int
+(** Shed until every byte budget holds again; returns how many records
+    were shed. Called implicitly by {!enqueue}; exposed for harnesses
+    that tighten budgets mid-run. *)
+
+val total_bytes : t -> int
+(** Summed size of all queue images — what the global budget bounds. *)
 
 val drain : t -> member:Types.agent -> current_epoch:int -> Wire.Admin.t list
 (** The member's pending records in delivery order, each wrapped as
@@ -97,6 +131,7 @@ val restore : t -> file:string -> string -> unit
 
 val of_images :
   ?policy:policy ->
+  ?budgets:budgets ->
   ?compact_every:int ->
   ?disk:Store.Backend.t ->
   (string * string) list ->
@@ -107,3 +142,22 @@ val of_images :
 val set_ship : t -> (file:string -> string -> unit) option -> unit
 (** Replication hook: called with a queue's file name and full image
     after every durable mutation of that queue. *)
+
+val set_durable : t -> bool -> unit
+(** The leader ladder's memory-only switch, applied to every queue
+    (present and future). Disarming marks every member dirty so the
+    re-arm {!flush} republishes all images. *)
+
+val durable : t -> bool
+
+val dirty : t -> bool
+(** Whether any member's durable image is behind its in-memory state
+    (a refused mirror, or mutations made while durability was off). *)
+
+val dirty_members : t -> Types.agent list
+
+val flush : t -> bool
+(** Republish every behind queue as a durable snapshot (carrying the
+    effect of any deferred [Drop] markers). Returns [true] when
+    everything is durable again; [false] if the disk is still
+    refusing writes or durability is off. *)

@@ -136,6 +136,9 @@ module Improved = struct
     mutable vault : Store.Vault.t option;
         (* durable epoch vault, on the same backend as the journal *)
     delivery_policy : Delivery.policy option;
+    delivery_budgets : Delivery.budgets option;
+        (* Byte bounds handed to every delivery incarnation; [None]
+           keeps the queues unbounded (the pre-budget behaviour). *)
     mutable delivery : Delivery.t option;  (* replaced on a leader restart *)
     mutable queue_crash_images : (string * string) list option;
         (* Durable queue-file images captured at the last crash — like
@@ -158,6 +161,12 @@ module Improved = struct
        those counters die with the crashed instance. *)
     mutable acc_recoveries : int;
     mutable acc_resyncs : int;
+    (* Degraded-ladder activity banked from dead leader incarnations
+       (the ladder state itself dies with the instance: a restarted
+       leader re-probes storage and re-degrades if pressure holds). *)
+    mutable acc_degraded : int;
+    mutable acc_rearms : int;
+    mutable acc_shed : int;
     jrng : Prng.Splitmix.t;  (* jitter; split off the root stream *)
     preauth : preauth_config option;
     sentinel : Sentinel.t option;
@@ -249,12 +258,28 @@ module Improved = struct
         | Sentinel.Throttled | Sentinel.Capped | Sentinel.Denied_quarantined ->
             false)
 
+  (* Storage pressure tightens the unauthenticated door. While the
+     leader sits below Healthy on the degraded-mode ladder, claimants
+     absent from the directory are refused outright — an unknown peer
+     cannot become a member anyway, and every queued handshake costs
+     work the degraded leader should spend recovering — and the
+     pre-auth queue runs at a quarter of its configured bound, so a
+     flood pays in tail drops sooner. Directory members still join:
+     their retransmission watchdog covers any tail drop. *)
+  let effective_capacity t cfg =
+    if Leader.mode t.leader = Leader.Healthy then cfg.capacity
+    else max 1 (cfg.capacity / 4)
+
   let gate_preauth t ?via bytes frame =
-    if admit_preauth t ?via frame then
+    if
+      Leader.mode t.leader <> Leader.Healthy
+      && not (List.mem_assoc frame.F.sender t.directory)
+    then t.preauth_dropped <- t.preauth_dropped + 1
+    else if admit_preauth t ?via frame then
       match t.preauth with
       | None -> deliver_to_leader t ?via bytes
       | Some cfg ->
-          if Queue.length t.preauth_q >= cfg.capacity then
+          if Queue.length t.preauth_q >= effective_capacity t cfg then
             t.preauth_dropped <- t.preauth_dropped + 1
           else begin
             Queue.push (bytes, via) t.preauth_q;
@@ -380,7 +405,17 @@ module Improved = struct
     (* Half-open GC just scored [Half_open] evidence; act on any
        escalation now rather than waiting for the suspect's next
        frame. *)
-    send_frames t.net ~src:lname (Leader.containment_sweep t.leader)
+    send_frames t.net ~src:lname (Leader.containment_sweep t.leader);
+    (* Re-arm probe: while the leader sits below Healthy on the
+       degraded-mode ladder, each scan tick retries the all-or-nothing
+       re-arm — it succeeds exactly when the storage pressure has
+       lifted, and fails without side effects while it has not. The
+       sweep then flushes any pending mode notice (a rung entered
+       outside [Leader.receive], or the "healthy" all-clear the
+       re-arm just queued) to the membership. *)
+    if Leader.mode t.leader <> Leader.Healthy then
+      ignore (Leader.try_rearm t.leader);
+    send_frames t.net ~src:lname (Leader.mode_sweep t.leader)
     end
 
   let member t who =
@@ -557,7 +592,8 @@ module Improved = struct
     }
 
   let create ?(seed = 42L) ?latency_us ?policy ?retry ?recovery ?storage_faults
-      ?delivery:delivery_policy ?preauth ?intrusion ~leader ~directory () =
+      ?delivery:delivery_policy ?delivery_budgets ?preauth ?intrusion ~leader
+      ~directory () =
     let sim = Netsim.Sim.create ~seed () in
     let net = Netsim.Network.create ~sim ?latency_us () in
     let rng = Netsim.Sim.rng sim in
@@ -600,7 +636,8 @@ module Improved = struct
     in
     let delivery =
       Option.map
-        (fun policy -> Delivery.create ~policy ?disk:backend ())
+        (fun policy ->
+          Delivery.create ~policy ?budgets:delivery_budgets ?disk:backend ())
         delivery_policy
     in
     let l =
@@ -623,6 +660,7 @@ module Improved = struct
         journal;
         vault;
         delivery_policy;
+        delivery_budgets;
         delivery;
         queue_crash_images = None;
         acc_delivery = Netsim.Stats.empty_delivery;
@@ -635,6 +673,9 @@ module Improved = struct
         leader_down = false;
         acc_recoveries = 0;
         acc_resyncs = 0;
+        acc_degraded = 0;
+        acc_rearms = 0;
+        acc_shed = 0;
         jrng = Prng.Splitmix.split rng;
         preauth;
         sentinel;
@@ -864,6 +905,11 @@ module Improved = struct
   let restart_leader ?(warm = true) ?journal_bytes t =
     let lname = Leader.self t.leader in
     let rng = Netsim.Sim.rng t.sim in
+    (* Ladder counters die with the replaced automaton; bank them.
+       (Banked here rather than in [crash_leader] so a crash-free
+       restart keeps them too.) *)
+    t.acc_degraded <- t.acc_degraded + Leader.degraded_entries t.leader;
+    t.acc_rearms <- t.acc_rearms + Leader.rearms t.leader;
     (* Explicit bytes (tests feeding tampered journals) win; then the
        durable crash image if one was captured; the live buffer is the
        last resort (restart without a crash). *)
@@ -898,7 +944,8 @@ module Improved = struct
     | Some policy ->
         (match t.delivery with
         | Some d ->
-            t.acc_delivery <- add_delivery t.acc_delivery (delivery_snapshot d)
+            t.acc_delivery <- add_delivery t.acc_delivery (delivery_snapshot d);
+            t.acc_shed <- t.acc_shed + (Delivery.counters d).Delivery.records_shed
         | None -> ());
         let images =
           match t.queue_crash_images with
@@ -906,7 +953,10 @@ module Improved = struct
           | None -> (
               match t.delivery with Some d -> Delivery.files d | None -> [])
         in
-        t.delivery <- Some (Delivery.of_images ~policy ?disk:t.backend images)
+        t.delivery <-
+          Some
+            (Delivery.of_images ~policy ?budgets:t.delivery_budgets
+               ?disk:t.backend images)
     | None -> ());
     t.queue_crash_images <- None;
     let delivery = t.delivery in
@@ -1084,14 +1134,7 @@ module Improved = struct
     let faults =
       match t.fault with
       | Some f -> Store.Fault.counters f
-      | None ->
-          {
-            Store.Fault.torn_writes = 0;
-            short_writes = 0;
-            dropped_fsyncs = 0;
-            eio_injected = 0;
-            crashes = 0;
-          }
+      | None -> Store.Fault.empty_counters ()
     in
     let live_retries =
       match t.journal with Some j -> Journal.eio_retries j | None -> 0
@@ -1106,6 +1149,51 @@ module Improved = struct
     }
 
   let storage_counters t = Netsim.Stats.storage_named (storage_stats t)
+
+  (* --- resource pressure and the degraded-mode ladder --- *)
+
+  let fault t = t.fault
+  let leader_mode t = Leader.mode t.leader
+  let durability_armed t = Leader.durability_armed t.leader
+
+  let degraded_entries t = t.acc_degraded + Leader.degraded_entries t.leader
+  let rearms t = t.acc_rearms + Leader.rearms t.leader
+
+  let set_space_budget t b =
+    match t.fault with
+    | Some f -> Store.Fault.set_space_budget f b
+    | None -> ()
+
+  let heal_stall t =
+    match t.fault with Some f -> Store.Fault.heal_stall f | None -> ()
+
+  let trigger_stall t =
+    match t.fault with Some f -> Store.Fault.trigger_stall f | None -> ()
+
+  let disk_bytes_used t =
+    match t.fault with Some f -> Store.Fault.bytes_used f | None -> 0
+
+  let resource_stats ?(repl_snapshots = 0) t =
+    let faults =
+      match t.fault with
+      | Some f -> Store.Fault.counters f
+      | None -> Store.Fault.empty_counters ()
+    in
+    let shed =
+      match t.delivery with
+      | Some d -> (Delivery.counters d).Delivery.records_shed
+      | None -> 0
+    in
+    {
+      Netsim.Stats.degraded_entries = degraded_entries t;
+      records_shed = t.acc_shed + shed;
+      enospc_hits = faults.Store.Fault.enospc_hits;
+      fsync_stall_ms_max = faults.Store.Fault.fsync_stall_ms_max;
+      repl_lag_snapshots = repl_snapshots;
+    }
+
+  let resource_counters ?repl_snapshots t =
+    Netsim.Stats.resource_named (resource_stats ?repl_snapshots t)
 
   (* --- intrusion containment --- *)
 

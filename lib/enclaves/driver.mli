@@ -119,6 +119,7 @@ module Improved : sig
     ?recovery:recovery_config ->
     ?storage_faults:Store.Fault.config ->
     ?delivery:Delivery.policy ->
+    ?delivery_budgets:Delivery.budgets ->
     ?preauth:preauth_config ->
     ?intrusion:Sentinel.config ->
     leader:Types.agent ->
@@ -163,7 +164,11 @@ module Improved : sig
       durable image and {!restart_leader} rebuilds the layer from
       those images, so acknowledged deliveries survive the crash and
       unacknowledged ones re-drain (the member's delivery floor
-      absorbs the duplicates).
+      absorbs the duplicates). [delivery_budgets] additionally bounds
+      the queues' memory: once a per-member or global byte budget is
+      crossed, the layer sheds oldest-first with durable [Drop]
+      markers, and the leader notes the pressure on its degraded-mode
+      ladder.
 
       With [preauth] set, [AuthInitReq] frames wait in a bounded FIFO
       and are served in jittered batches instead of reaching the
@@ -207,6 +212,58 @@ module Improved : sig
 
   val storage_counters : t -> (string * int) list
   (** {!storage_stats} as labelled counters for
+      {!Netsim.Stats.pp_named}. *)
+
+  (** {2 Resource pressure and the degraded-mode ladder} *)
+
+  val fault : t -> Store.Fault.t option
+  (** The seeded fault layer under the leader's storage, when
+      [storage_faults] was given — the harness's handle for turning
+      disk pressure on and off mid-run ({!Store.Fault.set_space_budget},
+      {!Store.Fault.heal_stall}). One instance outlives every leader
+      incarnation. *)
+
+  val leader_mode : t -> Leader.mode
+  (** The current leader incarnation's degraded-mode rung. A restarted
+      leader starts back at [Healthy] and re-degrades if storage
+      pressure persists. *)
+
+  val durability_armed : t -> bool
+  (** {!Leader.durability_armed} of the current incarnation. *)
+
+  val degraded_entries : t -> int
+  (** Ladder rung entries, summed across leader incarnations. *)
+
+  val rearms : t -> int
+  (** Successful re-arms back to [Healthy], summed across leader
+      incarnations. *)
+
+  val set_space_budget : t -> int option -> unit
+  (** Adjust the simulated disk's byte budget mid-run (no-op without
+      [storage_faults]). [None] lifts the pressure; the leader's next
+      scan tick then re-arms durability. *)
+
+  val heal_stall : t -> unit
+  (** Clear a persistent write stall (no-op without
+      [storage_faults]). *)
+
+  val trigger_stall : t -> unit
+  (** Trip the persistent write stall now (no-op without
+      [storage_faults]). *)
+
+  val disk_bytes_used : t -> int
+  (** Bytes the fault layer currently accounts to the simulated disk
+      (0 without [storage_faults]). *)
+
+  val resource_stats : ?repl_snapshots:int -> t -> Netsim.Stats.resource
+  (** Resource-pressure counters summed across leader incarnations:
+      ladder entries, records shed under byte budgets, ENOSPC refusals
+      and the worst fsync stall from the fault layer. The driver does
+      not own a replication source, so [repl_snapshots] (default 0)
+      lets the harness fill in {!Replication.Source.lag_snapshots}. *)
+
+  val resource_counters : ?repl_snapshots:int -> t -> (string * int) list
+  (** {!resource_stats} as labelled counters for
       {!Netsim.Stats.pp_named}. *)
 
   val sessions_recovered : t -> int

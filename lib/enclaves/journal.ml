@@ -166,6 +166,11 @@ type t = {
   mutable next_seq : int;
   mutable since_snapshot : int;
   mutable observer : (event -> unit) option;
+  (* Degraded-mode switch: with durability off the in-memory log keeps
+     evolving but neither mirror shape touches the backend. Re-arming
+     is [set_durable true] followed by [compact], which republishes
+     the whole image atomically. *)
+  mutable durable : bool;
 }
 
 let header () =
@@ -200,24 +205,24 @@ let with_retry t f =
    tmp can never leak a garbage tail past the rename. *)
 let disk_publish t =
   match t.disk with
-  | None -> ()
-  | Some d ->
+  | Some d when t.durable ->
       let bytes = Buffer.contents t.buf in
       let tmp = t.file ^ ".tmp" in
       with_retry t (fun () -> Store.Backend.remove d ~file:tmp);
       with_retry t (fun () -> Store.Backend.pwrite d ~file:tmp ~off:0 bytes);
       with_retry t (fun () -> Store.Backend.fsync d ~file:tmp);
       with_retry t (fun () -> Store.Backend.rename d ~src:tmp ~dst:t.file)
+  | _ -> ()
 
 (* Incremental append: write the new record bytes at their offset and
    fsync. A crash between the two loses at most the record's tail,
    which replay's per-record checksum absorbs. *)
 let disk_append t ~off bytes =
   match t.disk with
-  | None -> ()
-  | Some d ->
+  | Some d when t.durable ->
       with_retry t (fun () -> Store.Backend.pwrite d ~file:t.file ~off bytes);
       with_retry t (fun () -> Store.Backend.fsync d ~file:t.file)
+  | _ -> ()
 
 let create ?(mac_key = default_mac_key) ?(compact_every = 256) ?disk
     ?(file = "journal") () =
@@ -240,12 +245,15 @@ let create ?(mac_key = default_mac_key) ?(compact_every = 256) ?disk
       next_seq = 0;
       since_snapshot = 0;
       observer = None;
+      durable = true;
     }
   in
   disk_publish t;
   t
 
 let set_observer t obs = t.observer <- obs
+let set_durable t b = t.durable <- b
+let durable t = t.durable
 let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let state t = t.st

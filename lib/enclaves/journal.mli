@@ -139,6 +139,15 @@ val set_observer : t -> (event -> unit) option -> unit
     describes bytes that are already durable locally. At most one
     observer; [None] unsubscribes. *)
 
+val set_durable : t -> bool -> unit
+(** Degraded-mode switch. With durability off, appends keep evolving
+    the in-memory log (and still fire the observer) but nothing
+    touches the backend — the disk image goes stale. Re-arm with
+    [set_durable t true] followed by {!compact}, which republishes the
+    whole image atomically. *)
+
+val durable : t -> bool
+
 val replay : ?mac_key:string -> string -> record list * status
 (** [replay bytes] decodes the longest valid prefix of [bytes]. Total:
     never raises, for arbitrary (truncated, bit-flipped, adversarial)

@@ -2,9 +2,28 @@ open Sym_crypto
 module F = Wire.Frame
 module P = Wire.Payload
 
-type policy = { rekey_on_join : bool; rekey_on_leave : bool }
+type policy = { rekey_on_join : bool; rekey_on_leave : bool; degrade : bool }
 
-let default_policy = { rekey_on_join = true; rekey_on_leave = true }
+let default_policy =
+  { rekey_on_join = true; rekey_on_leave = true; degrade = true }
+
+(* The degraded-mode ladder: one-way down within a pressure episode,
+   recovered to [Healthy] in one step by {!try_rearm} once the store
+   accepts writes again. The rungs order by severity; [Shedding] (the
+   byte budgets actively dropping queued records) is the lowest. *)
+type mode = Healthy | Durability_degraded | Memory_only | Shedding
+
+let mode_rank = function
+  | Healthy -> 0
+  | Durability_degraded -> 1
+  | Memory_only -> 2
+  | Shedding -> 3
+
+let mode_name = function
+  | Healthy -> "healthy"
+  | Durability_degraded -> "durability-degraded"
+  | Memory_only -> "memory-only"
+  | Shedding -> "shedding"
 
 type event =
   | Member_authenticated of Types.agent
@@ -104,6 +123,15 @@ type t = {
      attribution). Every rejection scored during the dispatch
      attributes its evidence to this path. *)
   mutable rx_via : Netsim.Trace.via option;
+  (* Degraded-mode ladder state: [mode] is the worst rung reached in
+     the current pressure episode, [mode_notice_due] queues the sealed
+     "degraded:<mode>" notice the next sweep broadcasts, [sheds_seen]
+     is the delivery shed counter already accounted for. *)
+  mutable mode : mode;
+  mutable degraded_entries : int;
+  mutable rearms : int;
+  mutable mode_notice_due : bool;
+  mutable sheds_seen : int;
 }
 
 let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
@@ -136,6 +164,11 @@ let create_with_keys ~self ~rng ~directory ?(policy = default_policy) ?journal
     sentinel;
     contained_done = Hashtbl.create 8;
     rx_via = None;
+    mode = Healthy;
+    degraded_entries = 0;
+    rearms = 0;
+    mode_notice_due = false;
+    sheds_seen = 0;
   }
 
 let create ~self ~rng ~directory ?policy ?journal ?vault ?delivery ?sentinel ()
@@ -148,8 +181,129 @@ let create ~self ~rng ~directory ?policy ?journal ?vault ?delivery ?sentinel ()
   create_with_keys ~self ~rng ~directory:keyed ?policy ?journal ?vault
     ?delivery ?sentinel ()
 
+(* --- the degraded-mode ladder --- *)
+
+let mode t = t.mode
+let degraded_entries t = t.degraded_entries
+let rearms t = t.rearms
+
+let durability_armed t =
+  (match t.journal with Some j -> Journal.durable j | None -> true)
+  && match t.delivery with Some d -> Delivery.durable d | None -> true
+
+let degrade t m =
+  if mode_rank m > mode_rank t.mode then begin
+    t.mode <- m;
+    t.degraded_entries <- t.degraded_entries + 1;
+    t.mode_notice_due <- true
+  end
+
+(* Stop attempting disk writes entirely: the store keeps serving from
+   memory. The journal is recompacted in memory immediately so the
+   replication observer re-images the backups past any half-shipped
+   append (a refused mirror raises before the [Appended] notify, so
+   replicas may have missed chunks). *)
+let enter_memory_only t =
+  degrade t Memory_only;
+  (match t.journal with
+  | Some j when Journal.durable j ->
+      Journal.set_durable j false;
+      Journal.compact j
+  | Some _ | None -> ());
+  match t.delivery with
+  | Some d when Delivery.durable d -> Delivery.set_durable d false
+  | Some _ | None -> ()
+
 let jot t record =
-  match t.journal with None -> () | Some j -> Journal.append j record
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      if not t.policy.degrade then Journal.append j record
+      else (
+        try Journal.append j record
+        with Store.Backend.No_space _ | Store.Backend.Stalled _ ->
+          (* Memory already holds the record — only the disk mirror was
+             refused. First pressure: compact, which both frees space
+             (the rewritten image drops everything below the snapshot)
+             and republishes the full image, healing the mirror. If
+             even the compaction is refused, give up on the disk for
+             this episode. *)
+          if mode_rank t.mode < mode_rank Durability_degraded then begin
+            degrade t Durability_degraded;
+            try Journal.compact j
+            with Store.Backend.No_space _ | Store.Backend.Stalled _ ->
+              enter_memory_only t
+          end
+          else enter_memory_only t)
+
+(* Delivery-side pressure, checked after any queue mutation: a shed
+   enters [Shedding]; a refused queue mirror degrades durability, with
+   one immediate flush attempt before conceding memory-only. *)
+let note_delivery_pressure t =
+  match t.delivery with
+  | None -> ()
+  | Some d ->
+      if not t.policy.degrade then ()
+      else begin
+        let shed = (Delivery.counters d).Delivery.records_shed in
+        if shed > t.sheds_seen then begin
+          t.sheds_seen <- shed;
+          degrade t Shedding
+        end;
+        if Delivery.dirty d && Delivery.durable d then begin
+          degrade t Durability_degraded;
+          if not (Delivery.flush d) then enter_memory_only t
+        end
+      end
+
+(* Recover-up: one probe, all-or-nothing. Re-arm the mirrors, attempt
+   a full republish of journal + every behind queue + the vault slot;
+   any refusal disarms again and keeps the mode. On success the ladder
+   returns to [Healthy] in a single step and the all-clear notice is
+   queued. *)
+let try_rearm t =
+  if t.mode = Healthy then true
+  else begin
+    let journal_ok =
+      match t.journal with
+      | None -> true
+      | Some j -> (
+          Journal.set_durable j true;
+          try
+            Journal.compact j;
+            true
+          with Store.Backend.No_space _ | Store.Backend.Stalled _ ->
+            Journal.set_durable j false;
+            false)
+    in
+    let delivery_ok () =
+      match t.delivery with
+      | None -> true
+      | Some d ->
+          Delivery.set_durable d true;
+          if Delivery.flush d then true
+          else begin
+            Delivery.set_durable d false;
+            false
+          end
+    in
+    let vault_ok () =
+      match (t.vault, t.group_key) with
+      | Some v, Some gk -> (
+          try
+            Store.Vault.put v gk.Types.epoch;
+            true
+          with Store.Backend.No_space _ | Store.Backend.Stalled _ -> false)
+      | _ -> true
+    in
+    let ok = journal_ok && delivery_ok () && vault_ok () in
+    if ok then begin
+      t.mode <- Healthy;
+      t.rearms <- t.rearms + 1;
+      t.mode_notice_due <- true
+    end;
+    ok
+  end
 
 let self t = t.self
 
@@ -237,7 +391,9 @@ let is_offline t who = Hashtbl.mem t.offline who
 let queue_for_offline t who x =
   match t.delivery with
   | None -> ()
-  | Some d -> Delivery.enqueue d ~member:who ~epoch:(current_epoch t) x
+  | Some d ->
+      Delivery.enqueue d ~member:who ~epoch:(current_epoch t) x;
+      note_delivery_pressure t
 
 (* Wrappers for everything pending in [who]'s durable queue, per the
    epoch-window policy, clearing the offline mark. The caller routes
@@ -248,7 +404,10 @@ let drain_offline t who =
   Hashtbl.remove t.offline who;
   match t.delivery with
   | None -> []
-  | Some d -> Delivery.drain d ~member:who ~current_epoch:(current_epoch t)
+  | Some d ->
+      let xs = Delivery.drain d ~member:who ~current_epoch:(current_epoch t) in
+      note_delivery_pressure t;
+      xs
 
 (* Put one admin payload on the wire for a member whose channel is
    idle: AdminMsg carrying (N_{2i+1} = na, fresh N_{2i+2}). The sealed
@@ -295,6 +454,15 @@ let fire_admin t who s x ~na ~ka =
   [ reply ]
 
 let enqueue_admin t who x =
+  (* An operator-marked-offline member gets store-and-forward even
+     while its session object is still live: the mark says the peer is
+     dark, so firing on the channel would only burn retransmissions.
+     {!mark_online} drains the queue back through the session. *)
+  if is_offline t who && t.delivery <> None then begin
+    queue_for_offline t who x;
+    []
+  end
+  else
   let s = session_of t who in
   match s.mstate with
   | S_connected { na; ka } -> fire_admin t who s x ~na ~ka
@@ -331,9 +499,16 @@ let fresh_group_key t =
   (* The vault persists the bare counter through a separate write path:
      losing the journal's tail (torn write, dropped fsync) can lose the
      Epoch_bump record, but not the vault slot — so a later cold
-     restart still beacons an epoch members accept. *)
+     restart still beacons an epoch members accept. A refused vault
+     write degrades rather than fails the rekey; [try_rearm] re-puts
+     the current epoch when space returns. *)
   (match t.vault with
-  | Some v -> Store.Vault.put v gk.Types.epoch
+  | Some v ->
+      if not t.policy.degrade then Store.Vault.put v gk.Types.epoch
+      else (
+        try Store.Vault.put v gk.Types.epoch
+        with Store.Backend.No_space _ | Store.Backend.Stalled _ ->
+          degrade t Durability_degraded)
   | None -> ());
   gk
 
@@ -496,6 +671,19 @@ let containment_sweep t =
           (Sentinel.peers sn)
       in
       contained @ challenges
+
+(* Announce a ladder transition: one sealed Notice per transition,
+   broadcast over the members' admin channels (and so re-sealed for
+   whoever is offline). "degraded:healthy" is the all-clear after a
+   successful re-arm. The flag is cleared before broadcasting — a
+   broadcast that itself sheds re-queues the notice for the next
+   sweep rather than looping here. *)
+let mode_sweep t =
+  if not t.mode_notice_due then []
+  else begin
+    t.mode_notice_due <- false;
+    broadcast_admin t (Wire.Admin.Notice ("degraded:" ^ mode_name t.mode))
+  end
 
 (* The partition healed (or the harness says so): stop journalling and
    start draining. If the member is in session the backlog rides its
@@ -1080,4 +1268,4 @@ let receive t ?via bytes =
      threshold: contain synchronously, so the reply to the frame that
      unmasked an insider already carries the quarantine notice and
      emergency rekey. *)
-  replies @ containment_sweep t
+  replies @ containment_sweep t @ mode_sweep t

@@ -32,10 +32,59 @@ type t
 type policy = {
   rekey_on_join : bool;  (** Fresh [K_g] whenever a member joins. *)
   rekey_on_leave : bool;  (** Fresh [K_g] whenever a member leaves. *)
+  degrade : bool;
+      (** Arm the degraded-mode ladder: storage pressure
+          ([No_space]/[Stalled] from the backend) triggers compaction,
+          then memory-only operation, instead of escaping as an
+          exception. Off is the crash-on-pressure baseline the nemesis
+          harness measures the ladder against. *)
 }
 
 val default_policy : policy
-(** Rekey on join and on leave — the conservative setting. *)
+(** Rekey on join and on leave, degraded-mode ladder armed — the
+    conservative setting. *)
+
+type mode = Healthy | Durability_degraded | Memory_only | Shedding
+(** The degraded-mode ladder, ordered by severity. One-way down inside
+    a pressure episode ({!mode} reports the worst rung reached);
+    {!try_rearm} recovers to [Healthy] in a single step once the
+    store accepts writes again.
+
+    - [Durability_degraded]: a disk mirror was refused; compaction
+      freed space (or is about to be retried) and writes are still
+      attempted.
+    - [Memory_only]: the disk refused even compaction; auth/rekey keep
+      being served entirely from memory and nothing touches the
+      backend until re-arm.
+    - [Shedding]: the delivery byte budgets are actively dropping
+      queued records oldest-first (with durable [Drop] markers). *)
+
+val mode : t -> mode
+val mode_name : mode -> string
+val mode_rank : mode -> int
+(** [Healthy] is 0; higher is worse. *)
+
+val degraded_entries : t -> int
+(** Ladder transitions taken downward, lifetime. *)
+
+val rearms : t -> int
+(** Successful recoveries to [Healthy], lifetime. *)
+
+val durability_armed : t -> bool
+(** Whether the journal and delivery mirrors are currently writing
+    through ([false] exactly in memory-only operation). *)
+
+val try_rearm : t -> bool
+(** Probe the store: re-arm the mirrors and republish journal, queues
+    and vault. Any refusal disarms again and returns [false]; success
+    returns to [Healthy] and queues the all-clear notice. [true] when
+    already healthy. The driver calls this from its periodic scan. *)
+
+val mode_sweep : t -> Wire.Frame.t list
+(** The pending "degraded:<mode>" sealed notice, if a ladder
+    transition happened since the last sweep. Called at the end of
+    {!receive}; exposed for harness-driven transitions (re-arm from a
+    scan). *)
 
 type event =
   | Member_authenticated of Types.agent

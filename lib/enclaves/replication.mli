@@ -69,6 +69,9 @@ type counters = {
   mutable demotions : int;
   mutable warm_promotions : int;
   mutable cold_promotions : int;
+  mutable lag_snapshots : int;
+      (** Full-image snapshots forced by the source's per-backup lag
+          budget (not by journal compaction or term openings). *)
 }
 (** Shared mutable counters: the failover harness passes one instance
     to the source and every replica (and bumps the promotion fields
@@ -93,6 +96,7 @@ module Source : sig
     journal:Journal.t ->
     ?on_superseded:(term:int -> primary:Types.agent -> unit) ->
     ?counters:counters ->
+    ?lag_budget:int ->
     unit ->
     t
   (** Attach a replication source to [journal]: subscribes to its
@@ -102,7 +106,16 @@ module Source : sig
       network). A promoted backup mints a strictly higher term, unique
       per promotion (see {!Failover}). [on_superseded] fires at most
       once, when authentic evidence of a strictly higher term arrives
-      — the harness's cue to demote this source. *)
+      — the harness's cue to demote this source.
+
+      [lag_budget] bounds the re-send op log under a lagging backup:
+      once some backup trails the frontier by more than [lag_budget]
+      records {e and} the op log has grown past it since the last
+      image, the source escalates to a fresh full-image snapshot
+      (emptying the op log and counting [lag_snapshots]) instead of
+      accumulating per-op state for the laggard. Without it the op
+      log between journal compactions grows with the partition
+      length. *)
 
   val detach : t -> unit
   (** Unsubscribe from the journal (crash or demotion). *)
@@ -162,6 +175,10 @@ module Source : sig
 
   val lag : t -> (Types.agent * int) list
   (** Per-backup lag in records: frontier minus acked. *)
+
+  val lag_snapshots : t -> int
+  (** Snapshot escalations forced by [lag_budget] so far (reads the
+      shared counter). *)
 
   val stats : t -> Netsim.Stats.replication
 end

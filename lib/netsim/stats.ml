@@ -287,6 +287,32 @@ let sentinel_named s =
     ("injections_blocked", s.injections_blocked);
   ]
 
+type resource = {
+  degraded_entries : int;
+  records_shed : int;
+  enospc_hits : int;
+  fsync_stall_ms_max : int;
+  repl_lag_snapshots : int;
+}
+
+let empty_resource =
+  {
+    degraded_entries = 0;
+    records_shed = 0;
+    enospc_hits = 0;
+    fsync_stall_ms_max = 0;
+    repl_lag_snapshots = 0;
+  }
+
+let resource_named r =
+  [
+    ("degraded_entries", r.degraded_entries);
+    ("records_shed", r.records_shed);
+    ("enospc_hits", r.enospc_hits);
+    ("fsync_stall_ms_max", r.fsync_stall_ms_max);
+    ("repl_lag_snapshots", r.repl_lag_snapshots);
+  ]
+
 let pp_named fmt counters =
   let pp_one fmt (name, v) = Format.fprintf fmt "%s=%d" name v in
   Format.pp_print_list

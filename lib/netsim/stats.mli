@@ -161,6 +161,29 @@ val empty_sentinel : sentinel
 val sentinel_named : sentinel -> (string * int) list
 (** Labelled counters for {!pp_named}, in declaration order. *)
 
+type resource = {
+  degraded_entries : int;
+      (** Times the leader stepped down a rung of the degraded-mode
+          ladder (any rung, counted per entry). *)
+  records_shed : int;
+      (** Delivery records dropped oldest-first by the byte budgets,
+          each covered by a durable [Drop] marker. *)
+  enospc_hits : int;  (** Writes refused by the seeded byte budget. *)
+  fsync_stall_ms_max : int;
+      (** Largest injected fsync-latency spike observed, ms. *)
+  repl_lag_snapshots : int;
+      (** Snapshot escalations forced by a backup exceeding its lag
+          budget, re-bounding the source's in-memory op buffer. *)
+}
+(** Resource-exhaustion counters — what the degraded-mode machinery
+    did during a run. Computed by the driver, rendered with
+    {!pp_named} via {!resource_named}. *)
+
+val empty_resource : resource
+
+val resource_named : resource -> (string * int) list
+(** Labelled counters for {!pp_named}, in declaration order. *)
+
 val pp_named : Format.formatter -> (string * int) list -> unit
 (** Render labelled counters as ["name=value name=value ..."] — used
     by the chaos CLI for retry and recovery counter summaries. *)

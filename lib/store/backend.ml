@@ -1,5 +1,7 @@
 exception Eio of string
 exception Crashed of string
+exception No_space of string
+exception Stalled of string
 
 module type S = sig
   type t

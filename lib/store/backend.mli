@@ -37,6 +37,21 @@ exception Crashed of string
     process is considered dead from this instant, and only the durable
     image survives. Never raised by real backends. *)
 
+exception No_space of string
+(** The device is full ([ENOSPC]/[EDQUOT]-style): the mutation did not
+    land and retrying without freeing space cannot help. Unlike
+    {!Eio} this is {e not} transient — callers must compact, shed, or
+    degrade to memory-only operation, and may retry only after space
+    has been reclaimed. Raised by {!File} on a genuinely full disk and
+    by {!Fault} when a seeded byte budget is exhausted. *)
+
+exception Stalled of string
+(** The device has stopped making progress (a persistent write stall —
+    a dying disk, a hung NFS mount). Every mutating call fails until
+    the condition clears; reads may still serve from cache. Callers
+    should treat this like {!No_space}: degrade rather than spin. Only
+    raised by fault-injecting backends. *)
+
 module type S = sig
   type t
 

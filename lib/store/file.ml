@@ -1,9 +1,21 @@
 type t = { dir : string }
 
 let wrap_unix f =
-  try f ()
-  with Unix.Unix_error (e, fn, arg) ->
-    raise (Backend.Eio (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+  try f () with
+  | Unix.Unix_error
+      ((Unix.ENOSPC | Unix.EUNKNOWNERR 122 (* EDQUOT on Linux *)) as e, fn, arg)
+    ->
+      (* A full disk (or quota) is not a transient fault: retrying
+         without freeing space cannot succeed, so it gets the typed
+         error the degraded-mode ladder keys on. EDQUOT is not in
+         [Unix.error]'s enumerated set, so it arrives as the raw
+         errno. *)
+      raise
+        (Backend.No_space
+           (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+  | Unix.Unix_error (e, fn, arg) ->
+      raise
+        (Backend.Eio (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
 
 let create ~dir =
   wrap_unix (fun () ->

@@ -147,6 +147,11 @@ type t = {
   mutable next_fseq : int;
   mutable since_snapshot : int;
   mutable observer : (event -> unit) option;
+  (* Degraded-mode switch: with durability off the in-memory buffer
+     keeps evolving but neither mirror shape touches the backend. The
+     disk image goes stale; re-arming is [set_durable true] followed
+     by [compact], which republishes the whole image atomically. *)
+  mutable durable : bool;
 }
 
 let header () =
@@ -174,24 +179,24 @@ let with_retry t f =
 
 let disk_publish t =
   match t.disk with
-  | None -> ()
-  | Some d ->
+  | Some d when t.durable ->
       let bytes = Buffer.contents t.buf in
       let tmp = t.file ^ ".tmp" in
       with_retry t (fun () -> Backend.remove d ~file:tmp);
       with_retry t (fun () -> Backend.pwrite d ~file:tmp ~off:0 bytes);
       with_retry t (fun () -> Backend.fsync d ~file:tmp);
       with_retry t (fun () -> Backend.rename d ~src:tmp ~dst:t.file)
+  | _ -> ()
 
 let disk_append t ~off bytes =
   match t.disk with
-  | None -> ()
-  | Some d ->
+  | Some d when t.durable ->
       with_retry t (fun () -> Backend.pwrite d ~file:t.file ~off bytes);
       with_retry t (fun () -> Backend.fsync d ~file:t.file)
+  | _ -> ()
 
 let create ?(mac_key = default_mac_key) ?(compact_every = 64) ?disk
-    ?(file = "queue") () =
+    ?(file = "queue") ?(durable = true) () =
   if String.length mac_key <> 16 then
     invalid_arg "Queue.create: mac_key must be 16 bytes";
   if compact_every < 1 then
@@ -211,12 +216,15 @@ let create ?(mac_key = default_mac_key) ?(compact_every = 64) ?disk
       next_fseq = 0;
       since_snapshot = 0;
       observer = None;
+      durable;
     }
   in
   disk_publish t;
   t
 
 let set_observer t obs = t.observer <- obs
+let set_durable t b = t.durable <- b
+let durable t = t.durable
 let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let state t = t.st

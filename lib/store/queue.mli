@@ -59,6 +59,7 @@ val create :
   ?compact_every:int ->
   ?disk:Backend.t ->
   ?file:string ->
+  ?durable:bool ->
   unit ->
   t
 (** An empty queue. [mac_key] (16 bytes, default a fixed public key)
@@ -67,6 +68,9 @@ val create :
     snapshot of the pending suffix. With [disk], every mutation is
     mirrored through the backend to [file] (default ["queue"]) before
     returning, with the journal's append/publish/EIO-retry discipline.
+    [durable] (default true) is the initial state of the
+    {!set_durable} switch — [false] lets a queue be created while the
+    backend is refusing writes, to be re-armed later.
     @raise Invalid_argument if [mac_key] is not 16 bytes or
     [compact_every < 1]. *)
 
@@ -110,6 +114,14 @@ val set_observer : t -> (event -> unit) option -> unit
 (** Mutation hook, fired after the disk write-through succeeds — the
     delivery layer subscribes here to replicate queue images to the
     warm-standby managers. At most one observer; [None] unsubscribes. *)
+
+val set_durable : t -> bool -> unit
+(** Degraded-mode switch. With durability off, mutations keep evolving
+    the in-memory image but nothing touches the backend — the disk
+    image goes stale. Re-arm with [set_durable t true] followed by
+    {!compact}, which republishes the whole image atomically. *)
+
+val durable : t -> bool
 
 val replay : ?mac_key:string -> string -> record list * status
 (** Decode the longest valid prefix of arbitrary bytes. Total: never

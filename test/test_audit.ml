@@ -195,7 +195,8 @@ let test_corrupted_traces_audit_as_forgeries () =
           | Audit.Forged_frame _ -> incr forged
           | Audit.Replayed_admin _ | Audit.Stale_rekey _
           | Audit.Stale_delivery _ | Audit.Handshake_flood _
-          | Audit.Framing_suspected _ | Audit.Quarantine _ -> ())
+          | Audit.Framing_suspected _ | Audit.Quarantine _
+          | Audit.Degraded_mode _ -> ())
         report.Audit.anomalies)
     seeds;
   Alcotest.(check bool)
@@ -230,7 +231,9 @@ let test_duplicated_traces_audit_as_replays () =
           | Audit.Framing_suspected _ ->
               Alcotest.fail "duplication misread as framing"
           | Audit.Quarantine _ ->
-              Alcotest.fail "duplication misread as quarantine")
+              Alcotest.fail "duplication misread as quarantine"
+          | Audit.Degraded_mode _ ->
+              Alcotest.fail "duplication misread as degraded mode")
         report.Audit.anomalies)
     seeds;
   Alcotest.(check bool)

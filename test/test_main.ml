@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "enclaves"
-    (Test_prng.suite @ Test_byteskit.suite @ Test_sym_crypto.suite @ Test_wire.suite @ Test_netsim.suite @ Test_improved.suite @ Test_legacy.suite @ Test_attacks.suite @ Test_symbolic.suite @ Test_failover.suite @ Test_chaos.suite @ Test_scenarios.suite @ Test_driver.suite @ Test_legacy_model.suite @ Test_fuzz.suite @ Test_edge_cases.suite @ Test_pk_auth.suite @ Test_audit.suite @ Test_journal.suite @ Test_store.suite @ Test_recovery.suite @ Test_replication.suite @ Test_delivery.suite @ Test_sentinel.suite @ Test_framing.suite)
+    (Test_prng.suite @ Test_byteskit.suite @ Test_sym_crypto.suite @ Test_wire.suite @ Test_netsim.suite @ Test_improved.suite @ Test_legacy.suite @ Test_attacks.suite @ Test_symbolic.suite @ Test_failover.suite @ Test_chaos.suite @ Test_scenarios.suite @ Test_driver.suite @ Test_legacy_model.suite @ Test_fuzz.suite @ Test_edge_cases.suite @ Test_pk_auth.suite @ Test_audit.suite @ Test_journal.suite @ Test_store.suite @ Test_recovery.suite @ Test_replication.suite @ Test_delivery.suite @ Test_pressure.suite @ Test_sentinel.suite @ Test_framing.suite)
